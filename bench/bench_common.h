@@ -1,0 +1,50 @@
+// Shared helpers for the experiment benches (E1-E10). Each bench binary
+// regenerates one table from DESIGN.md's claim->experiment index; see
+// EXPERIMENTS.md for the measured results and their reading.
+
+#ifndef SSMC_BENCH_BENCH_COMMON_H_
+#define SSMC_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "src/core/machine.h"
+#include "src/device/disk_device.h"
+#include "src/fs/disk_fs.h"
+#include "src/support/log.h"
+#include "src/support/table.h"
+#include "src/support/units.h"
+#include "src/trace/generator.h"
+
+namespace ssmc {
+
+// A conventional disk-based mobile computer: the baseline the paper argues
+// against. Groups the disk, its file system, and a clock.
+struct DiskMachine {
+  explicit DiskMachine(DiskSpec spec = KittyHawkDisk1993(),
+                       DiskFsOptions options = {}) {
+    disk = std::make_unique<DiskDevice>(spec, clock);
+    disk->set_spin_down_after(0);  // Keep spinning: favors the baseline.
+    fs = std::make_unique<DiskFileSystem>(*disk, options);
+  }
+  SimClock clock;
+  std::unique_ptr<DiskDevice> disk;
+  std::unique_ptr<DiskFileSystem> fs;
+};
+
+inline void PrintHeader(const std::string& id, const std::string& claim) {
+  // Benches exercise overload corners (full devices, dead batteries) on
+  // purpose; keep the warning log out of the tables.
+  SetLogLevel(LogLevel::kError);
+  std::cout << "\n=== " << id << " ===\n" << claim << "\n\n";
+}
+
+inline std::string Pct(double fraction) {
+  return FormatDouble(fraction * 100.0, 1) + "%";
+}
+
+}  // namespace ssmc
+
+#endif  // SSMC_BENCH_BENCH_COMMON_H_

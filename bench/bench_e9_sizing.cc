@@ -1,0 +1,121 @@
+// E9 — Sizing DRAM vs flash under a fixed budget (paper Section 4).
+//
+// Claim under test: "How should a system apportion its storage capacity
+// between the two technologies? ... The answer depends on the workload.
+// DRAM has the advantage of better write performance and relatively
+// unlimited endurance, but flash memory uses less power and must ultimately
+// be the repository for long-lived data."
+//
+// Method: hold the total solid-state capacity fixed at 12 MiB and sweep the
+// DRAM share, running three workload profiles on each split. Report
+// throughput, energy (drives battery life), flash write amplification and
+// erase counts (drives endurance), and failures (a too-small side breaks
+// the workload). The best split should differ by workload — that is the
+// paper's point.
+
+#include "bench/bench_common.h"
+
+namespace ssmc {
+namespace {
+
+constexpr uint64_t kBudgetBytes = 12 * kMiB;
+
+struct SizingResult {
+  double ops_per_s = 0;
+  double mean_op_us = 0;
+  double energy_mj = 0;
+  double write_amp = 0;
+  uint64_t erases = 0;
+  uint64_t failures = 0;
+};
+
+SizingResult RunSplit(uint64_t dram_bytes, const WorkloadOptions& workload) {
+  MachineConfig config;
+  config.name = "sizing";
+  config.dram_bytes = dram_bytes;
+  config.flash_spec = GenericPaperFlash();
+  config.flash_spec.erase_sector_bytes = 8 * kKiB;
+  config.flash_spec.erase_ns = 50 * kMillisecond;
+  config.flash_bytes = kBudgetBytes - dram_bytes;
+  config.flash_banks = 2;
+  // Most of DRAM serves as the write buffer; the rest is program memory.
+  config.fs_options.write_buffer_pages = (dram_bytes / 512) / 2;
+  MobileComputer machine(config);
+
+  const Trace trace = WorkloadGenerator(workload).Generate();
+  const ReplayReport report = machine.RunTrace(trace);
+  (void)machine.fs().Sync();
+  machine.SettleEnergy();
+
+  SizingResult result;
+  result.ops_per_s = report.OpsPerSecond();
+  result.mean_op_us = report.all_ops.mean_ns() / 1e3;
+  result.energy_mj = machine.TotalEnergyNj() / 1e6;
+  result.write_amp = machine.flash_store().WriteAmplification();
+  result.erases = machine.flash_store().stats().erases.value();
+  result.failures = report.failures;
+  return result;
+}
+
+void RunWorkload(const std::string& name, WorkloadOptions options) {
+  options.duration = 3 * kMinute;
+  options.mean_interarrival = 15 * kMillisecond;
+  options.min_file_bytes = 512;
+  options.max_file_bytes = 96 * 1024;
+  options.num_directories = 16;
+  options.initial_files = 320;
+  options.hot_skew = 0.5;  // Broad write working set: sizing pressure.
+  std::cout << "\nWorkload: " << name << "\n";
+  Table table({"DRAM : flash", "mean op (us)", "ops/s", "energy (mJ)",
+               "flash WA", "erases", "failures"});
+  for (const uint64_t dram_mib : {1, 2, 4, 6, 8}) {
+    const uint64_t dram = dram_mib * kMiB;
+    const SizingResult r = RunSplit(dram, options);
+    table.AddRow();
+    table.AddCell(std::to_string(dram_mib) + " : " +
+                  std::to_string((kBudgetBytes - dram) / kMiB) + " MiB");
+    table.AddCell(r.mean_op_us, 1);
+    table.AddCell(r.ops_per_s, 0);
+    table.AddCell(r.energy_mj, 1);
+    table.AddCell(r.write_amp, 2);
+    table.AddCell(r.erases);
+    table.AddCell(r.failures);
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace ssmc
+
+int main() {
+  using namespace ssmc;
+  PrintHeader("E9: DRAM vs flash sizing at a fixed budget (Section 4)",
+              "Claim: the right DRAM:flash split depends on the workload's "
+              "writable working set.");
+  std::cout << "Total solid-state budget: " << FormatSize(kBudgetBytes)
+            << "; DRAM share swept; half of DRAM is write buffer.\n";
+
+  RunWorkload("read-mostly", ReadMostlyWorkload());
+  RunWorkload("office", OfficeWorkload());
+  RunWorkload("write-hot", WriteHotWorkload());
+
+  // Archive: long-lived data accumulates until it no longer fits the flash
+  // side — the "sufficiently large repository for permanent data" corner.
+  WorkloadOptions archive;
+  archive.seed = 4242;
+  archive.p_read = 0.30;
+  archive.p_write = 0.10;
+  archive.p_create = 0.25;
+  archive.p_delete = 0.02;
+  archive.p_short_lived = 0.0;  // Nothing dies young.
+  archive.max_file_bytes = 256 * 1024;
+  RunWorkload("archive (long-lived data)", archive);
+
+  std::cout << "\nReading: the write-hot profile wants more DRAM (lower "
+               "latency); every profile pays\nDRAM retention power, so the "
+               "read-mostly profile prefers a small-DRAM split; the archive\n"
+               "profile fails outright (NO_SPACE) when the flash share is "
+               "too small — flash must be\nthe repository for long-lived "
+               "data.\n";
+  return 0;
+}

@@ -1,0 +1,256 @@
+// M1 — Microbenchmarks over the simulator's hot paths (google-benchmark).
+//
+// These measure *host* execution cost of the simulation primitives (not
+// simulated time): device ops, flash-store writes with and without cleaning
+// pressure, file-system operations, page-table walks. They guard against
+// performance regressions that would make the E3/E6/E9 sweeps impractically
+// slow.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/core/machine.h"
+#include "src/core/single_level_store.h"
+#include "src/device/disk_device.h"
+#include "src/fs/disk_fs.h"
+#include "src/trace/generator.h"
+#include "src/vm/loader.h"
+
+namespace ssmc {
+namespace {
+
+FlashSpec MicroFlashSpec() {
+  FlashSpec spec = GenericPaperFlash();
+  spec.erase_sector_bytes = 4 * kKiB;
+  spec.erase_ns = 10 * kMillisecond;
+  spec.endurance_cycles = 100000000;
+  return spec;
+}
+
+void BM_FlashRead512(benchmark::State& state) {
+  SimClock clock;
+  FlashDevice flash(MicroFlashSpec(), 1 * kMiB, 1, clock);
+  std::vector<uint8_t> buf(512);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flash.Read(0, buf));
+  }
+}
+BENCHMARK(BM_FlashRead512);
+
+void BM_FlashProgramEraseCycle(benchmark::State& state) {
+  SimClock clock;
+  FlashDevice flash(MicroFlashSpec(), 1 * kMiB, 1, clock);
+  std::vector<uint8_t> data(512, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flash.Program(0, data));
+    benchmark::DoNotOptimize(flash.EraseSector(0));
+  }
+}
+BENCHMARK(BM_FlashProgramEraseCycle);
+
+void BM_DramWrite512(benchmark::State& state) {
+  SimClock clock;
+  DramDevice dram(NecDram1993(), 1 * kMiB, clock);
+  std::vector<uint8_t> data(512, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dram.Write(0, data));
+  }
+}
+BENCHMARK(BM_DramWrite512);
+
+void BM_DiskRandomRead(benchmark::State& state) {
+  SimClock clock;
+  DiskDevice disk(KittyHawkDisk1993(), clock);
+  disk.set_spin_down_after(0);
+  std::vector<uint8_t> buf(512);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        disk.ReadSectors(rng.NextBelow(disk.num_sectors()), buf));
+  }
+}
+BENCHMARK(BM_DiskRandomRead);
+
+void BM_FlashStoreSequentialOverwrite(benchmark::State& state) {
+  SimClock clock;
+  FlashDevice flash(MicroFlashSpec(), 2 * kMiB, 1, clock);
+  FlashStore store(flash, FlashStoreOptions{});
+  std::vector<uint8_t> block(512, 1);
+  uint64_t b = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Write(b, block));
+    b = (b + 1) % store.num_blocks();
+  }
+  state.counters["write_amp"] = store.WriteAmplification();
+}
+BENCHMARK(BM_FlashStoreSequentialOverwrite);
+
+void BM_FlashStoreHotOverwriteWithCleaning(benchmark::State& state) {
+  SimClock clock;
+  FlashDevice flash(MicroFlashSpec(), 2 * kMiB, 1, clock);
+  FlashStoreOptions options;
+  options.cleaner = CleanerPolicy::kCostBenefit;
+  FlashStore store(flash, options);
+  std::vector<uint8_t> block(512, 1);
+  for (uint64_t i = 0; i < store.num_blocks(); ++i) {
+    (void)store.Write(i, block);
+  }
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Write(rng.NextBelow(64), block));
+  }
+  state.counters["write_amp"] = store.WriteAmplification();
+}
+BENCHMARK(BM_FlashStoreHotOverwriteWithCleaning);
+
+void BM_MemoryFsCreateWriteUnlink(benchmark::State& state) {
+  MobileComputer machine(NotebookConfig());
+  std::vector<uint8_t> data(4096, 1);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    const std::string path = "/f" + std::to_string(i++);
+    (void)machine.fs().Create(path);
+    (void)machine.fs().Write(path, 0, data);
+    (void)machine.fs().Unlink(path);
+  }
+}
+BENCHMARK(BM_MemoryFsCreateWriteUnlink);
+
+void BM_MemoryFsRead4K(benchmark::State& state) {
+  MobileComputer machine(NotebookConfig());
+  (void)machine.fs().Create("/f");
+  std::vector<uint8_t> data(4096, 1);
+  (void)machine.fs().Write("/f", 0, data);
+  (void)machine.fs().Sync();
+  std::vector<uint8_t> out(4096);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine.fs().Read("/f", 0, out));
+  }
+}
+BENCHMARK(BM_MemoryFsRead4K);
+
+void BM_DiskFsRead4KWarm(benchmark::State& state) {
+  SimClock clock;
+  DiskDevice disk(KittyHawkDisk1993(), clock);
+  disk.set_spin_down_after(0);
+  DiskFileSystem fs(disk, DiskFsOptions{});
+  (void)fs.Create("/f");
+  std::vector<uint8_t> data(4096, 1);
+  (void)fs.Write("/f", 0, data);
+  std::vector<uint8_t> out(4096);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fs.Read("/f", 0, out));
+  }
+}
+BENCHMARK(BM_DiskFsRead4KWarm);
+
+void BM_FlashStoreSegregatedWrite(benchmark::State& state) {
+  SimClock clock;
+  FlashDevice flash(MicroFlashSpec(), 2 * kMiB, 4, clock);
+  FlashStoreOptions options;
+  options.hot_bank_count = 1;
+  FlashStore store(flash, options);
+  std::vector<uint8_t> block(512, 1);
+  Rng rng(3);
+  for (uint64_t b = 0; b < store.num_blocks(); ++b) {
+    (void)store.Write(b, block,
+                      b < store.num_blocks() / 10
+                          ? WriteStream::kUser
+                          : WriteStream::kRelocation);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.Write(rng.NextBelow(store.num_blocks() / 10), block));
+  }
+}
+BENCHMARK(BM_FlashStoreSegregatedWrite);
+
+void BM_MetadataCheckpoint(benchmark::State& state) {
+  MobileComputer machine(NotebookConfig());
+  for (int d = 0; d < 4; ++d) {
+    (void)machine.fs().Mkdir("/d" + std::to_string(d));
+    for (int f = 0; f < 32; ++f) {
+      const std::string path =
+          "/d" + std::to_string(d) + "/f" + std::to_string(f);
+      (void)machine.fs().Create(path);
+      std::vector<uint8_t> data(2048, 1);
+      (void)machine.fs().Write(path, 0, data);
+    }
+  }
+  (void)machine.fs().Sync();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine.fs().CheckpointMetadata());
+  }
+  state.counters["files"] = 128;
+}
+BENCHMARK(BM_MetadataCheckpoint);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  WorkloadOptions options = OfficeWorkload();
+  options.duration = kMinute;
+  uint64_t records = 0;
+  for (auto _ : state) {
+    options.seed += 1;
+    WorkloadGenerator generator(options);
+    const Trace trace = generator.Generate();
+    records += trace.size();
+    benchmark::DoNotOptimize(trace.size());
+  }
+  state.counters["records_per_iter"] =
+      static_cast<double>(records) /
+      static_cast<double>(std::max<int64_t>(1, state.iterations()));
+}
+BENCHMARK(BM_TraceGeneration);
+
+void BM_SingleLevelStoreLoad(benchmark::State& state) {
+  MobileComputer machine(NotebookConfig());
+  (void)machine.fs().Create("/f");
+  std::vector<uint8_t> data(64 * kKiB, 1);
+  (void)machine.fs().Write("/f", 0, data);
+  (void)machine.fs().Sync();
+  machine.Idle(kMinute);
+  SingleLevelStore store(machine.storage(), machine.fs());
+  const uint64_t base = store.Attach("/f").value();
+  std::vector<uint8_t> out(512);
+  uint64_t off = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Load(base + off, out));
+    off = (off + 512) % (64 * kKiB);
+  }
+}
+BENCHMARK(BM_SingleLevelStoreLoad);
+
+void BM_PageTableWalk(benchmark::State& state) {
+  PageTable table(512, nullptr);
+  for (uint64_t va = 0; va < 1024 * 512; va += 512) {
+    PageTableEntry& pte = table.FindOrCreate(va);
+    table.MarkPresent(pte, true);
+  }
+  uint64_t va = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Find(va));
+    va = (va + 512) % (1024 * 512);
+  }
+}
+BENCHMARK(BM_PageTableWalk);
+
+void BM_AddressSpaceDramRead(benchmark::State& state) {
+  MobileComputer machine(NotebookConfig());
+  AddressSpace& space = machine.CreateAddressSpace();
+  (void)space.MapAnonymous(1 << 20, 64 * kKiB, "bench");
+  std::vector<uint8_t> data(64 * kKiB, 1);
+  (void)space.Write(1 << 20, data);
+  std::vector<uint8_t> out(512);
+  uint64_t off = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(space.Read((1 << 20) + off, out));
+    off = (off + 512) % (64 * kKiB);
+  }
+}
+BENCHMARK(BM_AddressSpaceDramRead);
+
+}  // namespace
+}  // namespace ssmc
+
+BENCHMARK_MAIN();

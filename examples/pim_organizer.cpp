@@ -1,0 +1,113 @@
+// A day in the life of a 1993 personal information manager (Sharp Wizard /
+// Casio Boss class device, per the paper's Section 2 examples): an address
+// book and a notes application on a tiny solid-state machine, with a
+// mid-day battery swap and an end-of-day accounting of flash wear, energy,
+// and data safety.
+//
+//   $ ./examples/pim_organizer
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/core/machine.h"
+
+namespace {
+
+using namespace ssmc;
+
+// Appends one fixed-size record to a flat-file database.
+void AppendRecord(MemoryFileSystem& fs, const std::string& path,
+                  uint64_t record_bytes, uint8_t fill) {
+  Result<FileInfo> info = fs.Stat(path);
+  const uint64_t at = info.ok() ? info.value().size : 0;
+  std::vector<uint8_t> record(record_bytes, fill);
+  (void)fs.Write(path, at, record);
+}
+
+}  // namespace
+
+int main() {
+  using namespace ssmc;
+
+  MobileComputer pda(PdaConfig());
+  MemoryFileSystem& fs = pda.fs();
+  std::cout << "PDA: " << FormatSize(pda.dram().capacity_bytes())
+            << " DRAM, " << FormatSize(pda.flash().capacity_bytes())
+            << " flash, "
+            << FormatDouble(pda.battery().primary_remaining_mwh(), 0)
+            << " mWh battery\n\n";
+
+  (void)fs.Mkdir("/db");
+  (void)fs.Create("/db/contacts");
+  (void)fs.Create("/db/calendar");
+  (void)fs.Mkdir("/notes");
+
+  Rng rng(77);
+  int notes = 0;
+  int contacts = 0;
+  int appointments = 0;
+
+  // 12 hours of intermittent use: bursts of activity separated by long
+  // idle stretches (the machine spends most of the day asleep).
+  for (int hour = 0; hour < 12; ++hour) {
+    const int interactions = static_cast<int>(rng.NextInRange(2, 8));
+    for (int i = 0; i < interactions; ++i) {
+      const double u = rng.NextDouble();
+      if (u < 0.35) {
+        AppendRecord(fs, "/db/contacts", 128,
+                     static_cast<uint8_t>(++contacts));
+      } else if (u < 0.70) {
+        AppendRecord(fs, "/db/calendar", 64,
+                     static_cast<uint8_t>(++appointments));
+      } else {
+        const std::string path = "/notes/note" + std::to_string(++notes);
+        (void)fs.Create(path);
+        std::vector<uint8_t> body(
+            static_cast<size_t>(rng.NextInRange(200, 3000)),
+            static_cast<uint8_t>(notes));
+        (void)fs.Write(path, 0, body);
+      }
+      pda.Idle(static_cast<Duration>(rng.NextInRange(5, 90)) * kSecond);
+    }
+    pda.Idle(kHour);  // The rest of the hour: asleep, DRAM retained.
+    if (!pda.SettleEnergy()) {
+      std::cout << "battery died at hour " << hour << "!\n";
+      return 1;
+    }
+
+    // Lunchtime: the user swaps in a fresh battery pack; the lithium
+    // backup carries the DRAM through the swap.
+    if (hour == 5) {
+      const bool ok = pda.SwapBattery(3000);
+      std::cout << "hour 6: battery swap "
+                << (ok ? "succeeded (no data lost)" : "FAILED") << "\n";
+    }
+  }
+
+  // End of day: power down cleanly.
+  const MobileComputer::CrashReport shutdown = pda.OrderlyShutdown();
+
+  std::cout << "\nEnd of day\n";
+  std::cout << "  contacts: " << contacts << ", appointments: "
+            << appointments << ", notes: " << notes << "\n";
+  Result<FileInfo> contacts_info = fs.Stat("/db/contacts");
+  std::cout << "  /db/contacts size: "
+            << FormatSize(contacts_info.value().size) << "\n";
+  std::cout << "  flash programs: " << pda.flash().stats().programs.value()
+            << " (" << FormatSize(pda.flash().stats().programmed_bytes.value())
+            << ")\n";
+  std::cout << "  logical writes absorbed in DRAM: "
+            << pda.fs().write_buffer().stats().absorbed_overwrites.value()
+            << "\n";
+  const FlashDevice::WearSummary wear = pda.flash().SummarizeWear();
+  std::cout << "  flash wear: mean " << FormatDouble(wear.mean_erases, 2)
+            << " erases/sector, max " << wear.max_erases << "\n";
+  std::cout << "  energy used: " << FormatEnergy(pda.TotalEnergyNj()) << "\n";
+  std::cout << "  battery remaining: "
+            << FormatDouble(pda.battery().primary_fraction() * 100, 1)
+            << "%\n";
+  std::cout << "  data lost at shutdown: " << shutdown.lost_dirty_bytes
+            << " bytes\n";
+  return 0;
+}

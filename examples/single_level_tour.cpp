@@ -1,0 +1,75 @@
+// The single-level store in action: every file is just memory at a stable
+// 64-bit address — the paper's core abstraction (Sections 1 and 3).
+//
+//   $ ./examples/single_level_tour
+
+#include <iostream>
+#include <vector>
+
+#include "src/core/machine.h"
+#include "src/core/single_level_store.h"
+
+int main() {
+  using namespace ssmc;
+  MobileComputer machine(NotebookConfig());
+  MemoryFileSystem& fs = machine.fs();
+  SingleLevelStore store(machine.storage(), fs);
+
+  // Ship a reference document and a database on the machine.
+  (void)fs.Create("/manual");
+  std::vector<uint8_t> manual(48 * 1024);
+  for (size_t i = 0; i < manual.size(); ++i) {
+    manual[i] = static_cast<uint8_t>('A' + i % 26);
+  }
+  (void)fs.Write("/manual", 0, manual);
+  (void)fs.Create("/addressbook");
+  (void)fs.Write("/addressbook", 0, std::vector<uint8_t>(8 * 1024, 0));
+  (void)fs.Sync();
+  machine.Idle(kMinute);
+
+  // Attach both into the one 64-bit space.
+  const uint64_t manual_va = store.Attach("/manual").value();
+  const uint64_t book_va = store.AttachWritable("/addressbook").value();
+  std::cout << "/manual      @ 0x" << std::hex << manual_va << "\n";
+  std::cout << "/addressbook @ 0x" << book_va << std::dec << "\n\n";
+
+  // Reading the manual is a plain load: served in place from flash, no
+  // buffer cache, no copies, no DRAM consumed.
+  std::vector<uint8_t> line(26);
+  (void)store.Load(manual_va + 1040, line);
+  std::cout << "manual[1040..1066): ";
+  for (uint8_t c : line) {
+    std::cout << static_cast<char>(c);
+  }
+  std::cout << "\nDRAM pages used by the mapping: "
+            << store.space().resident_dram_pages() << "\n\n";
+
+  // Updating the address book is a plain store: it lands in the write
+  // buffer and becomes durable under the machine's flush policy.
+  struct Contact {
+    char name[24];
+    char phone[8];
+  };
+  Contact contact = {"Ramon Caceres", "x1993"};
+  (void)store.Store(book_va + 0 * sizeof(Contact),
+                    std::span<const uint8_t>(
+                        reinterpret_cast<const uint8_t*>(&contact),
+                        sizeof(contact)));
+  machine.Idle(2 * kMinute);  // Flush daemon persists it.
+
+  // The same bytes are visible through the classic file API...
+  std::vector<uint8_t> raw(sizeof(Contact));
+  (void)fs.Read("/addressbook", 0, raw);
+  std::cout << "file sees: "
+            << reinterpret_cast<const Contact*>(raw.data())->name << " / "
+            << reinterpret_cast<const Contact*>(raw.data())->phone << "\n";
+  // ...and the store write reached flash via the flush daemon.
+  std::cout << "flash programs so far: "
+            << machine.flash().stats().programs.value() << "\n";
+
+  // Reverse-resolving an address tells you what memory *is*.
+  auto hit = store.Resolve(manual_va + 1040);
+  std::cout << "0x" << std::hex << manual_va + 1040 << std::dec << " = "
+            << hit.value().first << " + " << hit.value().second << "\n";
+  return 0;
+}

@@ -1,0 +1,188 @@
+// Trace statistics tool: quantifies a workload's distributional shape and
+// checks it against the published facts the paper's argument relies on
+// (Ousterhout et al. 1985 [8], Baker et al. 1991 [3]):
+//   * most files are small;
+//   * most access is whole-file and sequential;
+//   * a large share of newly written bytes dies young (deleted or
+//     overwritten within ~30 seconds);
+//   * access frequency is heavily skewed.
+//
+//   $ ./examples/trace_stats [profile]     # office | write-hot | read-mostly
+//   $ ./examples/trace_stats /path/to.trace
+//
+// This is the calibration evidence behind DESIGN.md's trace substitution.
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+#include "src/support/table.h"
+#include "src/trace/generator.h"
+
+namespace {
+
+using namespace ssmc;
+
+void Analyze(const Trace& trace, Duration young = 30 * kSecond) {
+  std::cout << "records: " << trace.size() << ", span "
+            << FormatDuration(trace.DurationNs()) << ", "
+            << FormatSize(trace.TotalBytesWritten()) << " written, "
+            << FormatSize(trace.TotalBytesRead()) << " read\n\n";
+
+  // File size distribution (size at each file's largest extent).
+  std::unordered_map<std::string, uint64_t> sizes;
+  std::unordered_map<std::string, uint64_t> ever_sizes;
+  // Per (path, block) last write time, to classify overwrite deaths.
+  std::map<std::pair<std::string, uint64_t>, SimTime> last_write;
+  uint64_t written_bytes = 0;
+  uint64_t young_bytes = 0;  // Died by overwrite or delete within `young`.
+  uint64_t whole_file_ops = 0;
+  uint64_t rw_ops = 0;
+  std::unordered_map<std::string, uint64_t> touches;
+
+  for (const TraceRecord& r : trace.records()) {
+    switch (r.op) {
+      case TraceOp::kWrite: {
+        sizes[r.path] = std::max(sizes[r.path], r.offset + r.length);
+        ever_sizes[r.path] = std::max(ever_sizes[r.path], sizes[r.path]);
+        touches[r.path] += 1;
+        ++rw_ops;
+        if (r.offset == 0 && r.length == sizes[r.path]) {
+          ++whole_file_ops;
+        }
+        written_bytes += r.length;
+        for (uint64_t b = r.offset / 512;
+             b <= (r.offset + r.length - 1) / 512; ++b) {
+          auto key = std::make_pair(r.path, b);
+          auto it = last_write.find(key);
+          if (it != last_write.end() && r.at - it->second <= young) {
+            young_bytes += 512;  // Overwritten while young.
+          }
+          last_write[key] = r.at;
+        }
+        break;
+      }
+      case TraceOp::kRead:
+        touches[r.path] += 1;
+        ++rw_ops;
+        if (r.offset == 0 && r.length >= sizes[r.path]) {
+          ++whole_file_ops;
+        }
+        break;
+      case TraceOp::kUnlink: {
+        // Blocks of this file written recently die young.
+        const uint64_t blocks = sizes[r.path] / 512 + 1;
+        for (uint64_t b = 0; b < blocks; ++b) {
+          auto it = last_write.find(std::make_pair(r.path, b));
+          if (it != last_write.end()) {
+            if (r.at - it->second <= young) {
+              young_bytes += 512;
+            }
+            last_write.erase(it);
+          }
+        }
+        sizes.erase(r.path);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // Size buckets.
+  std::map<uint64_t, int> size_hist;  // upper bound -> count
+  for (const auto& [path, size] : ever_sizes) {
+    uint64_t bucket = 1024;
+    while (bucket < size) {
+      bucket *= 4;
+    }
+    size_hist[bucket] += 1;
+  }
+  Table sizes_table({"file size <=", "files", "share"});
+  int total_files = 0;
+  for (const auto& [bucket, count] : size_hist) {
+    total_files += count;
+  }
+  int cumulative = 0;
+  for (const auto& [bucket, count] : size_hist) {
+    cumulative += count;
+    sizes_table.AddRow();
+    sizes_table.AddCell(FormatSize(bucket));
+    sizes_table.AddCell(static_cast<int64_t>(count));
+    sizes_table.AddCell(FormatDouble(100.0 * cumulative / total_files, 0) +
+                        "% cum");
+  }
+  sizes_table.Print(std::cout);
+
+  // Touch skew: share of accesses landing on the hottest 10% of files.
+  std::vector<uint64_t> touch_counts;
+  uint64_t total_touches = 0;
+  for (const auto& [path, count] : touches) {
+    touch_counts.push_back(count);
+    total_touches += count;
+  }
+  std::sort(touch_counts.rbegin(), touch_counts.rend());
+  uint64_t hot_touches = 0;
+  const size_t hot_n = std::max<size_t>(1, touch_counts.size() / 10);
+  for (size_t i = 0; i < hot_n && i < touch_counts.size(); ++i) {
+    hot_touches += touch_counts[i];
+  }
+
+  std::cout << "\nworkload shape (paper-cited facts in brackets):\n";
+  std::cout << "  whole-file sequential ops: "
+            << FormatDouble(100.0 * static_cast<double>(whole_file_ops) /
+                                static_cast<double>(std::max<uint64_t>(1, rw_ops)),
+                            0)
+            << "%   [most bytes move in whole-file transfers]\n";
+  std::cout << "  written bytes dying within "
+            << FormatDuration(young) << ": "
+            << FormatDouble(std::min(100.0,
+                                100.0 * static_cast<double>(young_bytes) /
+                                    static_cast<double>(
+                                        std::max<uint64_t>(1, written_bytes))),
+                            0)
+            << "%   [a large share of new data dies young]\n";
+  std::cout << "  accesses to the hottest 10% of files: "
+            << FormatDouble(100.0 * static_cast<double>(hot_touches) /
+                                static_cast<double>(
+                                    std::max<uint64_t>(1, total_touches)),
+                            0)
+            << "%   [access frequency is heavily skewed]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ssmc;
+  const std::string arg = argc > 1 ? argv[1] : "office";
+
+  Trace trace;
+  if (arg == "office" || arg == "write-hot" || arg == "read-mostly") {
+    WorkloadOptions options = arg == "office"      ? OfficeWorkload()
+                              : arg == "write-hot" ? WriteHotWorkload()
+                                                   : ReadMostlyWorkload();
+    options.duration = 5 * kMinute;
+    std::cout << "profile: " << arg << "\n";
+    trace = WorkloadGenerator(options).Generate();
+  } else {
+    std::ifstream in(arg);
+    if (!in) {
+      std::cerr << "cannot open " << arg << "\n";
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    Result<Trace> parsed = Trace::FromText(buffer.str());
+    if (!parsed.ok()) {
+      std::cerr << parsed.status().ToString() << "\n";
+      return 1;
+    }
+    trace = std::move(parsed).value();
+    std::cout << "trace file: " << arg << "\n";
+  }
+  Analyze(trace);
+  return 0;
+}

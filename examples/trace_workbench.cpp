@@ -1,0 +1,82 @@
+// Trace workbench: generate a synthetic workload, save it as a text trace,
+// reload it, and replay it against both storage organizations — the
+// solid-state machine and the conventional disk machine.
+//
+//   $ ./examples/trace_workbench [trace-file]
+//
+// Demonstrates the record/replay tooling: traces are deterministic,
+// serializable, and portable across file-system implementations.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "src/core/machine.h"
+#include "src/device/disk_device.h"
+#include "src/fs/disk_fs.h"
+#include "src/support/table.h"
+#include "src/trace/generator.h"
+#include "src/trace/replayer.h"
+
+int main(int argc, char** argv) {
+  using namespace ssmc;
+  const std::string path = argc > 1 ? argv[1] : "/tmp/ssmc_office.trace";
+
+  // 1. Generate a deterministic office workload.
+  WorkloadOptions options = OfficeWorkload();
+  options.duration = 2 * kMinute;
+  options.max_file_bytes = 64 * 1024;
+  const Trace trace = WorkloadGenerator(options).Generate();
+  std::cout << "Generated " << trace.size() << " operations ("
+            << FormatSize(trace.TotalBytesWritten()) << " written, "
+            << FormatSize(trace.TotalBytesRead()) << " read)\n";
+
+  // 2. Save and reload as text.
+  {
+    std::ofstream out(path);
+    out << trace.ToText();
+  }
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  Result<Trace> reloaded = Trace::FromText(buffer.str());
+  if (!reloaded.ok()) {
+    std::cerr << "reload failed: " << reloaded.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "Round-tripped through " << path << ": "
+            << reloaded.value().size() << " records\n\n";
+
+  // 3. Replay on the solid-state machine.
+  MobileComputer machine(NotebookConfig());
+  const ReplayReport ssd = machine.RunTrace(reloaded.value());
+
+  // 4. Replay on the conventional disk machine.
+  SimClock disk_clock;
+  DiskDevice disk(FujitsuDisk1993(), disk_clock);
+  disk.set_spin_down_after(0);
+  DiskFileSystem disk_fs(disk, DiskFsOptions{});
+  TraceReplayer disk_replayer(disk_fs, disk_clock);
+  const ReplayReport hdd = disk_replayer.Replay(reloaded.value());
+
+  Table table({"machine", "ops", "failures", "mean op", "p99 op",
+               "device busy"});
+  auto add = [&](const std::string& name, const ReplayReport& report) {
+    table.AddRow();
+    table.AddCell(name);
+    table.AddCell(report.ops);
+    table.AddCell(report.failures);
+    table.AddCell(
+        FormatDuration(static_cast<Duration>(report.all_ops.mean_ns())));
+    table.AddCell(
+        FormatDuration(static_cast<Duration>(report.all_ops.p99_ns())));
+    table.AddCell(FormatDuration(report.all_ops.total_ns()));
+  };
+  add("solid-state (DRAM+flash)", ssd);
+  add("conventional (disk)", hdd);
+  table.Print(std::cout);
+
+  std::cout << "\nSame trace, same semantics, two storage organizations — "
+               "the speedup is the paper's thesis.\n";
+  return 0;
+}

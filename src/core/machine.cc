@@ -1,0 +1,182 @@
+#include "src/core/machine.h"
+
+#include "src/support/log.h"
+
+namespace ssmc {
+
+MachineConfig OmniBookConfig() {
+  MachineConfig config;
+  config.name = "omnibook";
+  config.dram_bytes = 4 * kMiB;
+  config.flash_spec = IntelFlash1993();
+  // Keep simulated erase cost moderate for a 10 MiB card with many small
+  // sectors (the card's controller erases subsectors).
+  config.flash_spec.erase_sector_bytes = 16 * kKiB;
+  config.flash_spec.erase_ns = 300 * kMillisecond;
+  config.flash_bytes = 10 * kMiB;
+  config.flash_banks = 2;
+  return config;
+}
+
+MachineConfig PdaConfig() {
+  MachineConfig config;
+  config.name = "pda";
+  config.dram_bytes = 1 * kMiB;
+  config.flash_spec = GenericPaperFlash();
+  config.flash_bytes = 4 * kMiB;
+  config.flash_banks = 1;
+  config.primary_battery_mwh = 3000;  // AAA cells.
+  config.backup_battery_mwh = 100;
+  config.fs_options.write_buffer_pages = 512;  // 256 KiB buffer.
+  return config;
+}
+
+MachineConfig NotebookConfig() {
+  MachineConfig config;
+  config.name = "notebook";
+  config.dram_bytes = 16 * kMiB;
+  config.flash_spec = SunDiskFlash1993();
+  // SunDisk-style small sectors; group them into 8 KiB store sectors for a
+  // reasonable page count at 32 MiB.
+  config.flash_spec.erase_sector_bytes = 8 * kKiB;
+  config.flash_spec.erase_ns = 20 * kMillisecond;
+  config.flash_bytes = 32 * kMiB;
+  config.flash_banks = 4;
+  config.fs_options.write_buffer_pages = 4096;  // 2 MiB buffer.
+  return config;
+}
+
+MobileComputer::MobileComputer(MachineConfig config)
+    : config_(std::move(config)), events_(clock_) {
+  dram_ = std::make_unique<DramDevice>(config_.dram_spec, config_.dram_bytes,
+                                       clock_);
+  flash_ = std::make_unique<FlashDevice>(config_.flash_spec,
+                                         config_.flash_bytes,
+                                         config_.flash_banks, clock_,
+                                         config_.seed);
+  battery_ = std::make_unique<Battery>(config_.primary_battery_mwh,
+                                       config_.backup_battery_mwh, clock_);
+  // The storage manager's flush path runs in the background: writes occupy
+  // flash banks without blocking the application.
+  FlashStoreOptions store_options = config_.store_options;
+  store_options.background_writes = true;
+  store_options.block_bytes = config_.page_bytes;
+  store_ = std::make_unique<FlashStore>(*flash_, store_options);
+  storage_ =
+      std::make_unique<StorageManager>(*dram_, *store_, config_.page_bytes);
+  fs_ = std::make_unique<MemoryFileSystem>(*storage_, config_.fs_options);
+  ScheduleFlushDaemon();
+  if (config_.checkpoint_period > 0) {
+    ScheduleCheckpointDaemon();
+  }
+}
+
+MobileComputer::~MobileComputer() = default;
+
+void MobileComputer::ScheduleFlushDaemon() {
+  events_.ScheduleAfter(config_.flush_period, [this] {
+    if (!battery_->dead()) {
+      Status flushed = fs_->TickFlush(clock_.now());
+      if (!flushed.ok()) {
+        SSMC_LOG(kWarning) << "flush daemon: " << flushed.ToString();
+      }
+    }
+    ScheduleFlushDaemon();
+  });
+}
+
+void MobileComputer::ScheduleCheckpointDaemon() {
+  events_.ScheduleAfter(config_.checkpoint_period, [this] {
+    if (!battery_->dead()) {
+      Status checkpointed = fs_->CheckpointMetadata();
+      if (!checkpointed.ok()) {
+        SSMC_LOG(kWarning) << "checkpoint daemon: "
+                           << checkpointed.ToString();
+      }
+    }
+    ScheduleCheckpointDaemon();
+  });
+}
+
+Result<RecoveryReport> MobileComputer::RecoverAfterFailure(
+    double fresh_battery_mwh) {
+  battery_ = std::make_unique<Battery>(fresh_battery_mwh,
+                                       config_.backup_battery_mwh, clock_);
+  spaces_.clear();
+  // Tear down in dependency order, then rebuild the DRAM-resident state
+  // (allocators, namespace) from flash.
+  fs_.reset();
+  storage_ =
+      std::make_unique<StorageManager>(*dram_, *store_, config_.page_bytes);
+  RecoveryReport report;
+  Result<std::unique_ptr<MemoryFileSystem>> recovered =
+      MemoryFileSystem::RecoverFromCheckpoint(*storage_, config_.fs_options,
+                                              &report);
+  if (!recovered.ok()) {
+    // No checkpoint: come up with an empty file system (factory-reset).
+    fs_ = std::make_unique<MemoryFileSystem>(*storage_, config_.fs_options);
+    return recovered.status();
+  }
+  fs_ = std::move(recovered).value();
+  return report;
+}
+
+AddressSpace& MobileComputer::CreateAddressSpace() {
+  spaces_.push_back(std::make_unique<AddressSpace>(*storage_));
+  return *spaces_.back();
+}
+
+ReplayReport MobileComputer::RunTrace(const Trace& trace) {
+  TraceReplayer replayer(*fs_, clock_, &events_);
+  return replayer.Replay(trace);
+}
+
+double MobileComputer::CurrentStandbyMw() const {
+  return dram_->standby_mw() + flash_->standby_mw();
+}
+
+bool MobileComputer::SettleEnergy() {
+  dram_->AccountIdleEnergy();
+  flash_->AccountIdleEnergy();
+  const double total = TotalEnergyNj();
+  const double delta = total - drained_nj_;
+  drained_nj_ = total;
+  if (delta <= 0) {
+    return !battery_->dead();
+  }
+  return battery_->Drain(delta);
+}
+
+double MobileComputer::TotalEnergyNj() const {
+  return dram_->energy().total_nanojoules() +
+         flash_->energy().total_nanojoules();
+}
+
+MobileComputer::CrashReport MobileComputer::InjectBatteryFailure() {
+  CrashReport report;
+  report.at = clock_.now();
+  battery_->InjectFailure();
+  report.lost_dirty_bytes = fs_->LoseBufferedData();
+  dram_->ForceContentLoss();
+  report.dram_contents_lost = true;
+  return report;
+}
+
+MobileComputer::CrashReport MobileComputer::OrderlyShutdown() {
+  CrashReport report;
+  report.at = clock_.now();
+  Status synced = fs_->Sync();
+  if (!synced.ok()) {
+    SSMC_LOG(kWarning) << "shutdown sync failed: " << synced.ToString();
+  }
+  report.lost_dirty_bytes = fs_->LoseBufferedData();  // 0 after a clean sync.
+  report.dram_contents_lost = false;
+  return report;
+}
+
+bool MobileComputer::SwapBattery(double fresh_mwh) {
+  // The backup carries the DRAM retention load for a one-minute swap.
+  return battery_->SwapPrimary(fresh_mwh, CurrentStandbyMw(), kMinute);
+}
+
+}  // namespace ssmc

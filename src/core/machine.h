@@ -1,0 +1,134 @@
+// MobileComputer — the whole machine the paper envisions, composed from the
+// other libraries: battery-backed DRAM primary storage, banked flash
+// secondary storage behind a log-structured store, the physical storage
+// manager, the memory-resident file system with its DRAM write buffer, a
+// periodic flush daemon, virtual address spaces, and the battery that makes
+// "stable" a matter of policy. Construct one from a MachineConfig preset and
+// drive it with traces or the VM/loader API.
+
+#ifndef SSMC_SRC_CORE_MACHINE_H_
+#define SSMC_SRC_CORE_MACHINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/device/battery.h"
+#include "src/device/dram_device.h"
+#include "src/device/flash_device.h"
+#include "src/device/specs.h"
+#include "src/fs/memory_fs.h"
+#include "src/ftl/flash_store.h"
+#include "src/sim/clock.h"
+#include "src/sim/event_queue.h"
+#include "src/storage/storage_manager.h"
+#include "src/trace/replayer.h"
+#include "src/trace/trace.h"
+#include "src/vm/address_space.h"
+
+namespace ssmc {
+
+struct MachineConfig {
+  std::string name = "ssmc";
+  DramSpec dram_spec = NecDram1993();
+  uint64_t dram_bytes = 4 * kMiB;
+  FlashSpec flash_spec = IntelFlash1993();
+  uint64_t flash_bytes = 16 * kMiB;
+  int flash_banks = 2;
+  FlashStoreOptions store_options;   // background_writes forced on below.
+  MemoryFsOptions fs_options;
+  double primary_battery_mwh = 20000;  // Notebook pack.
+  double backup_battery_mwh = 250;     // Lithium backup.
+  Duration flush_period = 5 * kSecond;
+  // Period of the metadata-checkpoint daemon; 0 disables checkpointing.
+  // With it off, a total battery failure loses the whole namespace.
+  Duration checkpoint_period = 0;
+  uint64_t page_bytes = 512;
+  uint64_t seed = 1;
+};
+
+// Presets modeled on the machines the paper names.
+// HP OmniBook 300: flash-card secondary storage, XIP'd bundled software.
+MachineConfig OmniBookConfig();
+// Apple Newton / Casio Zoomer class PDA: small, power-starved.
+MachineConfig PdaConfig();
+// A diskless notebook with workstation-class memory.
+MachineConfig NotebookConfig();
+
+class MobileComputer {
+ public:
+  explicit MobileComputer(MachineConfig config);
+  ~MobileComputer();
+
+  MobileComputer(const MobileComputer&) = delete;
+  MobileComputer& operator=(const MobileComputer&) = delete;
+
+  const MachineConfig& config() const { return config_; }
+  SimClock& clock() { return clock_; }
+  EventQueue& events() { return events_; }
+  DramDevice& dram() { return *dram_; }
+  FlashDevice& flash() { return *flash_; }
+  Battery& battery() { return *battery_; }
+  FlashStore& flash_store() { return *store_; }
+  StorageManager& storage() { return *storage_; }
+  MemoryFileSystem& fs() { return *fs_; }
+
+  // Creates a process address space owned by the machine.
+  AddressSpace& CreateAddressSpace();
+
+  // Replays a trace against the machine's file system with the flush daemon
+  // running.
+  ReplayReport RunTrace(const Trace& trace);
+
+  // Advances simulated time (running due events such as flushes).
+  void Idle(Duration d) { events_.RunUntil(clock_.now() + d); }
+
+  // --- Energy & battery ----------------------------------------------------
+  // Settles idle energy on every device and drains the battery by the energy
+  // consumed since the last settlement. Returns false if the battery died.
+  bool SettleEnergy();
+  // Total energy consumed so far (nJ), after settlement.
+  double TotalEnergyNj() const;
+
+  // --- Failure injection (experiment E10) -----------------------------------
+  struct CrashReport {
+    uint64_t lost_dirty_bytes = 0;  // Write-buffered data that evaporated.
+    bool dram_contents_lost = false;
+    SimTime at = 0;
+  };
+  // Total battery failure (dropped machine / dead packs): battery-backed
+  // DRAM loses its contents, including every dirty buffered block.
+  CrashReport InjectBatteryFailure();
+  // Orderly shutdown: flush everything, then power off. Nothing is lost.
+  CrashReport OrderlyShutdown();
+  // Primary-pack swap carried by the backup battery.
+  bool SwapBattery(double fresh_mwh);
+
+  // After a total battery failure: installs a fresh primary pack, rebuilds
+  // the storage manager over the surviving flash, and recovers the file
+  // system from its last metadata checkpoint (fails FAILED_PRECONDITION if
+  // none was ever taken). Address spaces do not survive; data written after
+  // the last checkpoint is gone.
+  Result<RecoveryReport> RecoverAfterFailure(double fresh_battery_mwh);
+
+ private:
+  void ScheduleFlushDaemon();
+  void ScheduleCheckpointDaemon();
+  double CurrentStandbyMw() const;
+
+  MachineConfig config_;
+  SimClock clock_;
+  EventQueue events_;
+  std::unique_ptr<DramDevice> dram_;
+  std::unique_ptr<FlashDevice> flash_;
+  std::unique_ptr<Battery> battery_;
+  std::unique_ptr<FlashStore> store_;
+  std::unique_ptr<StorageManager> storage_;
+  std::unique_ptr<MemoryFileSystem> fs_;
+  std::vector<std::unique_ptr<AddressSpace>> spaces_;
+  double drained_nj_ = 0;  // Energy already taken from the battery.
+};
+
+}  // namespace ssmc
+
+#endif  // SSMC_SRC_CORE_MACHINE_H_

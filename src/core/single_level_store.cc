@@ -1,0 +1,149 @@
+#include "src/core/single_level_store.h"
+
+namespace ssmc {
+
+SingleLevelStore::SingleLevelStore(StorageManager& storage,
+                                   MemoryFileSystem& fs)
+    : storage_(storage), fs_(fs), space_(storage) {}
+
+Result<uint64_t> SingleLevelStore::AttachInternal(const std::string& path,
+                                                  bool writable) {
+  auto it = windows_.find(path);
+  if (it != windows_.end()) {
+    if (it->second.writable != writable) {
+      return FailedPreconditionError(path +
+                                     " is attached with different access");
+    }
+    return it->second.base;
+  }
+  Result<FileInfo> info = fs_.Stat(path);
+  if (!info.ok()) {
+    return info.status();
+  }
+  if (info.value().is_directory) {
+    return InvalidArgumentError("cannot attach a directory");
+  }
+  if (info.value().size > kWindowBytes) {
+    return OutOfRangeError("file larger than a store window");
+  }
+  const uint64_t base = next_base_;
+  if (!writable) {
+    // Read-only windows ride the VM: pages map straight into flash and are
+    // reclaimable under memory pressure.
+    if (info.value().size > 0) {
+      SSMC_RETURN_IF_ERROR(space_.MapFileCow(base, fs_, path, false));
+    }
+  }
+  // Writable windows route loads and stores through the file system, so a
+  // store is immediately visible to every reader and durable per the flush
+  // policy (the FS arbitrates buffer vs flash; a private VM copy cannot).
+  next_base_ += kWindowBytes;
+  windows_[path] = Window{base, writable};
+  stats_.attaches.Add();
+  return base;
+}
+
+Result<uint64_t> SingleLevelStore::Attach(const std::string& path) {
+  return AttachInternal(path, /*writable=*/false);
+}
+
+Result<uint64_t> SingleLevelStore::AttachWritable(const std::string& path) {
+  return AttachInternal(path, /*writable=*/true);
+}
+
+Status SingleLevelStore::Detach(const std::string& path) {
+  auto it = windows_.find(path);
+  if (it == windows_.end()) {
+    return NotFoundError(path + " is not attached");
+  }
+  if (!it->second.writable &&
+      space_.FindRegion(it->second.base) != nullptr) {
+    SSMC_RETURN_IF_ERROR(space_.Unmap(it->second.base));
+  }
+  windows_.erase(it);
+  stats_.detaches.Add();
+  return Status::Ok();
+}
+
+Result<uint64_t> SingleLevelStore::AddressOf(const std::string& path) const {
+  auto it = windows_.find(path);
+  if (it == windows_.end()) {
+    return NotFoundError(path + " is not attached");
+  }
+  return it->second.base;
+}
+
+const SingleLevelStore::Window* SingleLevelStore::WindowAt(
+    uint64_t address) const {
+  for (const auto& [path, window] : windows_) {
+    if (address >= window.base && address < window.base + kWindowBytes) {
+      return &window;
+    }
+  }
+  return nullptr;
+}
+
+Result<std::pair<std::string, uint64_t>> SingleLevelStore::Resolve(
+    uint64_t address) const {
+  for (const auto& [path, window] : windows_) {
+    if (address >= window.base && address < window.base + kWindowBytes) {
+      return std::make_pair(path, address - window.base);
+    }
+  }
+  return NotFoundError("address hits no attached window");
+}
+
+Result<Duration> SingleLevelStore::Load(uint64_t address,
+                                        std::span<uint8_t> out) {
+  Result<std::pair<std::string, uint64_t>> hit = Resolve(address);
+  if (!hit.ok()) {
+    return hit.status();
+  }
+  const Window* window = WindowAt(address);
+  Result<Duration> r = Duration{0};
+  if (window->writable) {
+    // Through the file system: sees buffered stores immediately.
+    const SimTime before = storage_.dram().clock().now();
+    Result<uint64_t> n = fs_.Read(hit.value().first, hit.value().second, out);
+    if (!n.ok()) {
+      return n.status();
+    }
+    if (n.value() < out.size()) {
+      return OutOfRangeError("load past end of file");
+    }
+    r = storage_.dram().clock().now() - before;
+  } else {
+    r = space_.Read(address, out);
+    if (!r.ok()) {
+      return r.status();
+    }
+  }
+  stats_.loads.Add();
+  stats_.loaded_bytes.Add(out.size());
+  return r;
+}
+
+Result<Duration> SingleLevelStore::Store(uint64_t address,
+                                         std::span<const uint8_t> data) {
+  Result<std::pair<std::string, uint64_t>> hit = Resolve(address);
+  if (!hit.ok()) {
+    return hit.status();
+  }
+  const Window* window = WindowAt(address);
+  if (!window->writable) {
+    return PermissionDeniedError("store to a read-only window");
+  }
+  if (hit.value().second + data.size() > kWindowBytes) {
+    return OutOfRangeError("store crosses the window boundary");
+  }
+  const SimTime before = storage_.dram().clock().now();
+  Result<uint64_t> n = fs_.Write(hit.value().first, hit.value().second, data);
+  if (!n.ok()) {
+    return n.status();
+  }
+  stats_.stores.Add();
+  stats_.stored_bytes.Add(data.size());
+  return storage_.dram().clock().now() - before;
+}
+
+}  // namespace ssmc

@@ -1,0 +1,101 @@
+// SingleLevelStore — the paper's unifying abstraction (Sections 1 and 3).
+//
+// "All data will reside in a single-level 64-bit address space. All storage
+// will offer uniform, random-access read times. ... the resulting single-
+// level store allows all application programs and their data to be memory-
+// resident along with the operating system."
+//
+// This layer gives every file a window in one shared 64-bit address space:
+// Attach(path) assigns (or returns) the file's window and maps it copy-on-
+// write, after which ordinary loads and stores against the global address
+// reach the file — reads served in place from flash or the write buffer,
+// writes landing in private DRAM copies or, with writeback attached, in the
+// file itself. Programs, libraries and documents all become "memory" with
+// stable addresses; there is no read()/write() copy boundary.
+//
+// Windows are aligned on a fixed stride and assigned monotonically; Detach
+// releases the mapping (the file itself is untouched). A writeback mapping
+// (AttachWritable) routes stores through the file system so they are
+// durable — that is the single-level store acting as the file interface.
+
+#ifndef SSMC_SRC_CORE_SINGLE_LEVEL_STORE_H_
+#define SSMC_SRC_CORE_SINGLE_LEVEL_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/fs/memory_fs.h"
+#include "src/sim/stats.h"
+#include "src/support/status.h"
+#include "src/vm/address_space.h"
+
+namespace ssmc {
+
+class SingleLevelStore {
+ public:
+  // Window stride: every attached file gets this much address space, so a
+  // file can grow in place up to the stride. 16 MiB spans any file on a
+  // 1993 mobile machine with room to spare; the 64-bit space fits 2^40 such
+  // windows.
+  static constexpr uint64_t kWindowBytes = 16 * kMiB;
+  // Attached windows start here; below is reserved for process images.
+  static constexpr uint64_t kWindowBase = uint64_t{1} << 44;
+
+  SingleLevelStore(StorageManager& storage, MemoryFileSystem& fs);
+
+  // Maps `path` into the store read-only (stores fault with
+  // PERMISSION_DENIED). Idempotent: re-attaching returns the same address.
+  Result<uint64_t> Attach(const std::string& path);
+
+  // Maps `path` writable-in-place: loads read the file, stores write the
+  // file (through the write buffer, so durability follows the machine's
+  // flush policy). The file must not already be attached read-only.
+  Result<uint64_t> AttachWritable(const std::string& path);
+
+  // Removes the mapping. The file keeps its contents.
+  Status Detach(const std::string& path);
+
+  // Address of an attached file (NOT_FOUND if not attached).
+  Result<uint64_t> AddressOf(const std::string& path) const;
+  // Reverse lookup: which file (and offset) does a global address hit?
+  Result<std::pair<std::string, uint64_t>> Resolve(uint64_t address) const;
+
+  // Loads and stores against the global address space. Accesses must stay
+  // within one attached window (and within the file for loads).
+  Result<Duration> Load(uint64_t address, std::span<uint8_t> out);
+  Result<Duration> Store(uint64_t address, std::span<const uint8_t> data);
+
+  uint64_t attached_count() const { return windows_.size(); }
+  const AddressSpace& space() const { return space_; }
+
+  struct Stats {
+    Counter attaches;
+    Counter detaches;
+    Counter loads;
+    Counter stores;
+    Counter loaded_bytes;
+    Counter stored_bytes;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Window {
+    uint64_t base = 0;
+    bool writable = false;
+  };
+
+  Result<uint64_t> AttachInternal(const std::string& path, bool writable);
+  const Window* WindowAt(uint64_t address) const;
+
+  StorageManager& storage_;
+  MemoryFileSystem& fs_;
+  AddressSpace space_;
+  std::map<std::string, Window> windows_;
+  uint64_t next_base_ = kWindowBase;
+  Stats stats_;
+};
+
+}  // namespace ssmc
+
+#endif  // SSMC_SRC_CORE_SINGLE_LEVEL_STORE_H_

@@ -1,0 +1,76 @@
+#include "src/device/battery.h"
+
+#include <algorithm>
+
+namespace ssmc {
+
+Battery::Battery(double primary_mwh, double backup_mwh, SimClock& clock)
+    : primary_capacity_j_(primary_mwh * kJoulesPerMwh),
+      primary_j_(primary_mwh * kJoulesPerMwh),
+      backup_j_(backup_mwh * kJoulesPerMwh),
+      clock_(clock) {}
+
+bool Battery::Drain(double nanojoules) {
+  if (dead_) {
+    return false;
+  }
+  double joules = nanojoules * 1e-9;
+  const double from_primary = std::min(joules, primary_j_);
+  primary_j_ -= from_primary;
+  joules -= from_primary;
+  if (joules > 0) {
+    const double from_backup = std::min(joules, backup_j_);
+    backup_j_ -= from_backup;
+    joules -= from_backup;
+  }
+  if (joules > 0) {
+    dead_ = true;
+    stats_.deaths.Add();
+    return false;
+  }
+  return true;
+}
+
+bool Battery::SwapPrimary(double mwh, double load_mw, Duration swap_time) {
+  if (dead_) {
+    return false;
+  }
+  stats_.swaps.Add();
+  // During the swap only the backup is present.
+  const double swap_demand_j =
+      load_mw * 1e-3 * static_cast<double>(swap_time) * 1e-9;
+  clock_.Advance(swap_time);
+  if (swap_demand_j > backup_j_) {
+    backup_j_ = 0;
+    dead_ = true;
+    stats_.deaths.Add();
+    return false;
+  }
+  backup_j_ -= swap_demand_j;
+  primary_capacity_j_ = mwh * kJoulesPerMwh;
+  primary_j_ = primary_capacity_j_;
+  return true;
+}
+
+void Battery::InjectFailure() {
+  primary_j_ = 0;
+  backup_j_ = 0;
+  dead_ = true;
+  stats_.injected_failures.Add();
+  stats_.deaths.Add();
+}
+
+Duration Battery::TimeRemainingAt(double milliwatts) const {
+  if (milliwatts <= 0 || dead_) {
+    return 0;
+  }
+  const double joules = primary_j_ + backup_j_;
+  const double seconds = joules / (milliwatts * 1e-3);
+  const double ns = seconds * 1e9;
+  if (ns >= static_cast<double>(std::numeric_limits<Duration>::max())) {
+    return std::numeric_limits<Duration>::max();
+  }
+  return static_cast<Duration>(ns);
+}
+
+}  // namespace ssmc

@@ -1,0 +1,81 @@
+// Battery model for a mobile computer.
+//
+// The paper (Section 3.1) relies on two power sources: primary batteries
+// that "discharge gradually and predictably" and can hold idle DRAM for many
+// days, and a small lithium backup that carries the DRAM for many hours while
+// primaries are swapped or after they drain. Battery failure — depletion by
+// other devices, or a dropped machine — is what makes flash necessary for
+// truly stable storage.
+//
+// This model tracks remaining energy in both packs, drains them from the
+// devices' energy meters, supports a primary-swap operation (load shifts to
+// the backup), and supports sudden-failure injection for the E10 reliability
+// experiment. When both packs are exhausted the battery reports dead and the
+// machine loses DRAM contents.
+
+#ifndef SSMC_SRC_DEVICE_BATTERY_H_
+#define SSMC_SRC_DEVICE_BATTERY_H_
+
+#include <cstdint>
+
+#include "src/sim/clock.h"
+#include "src/sim/stats.h"
+#include "src/support/units.h"
+
+namespace ssmc {
+
+class Battery {
+ public:
+  // Capacities in milliwatt-hours. A notebook primary pack of the era was
+  // ~20,000 mWh; a lithium coin backup ~250 mWh.
+  Battery(double primary_mwh, double backup_mwh, SimClock& clock);
+
+  // Consumes energy (nanojoules) from the primary, spilling to the backup
+  // when the primary is empty. Returns false if the demand could not be met
+  // (the battery is now dead).
+  bool Drain(double nanojoules);
+
+  // Convenience: drain for a power level over a duration.
+  bool DrainPower(double milliwatts, Duration d) {
+    return Drain(milliwatts * 1e-3 * static_cast<double>(d));
+  }
+
+  // Replaces the primary pack with a fresh one of `mwh` capacity. While
+  // swapped (duration `swap_time`), the backup alone carries `load_mw`;
+  // returns false if the backup dies during the swap.
+  bool SwapPrimary(double mwh, double load_mw, Duration swap_time);
+
+  // Sudden total failure (machine dropped / pack shorted). DRAM is lost.
+  void InjectFailure();
+
+  bool dead() const { return dead_; }
+  double primary_remaining_mwh() const { return primary_j_ / kJoulesPerMwh; }
+  double backup_remaining_mwh() const { return backup_j_ / kJoulesPerMwh; }
+  double primary_fraction() const {
+    return primary_capacity_j_ > 0 ? primary_j_ / primary_capacity_j_ : 0;
+  }
+
+  // How long the remaining charge lasts at a steady draw (ns).
+  Duration TimeRemainingAt(double milliwatts) const;
+
+  struct Stats {
+    Counter swaps;
+    Counter injected_failures;
+    Counter deaths;  // Times the battery went fully dead.
+  };
+  const Stats& stats() const { return stats_; }
+
+  static constexpr double kJoulesPerMwh = 3.6;
+
+ private:
+  double primary_capacity_j_;
+  double primary_j_;
+  double backup_j_;
+  SimClock& clock_;
+  bool dead_ = false;
+  Stats stats_;
+};
+
+}  // namespace ssmc
+
+#endif  // SSMC_SRC_DEVICE_BATTERY_H_

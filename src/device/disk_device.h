@@ -1,0 +1,103 @@
+// Simulated small-form-factor magnetic disk — the technology the paper argues
+// mobile computers will drop. Used as the baseline substrate for the
+// conventional DiskFileSystem and the E1/E3/E5 comparisons.
+//
+// Timing model:
+//  * seek: track-to-track minimum plus a square-root profile up to the full
+//    stroke (the standard first-order model of arm acceleration);
+//  * rotation: the platter position is derived deterministically from the
+//    simulated clock, so rotational delay is the angular distance from the
+//    head's current position to the target sector;
+//  * transfer: media rate from the spec;
+//  * spin state: the disk spins down after an idle timeout (a power-saving
+//    necessity on mobile machines) and pays the spin-up latency on the next
+//    access. Power accounting distinguishes active / idle-spinning / standby.
+
+#ifndef SSMC_SRC_DEVICE_DISK_DEVICE_H_
+#define SSMC_SRC_DEVICE_DISK_DEVICE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/device/specs.h"
+#include "src/sim/clock.h"
+#include "src/sim/energy.h"
+#include "src/sim/stats.h"
+#include "src/support/status.h"
+#include "src/support/units.h"
+
+namespace ssmc {
+
+class DiskDevice {
+ public:
+  DiskDevice(DiskSpec spec, SimClock& clock);
+
+  uint64_t capacity_bytes() const { return spec_.capacity_bytes(); }
+  uint64_t sector_bytes() const { return spec_.sector_bytes; }
+  uint64_t num_sectors() const {
+    return spec_.sectors_per_track * spec_.cylinders;
+  }
+  const DiskSpec& spec() const { return spec_; }
+
+  // Disable automatic spin-down (0 = never spin down).
+  void set_spin_down_after(Duration idle) { spin_down_after_ = idle; }
+
+  // Blocking sector-granularity I/O; `sector` is a logical block address.
+  // Buffers must be a multiple of the sector size.
+  Result<Duration> ReadSectors(uint64_t sector, std::span<uint8_t> out);
+  Result<Duration> WriteSectors(uint64_t sector, std::span<const uint8_t> data);
+
+  struct Stats {
+    Counter reads;
+    Counter read_bytes;
+    Counter writes;
+    Counter written_bytes;
+    Counter seeks;
+    Counter seek_ns;
+    Counter rotation_ns;
+    Counter transfer_ns;
+    Counter spin_ups;
+  };
+  const Stats& stats() const { return stats_; }
+  const EnergyMeter& energy() const { return energy_; }
+  // Accounts idle-spinning and standby energy up to now; call when
+  // finalizing a run.
+  void AccountIdleEnergy();
+
+ private:
+  uint64_t CylinderOf(uint64_t sector) const {
+    return sector / spec_.sectors_per_track;
+  }
+  uint64_t SectorInTrack(uint64_t sector) const {
+    return sector % spec_.sectors_per_track;
+  }
+
+  Duration SeekTime(uint64_t from_cyl, uint64_t to_cyl) const;
+  // Rotational delay from the platter angle at `at` to the start of
+  // `sector_in_track`.
+  Duration RotationDelay(SimTime at, uint64_t sector_in_track) const;
+  Duration TransferTime(uint64_t bytes) const;
+
+  // Ensures the disk is spinning; advances the clock through spin-up if not.
+  // Also applies auto-spin-down bookkeeping for the idle gap since the last
+  // operation.
+  void EnsureSpinning();
+
+  Result<Duration> DoIo(uint64_t sector, uint64_t bytes, bool is_write);
+
+  DiskSpec spec_;
+  SimClock& clock_;
+  std::vector<uint8_t> contents_;
+  uint64_t head_cylinder_ = 0;
+  bool spinning_ = true;
+  SimTime last_op_end_ = 0;
+  Duration spin_down_after_ = 5 * kSecond;
+  Stats stats_;
+  EnergyMeter energy_;
+  SimTime energy_accounted_until_ = 0;
+};
+
+}  // namespace ssmc
+
+#endif  // SSMC_SRC_DEVICE_DISK_DEVICE_H_

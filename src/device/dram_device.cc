@@ -1,0 +1,84 @@
+#include "src/device/dram_device.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ssmc {
+
+DramDevice::DramDevice(DramSpec spec, uint64_t capacity_bytes, SimClock& clock)
+    : spec_(std::move(spec)), capacity_(capacity_bytes), clock_(clock) {
+  contents_.assign(capacity_, 0);
+}
+
+Result<Duration> DramDevice::Read(uint64_t addr, std::span<uint8_t> out) {
+  if (addr + out.size() > capacity_) {
+    return OutOfRangeError("DRAM read past end of device");
+  }
+  const Duration d = spec_.read.LatencyFor(out.size());
+  clock_.Advance(d);
+  total_active_ns_ += d;
+  energy_.AddActive(active_mw(), d);
+  std::copy_n(contents_.begin() + static_cast<ptrdiff_t>(addr), out.size(),
+              out.begin());
+  stats_.reads.Add();
+  stats_.read_bytes.Add(out.size());
+  return d;
+}
+
+Result<Duration> DramDevice::Write(uint64_t addr,
+                                   std::span<const uint8_t> data) {
+  if (addr + data.size() > capacity_) {
+    return OutOfRangeError("DRAM write past end of device");
+  }
+  const Duration d = spec_.write.LatencyFor(data.size());
+  clock_.Advance(d);
+  total_active_ns_ += d;
+  energy_.AddActive(active_mw(), d);
+  std::copy(data.begin(), data.end(),
+            contents_.begin() + static_cast<ptrdiff_t>(addr));
+  stats_.writes.Add();
+  stats_.written_bytes.Add(data.size());
+  return d;
+}
+
+Duration DramDevice::ChargeAccess(uint64_t bytes, bool is_write) {
+  const MemoryTiming& t = is_write ? spec_.write : spec_.read;
+  const Duration d = t.LatencyFor(bytes);
+  clock_.Advance(d);
+  total_active_ns_ += d;
+  energy_.AddActive(active_mw(), d);
+  if (is_write) {
+    stats_.writes.Add();
+    stats_.written_bytes.Add(bytes);
+  } else {
+    stats_.reads.Add();
+    stats_.read_bytes.Add(bytes);
+  }
+  return d;
+}
+
+void DramDevice::OnPowerLoss() {
+  if (spec_.battery_backed) {
+    return;  // Battery holds the contents up.
+  }
+  ForceContentLoss();
+}
+
+void DramDevice::ForceContentLoss() {
+  std::fill(contents_.begin(), contents_.end(), 0);
+  contents_lost_ = true;
+  stats_.content_losses.Add();
+}
+
+void DramDevice::AccountIdleEnergy() {
+  const Duration now = clock_.now();
+  const Duration window = now - idle_accounted_until_;
+  if (window <= 0) {
+    return;
+  }
+  const Duration idle = std::max<Duration>(0, window - total_active_ns_);
+  energy_.AddIdle(standby_mw(), idle);
+  idle_accounted_until_ = now;
+}
+
+}  // namespace ssmc

@@ -1,0 +1,225 @@
+#include "src/device/flash_device.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ssmc {
+
+namespace {
+constexpr uint8_t kErasedByte = 0xFF;
+}  // namespace
+
+FlashDevice::FlashDevice(FlashSpec spec, uint64_t capacity_bytes, int banks,
+                         SimClock& clock, uint64_t seed)
+    : spec_(std::move(spec)),
+      capacity_(capacity_bytes),
+      clock_(clock),
+      rng_(seed) {
+  assert(banks >= 1);
+  assert(spec_.erase_sector_bytes > 0);
+  assert(capacity_ % spec_.erase_sector_bytes == 0);
+  assert((capacity_ / spec_.erase_sector_bytes) % banks == 0 &&
+         "sectors must divide evenly into banks");
+  contents_.assign(capacity_, kErasedByte);
+  sectors_.resize(capacity_ / spec_.erase_sector_bytes);
+  banks_.resize(banks);
+}
+
+int FlashDevice::BankOfAddress(uint64_t addr) const {
+  return BankOfSector(addr / sector_bytes());
+}
+
+int FlashDevice::BankOfSector(uint64_t sector) const {
+  return static_cast<int>(sector / sectors_per_bank());
+}
+
+SimTime FlashDevice::OccupyBank(int bank, Duration op_ns, Duration* wait_out) {
+  Bank& b = banks_[bank];
+  const SimTime start = std::max(clock_.now(), b.busy_until);
+  if (wait_out != nullptr) {
+    *wait_out = start - clock_.now();
+  }
+  b.busy_until = start + op_ns;
+  total_active_ns_ += op_ns;
+  return b.busy_until;
+}
+
+void FlashDevice::AddActiveEnergy(Duration busy_ns) {
+  energy_.AddActive(active_mw(), busy_ns);
+}
+
+Result<Duration> FlashDevice::Read(uint64_t addr, std::span<uint8_t> out,
+                                   bool blocking) {
+  if (addr + out.size() > capacity_) {
+    return OutOfRangeError("flash read past end of device");
+  }
+  if (out.empty()) {
+    return Duration{0};
+  }
+  // A read may span sectors but not banks (callers split larger transfers;
+  // the FTL never issues cross-bank reads).
+  const int bank = BankOfAddress(addr);
+  if (BankOfAddress(addr + out.size() - 1) != bank) {
+    return InvalidArgumentError("flash read crosses a bank boundary");
+  }
+  for (uint64_t s = addr / sector_bytes();
+       s <= (addr + out.size() - 1) / sector_bytes(); ++s) {
+    if (sectors_[s].bad) {
+      return DataLossError("read from worn-out flash sector " +
+                           std::to_string(s));
+    }
+  }
+
+  const Duration op_ns = spec_.read.LatencyFor(out.size());
+  Duration wait = 0;
+  const SimTime done = OccupyBank(bank, op_ns, &wait);
+  if (blocking) {
+    stats_.read_stall_ns.Add(static_cast<uint64_t>(wait));
+  }
+  AddActiveEnergy(op_ns);
+  if (blocking) {
+    clock_.AdvanceTo(done);
+  }
+
+  std::copy_n(contents_.begin() + static_cast<ptrdiff_t>(addr), out.size(),
+              out.begin());
+  stats_.reads.Add();
+  stats_.read_bytes.Add(out.size());
+  return wait + op_ns;
+}
+
+Result<Duration> FlashDevice::Program(uint64_t addr,
+                                      std::span<const uint8_t> data,
+                                      bool blocking) {
+  if (addr + data.size() > capacity_) {
+    return OutOfRangeError("flash program past end of device");
+  }
+  if (data.empty()) {
+    return Duration{0};
+  }
+  const uint64_t sector = addr / sector_bytes();
+  if ((addr + data.size() - 1) / sector_bytes() != sector) {
+    return InvalidArgumentError("flash program crosses a sector boundary");
+  }
+  if (sectors_[sector].bad) {
+    return DataLossError("program to worn-out flash sector " +
+                         std::to_string(sector));
+  }
+  // Strict NOR semantics: target bytes must be erased.
+  for (uint64_t i = 0; i < data.size(); ++i) {
+    if (contents_[addr + i] != kErasedByte) {
+      return FailedPreconditionError(
+          "program to non-erased flash byte at address " +
+          std::to_string(addr + i));
+    }
+  }
+
+  const Duration op_ns = spec_.program.LatencyFor(data.size());
+  Duration wait = 0;
+  const SimTime done = OccupyBank(BankOfAddress(addr), op_ns, &wait);
+  AddActiveEnergy(op_ns);
+  if (blocking) {
+    clock_.AdvanceTo(done);
+  }
+
+  std::copy(data.begin(), data.end(),
+            contents_.begin() + static_cast<ptrdiff_t>(addr));
+  stats_.programs.Add();
+  stats_.programmed_bytes.Add(data.size());
+  return wait + op_ns;
+}
+
+Result<Duration> FlashDevice::EraseSector(uint64_t sector, bool blocking) {
+  if (sector >= num_sectors()) {
+    return OutOfRangeError("erase of nonexistent flash sector");
+  }
+  Sector& s = sectors_[sector];
+  if (s.bad) {
+    return DataLossError("erase of worn-out flash sector " +
+                         std::to_string(sector));
+  }
+
+  const Duration op_ns = spec_.erase_ns;
+  Duration wait = 0;
+  const SimTime done = OccupyBank(BankOfSector(sector), op_ns, &wait);
+  AddActiveEnergy(op_ns);
+  if (blocking) {
+    clock_.AdvanceTo(done);
+  }
+
+  s.erase_count += 1;
+  stats_.erases.Add();
+
+  // Endurance model: within the guaranteed cycle count erases always
+  // succeed. Beyond it, each erase fails (permanently retiring the sector)
+  // with probability ramping linearly, reaching certainty at 2x endurance.
+  if (spec_.endurance_cycles > 0 && s.erase_count > spec_.endurance_cycles) {
+    const double overshoot =
+        static_cast<double>(s.erase_count - spec_.endurance_cycles) /
+        static_cast<double>(spec_.endurance_cycles);
+    if (rng_.NextBool(std::min(1.0, overshoot))) {
+      s.bad = true;
+      stats_.bad_sectors.Add();
+      return DataLossError("flash sector " + std::to_string(sector) +
+                           " wore out after " + std::to_string(s.erase_count) +
+                           " erase cycles");
+    }
+  }
+
+  const uint64_t base = sector * sector_bytes();
+  std::fill_n(contents_.begin() + static_cast<ptrdiff_t>(base), sector_bytes(),
+              kErasedByte);
+  return wait + op_ns;
+}
+
+bool FlashDevice::IsSectorErased(uint64_t sector) const {
+  const uint64_t base = sector * sector_bytes();
+  for (uint64_t i = 0; i < sector_bytes(); ++i) {
+    if (contents_[base + i] != kErasedByte) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void FlashDevice::AccountIdleEnergy() {
+  const Duration now = clock_.now();
+  const Duration window = now - idle_accounted_until_;
+  if (window <= 0) {
+    return;
+  }
+  // Approximation: active time within the window is whatever active time has
+  // not yet been offset against idle accounting. Active never exceeds
+  // wall-clock times bank count, and in practice is far below the window.
+  const Duration idle = std::max<Duration>(0, window - total_active_ns_);
+  energy_.AddIdle(standby_mw(), idle);
+  idle_accounted_until_ = now;
+}
+
+FlashDevice::WearSummary FlashDevice::SummarizeWear() const {
+  WearSummary w;
+  if (sectors_.empty()) {
+    return w;
+  }
+  w.min_erases = sectors_[0].erase_count;
+  double sum = 0;
+  for (const Sector& s : sectors_) {
+    w.min_erases = std::min(w.min_erases, s.erase_count);
+    w.max_erases = std::max(w.max_erases, s.erase_count);
+    sum += static_cast<double>(s.erase_count);
+    if (s.bad) {
+      ++w.bad_sectors;
+    }
+  }
+  w.mean_erases = sum / static_cast<double>(sectors_.size());
+  double var = 0;
+  for (const Sector& s : sectors_) {
+    const double d = static_cast<double>(s.erase_count) - w.mean_erases;
+    var += d * d;
+  }
+  w.stddev_erases = std::sqrt(var / static_cast<double>(sectors_.size()));
+  return w;
+}
+
+}  // namespace ssmc

@@ -1,0 +1,155 @@
+// Simulated direct-mapped (NOR-style) flash memory.
+//
+// Semantics modeled on the paper's description of flash (Section 2):
+//  * random byte-level reads at DRAM-like speed (fixed access latency plus a
+//    per-byte streaming cost);
+//  * programming is ~100x slower than reading and can only clear bits: a
+//    program targets bytes that are in the erased state (0xFF), otherwise it
+//    fails with FAILED_PRECONDITION (strict mode) — this is the
+//    "erase-before-write" constraint the OS must hide;
+//  * erasure happens in fixed-size sectors and is slow (ms to seconds);
+//  * each sector endures a limited number of erase cycles; beyond the
+//    guaranteed endurance, erases fail probabilistically and the sector goes
+//    bad (reads return DATA_LOSS) — this drives the wear-leveling experiment.
+//
+// Bank model (Section 3.3): capacity is split into equal contiguous banks.
+// While a program or erase is in flight in a bank, reads to that bank stall
+// until it completes; reads to other banks proceed. Programs and erases can
+// be issued non-blocking (the storage manager's background flush path), in
+// which case they occupy the bank but do not advance the caller's clock.
+//
+// Threading: none. The simulator is single-threaded; "concurrency" between
+// the CPU and the flash array is represented by per-bank busy-until times.
+
+#ifndef SSMC_SRC_DEVICE_FLASH_DEVICE_H_
+#define SSMC_SRC_DEVICE_FLASH_DEVICE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/device/specs.h"
+#include "src/sim/clock.h"
+#include "src/sim/energy.h"
+#include "src/sim/stats.h"
+#include "src/support/rng.h"
+#include "src/support/status.h"
+#include "src/support/units.h"
+
+namespace ssmc {
+
+class FlashDevice {
+ public:
+  // capacity_bytes must be a multiple of spec.erase_sector_bytes * banks.
+  FlashDevice(FlashSpec spec, uint64_t capacity_bytes, int banks,
+              SimClock& clock, uint64_t seed = 1);
+
+  // --- Geometry ---------------------------------------------------------
+  uint64_t capacity_bytes() const { return capacity_; }
+  uint64_t sector_bytes() const { return spec_.erase_sector_bytes; }
+  uint64_t num_sectors() const { return capacity_ / sector_bytes(); }
+  int num_banks() const { return static_cast<int>(banks_.size()); }
+  uint64_t sectors_per_bank() const { return num_sectors() / num_banks(); }
+  int BankOfAddress(uint64_t addr) const;
+  int BankOfSector(uint64_t sector) const;
+  const FlashSpec& spec() const { return spec_; }
+  SimClock& clock() { return clock_; }
+
+  // --- Operations -------------------------------------------------------
+  // All operations validate bounds. Blocking operations advance the shared
+  // clock by (bank wait + operation time) and return the total latency the
+  // caller observed. Non-blocking Program/Erase reserve the bank and return
+  // the operation's completion latency without advancing the clock.
+
+  // Random-access read. Blocking by default (the CPU consumes the data);
+  // the cleaner's background relocation reads pass blocking=false so they
+  // reserve bank time without advancing the caller's clock. Fails with
+  // DATA_LOSS if any touched sector has worn out.
+  Result<Duration> Read(uint64_t addr, std::span<uint8_t> out,
+                        bool blocking = true);
+
+  // Program pre-erased bytes. The span must lie within one sector. Fails with
+  // FAILED_PRECONDITION if any target byte is not 0xFF.
+  Result<Duration> Program(uint64_t addr, std::span<const uint8_t> data,
+                           bool blocking = true);
+
+  // Erase one sector by index. Increments wear; may permanently fail the
+  // sector once past the endurance limit.
+  Result<Duration> EraseSector(uint64_t sector, bool blocking = true);
+
+  // True if the sector is entirely 0xFF (cheap check used by allocators).
+  bool IsSectorErased(uint64_t sector) const;
+  bool IsSectorBad(uint64_t sector) const { return sectors_[sector].bad; }
+  uint64_t EraseCount(uint64_t sector) const {
+    return sectors_[sector].erase_count;
+  }
+
+  // Simulated time at which the given bank becomes free.
+  SimTime BankBusyUntil(int bank) const { return banks_[bank].busy_until; }
+
+  // --- Accounting -------------------------------------------------------
+  struct Stats {
+    Counter reads;            // Read operations.
+    Counter read_bytes;
+    Counter programs;         // Program operations.
+    Counter programmed_bytes;
+    Counter erases;           // Sector erases (includes failed attempts).
+    Counter read_stall_ns;    // Time blocking reads spent waiting on banks.
+    Counter bad_sectors;      // Sectors permanently failed.
+  };
+  const Stats& stats() const { return stats_; }
+  const EnergyMeter& energy() const { return energy_; }
+  // Active (busy) nanoseconds across all banks; idle time is wall minus this.
+  Duration total_active_ns() const { return total_active_ns_; }
+  // Adds idle energy for the interval [0, clock.now()) not covered by active
+  // time; call once when finalizing a run.
+  void AccountIdleEnergy();
+
+  struct WearSummary {
+    uint64_t min_erases = 0;
+    uint64_t max_erases = 0;
+    double mean_erases = 0;
+    double stddev_erases = 0;
+    uint64_t bad_sectors = 0;
+  };
+  WearSummary SummarizeWear() const;
+
+  // Power model: an operation activates one chip (~1 MiB of array), so
+  // active draw is the paper's per-megabyte figure for one megabyte; standby
+  // (retention/interface) draw scales with the whole card.
+  double active_mw() const { return spec_.active_mw_per_mib; }
+  double standby_mw() const {
+    return spec_.standby_mw_per_mib * (static_cast<double>(capacity_) / kMiB);
+  }
+
+ private:
+  struct Sector {
+    uint64_t erase_count = 0;
+    bool bad = false;
+  };
+  struct Bank {
+    SimTime busy_until = 0;
+  };
+
+  // Reserves the bank for an operation of duration `op_ns` starting no
+  // earlier than now. Returns the operation's completion time.
+  SimTime OccupyBank(int bank, Duration op_ns, Duration* wait_out);
+
+  void AddActiveEnergy(Duration busy_ns);
+
+  FlashSpec spec_;
+  uint64_t capacity_;
+  SimClock& clock_;
+  Rng rng_;
+  std::vector<uint8_t> contents_;
+  std::vector<Sector> sectors_;
+  std::vector<Bank> banks_;
+  Stats stats_;
+  EnergyMeter energy_;
+  Duration total_active_ns_ = 0;
+  Duration idle_accounted_until_ = 0;
+};
+
+}  // namespace ssmc
+
+#endif  // SSMC_SRC_DEVICE_FLASH_DEVICE_H_

@@ -1,0 +1,735 @@
+#include "src/fs/memory_fs.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "src/fs/path.h"
+
+namespace ssmc {
+
+MemoryFileSystem::MemoryFileSystem(StorageManager& storage,
+                                   MemoryFsOptions options)
+    : storage_(storage),
+      options_(options),
+      buffer_(storage, options.write_buffer_pages,
+              [this](const BlockKey& key, std::span<const uint8_t> data) {
+                return FlushBlock(key, data);
+              }),
+      root_(std::make_unique<Node>()) {
+  root_->is_dir = true;
+  // Claim the fixed superblock that anchors metadata checkpoints. On a
+  // recovery path the fresh storage manager has it free; reservation only
+  // fails if two file systems share one manager, which is unsupported.
+  Status reserved = storage_.ReserveFlashBlock(kSuperblock);
+  assert(reserved.ok() && "superblock unavailable");
+  (void)reserved;
+}
+
+MemoryFileSystem::~MemoryFileSystem() = default;
+
+MemoryFileSystem::Node* MemoryFileSystem::Lookup(const std::string& path) {
+  if (!IsValidPath(path)) {
+    return nullptr;
+  }
+  Node* node = root_.get();
+  for (const std::string& component : SplitPath(path)) {
+    if (!node->is_dir) {
+      return nullptr;
+    }
+    storage_.ChargeMetadataRead(kDirEntryBytes);
+    auto it = node->children.find(component);
+    if (it == node->children.end()) {
+      return nullptr;
+    }
+    node = it->second.get();
+  }
+  return node;
+}
+
+MemoryFileSystem::Node* MemoryFileSystem::LookupParent(
+    const std::string& path) {
+  if (!IsValidPath(path) || path == "/") {
+    return nullptr;
+  }
+  Node* parent = Lookup(ParentPath(path));
+  if (parent == nullptr || !parent->is_dir) {
+    return nullptr;
+  }
+  return parent;
+}
+
+Status MemoryFileSystem::Create(const std::string& path) {
+  Node* parent = LookupParent(path);
+  if (parent == nullptr) {
+    return NotFoundError("no parent directory for " + path);
+  }
+  const std::string base = BaseName(path);
+  if (parent->children.count(base) != 0) {
+    return AlreadyExistsError(path);
+  }
+  auto node = std::make_unique<Node>();
+  node->is_dir = false;
+  node->inode.id = next_inode_id_++;
+  inode_index_[node->inode.id] = &node->inode;
+  storage_.ChargeMetadataWrite(kDirEntryBytes + kInodeBytes);
+  parent->children.emplace(base, std::move(node));
+  stats_.creates.Add();
+  return Status::Ok();
+}
+
+Status MemoryFileSystem::Mkdir(const std::string& path) {
+  Node* parent = LookupParent(path);
+  if (parent == nullptr) {
+    return NotFoundError("no parent directory for " + path);
+  }
+  const std::string base = BaseName(path);
+  if (parent->children.count(base) != 0) {
+    return AlreadyExistsError(path);
+  }
+  auto node = std::make_unique<Node>();
+  node->is_dir = true;
+  storage_.ChargeMetadataWrite(kDirEntryBytes);
+  parent->children.emplace(base, std::move(node));
+  return Status::Ok();
+}
+
+void MemoryFileSystem::ReleaseBlock(Inode& inode, uint64_t block_index) {
+  buffer_.Drop(BlockKey{inode.id, block_index});
+  if (block_index < inode.flash_blocks.size() &&
+      inode.flash_blocks[block_index] >= 0) {
+    (void)storage_.FreeFlashBlock(
+        static_cast<uint64_t>(inode.flash_blocks[block_index]));
+    inode.flash_blocks[block_index] = -1;
+  }
+}
+
+Status MemoryFileSystem::Unlink(const std::string& path) {
+  Node* parent = LookupParent(path);
+  if (parent == nullptr) {
+    return NotFoundError("no parent directory for " + path);
+  }
+  const std::string base = BaseName(path);
+  auto it = parent->children.find(base);
+  if (it == parent->children.end()) {
+    return NotFoundError(path);
+  }
+  if (it->second->is_dir) {
+    return FailedPreconditionError(path + " is a directory");
+  }
+  Inode& inode = it->second->inode;
+  const uint64_t blocks = inode.flash_blocks.size();
+  for (uint64_t b = 0; b < blocks; ++b) {
+    ReleaseBlock(inode, b);
+  }
+  // Also drop buffered blocks beyond the flash map (never-flushed tail).
+  const uint64_t total_blocks =
+      (inode.size + block_bytes() - 1) / block_bytes();
+  for (uint64_t b = blocks; b < total_blocks; ++b) {
+    buffer_.Drop(BlockKey{inode.id, b});
+  }
+  inode_index_.erase(inode.id);
+  storage_.ChargeMetadataWrite(kDirEntryBytes + kInodeBytes);
+  parent->children.erase(it);
+  stats_.unlinks.Add();
+  return Status::Ok();
+}
+
+Status MemoryFileSystem::Rmdir(const std::string& path) {
+  Node* parent = LookupParent(path);
+  if (parent == nullptr) {
+    return NotFoundError("no parent directory for " + path);
+  }
+  auto it = parent->children.find(BaseName(path));
+  if (it == parent->children.end()) {
+    return NotFoundError(path);
+  }
+  if (!it->second->is_dir) {
+    return FailedPreconditionError(path + " is not a directory");
+  }
+  if (!it->second->children.empty()) {
+    return FailedPreconditionError(path + " is not empty");
+  }
+  storage_.ChargeMetadataWrite(kDirEntryBytes);
+  parent->children.erase(it);
+  return Status::Ok();
+}
+
+Result<uint64_t> MemoryFileSystem::Read(const std::string& path,
+                                        uint64_t offset,
+                                        std::span<uint8_t> out) {
+  Node* node = Lookup(path);
+  if (node == nullptr) {
+    return NotFoundError(path);
+  }
+  if (node->is_dir) {
+    return FailedPreconditionError(path + " is a directory");
+  }
+  Inode& inode = node->inode;
+  if (offset >= inode.size) {
+    return uint64_t{0};
+  }
+  const uint64_t n = std::min<uint64_t>(out.size(), inode.size - offset);
+  const uint64_t bs = block_bytes();
+  std::vector<uint8_t> staging(bs);
+
+  uint64_t done = 0;
+  while (done < n) {
+    const uint64_t pos = offset + done;
+    const uint64_t block = pos / bs;
+    const uint64_t in_block = pos % bs;
+    const uint64_t chunk = std::min(bs - in_block, n - done);
+    const BlockKey key{inode.id, block};
+
+    if (buffer_.Contains(key)) {
+      // Dirty block: serve from the DRAM buffer.
+      SSMC_RETURN_IF_ERROR(buffer_.Get(key, staging));
+      std::memcpy(out.data() + done, staging.data() + in_block, chunk);
+      stats_.buffered_read_bytes.Add(chunk);
+    } else if (block < inode.flash_blocks.size() &&
+               inode.flash_blocks[block] >= 0) {
+      // Clean block: read directly from flash, byte-granular, no caching.
+      Result<Duration> r = storage_.flash_store().ReadPartial(
+          static_cast<uint64_t>(inode.flash_blocks[block]), in_block,
+          std::span<uint8_t>(out.data() + done, chunk));
+      if (!r.ok()) {
+        return r.status();
+      }
+      stats_.flash_direct_read_bytes.Add(chunk);
+    } else {
+      // Hole: zero fill.
+      std::memset(out.data() + done, 0, chunk);
+    }
+    done += chunk;
+  }
+  stats_.reads.Add();
+  stats_.read_bytes.Add(n);
+  return n;
+}
+
+Status MemoryFileSystem::StageBlockWrite(Inode& inode, uint64_t block_index,
+                                         uint64_t offset_in_block,
+                                         std::span<const uint8_t> data) {
+  const uint64_t bs = block_bytes();
+  assert(offset_in_block + data.size() <= bs);
+  const BlockKey key{inode.id, block_index};
+  const SimTime now = storage_.flash_store().device().clock().now();
+
+  if (offset_in_block == 0 && data.size() == bs) {
+    // Whole-block write: no need to know the old contents.
+    return buffer_.Put(key, data, now);
+  }
+
+  std::vector<uint8_t> staging(bs, 0);
+  if (buffer_.Contains(key)) {
+    SSMC_RETURN_IF_ERROR(buffer_.Get(key, staging));
+  } else if (block_index < inode.flash_blocks.size() &&
+             inode.flash_blocks[block_index] >= 0) {
+    // Copy-on-write: "when a write operation occurs, the affected block can
+    // be copied to DRAM, where it is left in a write buffer."
+    Result<Duration> r = storage_.flash_store().Read(
+        static_cast<uint64_t>(inode.flash_blocks[block_index]), staging);
+    if (!r.ok()) {
+      return r.status();
+    }
+    stats_.cow_block_copies.Add();
+  }
+  std::memcpy(staging.data() + offset_in_block, data.data(), data.size());
+  return buffer_.Put(key, staging, now);
+}
+
+Result<uint64_t> MemoryFileSystem::Write(const std::string& path,
+                                         uint64_t offset,
+                                         std::span<const uint8_t> data) {
+  Node* node = Lookup(path);
+  if (node == nullptr) {
+    return NotFoundError(path);
+  }
+  if (node->is_dir) {
+    return FailedPreconditionError(path + " is a directory");
+  }
+  Inode& inode = node->inode;
+  const uint64_t bs = block_bytes();
+
+  uint64_t done = 0;
+  while (done < data.size()) {
+    const uint64_t pos = offset + done;
+    const uint64_t block = pos / bs;
+    const uint64_t in_block = pos % bs;
+    const uint64_t chunk = std::min(bs - in_block, data.size() - done);
+    SSMC_RETURN_IF_ERROR(StageBlockWrite(
+        inode, block, in_block,
+        std::span<const uint8_t>(data.data() + done, chunk)));
+    done += chunk;
+  }
+  if (offset + data.size() > inode.size) {
+    inode.size = offset + data.size();
+  }
+  storage_.ChargeMetadataWrite(kInodeBytes);
+  stats_.writes.Add();
+  stats_.written_bytes.Add(data.size());
+  return static_cast<uint64_t>(data.size());
+}
+
+Status MemoryFileSystem::Truncate(const std::string& path, uint64_t size) {
+  Node* node = Lookup(path);
+  if (node == nullptr) {
+    return NotFoundError(path);
+  }
+  if (node->is_dir) {
+    return FailedPreconditionError(path + " is a directory");
+  }
+  Inode& inode = node->inode;
+  const uint64_t bs = block_bytes();
+  if (size < inode.size) {
+    const uint64_t first_dead = (size + bs - 1) / bs;
+    const uint64_t old_blocks = (inode.size + bs - 1) / bs;
+    for (uint64_t b = first_dead; b < old_blocks; ++b) {
+      ReleaseBlock(inode, b);
+    }
+    if (inode.flash_blocks.size() > first_dead) {
+      inode.flash_blocks.resize(first_dead, -1);
+    }
+    // Zero the tail of the surviving partial block: if the file is later
+    // extended, the cut-off bytes must read back as zeros, not stale data.
+    const uint64_t tail = size % bs;
+    if (tail != 0) {
+      const uint64_t zero_len = std::min(inode.size - size, bs - tail);
+      const std::vector<uint8_t> zeros(zero_len, 0);
+      SSMC_RETURN_IF_ERROR(StageBlockWrite(inode, size / bs, tail, zeros));
+    }
+  }
+  inode.size = size;
+  storage_.ChargeMetadataWrite(kInodeBytes);
+  return Status::Ok();
+}
+
+Result<FileInfo> MemoryFileSystem::Stat(const std::string& path) {
+  Node* node = Lookup(path);
+  if (node == nullptr) {
+    return NotFoundError(path);
+  }
+  FileInfo info;
+  info.is_directory = node->is_dir;
+  info.size = node->is_dir ? 0 : node->inode.size;
+  return info;
+}
+
+Status MemoryFileSystem::Rename(const std::string& from,
+                                const std::string& to) {
+  Node* from_parent = LookupParent(from);
+  if (from_parent == nullptr) {
+    return NotFoundError(from);
+  }
+  auto it = from_parent->children.find(BaseName(from));
+  if (it == from_parent->children.end()) {
+    return NotFoundError(from);
+  }
+  Node* to_parent = LookupParent(to);
+  if (to_parent == nullptr) {
+    return NotFoundError("no parent directory for " + to);
+  }
+  const std::string to_base = BaseName(to);
+  if (to_parent->children.count(to_base) != 0) {
+    return AlreadyExistsError(to);
+  }
+  storage_.ChargeMetadataWrite(2 * kDirEntryBytes);
+  to_parent->children.emplace(to_base, std::move(it->second));
+  from_parent->children.erase(it);
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> MemoryFileSystem::List(
+    const std::string& path) {
+  Node* node = Lookup(path);
+  if (node == nullptr) {
+    return NotFoundError(path);
+  }
+  if (!node->is_dir) {
+    return FailedPreconditionError(path + " is not a directory");
+  }
+  std::vector<std::string> names;
+  names.reserve(node->children.size());
+  for (const auto& [name, child] : node->children) {
+    storage_.ChargeMetadataRead(kDirEntryBytes);
+    names.push_back(name);
+  }
+  return names;
+}
+
+Status MemoryFileSystem::Sync() { return buffer_.FlushAll(); }
+
+Status MemoryFileSystem::TickFlush(SimTime now) {
+  return buffer_.FlushOlderThan(now, options_.flush_age);
+}
+
+Status MemoryFileSystem::FlushBlock(const BlockKey& key,
+                                    std::span<const uint8_t> data) {
+  auto it = inode_index_.find(key.file_id);
+  if (it == inode_index_.end()) {
+    // The file vanished with a dirty block still queued; nothing to persist.
+    return InternalError("flush for unlinked inode " +
+                         std::to_string(key.file_id));
+  }
+  Inode& inode = *it->second;
+  if (inode.flash_blocks.size() <= key.block_index) {
+    inode.flash_blocks.resize(key.block_index + 1, -1);
+  }
+  int64_t& slot = inode.flash_blocks[key.block_index];
+  if (slot < 0) {
+    Result<uint64_t> block = storage_.AllocateFlashBlock();
+    if (!block.ok()) {
+      return block.status();
+    }
+    slot = static_cast<int64_t>(block.value());
+  }
+  Result<Duration> written =
+      storage_.flash_store().Write(static_cast<uint64_t>(slot), data);
+  return written.ok() ? Status::Ok() : written.status();
+}
+
+Result<uint64_t> MemoryFileSystem::FileId(const std::string& path) {
+  Node* node = Lookup(path);
+  if (node == nullptr || node->is_dir) {
+    return NotFoundError(path);
+  }
+  return node->inode.id;
+}
+
+// --- Metadata checkpointing ------------------------------------------------
+
+namespace {
+
+constexpr uint64_t kCheckpointMagic = 0x53534D43434B5031ULL;  // "SSMCCKP1"
+constexpr uint64_t kNoBlock = ~uint64_t{0};
+
+void AppendU64(std::vector<uint8_t>& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void AppendU16(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+// Bounds-checked little-endian reader over a blob.
+class BlobReader {
+ public:
+  explicit BlobReader(std::span<const uint8_t> data) : data_(data) {}
+
+  bool ReadU64(uint64_t* v) {
+    if (pos_ + 8 > data_.size()) {
+      return false;
+    }
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+  bool ReadU16(uint16_t* v) {
+    if (pos_ + 2 > data_.size()) {
+      return false;
+    }
+    *v = static_cast<uint16_t>(data_[pos_] |
+                               (static_cast<uint16_t>(data_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return true;
+  }
+  bool ReadU8(uint8_t* v) {
+    if (pos_ + 1 > data_.size()) {
+      return false;
+    }
+    *v = data_[pos_++];
+    return true;
+  }
+  bool ReadString(size_t n, std::string* out) {
+    if (pos_ + n > data_.size()) {
+      return false;
+    }
+    out->assign(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return true;
+  }
+  bool AtEnd() const { return pos_ >= data_.size(); }
+
+ private:
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+void MemoryFileSystem::SerializeTree(const Node& node, const std::string& path,
+                                     std::vector<uint8_t>& out) const {
+  if (&node != root_.get()) {
+    AppendU16(out, static_cast<uint16_t>(path.size()));
+    out.insert(out.end(), path.begin(), path.end());
+    out.push_back(node.is_dir ? 1 : 0);
+    if (!node.is_dir) {
+      AppendU64(out, node.inode.size);
+      AppendU64(out, node.inode.flash_blocks.size());
+      for (const int64_t block : node.inode.flash_blocks) {
+        AppendU64(out, static_cast<uint64_t>(block));
+      }
+    }
+  }
+  if (node.is_dir) {
+    for (const auto& [name, child] : node.children) {
+      SerializeTree(*child, path == "/" ? "/" + name : path + "/" + name, out);
+    }
+  }
+}
+
+void MemoryFileSystem::ReleaseOldCheckpoint() {
+  for (const uint64_t block : checkpoint_blocks_) {
+    (void)storage_.FreeFlashBlock(block);
+  }
+  checkpoint_blocks_.clear();
+}
+
+Status MemoryFileSystem::CheckpointMetadata() {
+  const uint64_t bs = block_bytes();
+  const SimTime now = storage_.flash_store().device().clock().now();
+
+  // 1. Serialize the namespace.
+  std::vector<uint8_t> blob;
+  SerializeTree(*root_, "/", blob);
+  const uint64_t blob_size = blob.size();
+  blob.resize((blob.size() + bs - 1) / bs * bs, 0);
+
+  // 2. Write the data blocks into freshly allocated flash blocks.
+  std::vector<uint64_t> new_blocks;
+  auto fail_cleanup = [&](const Status& status) {
+    for (const uint64_t block : new_blocks) {
+      (void)storage_.FreeFlashBlock(block);
+    }
+    return status;
+  };
+  std::vector<uint64_t> data_ids;
+  for (uint64_t off = 0; off < blob.size(); off += bs) {
+    Result<uint64_t> block = storage_.AllocateFlashBlock();
+    if (!block.ok()) {
+      return fail_cleanup(block.status());
+    }
+    new_blocks.push_back(block.value());
+    data_ids.push_back(block.value());
+    Result<Duration> wrote = storage_.flash_store().Write(
+        block.value(), std::span<const uint8_t>(blob.data() + off, bs),
+        WriteStream::kRelocation);
+    if (!wrote.ok()) {
+      return fail_cleanup(wrote.status());
+    }
+  }
+
+  // 3. Build the index chain. Every index block (including the fixed
+  // superblock) holds: magic, checkpoint time, blob size, total data
+  // blocks, ids-in-this-block, next-index-block, then the ids.
+  const uint64_t ids_per_index = (bs - 48) / 8;
+  // Chain blocks after the first are allocated; write them back to front so
+  // each knows its successor.
+  std::vector<std::pair<uint64_t, std::pair<uint64_t, uint64_t>>> chain;
+  for (uint64_t start = ids_per_index; start < data_ids.size();
+       start += ids_per_index) {
+    Result<uint64_t> block = storage_.AllocateFlashBlock();
+    if (!block.ok()) {
+      return fail_cleanup(block.status());
+    }
+    new_blocks.push_back(block.value());
+    chain.emplace_back(
+        block.value(),
+        std::make_pair(start,
+                       std::min<uint64_t>(start + ids_per_index,
+                                          data_ids.size())));
+  }
+  auto write_index = [&](uint64_t block, uint64_t id_begin, uint64_t id_end,
+                         uint64_t next) -> Status {
+    std::vector<uint8_t> index;
+    index.reserve(bs);
+    AppendU64(index, kCheckpointMagic);
+    AppendU64(index, static_cast<uint64_t>(now));
+    AppendU64(index, blob_size);
+    AppendU64(index, data_ids.size());
+    AppendU64(index, id_end - id_begin);
+    AppendU64(index, next);
+    for (uint64_t i = id_begin; i < id_end; ++i) {
+      AppendU64(index, data_ids[i]);
+    }
+    index.resize(bs, 0);
+    Result<Duration> wrote = storage_.flash_store().Write(
+        block, index, WriteStream::kRelocation);
+    return wrote.ok() ? Status::Ok() : wrote.status();
+  };
+  uint64_t next = kNoBlock;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    SSMC_RETURN_IF_ERROR(
+        write_index(it->first, it->second.first, it->second.second, next));
+    next = it->first;
+  }
+  // 4. The superblock goes last: until it lands, the old checkpoint is the
+  // valid one (FlashStore rewrites it out of place).
+  SSMC_RETURN_IF_ERROR(write_index(
+      kSuperblock, 0, std::min<uint64_t>(ids_per_index, data_ids.size()),
+      next));
+
+  // 5. Retire the previous checkpoint's blocks.
+  ReleaseOldCheckpoint();
+  checkpoint_blocks_ = std::move(new_blocks);
+  last_checkpoint_at_ = now;
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<MemoryFileSystem>>
+MemoryFileSystem::RecoverFromCheckpoint(StorageManager& storage,
+                                        MemoryFsOptions options,
+                                        RecoveryReport* report) {
+  auto fs = std::make_unique<MemoryFileSystem>(storage, options);
+  FlashStore& store = storage.flash_store();
+  const uint64_t bs = store.block_bytes();
+
+  // Walk the index chain from the fixed superblock.
+  std::vector<uint64_t> data_ids;
+  uint64_t blob_size = 0;
+  uint64_t total_data_blocks = 0;
+  SimTime checkpoint_time = 0;
+  uint64_t index_block = kSuperblock;
+  while (index_block != kNoBlock) {
+    std::vector<uint8_t> raw(bs);
+    Result<Duration> read = store.Read(index_block, raw);
+    if (!read.ok()) {
+      return FailedPreconditionError("no metadata checkpoint found: " +
+                                     read.status().message());
+    }
+    if (index_block != kSuperblock) {
+      SSMC_RETURN_IF_ERROR(storage.ReserveFlashBlock(index_block));
+      fs->checkpoint_blocks_.push_back(index_block);
+    }
+    BlobReader reader(raw);
+    uint64_t magic = 0;
+    uint64_t time = 0;
+    uint64_t count = 0;
+    uint64_t next = 0;
+    if (!reader.ReadU64(&magic) || magic != kCheckpointMagic) {
+      return DataLossError("checkpoint superblock is corrupt");
+    }
+    if (!reader.ReadU64(&time) || !reader.ReadU64(&blob_size) ||
+        !reader.ReadU64(&total_data_blocks) || !reader.ReadU64(&count) ||
+        !reader.ReadU64(&next)) {
+      return DataLossError("checkpoint index header is truncated");
+    }
+    checkpoint_time = static_cast<SimTime>(time);
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t id = 0;
+      if (!reader.ReadU64(&id)) {
+        return DataLossError("checkpoint index is truncated");
+      }
+      data_ids.push_back(id);
+    }
+    index_block = next;
+  }
+  if (data_ids.size() != total_data_blocks) {
+    return DataLossError("checkpoint index is incomplete");
+  }
+
+  // Read the blob.
+  std::vector<uint8_t> blob;
+  blob.reserve(data_ids.size() * bs);
+  std::vector<uint8_t> chunk(bs);
+  for (const uint64_t id : data_ids) {
+    Result<Duration> read = store.Read(id, chunk);
+    if (!read.ok()) {
+      return DataLossError("checkpoint data block unreadable: " +
+                           read.status().message());
+    }
+    SSMC_RETURN_IF_ERROR(storage.ReserveFlashBlock(id));
+    fs->checkpoint_blocks_.push_back(id);
+    blob.insert(blob.end(), chunk.begin(), chunk.end());
+  }
+  if (blob_size > blob.size()) {
+    return DataLossError("checkpoint blob is truncated");
+  }
+  blob.resize(blob_size);
+
+  // Rebuild the tree. Records are depth-first, parents before children.
+  RecoveryReport result;
+  BlobReader reader(blob);
+  while (!reader.AtEnd()) {
+    uint16_t path_len = 0;
+    std::string path;
+    uint8_t is_dir = 0;
+    if (!reader.ReadU16(&path_len) || !reader.ReadString(path_len, &path) ||
+        !reader.ReadU8(&is_dir)) {
+      return DataLossError("checkpoint record is malformed");
+    }
+    if (is_dir != 0) {
+      SSMC_RETURN_IF_ERROR(fs->Mkdir(path));
+      result.directories_recovered += 1;
+      continue;
+    }
+    uint64_t size = 0;
+    uint64_t nblocks = 0;
+    if (!reader.ReadU64(&size) || !reader.ReadU64(&nblocks)) {
+      return DataLossError("checkpoint record is malformed");
+    }
+    SSMC_RETURN_IF_ERROR(fs->Create(path));
+    Node* node = fs->Lookup(path);
+    assert(node != nullptr && !node->is_dir);
+    node->inode.size = size;
+    node->inode.flash_blocks.reserve(nblocks);
+    for (uint64_t i = 0; i < nblocks; ++i) {
+      uint64_t raw_block = 0;
+      if (!reader.ReadU64(&raw_block)) {
+        return DataLossError("checkpoint record is malformed");
+      }
+      int64_t block = static_cast<int64_t>(raw_block);
+      if (block >= 0) {
+        // A block freed and reused since the checkpoint is stale: treat it
+        // as a hole rather than resurrect someone else's data.
+        if (!store.IsMapped(static_cast<uint64_t>(block)) ||
+            !storage.ReserveFlashBlock(static_cast<uint64_t>(block)).ok()) {
+          block = -1;
+        } else {
+          result.bytes_recovered += bs;
+        }
+      }
+      node->inode.flash_blocks.push_back(block);
+    }
+    result.files_recovered += 1;
+  }
+
+  fs->last_checkpoint_at_ = checkpoint_time;
+  if (report != nullptr) {
+    result.checkpoint_age =
+        store.device().clock().now() - checkpoint_time;
+    *report = result;
+  }
+  return fs;
+}
+
+Result<std::vector<BlockLocation>> MemoryFileSystem::BlockLocations(
+    const std::string& path) {
+  Node* node = Lookup(path);
+  if (node == nullptr || node->is_dir) {
+    return NotFoundError(path);
+  }
+  const Inode& inode = node->inode;
+  const uint64_t blocks = (inode.size + block_bytes() - 1) / block_bytes();
+  std::vector<BlockLocation> locations(blocks);
+  for (uint64_t b = 0; b < blocks; ++b) {
+    BlockLocation& loc = locations[b];
+    if (buffer_.Contains(BlockKey{inode.id, b})) {
+      loc.kind = BlockLocation::Kind::kBuffered;
+    } else if (b < inode.flash_blocks.size() && inode.flash_blocks[b] >= 0) {
+      loc.kind = BlockLocation::Kind::kFlash;
+      loc.flash_block = static_cast<uint64_t>(inode.flash_blocks[b]);
+    } else {
+      loc.kind = BlockLocation::Kind::kHole;
+    }
+  }
+  return locations;
+}
+
+}  // namespace ssmc

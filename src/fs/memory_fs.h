@@ -1,0 +1,200 @@
+// MemoryFileSystem — the paper's file system (Section 3.1).
+//
+// Everything the paper calls for:
+//  * metadata is entirely memory-resident: the namespace is a tree in
+//    battery-backed DRAM, looked up at DRAM speed (no metadata I/O);
+//  * no block clustering — flash has no seeks, so placement is whatever the
+//    flash store's log gives us;
+//  * no indirect blocks — a file's block map is one flat extent vector;
+//  * no buffer cache — reads are served from the DRAM write buffer if the
+//    block is dirty, otherwise directly from flash at byte granularity;
+//  * writes go to the DRAM write buffer (copy-on-write from flash for
+//    partial-block updates) and reach flash only when flushed — short-lived
+//    data is dropped before it ever costs a flash program;
+//  * deletes drop buffered blocks (write avoidance) and trim flash blocks.
+//
+// The file system is also the flush destination: when the write buffer
+// evicts or ages out a dirty block, the callback here allocates a flash
+// block (first write) or overwrites the existing one out-of-place.
+
+#ifndef SSMC_SRC_FS_MEMORY_FS_H_
+#define SSMC_SRC_FS_MEMORY_FS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/fs/file_system.h"
+#include "src/sim/stats.h"
+#include "src/storage/storage_manager.h"
+#include "src/storage/write_buffer.h"
+#include "src/support/status.h"
+
+namespace ssmc {
+
+struct MemoryFsOptions {
+  // Write buffer capacity in pages (pages are storage.page_bytes() each).
+  // 2048 pages of 512 B = 1 MiB, the size Baker et al. showed absorbs
+  // 40-50% of write traffic. 0 = unbuffered write-through baseline.
+  uint64_t write_buffer_pages = 2048;
+  // Dirty blocks older than this are flushed by TickFlush().
+  Duration flush_age = 30 * kSecond;
+};
+
+// Where a mapped file block currently lives (consumed by the VM layer for
+// copy-on-write file mappings and execute-in-place).
+struct BlockLocation {
+  enum class Kind { kHole, kBuffered, kFlash };
+  Kind kind = Kind::kHole;
+  uint64_t flash_block = 0;  // Valid when kind == kFlash.
+};
+
+// Outcome of rebuilding a file system from its flash checkpoint after the
+// battery-backed metadata was lost.
+struct RecoveryReport {
+  uint64_t directories_recovered = 0;
+  uint64_t files_recovered = 0;
+  uint64_t bytes_recovered = 0;  // File bytes whose blocks are in flash.
+  SimTime checkpoint_age = 0;    // How stale the recovered state is.
+};
+
+class MemoryFileSystem : public FileSystem {
+ public:
+  MemoryFileSystem(StorageManager& storage, MemoryFsOptions options);
+  ~MemoryFileSystem() override;
+
+  // --- Crash safety (Section 3.1) ----------------------------------------
+  // The namespace and inodes live in battery-backed DRAM; flash must also
+  // hold a recoverable copy or a total battery failure loses every file.
+  // CheckpointMetadata serializes the namespace into flash blocks anchored
+  // at a fixed superblock (flash logical block 0), replacing the previous
+  // checkpoint atomically (the superblock is rewritten last, out of place).
+  Status CheckpointMetadata();
+
+  // Rebuilds a file system from the checkpoint in `storage`'s flash store.
+  // Used after a total battery failure: the caller constructs a fresh
+  // StorageManager over the surviving FlashStore (the FTL's mapping is
+  // recoverable from per-sector summaries on real hardware) and this
+  // factory re-reads the superblock, rebuilds the tree, and re-registers
+  // every referenced flash block with the allocator. Data written after the
+  // last checkpoint — and anything still in the write buffer at the crash —
+  // is gone; the report says what survived.
+  static Result<std::unique_ptr<MemoryFileSystem>> RecoverFromCheckpoint(
+      StorageManager& storage, MemoryFsOptions options,
+      RecoveryReport* report);
+
+  std::string name() const override { return "memory-fs"; }
+
+  Status Create(const std::string& path) override;
+  Status Unlink(const std::string& path) override;
+  Status Mkdir(const std::string& path) override;
+  Status Rmdir(const std::string& path) override;
+  Result<uint64_t> Read(const std::string& path, uint64_t offset,
+                        std::span<uint8_t> out) override;
+  Result<uint64_t> Write(const std::string& path, uint64_t offset,
+                         std::span<const uint8_t> data) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+  Result<FileInfo> Stat(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Result<std::vector<std::string>> List(const std::string& path) override;
+  Status Sync() override;
+
+  // Periodic age-based flush; the machine's flush daemon calls this.
+  Status TickFlush(SimTime now);
+
+  // Stable identifier of a file (used as the write-buffer key space and by
+  // the VM layer for mappings).
+  Result<uint64_t> FileId(const std::string& path);
+
+  // Current location of each block of the file; blocks beyond EOF excluded.
+  // VM mappings re-resolve through this after faults because the cleaner
+  // relocates flash blocks.
+  Result<std::vector<BlockLocation>> BlockLocations(const std::string& path);
+
+  // Simulates total battery failure: every dirty buffered block is lost.
+  // Returns the number of lost bytes. Flash contents survive.
+  uint64_t LoseBufferedData() { return buffer_.DropAllUnflushed(); }
+
+  const WriteBuffer& write_buffer() const { return buffer_; }
+  WriteBuffer& write_buffer() { return buffer_; }
+  StorageManager& storage() { return storage_; }
+  uint64_t block_bytes() const { return storage_.page_bytes(); }
+
+  struct Stats {
+    Counter creates;
+    Counter unlinks;
+    Counter reads;
+    Counter read_bytes;
+    Counter writes;
+    Counter written_bytes;
+    Counter flash_direct_read_bytes;  // Bytes served straight from flash.
+    Counter buffered_read_bytes;      // Bytes served from the write buffer.
+    Counter cow_block_copies;         // Flash->DRAM copies for partial writes.
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Inode {
+    uint64_t id = 0;
+    uint64_t size = 0;
+    // Block index -> flash logical block, or -1 if not (yet) in flash.
+    // Deliberately a flat vector: "the complexity of multiple levels of
+    // indirect blocks may also be eliminated."
+    std::vector<int64_t> flash_blocks;
+  };
+
+  struct Node {
+    bool is_dir = false;
+    std::map<std::string, std::unique_ptr<Node>> children;  // Dirs only.
+    Inode inode;                                            // Files only.
+  };
+
+  // Per-component metadata costs (bytes charged to DRAM per operation).
+  static constexpr uint64_t kDirEntryBytes = 48;
+  static constexpr uint64_t kInodeBytes = 64;
+  // Flash logical block anchoring the checkpoint chain.
+  static constexpr uint64_t kSuperblock = 0;
+
+  // Serializes the namespace tree (paths, inodes, block maps) to a blob.
+  void SerializeTree(const Node& node, const std::string& path,
+                     std::vector<uint8_t>& out) const;
+  // Releases the flash blocks of the previous checkpoint.
+  void ReleaseOldCheckpoint();
+
+  // Walks the tree, charging DRAM reads per component. Returns null if any
+  // component is missing or a non-directory is traversed.
+  Node* Lookup(const std::string& path);
+  // Returns the parent node of `path` (charging lookups) or null.
+  Node* LookupParent(const std::string& path);
+
+  // The write buffer's flush destination.
+  Status FlushBlock(const BlockKey& key, std::span<const uint8_t> data);
+
+  // Releases one file block everywhere (buffer + flash).
+  void ReleaseBlock(Inode& inode, uint64_t block_index);
+
+  // Stages a block into the write buffer, performing copy-on-write from
+  // flash when the write does not cover the whole block.
+  Status StageBlockWrite(Inode& inode, uint64_t block_index,
+                         uint64_t offset_in_block,
+                         std::span<const uint8_t> data);
+
+  StorageManager& storage_;
+  MemoryFsOptions options_;
+  WriteBuffer buffer_;
+  std::unique_ptr<Node> root_;
+  // Inode id -> inode (for flush callbacks); owned by the node tree.
+  std::unordered_map<uint64_t, Inode*> inode_index_;
+  uint64_t next_inode_id_ = 1;
+  std::vector<uint64_t> checkpoint_blocks_;  // Data blocks of the last
+                                             // checkpoint (superblock extra).
+  SimTime last_checkpoint_at_ = -1;          // -1: never checkpointed.
+  Stats stats_;
+};
+
+}  // namespace ssmc
+
+#endif  // SSMC_SRC_FS_MEMORY_FS_H_

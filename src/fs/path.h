@@ -1,0 +1,35 @@
+// Path handling shared by both file systems. Paths are absolute,
+// '/'-separated, with no "." / ".." resolution (the simulator's workloads
+// only generate canonical paths; anything else is rejected as invalid).
+
+#ifndef SSMC_SRC_FS_PATH_H_
+#define SSMC_SRC_FS_PATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace ssmc {
+
+// True for a canonical absolute path: starts with '/', no empty, "." or ".."
+// components, no trailing slash (except the root itself).
+bool IsValidPath(std::string_view path);
+
+// Splits "/a/b/c" into {"a","b","c"}; root splits into {}.
+// Pre: IsValidPath(path).
+std::vector<std::string> SplitPath(std::string_view path);
+
+// Parent of "/a/b/c" is "/a/b"; parent of "/a" is "/"; parent of "/" is "/".
+std::string ParentPath(std::string_view path);
+
+// Final component; basename of "/" is "".
+std::string BaseName(std::string_view path);
+
+// Joins a directory and a name ("/a" + "b" -> "/a/b"; "/" + "b" -> "/b").
+std::string JoinPath(std::string_view dir, std::string_view name);
+
+}  // namespace ssmc
+
+#endif  // SSMC_SRC_FS_PATH_H_

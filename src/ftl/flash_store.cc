@@ -1,0 +1,527 @@
+#include "src/ftl/flash_store.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/support/log.h"
+
+namespace ssmc {
+
+int64_t PickCleaningVictim(const std::vector<SectorMeta>& sectors,
+                           uint32_t pages_per_sector, CleanerPolicy policy,
+                           SimTime now) {
+  int64_t best = -1;
+  double best_score = -1;
+  for (size_t s = 0; s < sectors.size(); ++s) {
+    const SectorMeta& m = sectors[s];
+    if (m.active || m.free || m.bad || m.dead_pages == 0) {
+      continue;
+    }
+    double score = 0;
+    switch (policy) {
+      case CleanerPolicy::kGreedy:
+        score = static_cast<double>(m.dead_pages);
+        break;
+      case CleanerPolicy::kCostBenefit: {
+        // LFS cost-benefit: benefit/cost = age * (1 - u) / (1 + u), where u
+        // is the utilization (fraction of pages that must be relocated).
+        const double u = static_cast<double>(m.valid_pages) /
+                         static_cast<double>(pages_per_sector);
+        const double age =
+            static_cast<double>(std::max<SimTime>(1, now - m.last_write_time));
+        score = age * (1.0 - u) / (1.0 + u);
+        break;
+      }
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = static_cast<int64_t>(s);
+    }
+  }
+  return best;
+}
+
+FlashStore::FlashStore(FlashDevice& flash, FlashStoreOptions options)
+    : flash_(flash), options_(options) {
+  assert(options_.block_bytes > 0);
+  assert(flash_.sector_bytes() % options_.block_bytes == 0 &&
+         "block size must divide the erase sector size");
+
+  const uint64_t num_sectors = flash_.num_sectors();
+  const uint64_t pps = pages_per_sector();
+  // Reserve enough sectors that cleaning always has room to relocate into
+  // and the free pool can rise above the cleaner's low-water mark (otherwise
+  // every allocation would trigger a cleaning storm): at least one per bank
+  // (active sectors can strand free pages), at least low-water + 2, or the
+  // requested overprovisioning fraction, whichever is larger.
+  const uint64_t min_reserve =
+      std::max(static_cast<uint64_t>(flash_.num_banks()) + 1,
+               options_.free_sector_low_water + 2);
+  const uint64_t reserve = std::max(
+      min_reserve, static_cast<uint64_t>(
+                       std::ceil(options_.overprovision *
+                                 static_cast<double>(num_sectors))));
+  assert(reserve < num_sectors && "device too small for its reserve");
+  num_logical_blocks_ = (num_sectors - reserve) * pps;
+
+  map_.assign(num_logical_blocks_, kUnmapped);
+  page_owner_.assign(num_sectors * pps, kUnmapped);
+  sectors_.resize(num_sectors);
+  for (auto& m : sectors_) {
+    m.free = true;
+  }
+  free_pool_.resize(static_cast<size_t>(flash_.num_banks()));
+  for (uint64_t s = 0; s < num_sectors; ++s) {
+    free_pool_[static_cast<size_t>(flash_.BankOfSector(s))].push_back(s);
+  }
+  active_.assign(static_cast<size_t>(flash_.num_banks()), -1);
+}
+
+uint64_t FlashStore::free_sectors() const {
+  uint64_t n = 0;
+  for (const auto& pool : free_pool_) {
+    n += pool.size();
+  }
+  return n;
+}
+
+int64_t FlashStore::TakeFreeSector(int bank) {
+  auto& pool = free_pool_[static_cast<size_t>(bank)];
+  if (pool.empty()) {
+    return -1;
+  }
+  size_t pick = pool.size() - 1;  // kNone: LIFO — reuse the freshest erase,
+                                  // the naive allocator that concentrates
+                                  // wear on a handful of sectors.
+  if (options_.wear != WearPolicy::kNone) {
+    // Dynamic leveling: reuse the least-worn free sector first.
+    pick = 0;
+    for (size_t i = 1; i < pool.size(); ++i) {
+      if (flash_.EraseCount(pool[i]) < flash_.EraseCount(pool[pick])) {
+        pick = i;
+      }
+    }
+  }
+  const int64_t sector = static_cast<int64_t>(pool[pick]);
+  pool.erase(pool.begin() + static_cast<ptrdiff_t>(pick));
+  sectors_[static_cast<size_t>(sector)].free = false;
+  return sector;
+}
+
+Result<uint64_t> FlashStore::AllocatePage(WriteStream stream,
+                                          bool allow_clean) {
+  // Proactive cleaning keeps the free pool above the low-water mark.
+  if (allow_clean && free_sectors() <= options_.free_sector_low_water) {
+    SSMC_RETURN_IF_ERROR(Clean());
+  }
+
+  const int banks = flash_.num_banks();
+  // Bank segregation: user writes go to the hot range, relocated (cold)
+  // data to the rest. With segregation off, or when the preferred range is
+  // exhausted, any bank serves.
+  int range_lo = 0;
+  int range_len = banks;
+  if (options_.hot_bank_count > 0 && options_.hot_bank_count < banks) {
+    if (stream == WriteStream::kUser) {
+      range_lo = 0;
+      range_len = options_.hot_bank_count;
+    } else {
+      range_lo = options_.hot_bank_count;
+      range_len = banks - options_.hot_bank_count;
+    }
+  }
+  // Tries to take a page from banks [lo, lo+len).
+  auto attempt = [&](int lo, int len) -> int64_t {
+    const int start = lo + (next_bank_ % len);
+    for (int i = 0; i < len; ++i) {
+      const int bank = lo + (start - lo + i) % len;
+      int64_t active = active_[static_cast<size_t>(bank)];
+      if (active >= 0 &&
+          sectors_[static_cast<size_t>(active)].next_free_page >=
+              pages_per_sector()) {
+        sectors_[static_cast<size_t>(active)].active = false;
+        active = -1;
+        active_[static_cast<size_t>(bank)] = -1;
+      }
+      if (active < 0) {
+        active = TakeFreeSector(bank);
+        if (active < 0) {
+          continue;  // This bank is out of space; try the next.
+        }
+        sectors_[static_cast<size_t>(active)].active = true;
+        active_[static_cast<size_t>(bank)] = active;
+      }
+      SectorMeta& m = sectors_[static_cast<size_t>(active)];
+      const uint64_t page =
+          static_cast<uint64_t>(active) * pages_per_sector() +
+          m.next_free_page;
+      m.next_free_page += 1;
+      return static_cast<int64_t>(page);
+    }
+    return -1;
+  };
+
+  int64_t page = attempt(range_lo, range_len);
+  if (page < 0 && allow_clean && !cleaning_) {
+    // The preferred range is exhausted: clean (victims come from wherever
+    // the dead pages are — under segregation that is this range) rather
+    // than spilling this stream into the other banks.
+    // Each time the hot range runs dry, also distill one fully-valid
+    // (read-mostly) sector out to the cold banks: ordinary cleaning never
+    // picks those (nothing dead to reclaim), so without this the write
+    // banks silt up with data that belongs in the read-mostly banks.
+    if (stream == WriteStream::kUser && options_.hot_bank_count > 0) {
+      (void)EvictColdSectorFromHotRange();
+      page = attempt(range_lo, range_len);
+    }
+    for (int rounds = 0; page < 0 && rounds < 64; ++rounds) {
+      Result<bool> cleaned = CleanOne();
+      if (!cleaned.ok() || !cleaned.value()) {
+        break;
+      }
+      page = attempt(range_lo, range_len);
+    }
+  }
+  if (page < 0 && range_len < banks) {
+    page = attempt(0, banks);  // Last resort: any bank.
+  }
+  if (page < 0) {
+    return NoSpaceError("flash store out of writable space");
+  }
+  return static_cast<uint64_t>(page);
+}
+
+Result<Duration> FlashStore::WriteInternal(uint64_t block,
+                                           std::span<const uint8_t> data,
+                                           WriteStream stream,
+                                           bool allow_clean, bool blocking) {
+  if (block >= num_logical_blocks_) {
+    return OutOfRangeError("flash store block out of range");
+  }
+  if (data.size() != options_.block_bytes) {
+    return InvalidArgumentError("flash store writes are whole blocks");
+  }
+
+  Result<uint64_t> page = AllocatePage(stream, allow_clean);
+  if (!page.ok()) {
+    return page.status();
+  }
+  next_bank_ += 1;
+
+  Result<Duration> programmed =
+      flash_.Program(PageAddress(page.value()), data, blocking);
+  if (!programmed.ok()) {
+    return programmed.status();
+  }
+
+  if (map_[block] != kUnmapped) {
+    MarkPageDead(map_[block]);
+  }
+  map_[block] = page.value();
+  page_owner_[page.value()] = block;
+  SectorMeta& m = sectors_[SectorOfPage(page.value())];
+  m.valid_pages += 1;
+  m.last_write_time = flash_.clock().now();
+  return programmed.value();
+}
+
+Result<Duration> FlashStore::Write(uint64_t block,
+                                   std::span<const uint8_t> data) {
+  return Write(block, data, WriteStream::kUser);
+}
+
+Result<Duration> FlashStore::Write(uint64_t block,
+                                   std::span<const uint8_t> data,
+                                   WriteStream hint) {
+  Result<Duration> r =
+      WriteInternal(block, data, hint, /*allow_clean=*/true,
+                    /*blocking=*/!options_.background_writes);
+  if (r.ok()) {
+    stats_.user_writes.Add();
+  }
+  return r;
+}
+
+Result<Duration> FlashStore::Read(uint64_t block, std::span<uint8_t> out) {
+  if (block >= num_logical_blocks_) {
+    return OutOfRangeError("flash store block out of range");
+  }
+  if (out.size() != options_.block_bytes) {
+    return InvalidArgumentError("flash store reads are whole blocks");
+  }
+  if (map_[block] == kUnmapped) {
+    return NotFoundError("flash store block " + std::to_string(block) +
+                         " is not mapped");
+  }
+  Result<Duration> r = flash_.Read(PageAddress(map_[block]), out);
+  if (r.ok()) {
+    stats_.user_reads.Add();
+  }
+  return r;
+}
+
+Result<Duration> FlashStore::ReadPartial(uint64_t block, uint64_t offset,
+                                         std::span<uint8_t> out) {
+  if (block >= num_logical_blocks_) {
+    return OutOfRangeError("flash store block out of range");
+  }
+  if (offset + out.size() > options_.block_bytes) {
+    return OutOfRangeError("partial read exceeds block bounds");
+  }
+  if (map_[block] == kUnmapped) {
+    return NotFoundError("flash store block " + std::to_string(block) +
+                         " is not mapped");
+  }
+  Result<Duration> r = flash_.Read(PageAddress(map_[block]) + offset, out);
+  if (r.ok()) {
+    stats_.user_reads.Add();
+  }
+  return r;
+}
+
+Status FlashStore::Trim(uint64_t block) {
+  if (block >= num_logical_blocks_) {
+    return OutOfRangeError("flash store block out of range");
+  }
+  if (map_[block] == kUnmapped) {
+    return Status::Ok();  // Idempotent.
+  }
+  MarkPageDead(map_[block]);
+  map_[block] = kUnmapped;
+  stats_.trims.Add();
+  return Status::Ok();
+}
+
+Result<uint64_t> FlashStore::PhysicalAddressOf(uint64_t block) const {
+  if (block >= num_logical_blocks_ || map_[block] == kUnmapped) {
+    return NotFoundError("flash store block is not mapped");
+  }
+  return PageAddress(map_[block]);
+}
+
+void FlashStore::MarkPageDead(uint64_t page) {
+  SectorMeta& m = sectors_[SectorOfPage(page)];
+  assert(m.valid_pages > 0);
+  m.valid_pages -= 1;
+  m.dead_pages += 1;
+  page_owner_[page] = kUnmapped;
+}
+
+Status FlashStore::Clean() {
+  if (cleaning_) {
+    return Status::Ok();  // Re-entrancy from relocation writes.
+  }
+  cleaning_ = true;
+  Status status = Status::Ok();
+  // Segregated stores distill read-mostly sectors out of the hot banks as a
+  // side effect of cleaning pressure (throttled to bound amplification).
+  if (options_.hot_bank_count > 0 && ++cleans_since_evict_ >= 4) {
+    cleans_since_evict_ = 0;
+    Result<bool> evicted = EvictColdSectorFromHotRange();
+    if (!evicted.ok()) {
+      cleaning_ = false;
+      return evicted.status();
+    }
+  }
+  while (free_sectors() <= options_.free_sector_low_water) {
+    Result<bool> cleaned = CleanOne();
+    if (!cleaned.ok()) {
+      status = cleaned.status();
+      break;
+    }
+    if (!cleaned.value()) {
+      break;  // Nothing cleanable; callers will see NO_SPACE on allocation.
+    }
+  }
+  cleaning_ = false;
+  return status;
+}
+
+Result<bool> FlashStore::CleanOne() {
+  const int64_t victim = PickCleaningVictim(
+      sectors_, pages_per_sector(), options_.cleaner, flash_.clock().now());
+  if (victim < 0) {
+    return false;
+  }
+  stats_.gc_runs.Add();
+
+  // Relocate the victim's valid pages. Survivors go to the cold stream: a
+  // page that stayed valid while its neighbors died is read-mostly, so under
+  // bank segregation the cleaner continuously distills cold data out of the
+  // write-hot banks (the LFS hot/cold separation insight).
+  const WriteStream stream = WriteStream::kRelocation;
+  const uint64_t pps = pages_per_sector();
+  const uint64_t first_page = static_cast<uint64_t>(victim) * pps;
+  std::vector<uint8_t> buf(options_.block_bytes);
+  const bool blocking = !options_.background_writes;
+  for (uint64_t p = first_page; p < first_page + pps; ++p) {
+    const uint64_t owner = page_owner_[p];
+    if (owner == kUnmapped) {
+      continue;
+    }
+    Result<Duration> read = flash_.Read(PageAddress(p), buf, blocking);
+    if (!read.ok()) {
+      return read.status();
+    }
+    Result<Duration> moved =
+        WriteInternal(owner, buf, stream, /*allow_clean=*/false, blocking);
+    if (!moved.ok()) {
+      return moved.status();
+    }
+    stats_.gc_relocations.Add();
+  }
+
+  SSMC_RETURN_IF_ERROR(EraseAndFree(static_cast<uint64_t>(victim)));
+  return true;
+}
+
+Result<bool> FlashStore::EvictColdSectorFromHotRange() {
+  if (options_.hot_bank_count <= 0 ||
+      options_.hot_bank_count >= flash_.num_banks()) {
+    return false;
+  }
+  // Oldest fully-valid, non-active sector in a hot bank.
+  int64_t victim = -1;
+  const uint64_t hot_sectors =
+      static_cast<uint64_t>(options_.hot_bank_count) *
+      flash_.sectors_per_bank();
+  const SimTime now = flash_.clock().now();
+  for (uint64_t s = 0; s < hot_sectors; ++s) {
+    const SectorMeta& m = sectors_[s];
+    if (m.active || m.free || m.bad || m.dead_pages != 0 ||
+        m.valid_pages == 0) {
+      continue;
+    }
+    if (now - m.last_write_time < options_.cold_eviction_age) {
+      continue;  // Possibly just between overwrites; leave it be.
+    }
+    if (victim < 0 ||
+        m.last_write_time <
+            sectors_[static_cast<size_t>(victim)].last_write_time) {
+      victim = static_cast<int64_t>(s);
+    }
+  }
+  if (victim < 0) {
+    return false;
+  }
+  const uint64_t pps = pages_per_sector();
+  const uint64_t first_page = static_cast<uint64_t>(victim) * pps;
+  std::vector<uint8_t> buf(options_.block_bytes);
+  const bool blocking = !options_.background_writes;
+  for (uint64_t p = first_page; p < first_page + pps; ++p) {
+    const uint64_t owner = page_owner_[p];
+    if (owner == kUnmapped) {
+      continue;
+    }
+    Result<Duration> read = flash_.Read(PageAddress(p), buf, blocking);
+    if (!read.ok()) {
+      return read.status();
+    }
+    Result<Duration> moved =
+        WriteInternal(owner, buf, WriteStream::kRelocation,
+                      /*allow_clean=*/false, blocking);
+    if (!moved.ok()) {
+      return moved.status();
+    }
+    stats_.gc_relocations.Add();
+  }
+  SSMC_RETURN_IF_ERROR(EraseAndFree(static_cast<uint64_t>(victim)));
+  return true;
+}
+
+Status FlashStore::EraseAndFree(uint64_t sector) {
+  SectorMeta& m = sectors_[sector];
+  assert(!m.active && !m.free);
+  assert(m.valid_pages == 0 && "erasing a sector with live data");
+  const bool blocking = !options_.background_writes;
+  Result<Duration> erased = flash_.EraseSector(sector, blocking);
+  if (!erased.ok()) {
+    if (erased.status().code() == ErrorCode::kDataLoss) {
+      // The sector wore out. Retire it; the store keeps running with less
+      // spare capacity (graceful capacity degradation).
+      m.bad = true;
+      m.dead_pages = 0;
+      SSMC_LOG(kInfo) << "flash store retired worn-out sector " << sector;
+      return Status::Ok();
+    }
+    return erased.status();
+  }
+  stats_.erases.Add();
+  m = SectorMeta{};
+  m.free = true;
+  free_pool_[static_cast<size_t>(flash_.BankOfSector(sector))].push_back(
+      sector);
+  erases_since_wear_check_ += 1;
+  MaybeStaticWearLevel();
+  return Status::Ok();
+}
+
+void FlashStore::MaybeStaticWearLevel() {
+  if (options_.wear != WearPolicy::kStatic || wear_leveling_) {
+    return;
+  }
+  if (erases_since_wear_check_ < options_.static_wear_check_interval) {
+    return;
+  }
+  erases_since_wear_check_ = 0;
+
+  // Find the wear spread and the coldest occupied sector.
+  uint64_t min_erases = ~uint64_t{0};
+  uint64_t max_erases = 0;
+  int64_t coldest = -1;
+  for (uint64_t s = 0; s < sectors_.size(); ++s) {
+    if (sectors_[s].bad) {
+      continue;
+    }
+    const uint64_t e = flash_.EraseCount(s);
+    min_erases = std::min(min_erases, e);
+    max_erases = std::max(max_erases, e);
+    if (!sectors_[s].free && !sectors_[s].active &&
+        (coldest < 0 || e < flash_.EraseCount(static_cast<uint64_t>(coldest)))) {
+      coldest = static_cast<int64_t>(s);
+    }
+  }
+  if (coldest < 0 || max_erases - min_erases <= options_.static_wear_delta) {
+    return;
+  }
+
+  // Migrate the coldest sector's live data so its barely-worn cells rejoin
+  // the allocation pool.
+  wear_leveling_ = true;
+  const uint64_t pps = pages_per_sector();
+  const uint64_t first_page = static_cast<uint64_t>(coldest) * pps;
+  std::vector<uint8_t> buf(options_.block_bytes);
+  const bool blocking = !options_.background_writes;
+  bool ok = true;
+  for (uint64_t p = first_page; p < first_page + pps && ok; ++p) {
+    const uint64_t owner = page_owner_[p];
+    if (owner == kUnmapped) {
+      continue;
+    }
+    ok = flash_.Read(PageAddress(p), buf, blocking).ok() &&
+         WriteInternal(owner, buf, WriteStream::kRelocation,
+                       /*allow_clean=*/false, blocking)
+             .ok();
+    if (ok) {
+      stats_.gc_relocations.Add();
+    }
+  }
+  if (ok && sectors_[static_cast<size_t>(coldest)].valid_pages == 0) {
+    if (EraseAndFree(static_cast<uint64_t>(coldest)).ok()) {
+      stats_.wear_migrations.Add();
+    }
+  }
+  wear_leveling_ = false;
+}
+
+double FlashStore::WriteAmplification() const {
+  if (stats_.user_writes.value() == 0) {
+    return 1.0;
+  }
+  return static_cast<double>(stats_.user_writes.value() +
+                             stats_.gc_relocations.value()) /
+         static_cast<double>(stats_.user_writes.value());
+}
+
+}  // namespace ssmc

@@ -1,0 +1,234 @@
+// Log-structured flash store (flash translation layer).
+//
+// Implements the storage-manager techniques of Section 3.3: writes go to
+// flash out-of-place, a garbage collector reclaims sectors "like those used
+// in log-structured file systems", and wear leveling "evenly balance[s] the
+// write load throughout flash memory". The store exposes a flat array of
+// fixed-size logical blocks; callers (the storage manager / file systems)
+// never see erase sectors or physical placement.
+//
+// Structure: the flash device's erase sectors are divided into pages of
+// block_bytes each. A logical block maps to one valid physical page. Writes
+// append to per-bank active sectors (keeping every bank usable so reads can
+// proceed during slow programs/erases — the paper's bank partitioning).
+// Overwriting a block marks the old page dead; the cleaner relocates the
+// valid pages of a victim sector and erases it.
+//
+// Cleaning policies:
+//  * kGreedy      — victim with the most dead pages (cheapest to clean now);
+//  * kCostBenefit — LFS cost-benefit: maximize age*(1-u)/(1+u), which prefers
+//                   older, emptier sectors and avoids repeatedly cleaning
+//                   hot sectors.
+// Wear-leveling policies:
+//  * kNone    — free sectors reused FIFO, no attention to wear;
+//  * kDynamic — allocation picks the free sector with the fewest erases;
+//  * kStatic  — kDynamic plus periodic cold-data migration: when the erase-
+//               count spread exceeds a threshold, the coldest data is moved
+//               so its low-wear sector rejoins circulation.
+
+#ifndef SSMC_SRC_FTL_FLASH_STORE_H_
+#define SSMC_SRC_FTL_FLASH_STORE_H_
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "src/device/flash_device.h"
+#include "src/sim/stats.h"
+#include "src/support/status.h"
+#include "src/support/units.h"
+
+namespace ssmc {
+
+enum class CleanerPolicy { kGreedy, kCostBenefit };
+enum class WearPolicy { kNone, kDynamic, kStatic };
+
+struct FlashStoreOptions {
+  uint64_t block_bytes = 512;
+  CleanerPolicy cleaner = CleanerPolicy::kCostBenefit;
+  WearPolicy wear = WearPolicy::kDynamic;
+  // Cleaning starts when the free-sector count drops to this level and runs
+  // until it exceeds it (or no sector with dead pages remains).
+  uint64_t free_sector_low_water = 2;
+  // Fraction of sectors withheld from the logical capacity so cleaning
+  // always has room to relocate into. At least 2 sectors are reserved.
+  double overprovision = 0.10;
+  // Static wear leveling: check every N erases; migrate cold data when
+  // (max - min) erase count exceeds the delta.
+  uint64_t static_wear_check_interval = 64;
+  uint64_t static_wear_delta = 32;
+  // When true, background (non-blocking) writes and cleaning do not advance
+  // the caller's clock; the flash banks absorb the time. The storage
+  // manager's flush path uses this.
+  bool background_writes = false;
+  // Bank segregation (Section 3.3): "One bank would hold read-mostly data,
+  // such as application programs, while others would be used for data that
+  // is more frequently written." When > 0, incoming user writes append only
+  // to the first `hot_bank_count` banks, while cleaner relocations (data
+  // that survived a sector's lifetime, i.e. read-mostly) append to the
+  // remaining banks. Reads of cold data then never stall behind programs or
+  // erases. 0 = round-robin across all banks.
+  int hot_bank_count = 0;
+  // A fully-valid sector in a hot bank is only distilled out to the cold
+  // banks once it has gone unwritten this long (avoids ping-ponging data
+  // that is merely between overwrites).
+  Duration cold_eviction_age = 60 * kSecond;
+};
+
+// Which append stream a page allocation serves (see hot_bank_count).
+enum class WriteStream { kUser, kRelocation };
+
+// Per-sector metadata exposed for policy testing and the wear benches.
+struct SectorMeta {
+  uint32_t valid_pages = 0;
+  uint32_t dead_pages = 0;
+  uint32_t next_free_page = 0;   // Write pointer within the sector.
+  SimTime last_write_time = 0;   // For cost-benefit aging.
+  bool active = false;           // Currently the append target of a bank.
+  bool free = false;             // Erased and in the free pool.
+  bool bad = false;              // Worn out.
+};
+
+// Pure victim-selection function, exercised directly by unit tests.
+// Returns the victim sector index or -1 if no cleanable sector exists.
+// Only sectors that are neither active, free, nor bad, and that contain at
+// least one dead page, are candidates.
+int64_t PickCleaningVictim(const std::vector<SectorMeta>& sectors,
+                           uint32_t pages_per_sector, CleanerPolicy policy,
+                           SimTime now);
+
+class FlashStore {
+ public:
+  FlashStore(FlashDevice& flash, FlashStoreOptions options);
+
+  uint64_t block_bytes() const { return options_.block_bytes; }
+  // Number of logical blocks the store exposes (physical minus reserve).
+  uint64_t num_blocks() const { return num_logical_blocks_; }
+  uint64_t capacity_bytes() const { return num_blocks() * block_bytes(); }
+  const FlashStoreOptions& options() const { return options_; }
+  FlashDevice& device() { return flash_; }
+
+  // Reads a logical block. Fails NOT_FOUND if the block was never written
+  // (or was trimmed).
+  Result<Duration> Read(uint64_t block, std::span<uint8_t> out);
+
+  // Byte-granular read within a block — flash is byte-addressable and
+  // direct-mapped, so a partial read costs only the touched bytes (unlike a
+  // disk, which always transfers whole sectors). offset + out.size() must
+  // stay within the block.
+  Result<Duration> ReadPartial(uint64_t block, uint64_t offset,
+                               std::span<uint8_t> out);
+
+  // Writes a logical block (out of place). data.size() must equal
+  // block_bytes. May trigger cleaning. Honors options_.background_writes.
+  Result<Duration> Write(uint64_t block, std::span<const uint8_t> data);
+
+  // Write with an explicit placement hint: callers that know the data is
+  // read-mostly (program installation, archive storage) pass
+  // WriteStream::kRelocation so it lands in the cold banks directly —
+  // "file systems would be spread across flash memory banks appropriately"
+  // (Section 3.3). Equivalent to Write() when segregation is off.
+  Result<Duration> Write(uint64_t block, std::span<const uint8_t> data,
+                         WriteStream hint);
+
+  // Drops a logical block's contents (marks its page dead).
+  Status Trim(uint64_t block);
+
+  bool IsMapped(uint64_t block) const {
+    return block < map_.size() && map_[block] != kUnmapped;
+  }
+
+  // Physical flash address currently holding the block (for execute-in-place
+  // mappings). Fails if unmapped. NOTE: cleaning relocates blocks, so XIP
+  // users re-resolve through the VM layer on each fault.
+  Result<uint64_t> PhysicalAddressOf(uint64_t block) const;
+
+  // Runs cleaning until the free pool exceeds the low-water mark (used by
+  // tests and the idle-cleaning path of the storage manager).
+  Status Clean();
+
+  struct Stats {
+    Counter user_writes;        // Blocks written by callers.
+    Counter user_reads;
+    Counter gc_relocations;     // Valid pages moved by the cleaner.
+    Counter gc_runs;            // Victim sectors cleaned.
+    Counter erases;             // Successful sector erases.
+    Counter wear_migrations;    // Sectors migrated by static leveling.
+    Counter trims;
+  };
+  const Stats& stats() const { return stats_; }
+
+  // Total pages programmed / user pages written; 1.0 means no cleaning
+  // overhead. The canonical flash write-amplification metric.
+  double WriteAmplification() const;
+
+  uint64_t free_sectors() const;
+  const SectorMeta& sector_meta(uint64_t s) const { return sectors_[s]; }
+
+ private:
+  static constexpr uint64_t kUnmapped = ~uint64_t{0};
+
+  uint32_t pages_per_sector() const {
+    return static_cast<uint32_t>(flash_.sector_bytes() / options_.block_bytes);
+  }
+  uint64_t PageAddress(uint64_t page) const {
+    return page * options_.block_bytes;
+  }
+  uint64_t SectorOfPage(uint64_t page) const {
+    return page / pages_per_sector();
+  }
+
+  // Takes a sector from `bank`'s free pool per the wear policy; returns -1
+  // if the pool is empty.
+  int64_t TakeFreeSector(int bank);
+
+  // Finds a page to append to in a bank serving `stream` (falling back to
+  // any bank when that range is full). If allow_clean, may run the cleaner
+  // when free space is low. Returns the physical page index or an error.
+  Result<uint64_t> AllocatePage(WriteStream stream, bool allow_clean);
+
+  // Writes `data` into a freshly allocated page and points `block` at it.
+  // The blocking flag selects foreground vs background device timing.
+  Result<Duration> WriteInternal(uint64_t block, std::span<const uint8_t> data,
+                                 WriteStream stream, bool allow_clean,
+                                 bool blocking);
+
+  void MarkPageDead(uint64_t page);
+
+  // Cleans one victim sector; returns true if a sector was reclaimed.
+  Result<bool> CleanOne();
+
+  // Under bank segregation: relocates one fully-valid (no dead pages) sector
+  // out of the hot banks into the cold stream and erases it. Such sectors
+  // hold data that was written once and never overwritten — read-mostly data
+  // squatting in the write banks that ordinary cleaning will never pick
+  // (it has nothing dead to reclaim). Returns true if a sector was evicted.
+  Result<bool> EvictColdSectorFromHotRange();
+
+  // Erases a sector and returns it to the free pool (handles wear-out).
+  Status EraseAndFree(uint64_t sector);
+
+  // Static wear leveling check, run after every erase.
+  void MaybeStaticWearLevel();
+
+  FlashDevice& flash_;
+  FlashStoreOptions options_;
+  uint64_t num_logical_blocks_;
+
+  std::vector<uint64_t> map_;           // logical block -> physical page.
+  std::vector<uint64_t> page_owner_;    // physical page -> logical block.
+  std::vector<SectorMeta> sectors_;
+  std::vector<std::deque<uint64_t>> free_pool_;  // Per-bank free sectors.
+  std::vector<int64_t> active_;                  // Per-bank active sector.
+  int next_bank_ = 0;
+  uint64_t erases_since_wear_check_ = 0;
+  int cleans_since_evict_ = 0;
+  bool cleaning_ = false;       // Re-entrancy guard for the cleaner.
+  bool wear_leveling_ = false;  // Re-entrancy guard for static leveling.
+  Stats stats_;
+};
+
+}  // namespace ssmc
+
+#endif  // SSMC_SRC_FTL_FLASH_STORE_H_

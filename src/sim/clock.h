@@ -1,0 +1,42 @@
+// Simulated clock. The whole simulator is single-threaded and synchronous:
+// components advance the shared clock as they consume simulated time, and a
+// small event queue (event_queue.h) handles deferred work such as periodic
+// write-buffer flushes and battery drain.
+
+#ifndef SSMC_SRC_SIM_CLOCK_H_
+#define SSMC_SRC_SIM_CLOCK_H_
+
+#include <cassert>
+
+#include "src/support/units.h"
+
+namespace ssmc {
+
+class SimClock {
+ public:
+  SimClock() = default;
+
+  SimTime now() const { return now_; }
+
+  // Moves time forward by d (>= 0).
+  void Advance(Duration d) {
+    assert(d >= 0);
+    now_ += d;
+  }
+
+  // Moves time forward to t; t must not be in the past.
+  void AdvanceTo(SimTime t) {
+    assert(t >= now_);
+    now_ = t;
+  }
+
+  // Resets to zero (used between experiment runs).
+  void Reset() { now_ = 0; }
+
+ private:
+  SimTime now_ = 0;
+};
+
+}  // namespace ssmc
+
+#endif  // SSMC_SRC_SIM_CLOCK_H_

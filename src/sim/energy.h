@@ -1,0 +1,56 @@
+// Energy accounting. Devices report (power level, duration) windows to an
+// EnergyMeter; the meter integrates them into nanojoules. Power levels are in
+// milliwatts; 1 mW * 1 ns = 1e-3 nJ, so we accumulate in double nanojoules.
+//
+// Each device keeps one meter; MobileComputer sums them for system energy,
+// which feeds the battery drain model and the E9 sizing experiment.
+
+#ifndef SSMC_SRC_SIM_ENERGY_H_
+#define SSMC_SRC_SIM_ENERGY_H_
+
+#include <string>
+
+#include "src/support/units.h"
+
+namespace ssmc {
+
+class EnergyMeter {
+ public:
+  // Adds energy for `active` ns spent at `milliwatts`.
+  void AddActive(double milliwatts, Duration active) {
+    const double nj = milliwatts * 1e-3 * static_cast<double>(active);
+    active_nj_ += nj;
+    total_nj_ += nj;
+  }
+
+  // Adds idle (standby) energy for `idle` ns at `milliwatts`.
+  void AddIdle(double milliwatts, Duration idle) {
+    const double nj = milliwatts * 1e-3 * static_cast<double>(idle);
+    idle_nj_ += nj;
+    total_nj_ += nj;
+  }
+
+  double total_nanojoules() const { return total_nj_; }
+  double active_nanojoules() const { return active_nj_; }
+  double idle_nanojoules() const { return idle_nj_; }
+
+  void Reset() {
+    total_nj_ = 0;
+    active_nj_ = 0;
+    idle_nj_ = 0;
+  }
+
+  std::string Summary() const {
+    return FormatEnergy(total_nj_) + " (active " + FormatEnergy(active_nj_) +
+           ", idle " + FormatEnergy(idle_nj_) + ")";
+  }
+
+ private:
+  double total_nj_ = 0;
+  double active_nj_ = 0;
+  double idle_nj_ = 0;
+};
+
+}  // namespace ssmc
+
+#endif  // SSMC_SRC_SIM_ENERGY_H_

@@ -1,0 +1,86 @@
+// Discrete-event queue bound to a SimClock.
+//
+// Components schedule callbacks at absolute simulated times; the simulation
+// driver pumps due events as it advances the clock. Events scheduled at the
+// same time fire in scheduling order (stable by sequence number). Events may
+// schedule further events, including at the current time.
+
+#ifndef SSMC_SRC_SIM_EVENT_QUEUE_H_
+#define SSMC_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/sim/clock.h"
+#include "src/support/units.h"
+
+namespace ssmc {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+  using EventId = uint64_t;
+
+  explicit EventQueue(SimClock& clock) : clock_(clock) {}
+
+  // Schedules `fn` to run when the clock reaches `at` (>= now). Returns an id
+  // that can be passed to Cancel().
+  EventId ScheduleAt(SimTime at, Callback fn);
+
+  // Schedules `fn` to run `delay` from now.
+  EventId ScheduleAfter(Duration delay, Callback fn) {
+    return ScheduleAt(clock_.now() + delay, std::move(fn));
+  }
+
+  // Cancels a pending event. Returns false if it already ran or was cancelled.
+  bool Cancel(EventId id);
+
+  // Runs all events due at or before `t`, advancing the clock to each event's
+  // time, then advances the clock to exactly `t`.
+  void RunUntil(SimTime t);
+
+  // Runs every pending event (advancing the clock past each). Use with care:
+  // self-rescheduling events make this non-terminating; RunUntil is the
+  // normal driver.
+  void RunAll();
+
+  size_t pending() const { return heap_.size() - cancelled_.size(); }
+  bool empty() const { return pending() == 0; }
+
+  SimClock& clock() { return clock_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    uint64_t seq;
+    EventId id;
+    // Ordering for a min-heap via std::greater.
+    bool operator>(const Event& other) const {
+      if (at != other.at) {
+        return at > other.at;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  // Pops and runs the top event if it is due at or before `t`. Returns false
+  // when nothing more is due.
+  bool RunOneDue(SimTime t);
+
+  SimClock& clock_;
+  uint64_t next_seq_ = 0;
+  uint64_t next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap_;
+  // Callbacks keyed by event id; erased on run or cancel. A cancelled id stays
+  // in the heap until popped, tracked in `cancelled_` for size accounting.
+  std::vector<std::pair<EventId, Callback>> callbacks_;
+  std::vector<EventId> cancelled_;
+
+  Callback TakeCallback(EventId id);
+};
+
+}  // namespace ssmc
+
+#endif  // SSMC_SRC_SIM_EVENT_QUEUE_H_

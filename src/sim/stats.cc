@@ -1,0 +1,81 @@
+#include "src/sim/stats.h"
+
+#include <bit>
+#include <cassert>
+
+namespace ssmc {
+
+namespace {
+int BucketFor(uint64_t sample) {
+  if (sample == 0) {
+    return 0;
+  }
+  return 64 - std::countl_zero(sample);
+}
+}  // namespace
+
+void Histogram::Record(uint64_t sample) {
+  const int b = BucketFor(sample);
+  assert(b >= 0 && b < kBuckets);
+  buckets_[b] += 1;
+  count_ += 1;
+  sum_ += sample;
+  min_ = std::min(min_, sample);
+  max_ = std::max(max_, sample);
+}
+
+uint64_t Histogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t rank =
+      static_cast<uint64_t>(q * static_cast<double>(count_ - 1));
+  uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen > rank) {
+      if (b == 0) {
+        return 0;
+      }
+      // Upper edge of bucket b is 2^b - 1, clamped to the observed max.
+      const uint64_t edge =
+          b >= 63 ? std::numeric_limits<uint64_t>::max() : (1ULL << b) - 1;
+      return std::min(edge, max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::Reset() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = std::numeric_limits<uint64_t>::max();
+  max_ = 0;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int b = 0; b < kBuckets; ++b) {
+    buckets_[b] += other.buckets_[b];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.count_ > 0) {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+}
+
+std::string LatencyRecorder::Summary() const {
+  if (count() == 0) {
+    return "no samples";
+  }
+  return "mean " + FormatDuration(static_cast<Duration>(mean_ns())) + ", p50 " +
+         FormatDuration(static_cast<Duration>(p50_ns())) + ", p99 " +
+         FormatDuration(static_cast<Duration>(p99_ns())) + ", max " +
+         FormatDuration(static_cast<Duration>(max_ns())) +
+         " (n=" + std::to_string(count()) + ")";
+}
+
+}  // namespace ssmc

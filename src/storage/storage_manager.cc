@@ -1,0 +1,93 @@
+#include "src/storage/storage_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ssmc {
+
+StorageManager::StorageManager(DramDevice& dram, FlashStore& flash_store,
+                               uint64_t page_bytes)
+    : dram_(dram), flash_store_(flash_store), page_bytes_(page_bytes) {
+  assert(page_bytes_ > 0);
+  assert(page_bytes_ == flash_store_.block_bytes() &&
+         "DRAM page size must match the flash store block size");
+  total_dram_pages_ = dram_.capacity_bytes() / page_bytes_;
+  free_dram_pages_.reserve(total_dram_pages_);
+  // Hand pages out from low addresses first.
+  for (uint64_t p = total_dram_pages_; p > 0; --p) {
+    free_dram_pages_.push_back(p - 1);
+  }
+  dram_page_used_.assign(total_dram_pages_, false);
+
+  const uint64_t blocks = flash_store_.num_blocks();
+  free_flash_blocks_.reserve(blocks);
+  for (uint64_t b = blocks; b > 0; --b) {
+    free_flash_blocks_.push_back(b - 1);
+  }
+  flash_block_used_.assign(blocks, false);
+}
+
+Result<uint64_t> StorageManager::AllocateDramPage() {
+  if (free_dram_pages_.empty()) {
+    return NoSpaceError("out of DRAM pages");
+  }
+  const uint64_t page = free_dram_pages_.back();
+  free_dram_pages_.pop_back();
+  dram_page_used_[page] = true;
+  return page;
+}
+
+Status StorageManager::FreeDramPage(uint64_t page) {
+  if (page >= total_dram_pages_) {
+    return OutOfRangeError("no such DRAM page");
+  }
+  if (!dram_page_used_[page]) {
+    return FailedPreconditionError("double free of DRAM page " +
+                                   std::to_string(page));
+  }
+  dram_page_used_[page] = false;
+  free_dram_pages_.push_back(page);
+  return Status::Ok();
+}
+
+Status StorageManager::ReserveFlashBlock(uint64_t block) {
+  if (block >= flash_store_.num_blocks()) {
+    return OutOfRangeError("no such flash block");
+  }
+  if (flash_block_used_[block]) {
+    return AlreadyExistsError("flash block " + std::to_string(block) +
+                              " is already in use");
+  }
+  auto it = std::find(free_flash_blocks_.begin(), free_flash_blocks_.end(),
+                      block);
+  assert(it != free_flash_blocks_.end());
+  free_flash_blocks_.erase(it);
+  flash_block_used_[block] = true;
+  return Status::Ok();
+}
+
+Result<uint64_t> StorageManager::AllocateFlashBlock() {
+  if (free_flash_blocks_.empty()) {
+    return NoSpaceError("out of flash blocks");
+  }
+  const uint64_t block = free_flash_blocks_.back();
+  free_flash_blocks_.pop_back();
+  flash_block_used_[block] = true;
+  return block;
+}
+
+Status StorageManager::FreeFlashBlock(uint64_t block) {
+  if (block >= flash_store_.num_blocks()) {
+    return OutOfRangeError("no such flash block");
+  }
+  if (!flash_block_used_[block]) {
+    return FailedPreconditionError("double free of flash block " +
+                                   std::to_string(block));
+  }
+  SSMC_RETURN_IF_ERROR(flash_store_.Trim(block));
+  flash_block_used_[block] = false;
+  free_flash_blocks_.push_back(block);
+  return Status::Ok();
+}
+
+}  // namespace ssmc

@@ -1,0 +1,78 @@
+// The physical storage manager (paper Section 3.3).
+//
+// Owns the partitioning of physical resources between the file system and
+// the virtual memory system: it maintains "a list of free flash memory
+// sectors and a list of free DRAM pages, allocating them to the file and
+// virtual memory systems as needed." Concretely it provides:
+//  * a DRAM page allocator over the machine's DramDevice;
+//  * a logical flash-block allocator over the FlashStore;
+//  * metadata-access accounting (memory-resident structures cost DRAM time);
+//  * the shared WriteBuffer (write_buffer.h) is built on these allocators.
+
+#ifndef SSMC_SRC_STORAGE_STORAGE_MANAGER_H_
+#define SSMC_SRC_STORAGE_STORAGE_MANAGER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/device/dram_device.h"
+#include "src/ftl/flash_store.h"
+#include "src/support/status.h"
+
+namespace ssmc {
+
+class StorageManager {
+ public:
+  // page_bytes is the unit of DRAM allocation; it must equal the flash
+  // store's block size so buffered blocks flush 1:1.
+  StorageManager(DramDevice& dram, FlashStore& flash_store,
+                 uint64_t page_bytes);
+
+  uint64_t page_bytes() const { return page_bytes_; }
+  DramDevice& dram() { return dram_; }
+  FlashStore& flash_store() { return flash_store_; }
+
+  // --- DRAM page allocation ---------------------------------------------
+  uint64_t total_dram_pages() const { return total_dram_pages_; }
+  uint64_t free_dram_pages() const { return free_dram_pages_.size(); }
+  // Returns the page index; the page's device address is index * page_bytes.
+  Result<uint64_t> AllocateDramPage();
+  Status FreeDramPage(uint64_t page);
+  uint64_t DramPageAddress(uint64_t page) const { return page * page_bytes_; }
+
+  // --- Flash logical-block allocation -------------------------------------
+  uint64_t total_flash_blocks() const { return flash_store_.num_blocks(); }
+  uint64_t free_flash_blocks() const { return free_flash_blocks_.size(); }
+  Result<uint64_t> AllocateFlashBlock();
+  // Frees the block and trims its contents from the store.
+  Status FreeFlashBlock(uint64_t block);
+  // Claims a specific block (fixed superblock locations). Fails if taken.
+  Status ReserveFlashBlock(uint64_t block);
+  bool IsFlashBlockUsed(uint64_t block) const {
+    return block < flash_block_used_.size() && flash_block_used_[block];
+  }
+
+  // --- Metadata accounting ------------------------------------------------
+  // Memory-resident metadata (directories, inodes, page tables) lives in
+  // DRAM; operations on it cost DRAM access time.
+  void ChargeMetadataRead(uint64_t bytes) {
+    dram_.ChargeAccess(bytes, /*is_write=*/false);
+  }
+  void ChargeMetadataWrite(uint64_t bytes) {
+    dram_.ChargeAccess(bytes, /*is_write=*/true);
+  }
+
+ private:
+  DramDevice& dram_;
+  FlashStore& flash_store_;
+  uint64_t page_bytes_;
+  uint64_t total_dram_pages_;
+  std::vector<uint64_t> free_dram_pages_;
+  std::vector<uint64_t> free_flash_blocks_;
+  std::vector<bool> dram_page_used_;
+  std::vector<bool> flash_block_used_;
+};
+
+}  // namespace ssmc
+
+#endif  // SSMC_SRC_STORAGE_STORAGE_MANAGER_H_

@@ -1,0 +1,164 @@
+#include "src/storage/write_buffer.h"
+
+#include <cassert>
+#include <vector>
+
+namespace ssmc {
+
+WriteBuffer::WriteBuffer(StorageManager& storage, uint64_t capacity_pages,
+                         FlushFn flush_fn)
+    : storage_(storage),
+      capacity_pages_(capacity_pages),
+      flush_fn_(std::move(flush_fn)) {
+  assert(flush_fn_ && "write buffer needs a flush destination");
+}
+
+WriteBuffer::~WriteBuffer() {
+  // Return DRAM pages; contents are owned by the file system's lifetime.
+  for (auto& [key, entry] : entries_) {
+    (void)storage_.FreeDramPage(entry.dram_page);
+  }
+}
+
+Status WriteBuffer::Put(const BlockKey& key, std::span<const uint8_t> data,
+                        SimTime now) {
+  if (data.size() != page_bytes()) {
+    return InvalidArgumentError("write buffer stores whole blocks");
+  }
+  stats_.puts.Add();
+  stats_.put_bytes.Add(data.size());
+
+  if (capacity_pages_ == 0) {
+    // Unbuffered baseline: write straight through to flash.
+    stats_.flushes.Add();
+    stats_.flushed_bytes.Add(data.size());
+    return flush_fn_(key, data);
+  }
+
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Overwrite absorbed in DRAM — this flash write never happens. The
+    // block keeps its original dirty_since (the BSD 30-second rule ages
+    // from first dirtying), so even hot blocks reach stable storage within
+    // one age window.
+    stats_.absorbed_overwrites.Add();
+    return storage_.dram()
+        .Write(storage_.DramPageAddress(it->second.dram_page), data)
+        .ok()
+        ? Status::Ok()
+        : InternalError("DRAM write failed");
+  }
+
+  // Make room if needed by flushing the oldest dirty block.
+  while (entries_.size() >= capacity_pages_) {
+    assert(!lru_.empty());
+    auto victim = entries_.find(lru_.front());
+    assert(victim != entries_.end());
+    stats_.capacity_evictions.Add();
+    SSMC_RETURN_IF_ERROR(FlushEntry(victim));
+  }
+
+  Result<uint64_t> page = storage_.AllocateDramPage();
+  if (!page.ok()) {
+    return page.status();
+  }
+  Result<Duration> wrote =
+      storage_.dram().Write(storage_.DramPageAddress(page.value()), data);
+  if (!wrote.ok()) {
+    (void)storage_.FreeDramPage(page.value());
+    return wrote.status();
+  }
+  lru_.push_back(key);
+  Entry entry;
+  entry.dram_page = page.value();
+  entry.dirty_since = now;
+  entry.lru_it = std::prev(lru_.end());
+  entries_.emplace(key, entry);
+  return Status::Ok();
+}
+
+Status WriteBuffer::Get(const BlockKey& key, std::span<uint8_t> out) {
+  if (out.size() != page_bytes()) {
+    return InvalidArgumentError("write buffer reads whole blocks");
+  }
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return NotFoundError("block not buffered");
+  }
+  Result<Duration> r =
+      storage_.dram().Read(storage_.DramPageAddress(it->second.dram_page), out);
+  return r.ok() ? Status::Ok() : r.status();
+}
+
+bool WriteBuffer::Drop(const BlockKey& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return false;
+  }
+  stats_.dropped_writes.Add();
+  stats_.dropped_bytes.Add(page_bytes());
+  (void)storage_.FreeDramPage(it->second.dram_page);
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+  return true;
+}
+
+Status WriteBuffer::FlushEntry(
+    std::unordered_map<BlockKey, Entry, BlockKeyHash>::iterator it) {
+  std::vector<uint8_t> data(page_bytes());
+  Result<Duration> read =
+      storage_.dram().Read(storage_.DramPageAddress(it->second.dram_page),
+                           data);
+  if (!read.ok()) {
+    return read.status();
+  }
+  SSMC_RETURN_IF_ERROR(flush_fn_(it->first, data));
+  stats_.flushes.Add();
+  stats_.flushed_bytes.Add(data.size());
+  (void)storage_.FreeDramPage(it->second.dram_page);
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+  return Status::Ok();
+}
+
+Status WriteBuffer::Flush(const BlockKey& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return Status::Ok();
+  }
+  return FlushEntry(it);
+}
+
+Status WriteBuffer::FlushOlderThan(SimTime now, Duration max_age) {
+  // Oldest entries are at the front of the LRU list; because dirty_since is
+  // refreshed on overwrite and entries move to the back, the front is also
+  // the oldest dirty. Stop at the first young entry.
+  while (!lru_.empty()) {
+    auto it = entries_.find(lru_.front());
+    assert(it != entries_.end());
+    if (now - it->second.dirty_since < max_age) {
+      break;
+    }
+    SSMC_RETURN_IF_ERROR(FlushEntry(it));
+  }
+  return Status::Ok();
+}
+
+Status WriteBuffer::FlushAll() {
+  while (!entries_.empty()) {
+    SSMC_RETURN_IF_ERROR(FlushEntry(entries_.begin()));
+  }
+  return Status::Ok();
+}
+
+uint64_t WriteBuffer::DropAllUnflushed() {
+  const uint64_t lost = entries_.size() * page_bytes();
+  for (auto& [key, entry] : entries_) {
+    (void)storage_.FreeDramPage(entry.dram_page);
+  }
+  entries_.clear();
+  lru_.clear();
+  return lost;
+}
+
+}  // namespace ssmc

@@ -1,0 +1,46 @@
+// Minimal leveled logging. Off by default so simulations stay quiet; benches
+// and examples can raise the level for narration. Not thread-safe by design:
+// the simulator is single-threaded.
+
+#ifndef SSMC_SRC_SUPPORT_LOG_H_
+#define SSMC_SRC_SUPPORT_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace ssmc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+// Global threshold; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one formatted line to stderr if `level` >= threshold.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace log_internal {
+
+class LineLogger {
+ public:
+  explicit LineLogger(LogLevel level) : level_(level) {}
+  ~LineLogger() { LogMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LineLogger& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+}  // namespace ssmc
+
+#define SSMC_LOG(level) \
+  ::ssmc::log_internal::LineLogger(::ssmc::LogLevel::level)
+
+#endif  // SSMC_SRC_SUPPORT_LOG_H_

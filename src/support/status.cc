@@ -1,0 +1,76 @@
+#include "src/support/status.h"
+
+namespace ssmc {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kNotFound:
+      return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case ErrorCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ErrorCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case ErrorCode::kNoSpace:
+      return "NO_SPACE";
+    case ErrorCode::kPermissionDenied:
+      return "PERMISSION_DENIED";
+    case ErrorCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case ErrorCode::kDataLoss:
+      return "DATA_LOSS";
+    case ErrorCode::kUnavailable:
+      return "UNAVAILABLE";
+    case ErrorCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out(ErrorCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status NotFoundError(std::string message) {
+  return Status(ErrorCode::kNotFound, std::move(message));
+}
+Status AlreadyExistsError(std::string message) {
+  return Status(ErrorCode::kAlreadyExists, std::move(message));
+}
+Status InvalidArgumentError(std::string message) {
+  return Status(ErrorCode::kInvalidArgument, std::move(message));
+}
+Status OutOfRangeError(std::string message) {
+  return Status(ErrorCode::kOutOfRange, std::move(message));
+}
+Status NoSpaceError(std::string message) {
+  return Status(ErrorCode::kNoSpace, std::move(message));
+}
+Status PermissionDeniedError(std::string message) {
+  return Status(ErrorCode::kPermissionDenied, std::move(message));
+}
+Status FailedPreconditionError(std::string message) {
+  return Status(ErrorCode::kFailedPrecondition, std::move(message));
+}
+Status DataLossError(std::string message) {
+  return Status(ErrorCode::kDataLoss, std::move(message));
+}
+Status UnavailableError(std::string message) {
+  return Status(ErrorCode::kUnavailable, std::move(message));
+}
+Status InternalError(std::string message) {
+  return Status(ErrorCode::kInternal, std::move(message));
+}
+
+}  // namespace ssmc

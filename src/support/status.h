@@ -1,0 +1,121 @@
+// Lightweight status / result types used across the ssmc libraries.
+//
+// The simulator is exception-free on its hot paths: operations that can fail
+// return an ssmc::Status or an ssmc::Result<T>, mirroring the style of
+// kernel-adjacent C++ codebases. Both types are cheap to copy in the OK case.
+
+#ifndef SSMC_SRC_SUPPORT_STATUS_H_
+#define SSMC_SRC_SUPPORT_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ssmc {
+
+// Error categories. Kept deliberately small; the message carries detail.
+enum class ErrorCode {
+  kOk = 0,
+  kNotFound,          // No such file, sector, mapping, ...
+  kAlreadyExists,     // Create of an existing name.
+  kInvalidArgument,   // Malformed request (bad offset, bad flag combination).
+  kOutOfRange,        // Address or offset beyond device / file bounds.
+  kNoSpace,           // Allocation failed: device or pool exhausted.
+  kPermissionDenied,  // Protection violation (read-only mapping, etc.).
+  kFailedPrecondition,// Operation illegal in current state (e.g. write to
+                      // un-erased flash, unmounted file system).
+  kDataLoss,          // Stored data was corrupted or lost (worn-out flash,
+                      // battery failure).
+  kUnavailable,       // Device off-line (battery dead, bank busy in
+                      // non-blocking mode).
+  kInternal,          // Invariant violation; indicates a bug.
+};
+
+// Human-readable name for an error code ("NOT_FOUND", ...).
+std::string_view ErrorCodeName(ErrorCode code);
+
+// A Status is either OK or an (ErrorCode, message) pair.
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "NOT_FOUND: no such file".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+// Convenience constructors, e.g. return NotFound("no such file: ", path);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status InvalidArgumentError(std::string message);
+Status OutOfRangeError(std::string message);
+Status NoSpaceError(std::string message);
+Status PermissionDeniedError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status DataLossError(std::string message);
+Status UnavailableError(std::string message);
+Status InternalError(std::string message);
+
+// Result<T>: a Status or a value. Use result.ok() / result.value().
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& value_or(const T& fallback) const {
+    return ok() ? *value_ : fallback;
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace ssmc
+
+// Propagate a non-OK Status from an expression; usable in functions that
+// return Status.
+#define SSMC_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::ssmc::Status ssmc_status_ = (expr);     \
+    if (!ssmc_status_.ok()) {                 \
+      return ssmc_status_;                    \
+    }                                         \
+  } while (false)
+
+#endif  // SSMC_SRC_SUPPORT_STATUS_H_

@@ -1,0 +1,84 @@
+#include "src/support/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/support/units.h"
+
+namespace ssmc {
+
+namespace {
+
+bool LooksNumeric(const std::string& s) {
+  if (s.empty()) {
+    return false;
+  }
+  size_t digits = 0;
+  for (char c : s) {
+    if ((c >= '0' && c <= '9')) {
+      ++digits;
+    } else if (c != '.' && c != '-' && c != '+' && c != '%' && c != 'e' &&
+               c != ' ' && c != 'x') {
+      return false;
+    }
+  }
+  return digits > 0;
+}
+
+}  // namespace
+
+void Table::AddCell(double v, int digits) { AddCell(FormatDouble(v, digits)); }
+
+void Table::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  if (!title_.empty()) {
+    os << title_ << "\n";
+  }
+
+  auto print_rule = [&] {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      os << "+" << std::string(widths[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+
+  auto print_row = [&](const std::vector<std::string>& cells, bool header) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string cell = c < cells.size() ? cells[c] : "";
+      const bool right = !header && LooksNumeric(cell);
+      os << "| ";
+      if (right) {
+        os << std::string(widths[c] - cell.size(), ' ') << cell;
+      } else {
+        os << cell << std::string(widths[c] - cell.size(), ' ');
+      }
+      os << " ";
+    }
+    os << "|\n";
+  };
+
+  print_rule();
+  print_row(headers_, /*header=*/true);
+  print_rule();
+  for (const auto& row : rows_) {
+    print_row(row, /*header=*/false);
+  }
+  print_rule();
+}
+
+std::string Table::ToString() const {
+  std::ostringstream oss;
+  Print(oss);
+  return oss.str();
+}
+
+}  // namespace ssmc

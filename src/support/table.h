@@ -1,0 +1,51 @@
+// ASCII table writer used by the benchmark harnesses to print paper-style
+// tables (right-aligned numeric columns, a header rule, optional title).
+
+#ifndef SSMC_SRC_SUPPORT_TABLE_H_
+#define SSMC_SRC_SUPPORT_TABLE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ssmc {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  // Optional title printed above the table.
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  // Starts a new row; subsequent Add* calls fill its cells left to right.
+  void AddRow() { rows_.emplace_back(); }
+
+  void AddCell(std::string text) { rows_.back().push_back(std::move(text)); }
+  void AddCell(const char* text) { rows_.back().emplace_back(text); }
+  void AddCell(int64_t v) { AddCell(std::to_string(v)); }
+  void AddCell(uint64_t v) { AddCell(std::to_string(v)); }
+  void AddCell(int v) { AddCell(static_cast<int64_t>(v)); }
+  void AddCell(unsigned v) { AddCell(static_cast<uint64_t>(v)); }
+  // Doubles are printed with `digits` fraction digits.
+  void AddCell(double v, int digits);
+
+  size_t row_count() const { return rows_.size(); }
+
+  // Renders to the stream. Columns wider than their widest cell are padded;
+  // cells that look numeric are right-aligned, text is left-aligned.
+  void Print(std::ostream& os) const;
+
+  // Renders to a string (used by tests).
+  std::string ToString() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ssmc
+
+#endif  // SSMC_SRC_SUPPORT_TABLE_H_

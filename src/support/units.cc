@@ -1,0 +1,62 @@
+#include "src/support/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ssmc {
+
+std::string FormatDouble(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string FormatDuration(Duration d) {
+  const bool neg = d < 0;
+  const double ns = std::abs(static_cast<double>(d));
+  std::string out;
+  if (ns < 1e3) {
+    out = FormatDouble(ns, 0) + " ns";
+  } else if (ns < 1e6) {
+    out = FormatDouble(ns / 1e3, 2) + " us";
+  } else if (ns < 1e9) {
+    out = FormatDouble(ns / 1e6, 2) + " ms";
+  } else if (ns < 60e9) {
+    out = FormatDouble(ns / 1e9, 2) + " s";
+  } else if (ns < 3600e9) {
+    out = FormatDouble(ns / 60e9, 1) + " min";
+  } else {
+    out = FormatDouble(ns / 3600e9, 1) + " h";
+  }
+  return neg ? "-" + out : out;
+}
+
+std::string FormatSize(uint64_t bytes) {
+  if (bytes < kKiB) {
+    return std::to_string(bytes) + " B";
+  }
+  if (bytes < kMiB) {
+    return FormatDouble(static_cast<double>(bytes) / kKiB, 1) + " KiB";
+  }
+  if (bytes < kGiB) {
+    return FormatDouble(static_cast<double>(bytes) / kMiB, 1) + " MiB";
+  }
+  return FormatDouble(static_cast<double>(bytes) / kGiB, 2) + " GiB";
+}
+
+std::string FormatEnergy(double nanojoules) {
+  const double nj = std::abs(nanojoules);
+  std::string out;
+  if (nj < 1e3) {
+    out = FormatDouble(nj, 1) + " nJ";
+  } else if (nj < 1e6) {
+    out = FormatDouble(nj / 1e3, 2) + " uJ";
+  } else if (nj < 1e9) {
+    out = FormatDouble(nj / 1e6, 2) + " mJ";
+  } else {
+    out = FormatDouble(nj / 1e9, 2) + " J";
+  }
+  return nanojoules < 0 ? "-" + out : out;
+}
+
+}  // namespace ssmc

@@ -1,0 +1,46 @@
+// Time, size, energy, and money units used throughout the simulator.
+//
+// Simulated time is a signed 64-bit count of nanoseconds (SimTime); 2^63 ns
+// is ~292 years, ample for any experiment. Sizes are byte counts. Energy is
+// accounted in nanojoules as a double (power integrals need fractions).
+
+#ifndef SSMC_SRC_SUPPORT_UNITS_H_
+#define SSMC_SRC_SUPPORT_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ssmc {
+
+// Simulated time in nanoseconds since simulation start.
+using SimTime = int64_t;
+// A duration in nanoseconds.
+using Duration = int64_t;
+
+inline constexpr Duration kNanosecond = 1;
+inline constexpr Duration kMicrosecond = 1000 * kNanosecond;
+inline constexpr Duration kMillisecond = 1000 * kMicrosecond;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+inline constexpr Duration kMinute = 60 * kSecond;
+inline constexpr Duration kHour = 60 * kMinute;
+inline constexpr Duration kDay = 24 * kHour;
+
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+// "1.5 us", "230 ms", "3.2 s" — two-significant-digit humanized duration.
+std::string FormatDuration(Duration d);
+
+// "512 B", "4.0 KiB", "1.5 MiB".
+std::string FormatSize(uint64_t bytes);
+
+// "12.3 mJ", "1.2 J" from nanojoules.
+std::string FormatEnergy(double nanojoules);
+
+// Fixed-point formatting helper: value with `digits` fraction digits.
+std::string FormatDouble(double value, int digits);
+
+}  // namespace ssmc
+
+#endif  // SSMC_SRC_SUPPORT_UNITS_H_

@@ -1,0 +1,87 @@
+#include "src/trace/replayer.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace ssmc {
+
+TraceReplayer::TraceReplayer(FileSystem& fs, SimClock& clock,
+                             EventQueue* events)
+    : fs_(fs), clock_(clock), events_(events) {}
+
+void TraceReplayer::FillPattern(const std::string& path, uint64_t offset,
+                                std::span<uint8_t> out) {
+  const uint64_t h = std::hash<std::string>()(path);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<uint8_t>((h + offset + i) * 131);
+  }
+}
+
+ReplayReport TraceReplayer::Replay(const Trace& trace) {
+  ReplayReport report;
+  report.started = clock_.now();
+  std::vector<uint8_t> buffer;
+
+  for (const TraceRecord& r : trace.records()) {
+    // Advance to the issue time (unless we are already running behind).
+    const SimTime issue_at = std::max(clock_.now(), report.started + r.at);
+    if (events_ != nullptr) {
+      events_->RunUntil(issue_at);
+    } else {
+      clock_.AdvanceTo(issue_at);
+    }
+
+    const SimTime before = clock_.now();
+    Status status;
+    switch (r.op) {
+      case TraceOp::kCreate:
+        status = fs_.Create(r.path);
+        break;
+      case TraceOp::kMkdir:
+        status = fs_.Mkdir(r.path);
+        break;
+      case TraceOp::kUnlink:
+        status = fs_.Unlink(r.path);
+        break;
+      case TraceOp::kTruncate:
+        status = fs_.Truncate(r.path, r.length);
+        break;
+      case TraceOp::kRename:
+        status = fs_.Rename(r.path, r.path2);
+        break;
+      case TraceOp::kStat:
+        status = fs_.Stat(r.path).status();
+        break;
+      case TraceOp::kWrite: {
+        buffer.resize(r.length);
+        FillPattern(r.path, r.offset, buffer);
+        Result<uint64_t> n = fs_.Write(r.path, r.offset, buffer);
+        status = n.status();
+        if (n.ok()) {
+          report.bytes_written += n.value();
+        }
+        break;
+      }
+      case TraceOp::kRead: {
+        buffer.resize(r.length);
+        Result<uint64_t> n = fs_.Read(r.path, r.offset, buffer);
+        status = n.status();
+        if (n.ok()) {
+          report.bytes_read += n.value();
+        }
+        break;
+      }
+    }
+    const Duration latency = clock_.now() - before;
+    report.ops += 1;
+    if (!status.ok()) {
+      report.failures += 1;
+    }
+    report.all_ops.Record(latency);
+    report.per_op[static_cast<size_t>(r.op)].Record(latency);
+  }
+  report.finished = clock_.now();
+  return report;
+}
+
+}  // namespace ssmc

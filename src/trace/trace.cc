@@ -1,0 +1,130 @@
+#include "src/trace/trace.h"
+
+#include <sstream>
+
+namespace ssmc {
+
+std::string_view TraceOpName(TraceOp op) {
+  switch (op) {
+    case TraceOp::kCreate:
+      return "create";
+    case TraceOp::kWrite:
+      return "write";
+    case TraceOp::kRead:
+      return "read";
+    case TraceOp::kUnlink:
+      return "unlink";
+    case TraceOp::kMkdir:
+      return "mkdir";
+    case TraceOp::kStat:
+      return "stat";
+    case TraceOp::kTruncate:
+      return "truncate";
+    case TraceOp::kRename:
+      return "rename";
+  }
+  return "?";
+}
+
+namespace {
+Result<TraceOp> ParseOp(const std::string& name) {
+  if (name == "create") return TraceOp::kCreate;
+  if (name == "write") return TraceOp::kWrite;
+  if (name == "read") return TraceOp::kRead;
+  if (name == "unlink") return TraceOp::kUnlink;
+  if (name == "mkdir") return TraceOp::kMkdir;
+  if (name == "stat") return TraceOp::kStat;
+  if (name == "truncate") return TraceOp::kTruncate;
+  if (name == "rename") return TraceOp::kRename;
+  return InvalidArgumentError("unknown trace op: " + name);
+}
+}  // namespace
+
+uint64_t Trace::TotalBytesWritten() const {
+  uint64_t total = 0;
+  for (const TraceRecord& r : records_) {
+    if (r.op == TraceOp::kWrite) {
+      total += r.length;
+    }
+  }
+  return total;
+}
+
+uint64_t Trace::TotalBytesRead() const {
+  uint64_t total = 0;
+  for (const TraceRecord& r : records_) {
+    if (r.op == TraceOp::kRead) {
+      total += r.length;
+    }
+  }
+  return total;
+}
+
+SimTime Trace::DurationNs() const {
+  return records_.empty() ? 0 : records_.back().at;
+}
+
+Trace Trace::Prefix(SimTime cutoff) const {
+  Trace out;
+  for (const TraceRecord& r : records_) {
+    if (r.at <= cutoff) {
+      out.Add(r);
+    }
+  }
+  return out;
+}
+
+Trace Trace::WithPathPrefix(const std::string& prefix) const {
+  Trace out;
+  for (TraceRecord r : records_) {
+    r.path = prefix + r.path;
+    if (!r.path2.empty()) {
+      r.path2 = prefix + r.path2;
+    }
+    out.Add(std::move(r));
+  }
+  return out;
+}
+
+std::string Trace::ToText() const {
+  std::ostringstream oss;
+  for (const TraceRecord& r : records_) {
+    oss << r.at << ' ' << TraceOpName(r.op) << ' ' << r.path << ' '
+        << r.offset << ' ' << r.length;
+    if (!r.path2.empty()) {
+      oss << ' ' << r.path2;
+    }
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+Result<Trace> Trace::FromText(const std::string& text) {
+  Trace trace;
+  std::istringstream iss(text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(iss, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream ls(line);
+    TraceRecord r;
+    std::string op_name;
+    if (!(ls >> r.at >> op_name >> r.path >> r.offset >> r.length)) {
+      return InvalidArgumentError("malformed trace line " +
+                                  std::to_string(line_no));
+    }
+    Result<TraceOp> op = ParseOp(op_name);
+    if (!op.ok()) {
+      return op.status();
+    }
+    r.op = op.value();
+    ls >> r.path2;  // Optional.
+    trace.Add(std::move(r));
+  }
+  return trace;
+}
+
+}  // namespace ssmc

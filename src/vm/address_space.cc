@@ -1,0 +1,386 @@
+#include "src/vm/address_space.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ssmc {
+
+AddressSpace::AddressSpace(StorageManager& storage)
+    : storage_(storage), table_(storage.page_bytes(), &storage) {}
+
+AddressSpace::~AddressSpace() {
+  while (!regions_.empty()) {
+    (void)Unmap(regions_.front().start);
+  }
+}
+
+const AddressSpace::Region* AddressSpace::FindRegion(uint64_t va) const {
+  for (const Region& r : regions_) {
+    if (va >= r.start && va < r.start + r.length) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+uint64_t RoundUp(uint64_t v, uint64_t unit) {
+  return (v + unit - 1) / unit * unit;
+}
+}  // namespace
+
+Status AddressSpace::MapAnonymous(uint64_t va, uint64_t length,
+                                  const std::string& name) {
+  if (va % page_bytes() != 0 || length == 0) {
+    return InvalidArgumentError("bad anonymous mapping");
+  }
+  length = RoundUp(length, page_bytes());
+  for (const Region& r : regions_) {
+    if (va < r.start + r.length && r.start < va + length) {
+      return AlreadyExistsError("overlapping mapping");
+    }
+  }
+  Region region;
+  region.start = va;
+  region.length = length;
+  region.kind = RegionKind::kAnonymous;
+  region.writable = true;
+  region.name = name;
+  regions_.push_back(std::move(region));
+  storage_.ChargeMetadataWrite(64);  // Region descriptor.
+  return Status::Ok();
+}
+
+Status AddressSpace::MapFileCow(uint64_t va, MemoryFileSystem& fs,
+                                const std::string& path, bool writable) {
+  if (va % page_bytes() != 0) {
+    return InvalidArgumentError("unaligned mapping");
+  }
+  Result<FileInfo> info = fs.Stat(path);
+  if (!info.ok()) {
+    return info.status();
+  }
+  if (info.value().is_directory || info.value().size == 0) {
+    return InvalidArgumentError("cannot map " + path);
+  }
+  const uint64_t length = RoundUp(info.value().size, page_bytes());
+  for (const Region& r : regions_) {
+    if (va < r.start + r.length && r.start < va + length) {
+      return AlreadyExistsError("overlapping mapping");
+    }
+  }
+  Region region;
+  region.start = va;
+  region.length = length;
+  region.kind = RegionKind::kFileCow;
+  region.writable = writable;
+  region.name = path;
+  region.fs = &fs;
+  region.path = path;
+  regions_.push_back(std::move(region));
+  storage_.ChargeMetadataWrite(64);
+  return Status::Ok();
+}
+
+Status AddressSpace::MapXip(uint64_t va, MemoryFileSystem& fs,
+                            const std::string& path) {
+  SSMC_RETURN_IF_ERROR(MapFileCow(va, fs, path, /*writable=*/false));
+  regions_.back().kind = RegionKind::kXip;
+  return Status::Ok();
+}
+
+Status AddressSpace::MapFileDemandCopy(uint64_t va, MemoryFileSystem& fs,
+                                       const std::string& path,
+                                       bool writable) {
+  SSMC_RETURN_IF_ERROR(MapFileCow(va, fs, path, writable));
+  regions_.back().kind = RegionKind::kFileDemandCopy;
+  return Status::Ok();
+}
+
+Status AddressSpace::Unmap(uint64_t va) {
+  auto it = std::find_if(regions_.begin(), regions_.end(),
+                         [va](const Region& r) { return r.start == va; });
+  if (it == regions_.end()) {
+    return NotFoundError("no region at that address");
+  }
+  for (uint64_t page_va = it->start; page_va < it->start + it->length;
+       page_va += page_bytes()) {
+    PageTableEntry* pte = table_.Find(page_va);
+    if (pte != nullptr && pte->present) {
+      if (pte->backing == FrameBacking::kDram) {
+        (void)storage_.FreeDramPage(pte->frame);
+        assert(resident_dram_pages_ > 0);
+        --resident_dram_pages_;
+      }
+      table_.Remove(page_va);
+    }
+  }
+  regions_.erase(it);
+  return Status::Ok();
+}
+
+bool AddressSpace::ReclaimOnePage() {
+  while (!reclaim_candidates_.empty()) {
+    const uint64_t page_va = reclaim_candidates_.front();
+    reclaim_candidates_.pop_front();
+    PageTableEntry* pte = table_.Find(page_va);
+    if (pte == nullptr || !pte->present ||
+        pte->backing != FrameBacking::kDram || pte->dirty) {
+      continue;  // Gone, relocated, or no longer clean.
+    }
+    const Region* region = FindRegion(page_va);
+    if (region == nullptr || region->kind == RegionKind::kAnonymous) {
+      continue;  // Not re-fetchable.
+    }
+    // Clean file-backed page: its content can always be re-fetched from the
+    // file system (flash or the battery-backed write buffer), so drop it.
+    (void)storage_.FreeDramPage(pte->frame);
+    assert(resident_dram_pages_ > 0);
+    --resident_dram_pages_;
+    table_.MarkPresent(*pte, false);
+    *pte = PageTableEntry{};
+    stats_.reclaimed_pages.Add();
+    return true;
+  }
+  return false;
+}
+
+Result<uint64_t> AddressSpace::AllocateDramPageWithReclaim() {
+  Result<uint64_t> page = storage_.AllocateDramPage();
+  while (!page.ok() && ReclaimOnePage()) {
+    page = storage_.AllocateDramPage();
+  }
+  return page;
+}
+
+Result<uint64_t> AddressSpace::CopyBlockToDram(const Region& region,
+                                               uint64_t va) {
+  const uint64_t page_va = va / page_bytes() * page_bytes();
+  const uint64_t offset_in_file = page_va - region.start;
+  std::vector<uint8_t> staging(page_bytes(), 0);
+  // Reads through the file system: flash (or buffer) pays its access cost.
+  Result<uint64_t> n = region.fs->Read(region.path, offset_in_file, staging);
+  if (!n.ok()) {
+    return n.status();
+  }
+  Result<uint64_t> page = AllocateDramPageWithReclaim();
+  if (!page.ok()) {
+    return page.status();
+  }
+  Result<Duration> wrote =
+      storage_.dram().Write(storage_.DramPageAddress(page.value()), staging);
+  if (!wrote.ok()) {
+    (void)storage_.FreeDramPage(page.value());
+    return wrote.status();
+  }
+  return page.value();
+}
+
+Status AddressSpace::HandleFault(const Region& region, uint64_t va,
+                                 bool for_write, PageTableEntry& pte) {
+  stats_.faults.Add();
+  const uint64_t page_va = va / page_bytes() * page_bytes();
+
+  if (region.kind == RegionKind::kAnonymous) {
+    Result<uint64_t> page = AllocateDramPageWithReclaim();
+    if (!page.ok()) {
+      return page.status();
+    }
+    // Zero-fill costs one DRAM page write.
+    std::vector<uint8_t> zeros(page_bytes(), 0);
+    Result<Duration> wrote =
+        storage_.dram().Write(storage_.DramPageAddress(page.value()), zeros);
+    if (!wrote.ok()) {
+      return wrote.status();
+    }
+    pte.backing = FrameBacking::kDram;
+    pte.frame = page.value();
+    pte.writable = true;
+    table_.MarkPresent(pte, true);
+    ++resident_dram_pages_;
+    stats_.zero_fill_faults.Add();
+    return Status::Ok();
+  }
+
+  // File-backed region.
+  const uint64_t block_index = (page_va - region.start) / page_bytes();
+  Result<std::vector<BlockLocation>> locations =
+      region.fs->BlockLocations(region.path);
+  if (!locations.ok()) {
+    return locations.status();
+  }
+  const BlockLocation location =
+      block_index < locations.value().size() ? locations.value()[block_index]
+                                             : BlockLocation{};
+
+  if (location.kind == BlockLocation::Kind::kFlash && !for_write &&
+      region.kind != RegionKind::kFileDemandCopy) {
+    // Map the flash block in place: no copy, no DRAM consumed. The PTE holds
+    // the *logical* store block; accesses re-resolve the physical address so
+    // cleaning cannot leave the mapping stale.
+    pte.backing = FrameBacking::kFlash;
+    pte.frame = location.flash_block;
+    pte.writable = false;
+    table_.MarkPresent(pte, true);
+    stats_.flash_map_faults.Add();
+    return Status::Ok();
+  }
+
+  // Copy path: demand-copy regions, buffered or hole blocks, write faults.
+  Result<uint64_t> page = CopyBlockToDram(region, va);
+  if (!page.ok()) {
+    return page.status();
+  }
+  pte.backing = FrameBacking::kDram;
+  pte.frame = page.value();
+  pte.writable = region.writable;
+  table_.MarkPresent(pte, true);
+  ++resident_dram_pages_;
+  if (for_write) {
+    stats_.cow_faults.Add();
+  } else {
+    if (region.kind == RegionKind::kFileDemandCopy) {
+      stats_.demand_copies.Add();
+    }
+    // A clean file-backed copy can be dropped under memory pressure.
+    reclaim_candidates_.push_back(page_va);
+  }
+  return Status::Ok();
+}
+
+Result<PageTableEntry*> AddressSpace::EnsurePresent(uint64_t va,
+                                                    bool for_write) {
+  const Region* region = FindRegion(va);
+  if (region == nullptr) {
+    return OutOfRangeError("unmapped address");
+  }
+  if (for_write && !region->writable) {
+    stats_.protection_errors.Add();
+    return PermissionDeniedError("write to read-only region " + region->name);
+  }
+  const uint64_t page_va = va / page_bytes() * page_bytes();
+  PageTableEntry& pte = table_.FindOrCreate(page_va);
+  if (!pte.present) {
+    SSMC_RETURN_IF_ERROR(HandleFault(*region, va, for_write, pte));
+  }
+  if (for_write && !pte.writable) {
+    // Copy-on-write: the page is mapped read-only into flash; the first
+    // write copies the affected block to DRAM (Section 3.1).
+    stats_.faults.Add();
+    stats_.cow_faults.Add();
+    Result<uint64_t> page = CopyBlockToDram(*region, va);
+    if (!page.ok()) {
+      return page.status();
+    }
+    pte.backing = FrameBacking::kDram;
+    pte.frame = page.value();
+    pte.writable = true;
+    ++resident_dram_pages_;
+  }
+  pte.accessed = true;
+  if (for_write) {
+    pte.dirty = true;
+  }
+  return &pte;
+}
+
+Result<Duration> AddressSpace::FrameRead(const PageTableEntry& pte,
+                                         uint64_t offset,
+                                         std::span<uint8_t> out) {
+  if (pte.backing == FrameBacking::kDram) {
+    return storage_.dram().Read(storage_.DramPageAddress(pte.frame) + offset,
+                                out);
+  }
+  return storage_.flash_store().ReadPartial(pte.frame, offset, out);
+}
+
+Result<Duration> AddressSpace::FrameWrite(PageTableEntry& pte, uint64_t offset,
+                                          std::span<const uint8_t> data) {
+  assert(pte.backing == FrameBacking::kDram && "writes always land in DRAM");
+  return storage_.dram().Write(storage_.DramPageAddress(pte.frame) + offset,
+                               data);
+}
+
+Result<Duration> AddressSpace::Read(uint64_t va, std::span<uint8_t> out) {
+  Duration total = 0;
+  uint64_t done = 0;
+  while (done < out.size()) {
+    const uint64_t pos = va + done;
+    const uint64_t in_page = pos % page_bytes();
+    const uint64_t chunk = std::min(page_bytes() - in_page,
+                                    static_cast<uint64_t>(out.size()) - done);
+    Result<PageTableEntry*> pte = EnsurePresent(pos, /*for_write=*/false);
+    if (!pte.ok()) {
+      return pte.status();
+    }
+    Result<Duration> r = FrameRead(
+        *pte.value(), in_page, std::span<uint8_t>(out.data() + done, chunk));
+    if (!r.ok()) {
+      return r.status();
+    }
+    total += r.value();
+    done += chunk;
+  }
+  stats_.reads.Add();
+  return total;
+}
+
+Result<Duration> AddressSpace::Write(uint64_t va,
+                                     std::span<const uint8_t> data) {
+  Duration total = 0;
+  uint64_t done = 0;
+  while (done < data.size()) {
+    const uint64_t pos = va + done;
+    const uint64_t in_page = pos % page_bytes();
+    const uint64_t chunk = std::min(page_bytes() - in_page,
+                                    static_cast<uint64_t>(data.size()) - done);
+    Result<PageTableEntry*> pte = EnsurePresent(pos, /*for_write=*/true);
+    if (!pte.ok()) {
+      return pte.status();
+    }
+    Result<Duration> r = FrameWrite(
+        *pte.value(), in_page,
+        std::span<const uint8_t>(data.data() + done, chunk));
+    if (!r.ok()) {
+      return r.status();
+    }
+    total += r.value();
+    done += chunk;
+  }
+  stats_.writes.Add();
+  return total;
+}
+
+Result<Duration> AddressSpace::Fetch(uint64_t va, uint64_t bytes) {
+  std::vector<uint8_t> sink(bytes);
+  return Read(va, sink);
+}
+
+Result<Duration> AddressSpace::Populate(uint64_t va) {
+  const Region* region = FindRegion(va);
+  if (region == nullptr) {
+    return NotFoundError("no region at that address");
+  }
+  const SimTime before = storage_.flash_store().device().clock().now();
+  for (uint64_t page_va = region->start;
+       page_va < region->start + region->length; page_va += page_bytes()) {
+    Result<PageTableEntry*> pte = EnsurePresent(page_va, /*for_write=*/false);
+    if (!pte.ok()) {
+      return pte.status();
+    }
+    if (pte.value()->backing == FrameBacking::kFlash) {
+      // Force the copy the eager loader would have made.
+      Result<uint64_t> page = CopyBlockToDram(*region, page_va);
+      if (!page.ok()) {
+        return page.status();
+      }
+      pte.value()->backing = FrameBacking::kDram;
+      pte.value()->frame = page.value();
+      pte.value()->writable = region->writable;
+      ++resident_dram_pages_;
+    }
+  }
+  return storage_.flash_store().device().clock().now() - before;
+}
+
+}  // namespace ssmc

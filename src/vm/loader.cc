@@ -1,0 +1,149 @@
+#include "src/vm/loader.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace ssmc {
+
+std::string_view LaunchStrategyName(LaunchStrategy s) {
+  switch (s) {
+    case LaunchStrategy::kExecuteInPlace:
+      return "execute-in-place";
+    case LaunchStrategy::kCopyFromFlash:
+      return "copy-from-flash";
+    case LaunchStrategy::kDemandPaged:
+      return "demand-paged";
+    case LaunchStrategy::kCopyFromDisk:
+      return "copy-from-disk";
+  }
+  return "?";
+}
+
+Status InstallProgram(FileSystem& fs, const Program& program) {
+  SSMC_RETURN_IF_ERROR(fs.Create(program.path));
+  // Deterministic "machine code" pattern.
+  std::vector<uint8_t> text(program.text_bytes);
+  for (size_t i = 0; i < text.size(); ++i) {
+    text[i] = static_cast<uint8_t>(0x90 ^ (i * 17));
+  }
+  Result<uint64_t> wrote = fs.Write(program.path, 0, text);
+  if (!wrote.ok()) {
+    return wrote.status();
+  }
+  // Shipped software lives in stable storage.
+  return fs.Sync();
+}
+
+namespace {
+
+// Maps the data and stack segments (identical across strategies).
+Status MapDataAndStack(AddressSpace& space, const Program& program,
+                       LaunchResult& result) {
+  result.data_va = ProgramLoader::kDataBase;
+  result.stack_va = ProgramLoader::kStackBase;
+  if (program.data_bytes > 0) {
+    SSMC_RETURN_IF_ERROR(
+        space.MapAnonymous(result.data_va, program.data_bytes, "data"));
+  }
+  return space.MapAnonymous(result.stack_va, program.stack_bytes, "stack");
+}
+
+}  // namespace
+
+Result<LaunchResult> ProgramLoader::Launch(AddressSpace& space,
+                                           MemoryFileSystem& fs,
+                                           const Program& program,
+                                           LaunchStrategy strategy) {
+  if (strategy == LaunchStrategy::kCopyFromDisk) {
+    return InvalidArgumentError(
+        "use LaunchFromDisk for the disk-based baseline");
+  }
+  LaunchResult result;
+  result.text_va = kTextBase;
+  result.text_bytes = program.text_bytes;
+  SimClock& clock = fs.storage().flash_store().device().clock();
+  const SimTime start = clock.now();
+
+  if (strategy == LaunchStrategy::kExecuteInPlace) {
+    // "Programs residing in flash memory can be executed in place ... There
+    // is no need to load their code segment into primary storage."
+    SSMC_RETURN_IF_ERROR(space.MapXip(result.text_va, fs, program.path));
+  } else if (strategy == LaunchStrategy::kDemandPaged) {
+    SSMC_RETURN_IF_ERROR(space.MapFileDemandCopy(result.text_va, fs,
+                                                 program.path,
+                                                 /*writable=*/false));
+  } else {
+    SSMC_RETURN_IF_ERROR(
+        space.MapFileCow(result.text_va, fs, program.path, /*writable=*/false));
+    // Eager copy into DRAM — the conventional load.
+    Result<Duration> populated = space.Populate(result.text_va);
+    if (!populated.ok()) {
+      return populated.status();
+    }
+  }
+  SSMC_RETURN_IF_ERROR(MapDataAndStack(space, program, result));
+  result.launch_latency = clock.now() - start;
+  result.dram_pages_after_launch = space.resident_dram_pages();
+  return result;
+}
+
+Result<LaunchResult> ProgramLoader::LaunchFromDisk(AddressSpace& space,
+                                                   FileSystem& disk_fs,
+                                                   const Program& program) {
+  LaunchResult result;
+  result.text_va = kTextBase;
+  result.text_bytes = program.text_bytes;
+  // The clock is shared machine-wide; reach it through the storage manager.
+  SimClock& clock = space.storage().dram().clock();
+  const SimTime start = clock.now();
+
+  SSMC_RETURN_IF_ERROR(
+      space.MapAnonymous(result.text_va, program.text_bytes, "text"));
+  // Copy the image from disk into the anonymous region, page by page.
+  const uint64_t chunk = 8 * kKiB;
+  std::vector<uint8_t> buffer(chunk);
+  uint64_t offset = 0;
+  while (offset < program.text_bytes) {
+    const uint64_t n = std::min(chunk, program.text_bytes - offset);
+    buffer.resize(n);
+    Result<uint64_t> read = disk_fs.Read(program.path, offset, buffer);
+    if (!read.ok()) {
+      return read.status();
+    }
+    Result<Duration> wrote = space.Write(result.text_va + offset, buffer);
+    if (!wrote.ok()) {
+      return wrote.status();
+    }
+    offset += n;
+  }
+  SSMC_RETURN_IF_ERROR(MapDataAndStack(space, program, result));
+  result.launch_latency = clock.now() - start;
+  result.dram_pages_after_launch = space.resident_dram_pages();
+  return result;
+}
+
+Result<Duration> ProgramLoader::Execute(AddressSpace& space,
+                                        const LaunchResult& launch,
+                                        int passes, uint64_t warm_line_bytes) {
+  // Measure wall (simulated) time: fetches, page-table walks, and demand
+  // faults all advance the shared clock.
+  SimClock& clock = space.storage().dram().clock();
+  const SimTime start = clock.now();
+  const uint64_t page = space.page_bytes();
+  for (int pass = 0; pass < passes; ++pass) {
+    for (uint64_t va = launch.text_va;
+         va < launch.text_va + launch.text_bytes; va += page) {
+      const uint64_t remaining = launch.text_va + launch.text_bytes - va;
+      const uint64_t cold = std::min(page, remaining);
+      const uint64_t warm = std::min(warm_line_bytes, remaining);
+      Result<Duration> fetched =
+          space.Fetch(va, pass == 0 ? cold : warm);
+      if (!fetched.ok()) {
+        return fetched.status();
+      }
+    }
+  }
+  return clock.now() - start;
+}
+
+}  // namespace ssmc

@@ -1,0 +1,100 @@
+#include "src/vm/page_table.h"
+
+#include <cassert>
+
+namespace ssmc {
+
+PageTable::PageTable(uint64_t page_bytes, StorageManager* charge)
+    : page_bytes_(page_bytes), charge_(charge) {
+  assert(page_bytes_ > 0 && (page_bytes_ & (page_bytes_ - 1)) == 0 &&
+         "page size must be a power of two");
+  levels_ = LevelsFor(page_bytes_);
+}
+
+int PageTable::LevelsFor(uint64_t page_bytes) const {
+  int offset_bits = 0;
+  while ((uint64_t{1} << offset_bits) < page_bytes) {
+    ++offset_bits;
+  }
+  const int vpn_bits = 64 - offset_bits;
+  return (vpn_bits + kBitsPerLevel - 1) / kBitsPerLevel;
+}
+
+void PageTable::Charge() const {
+  if (charge_ != nullptr) {
+    // One page-table-entry read (8 bytes) per level touched.
+    charge_->ChargeMetadataRead(8);
+  }
+}
+
+PageTableEntry* PageTable::Find(uint64_t va) {
+  stats_.walks.Add();
+  const uint64_t vpn = PageNumberOf(va);
+  Node* node = &root_;
+  for (int level = levels_ - 1; level > 0; --level) {
+    Charge();
+    stats_.levels_touched.Add();
+    const size_t index =
+        (vpn >> (static_cast<uint64_t>(level) * kBitsPerLevel)) & (kFanout - 1);
+    Node* child = node->children[index].get();
+    if (child == nullptr) {
+      return nullptr;
+    }
+    node = child;
+  }
+  Charge();
+  stats_.levels_touched.Add();
+  if (node->entries == nullptr) {
+    return nullptr;
+  }
+  return &(*node->entries)[vpn & (kFanout - 1)];
+}
+
+PageTableEntry& PageTable::FindOrCreate(uint64_t va) {
+  stats_.walks.Add();
+  const uint64_t vpn = PageNumberOf(va);
+  Node* node = &root_;
+  for (int level = levels_ - 1; level > 0; --level) {
+    Charge();
+    stats_.levels_touched.Add();
+    const size_t index =
+        (vpn >> (static_cast<uint64_t>(level) * kBitsPerLevel)) & (kFanout - 1);
+    if (node->children[index] == nullptr) {
+      node->children[index] = std::make_unique<Node>();
+      if (charge_ != nullptr) {
+        charge_->ChargeMetadataWrite(8);
+      }
+    }
+    node = node->children[index].get();
+  }
+  Charge();
+  stats_.levels_touched.Add();
+  if (node->entries == nullptr) {
+    node->entries = std::make_unique<std::array<PageTableEntry, kFanout>>();
+  }
+  return (*node->entries)[vpn & (kFanout - 1)];
+}
+
+void PageTable::Remove(uint64_t va) {
+  PageTableEntry* pte = Find(va);
+  if (pte == nullptr) {
+    return;
+  }
+  MarkPresent(*pte, false);
+  *pte = PageTableEntry{};
+}
+
+void PageTable::MarkPresent(PageTableEntry& pte, bool present) {
+  if (pte.present == present) {
+    return;
+  }
+  pte.present = present;
+  if (present) {
+    ++present_count_;
+  } else {
+    assert(present_count_ > 0);
+    --present_count_;
+  }
+}
+
+}  // namespace ssmc

@@ -1,0 +1,90 @@
+// Radix page table for a single-level 64-bit address space.
+//
+// The paper's organization keeps virtual memory "primarily to provide
+// protection across multiple address spaces, rather than to expand
+// capacity" (Section 3.2). The table is a classic 9-bit-per-level radix
+// tree; with 512-byte pages that is seven levels for a full 64-bit space,
+// built lazily. Each level touched during a walk charges one DRAM access
+// through the StorageManager, so page-table walks have an honest cost.
+//
+// A PTE's frame is either a DRAM page index or a physical flash address,
+// which is what makes execute-in-place and copy-on-write file mappings
+// representable: a read-only PTE can point straight into flash.
+
+#ifndef SSMC_SRC_VM_PAGE_TABLE_H_
+#define SSMC_SRC_VM_PAGE_TABLE_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "src/sim/stats.h"
+#include "src/storage/storage_manager.h"
+
+namespace ssmc {
+
+enum class FrameBacking { kDram, kFlash };
+
+struct PageTableEntry {
+  bool present = false;
+  bool writable = false;
+  bool accessed = false;
+  bool dirty = false;
+  FrameBacking backing = FrameBacking::kDram;
+  // DRAM page index (kDram) or physical flash byte address (kFlash).
+  uint64_t frame = 0;
+};
+
+class PageTable {
+ public:
+  // charge may be null (tests); then walks cost nothing.
+  PageTable(uint64_t page_bytes, StorageManager* charge);
+
+  uint64_t page_bytes() const { return page_bytes_; }
+  uint64_t PageNumberOf(uint64_t va) const { return va / page_bytes_; }
+
+  // Walks the tree without allocating. Returns null if unmapped.
+  PageTableEntry* Find(uint64_t va);
+
+  // Walks the tree, allocating intermediate nodes as needed.
+  PageTableEntry& FindOrCreate(uint64_t va);
+
+  // Clears (unmaps) the entry; no-op if absent.
+  void Remove(uint64_t va);
+
+  // Number of present leaf entries.
+  uint64_t present_count() const { return present_count_; }
+
+  struct Stats {
+    Counter walks;
+    Counter levels_touched;
+  };
+  const Stats& stats() const { return stats_; }
+
+  // The entry is transitioning presence; the table maintains its count.
+  void MarkPresent(PageTableEntry& pte, bool present);
+
+ private:
+  static constexpr int kBitsPerLevel = 9;
+  static constexpr size_t kFanout = 1u << kBitsPerLevel;
+
+  struct Node {
+    // Interior: children; leaf level: entries.
+    std::array<std::unique_ptr<Node>, kFanout> children;
+    std::unique_ptr<std::array<PageTableEntry, kFanout>> entries;
+  };
+
+  int LevelsFor(uint64_t page_bytes) const;
+  void Charge() const;
+
+  uint64_t page_bytes_;
+  StorageManager* charge_;
+  int levels_;
+  Node root_;
+  uint64_t present_count_ = 0;
+  mutable Stats stats_;
+};
+
+}  // namespace ssmc
+
+#endif  // SSMC_SRC_VM_PAGE_TABLE_H_

@@ -1,0 +1,111 @@
+#include "src/device/battery.h"
+
+#include <gtest/gtest.h>
+
+namespace ssmc {
+namespace {
+
+TEST(BatteryTest, StartsFull) {
+  SimClock clock;
+  Battery b(1000, 100, clock);
+  EXPECT_FALSE(b.dead());
+  EXPECT_DOUBLE_EQ(b.primary_remaining_mwh(), 1000.0);
+  EXPECT_DOUBLE_EQ(b.backup_remaining_mwh(), 100.0);
+  EXPECT_DOUBLE_EQ(b.primary_fraction(), 1.0);
+}
+
+TEST(BatteryTest, DrainConsumesPrimaryFirst) {
+  SimClock clock;
+  Battery b(1000, 100, clock);
+  // 500 mWh = 1800 J = 1.8e12 nJ.
+  EXPECT_TRUE(b.Drain(1.8e12));
+  EXPECT_NEAR(b.primary_remaining_mwh(), 500.0, 1e-6);
+  EXPECT_DOUBLE_EQ(b.backup_remaining_mwh(), 100.0);
+}
+
+TEST(BatteryTest, SpillsToBackupWhenPrimaryEmpty) {
+  SimClock clock;
+  Battery b(10, 100, clock);
+  // Drain 50 mWh: 10 from primary, 40 from backup.
+  EXPECT_TRUE(b.Drain(50 * Battery::kJoulesPerMwh * 1e9));
+  EXPECT_NEAR(b.primary_remaining_mwh(), 0.0, 1e-9);
+  EXPECT_NEAR(b.backup_remaining_mwh(), 60.0, 1e-6);
+}
+
+TEST(BatteryTest, DiesWhenBothExhausted) {
+  SimClock clock;
+  Battery b(10, 10, clock);
+  EXPECT_FALSE(b.Drain(100 * Battery::kJoulesPerMwh * 1e9));
+  EXPECT_TRUE(b.dead());
+  EXPECT_EQ(b.stats().deaths.value(), 1u);
+  // Dead battery refuses further drains.
+  EXPECT_FALSE(b.Drain(1));
+}
+
+TEST(BatteryTest, DrainPowerIntegrates) {
+  SimClock clock;
+  Battery b(1000, 0, clock);
+  // 1000 mW for 1 hour = 1000 mWh.
+  EXPECT_TRUE(b.DrainPower(1000, kHour));
+  EXPECT_NEAR(b.primary_remaining_mwh(), 0.0, 0.1);
+}
+
+TEST(BatteryTest, SwapRefreshesPrimary) {
+  SimClock clock;
+  Battery b(100, 50, clock);
+  ASSERT_TRUE(b.Drain(90 * Battery::kJoulesPerMwh * 1e9));
+  // Swap takes 1 minute with a 60 mW standby load on the backup.
+  EXPECT_TRUE(b.SwapPrimary(200, 60, kMinute));
+  EXPECT_NEAR(b.primary_remaining_mwh(), 200.0, 1e-6);
+  EXPECT_LT(b.backup_remaining_mwh(), 50.0);
+  EXPECT_EQ(b.stats().swaps.value(), 1u);
+  EXPECT_EQ(clock.now(), kMinute);
+}
+
+TEST(BatteryTest, SwapFailsIfBackupDiesMidSwap) {
+  SimClock clock;
+  Battery b(100, 0.001, clock);  // Nearly empty backup.
+  EXPECT_FALSE(b.SwapPrimary(200, 1000, kHour));
+  EXPECT_TRUE(b.dead());
+}
+
+TEST(BatteryTest, InjectedFailureKillsInstantly) {
+  SimClock clock;
+  Battery b(1000, 100, clock);
+  b.InjectFailure();
+  EXPECT_TRUE(b.dead());
+  EXPECT_DOUBLE_EQ(b.primary_remaining_mwh(), 0.0);
+  EXPECT_DOUBLE_EQ(b.backup_remaining_mwh(), 0.0);
+  EXPECT_EQ(b.stats().injected_failures.value(), 1u);
+}
+
+TEST(BatteryTest, TimeRemainingMatchesCharge) {
+  SimClock clock;
+  Battery b(1000, 0, clock);
+  // 1000 mWh at 1000 mW = 1 hour.
+  EXPECT_NEAR(static_cast<double>(b.TimeRemainingAt(1000)),
+              static_cast<double>(kHour), 1e6);
+  EXPECT_EQ(b.TimeRemainingAt(0), 0);
+}
+
+TEST(BatteryTest, PaperClaimIdleDramLastsDays) {
+  // Paper (3.1): primaries "can preserve the contents of main memory in an
+  // otherwise idle system for many days". A 20,000 mWh notebook pack holding
+  // 8 MiB of self-refresh DRAM at ~1.5 mW/MiB (12 mW) lasts ~69 days.
+  SimClock clock;
+  Battery b(20000, 250, clock);
+  const Duration t = b.TimeRemainingAt(12.0);
+  EXPECT_GT(t, 10 * kDay);
+}
+
+TEST(BatteryTest, PaperClaimBackupLastsHours) {
+  // Paper (3.1): backup lithium batteries preserve memory "for many hours".
+  SimClock clock;
+  Battery b(0, 250, clock);  // Backup only (primaries removed).
+  const Duration t = b.TimeRemainingAt(12.0);
+  EXPECT_GT(t, 5 * kHour);
+  EXPECT_LT(t, 10 * kDay);
+}
+
+}  // namespace
+}  // namespace ssmc

@@ -1,0 +1,168 @@
+#include "src/fs/buffer_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+namespace ssmc {
+namespace {
+
+DiskSpec TestDiskSpec() {
+  DiskSpec spec;
+  spec.sector_bytes = 512;
+  spec.sectors_per_track = 16;
+  spec.cylinders = 256;
+  spec.min_seek_ns = kMillisecond;
+  spec.avg_seek_ns = 10 * kMillisecond;
+  spec.max_seek_ns = 20 * kMillisecond;
+  spec.rotation_ns = 10 * kMillisecond;
+  spec.transfer_mib_per_s = 1.0;
+  spec.spin_up_ns = 500 * kMillisecond;
+  spec.active_mw = 1500;
+  spec.idle_mw = 700;
+  spec.standby_mw = 15;
+  return spec;
+}
+
+class BufferCacheTest : public ::testing::Test {
+ protected:
+  BufferCacheTest() : disk_(TestDiskSpec(), clock_) {
+    disk_.set_spin_down_after(0);
+  }
+
+  std::vector<uint8_t> Block(uint8_t fill) {
+    return std::vector<uint8_t>(4096, fill);
+  }
+
+  SimClock clock_;
+  DiskDevice disk_;
+};
+
+TEST_F(BufferCacheTest, WriteThenReadHitsCache) {
+  BufferCache cache(disk_, 4096, 8);
+  ASSERT_TRUE(cache.Write(3, Block(0xAB)).ok());
+  const uint64_t disk_reads = disk_.stats().reads.value();
+  auto out = Block(0);
+  ASSERT_TRUE(cache.Read(3, out).ok());
+  EXPECT_EQ(out, Block(0xAB));
+  EXPECT_EQ(disk_.stats().reads.value(), disk_reads);  // Served from cache.
+  EXPECT_GE(cache.stats().hits.value(), 1u);
+}
+
+TEST_F(BufferCacheTest, ReadMissGoesToDisk) {
+  BufferCache cache(disk_, 4096, 8);
+  auto out = Block(0xFF);
+  ASSERT_TRUE(cache.Read(5, out).ok());
+  EXPECT_EQ(out, Block(0));  // Disk is zero-filled.
+  EXPECT_EQ(cache.stats().misses.value(), 1u);
+  EXPECT_EQ(disk_.stats().reads.value(), 1u);
+}
+
+TEST_F(BufferCacheTest, DirtyEvictionWritesBack) {
+  BufferCache cache(disk_, 4096, 2);
+  ASSERT_TRUE(cache.Write(0, Block(1)).ok());
+  ASSERT_TRUE(cache.Write(1, Block(2)).ok());
+  ASSERT_TRUE(cache.Write(2, Block(3)).ok());  // Evicts block 0.
+  EXPECT_EQ(cache.stats().writebacks.value(), 1u);
+  EXPECT_EQ(disk_.stats().writes.value(), 1u);
+  // Re-reading block 0 faults it back from disk with the right contents.
+  auto out = Block(0);
+  ASSERT_TRUE(cache.Read(0, out).ok());
+  EXPECT_EQ(out, Block(1));
+}
+
+TEST_F(BufferCacheTest, CleanEvictionSkipsDisk) {
+  BufferCache cache(disk_, 4096, 2);
+  auto out = Block(0);
+  ASSERT_TRUE(cache.Read(0, out).ok());
+  ASSERT_TRUE(cache.Read(1, out).ok());
+  const uint64_t writes_before = disk_.stats().writes.value();
+  ASSERT_TRUE(cache.Read(2, out).ok());  // Evicts clean block 0.
+  EXPECT_EQ(disk_.stats().writes.value(), writes_before);
+}
+
+TEST_F(BufferCacheTest, LruOrderRespectsAccess) {
+  BufferCache cache(disk_, 4096, 2);
+  ASSERT_TRUE(cache.Write(0, Block(1)).ok());
+  ASSERT_TRUE(cache.Write(1, Block(2)).ok());
+  auto out = Block(0);
+  ASSERT_TRUE(cache.Read(0, out).ok());     // Block 0 now MRU.
+  ASSERT_TRUE(cache.Write(2, Block(3)).ok());  // Evicts block 1.
+  EXPECT_EQ(cache.cached_blocks(), 2u);
+  // Block 0 still cached: no disk read to access it.
+  const uint64_t reads_before = disk_.stats().reads.value();
+  ASSERT_TRUE(cache.Read(0, out).ok());
+  EXPECT_EQ(disk_.stats().reads.value(), reads_before);
+}
+
+TEST_F(BufferCacheTest, SyncWritesAllDirty) {
+  BufferCache cache(disk_, 4096, 8);
+  ASSERT_TRUE(cache.Write(0, Block(1)).ok());
+  ASSERT_TRUE(cache.Write(1, Block(2)).ok());
+  ASSERT_TRUE(cache.Sync().ok());
+  EXPECT_EQ(disk_.stats().writes.value(), 2u);
+  // Second sync is a no-op: nothing dirty.
+  ASSERT_TRUE(cache.Sync().ok());
+  EXPECT_EQ(disk_.stats().writes.value(), 2u);
+}
+
+TEST_F(BufferCacheTest, WritePartialMergesWithDiskContents) {
+  BufferCache cache(disk_, 4096, 8);
+  ASSERT_TRUE(cache.Write(0, Block(0xAA)).ok());
+  ASSERT_TRUE(cache.Sync().ok());
+
+  // Fresh cache (simulating reboot): partial write must read-modify-write.
+  BufferCache cache2(disk_, 4096, 8);
+  std::vector<uint8_t> patch(16, 0xBB);
+  ASSERT_TRUE(cache2.WritePartial(0, 100, patch).ok());
+  auto out = Block(0);
+  ASSERT_TRUE(cache2.Read(0, out).ok());
+  EXPECT_EQ(out[99], 0xAA);
+  EXPECT_EQ(out[100], 0xBB);
+  EXPECT_EQ(out[116], 0xAA);
+}
+
+TEST_F(BufferCacheTest, InvalidateDropsWithoutWriteback) {
+  BufferCache cache(disk_, 4096, 8);
+  ASSERT_TRUE(cache.Write(0, Block(1)).ok());
+  cache.Invalidate(0);
+  EXPECT_EQ(cache.cached_blocks(), 0u);
+  ASSERT_TRUE(cache.Sync().ok());
+  EXPECT_EQ(disk_.stats().writes.value(), 0u);
+}
+
+TEST_F(BufferCacheTest, FlushBlockWritesOne) {
+  BufferCache cache(disk_, 4096, 8);
+  ASSERT_TRUE(cache.Write(0, Block(1)).ok());
+  ASSERT_TRUE(cache.Write(1, Block(2)).ok());
+  ASSERT_TRUE(cache.FlushBlock(0).ok());
+  EXPECT_EQ(disk_.stats().writes.value(), 1u);
+}
+
+TEST_F(BufferCacheTest, OutOfRangeRejected) {
+  BufferCache cache(disk_, 4096, 8);
+  auto out = Block(0);
+  EXPECT_EQ(cache.Read(cache.num_blocks(), out).code(),
+            ErrorCode::kOutOfRange);
+}
+
+TEST_F(BufferCacheTest, WrongSizeRejected) {
+  BufferCache cache(disk_, 4096, 8);
+  std::vector<uint8_t> small(100);
+  EXPECT_EQ(cache.Read(0, small).code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(cache.Write(0, small).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(BufferCacheTest, CacheCutsSimulatedTime) {
+  BufferCache cache(disk_, 4096, 8);
+  auto out = Block(0);
+  ASSERT_TRUE(cache.Read(0, out).ok());
+  const SimTime after_miss = clock_.now();
+  ASSERT_TRUE(cache.Read(0, out).ok());
+  // Cache hit costs zero device time in this model.
+  EXPECT_EQ(clock_.now(), after_miss);
+}
+
+}  // namespace
+}  // namespace ssmc

@@ -1,0 +1,42 @@
+#include "src/sim/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace ssmc {
+namespace {
+
+TEST(SimClockTest, StartsAtZero) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0);
+}
+
+TEST(SimClockTest, AdvanceAccumulates) {
+  SimClock clock;
+  clock.Advance(100);
+  clock.Advance(50);
+  EXPECT_EQ(clock.now(), 150);
+}
+
+TEST(SimClockTest, AdvanceToAbsolute) {
+  SimClock clock;
+  clock.AdvanceTo(1000);
+  EXPECT_EQ(clock.now(), 1000);
+  clock.AdvanceTo(1000);  // No-op: same time is allowed.
+  EXPECT_EQ(clock.now(), 1000);
+}
+
+TEST(SimClockTest, ResetReturnsToZero) {
+  SimClock clock;
+  clock.Advance(12345);
+  clock.Reset();
+  EXPECT_EQ(clock.now(), 0);
+}
+
+TEST(SimClockTest, AdvanceZeroIsNoop) {
+  SimClock clock;
+  clock.Advance(0);
+  EXPECT_EQ(clock.now(), 0);
+}
+
+}  // namespace
+}  // namespace ssmc

@@ -1,0 +1,154 @@
+#include "src/device/disk_device.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace ssmc {
+namespace {
+
+DiskSpec TestSpec() {
+  DiskSpec spec;
+  spec.name = "test disk";
+  spec.sector_bytes = 512;
+  spec.sectors_per_track = 16;
+  spec.cylinders = 100;
+  spec.min_seek_ns = 1 * kMillisecond;
+  spec.avg_seek_ns = 10 * kMillisecond;
+  spec.max_seek_ns = 20 * kMillisecond;
+  spec.rotation_ns = 10 * kMillisecond;
+  spec.transfer_mib_per_s = 1.0;
+  spec.spin_up_ns = 500 * kMillisecond;
+  spec.active_mw = 1500;
+  spec.idle_mw = 700;
+  spec.standby_mw = 15;
+  return spec;
+}
+
+TEST(DiskDeviceTest, CapacityFromGeometry) {
+  SimClock clock;
+  DiskDevice disk(TestSpec(), clock);
+  EXPECT_EQ(disk.capacity_bytes(), 512u * 16 * 100);
+  EXPECT_EQ(disk.num_sectors(), 1600u);
+}
+
+TEST(DiskDeviceTest, WriteThenReadRoundTrips) {
+  SimClock clock;
+  DiskDevice disk(TestSpec(), clock);
+  disk.set_spin_down_after(0);
+  std::vector<uint8_t> data(1024);
+  std::iota(data.begin(), data.end(), 0);
+  ASSERT_TRUE(disk.WriteSectors(10, data).ok());
+  std::vector<uint8_t> out(1024);
+  ASSERT_TRUE(disk.ReadSectors(10, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(DiskDeviceTest, PartialSectorIoRejected) {
+  SimClock clock;
+  DiskDevice disk(TestSpec(), clock);
+  std::vector<uint8_t> buf(100);
+  EXPECT_EQ(disk.ReadSectors(0, buf).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(DiskDeviceTest, OutOfRangeRejected) {
+  SimClock clock;
+  DiskDevice disk(TestSpec(), clock);
+  std::vector<uint8_t> buf(512);
+  EXPECT_EQ(disk.ReadSectors(1600, buf).status().code(),
+            ErrorCode::kOutOfRange);
+}
+
+TEST(DiskDeviceTest, SeekCostGrowsWithDistance) {
+  SimClock clock;
+  DiskDevice disk(TestSpec(), clock);
+  disk.set_spin_down_after(0);
+  std::vector<uint8_t> buf(512);
+  // Position head at cylinder 0.
+  ASSERT_TRUE(disk.ReadSectors(0, buf).ok());
+
+  const SimTime t0 = clock.now();
+  ASSERT_TRUE(disk.ReadSectors(1 * 16, buf).ok());  // 1 cylinder away.
+  const Duration near = clock.now() - t0;
+
+  // Re-seat at cylinder 1, then go to the far edge.
+  const SimTime t1 = clock.now();
+  ASSERT_TRUE(disk.ReadSectors(99 * 16, buf).ok());  // 98 cylinders away.
+  const Duration far = clock.now() - t1;
+  EXPECT_GT(far, near);
+}
+
+TEST(DiskDeviceTest, SameCylinderHasNoSeek) {
+  SimClock clock;
+  DiskDevice disk(TestSpec(), clock);
+  disk.set_spin_down_after(0);
+  std::vector<uint8_t> buf(512);
+  ASSERT_TRUE(disk.ReadSectors(0, buf).ok());
+  const uint64_t seeks_before = disk.stats().seeks.value();
+  ASSERT_TRUE(disk.ReadSectors(1, buf).ok());  // Same cylinder (track 0).
+  EXPECT_EQ(disk.stats().seeks.value(), seeks_before);
+}
+
+TEST(DiskDeviceTest, AccessIsMillisecondsNotMicroseconds) {
+  SimClock clock;
+  DiskDevice disk(TestSpec(), clock);
+  disk.set_spin_down_after(0);
+  std::vector<uint8_t> buf(512);
+  Result<Duration> r = disk.ReadSectors(800, buf);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.value(), 1 * kMillisecond);
+}
+
+TEST(DiskDeviceTest, SpinUpPaidAfterLongIdle) {
+  SimClock clock;
+  DiskDevice disk(TestSpec(), clock);
+  disk.set_spin_down_after(1 * kSecond);
+  std::vector<uint8_t> buf(512);
+  ASSERT_TRUE(disk.ReadSectors(0, buf).ok());
+  // Idle for 10 s: disk spins down.
+  clock.Advance(10 * kSecond);
+  const SimTime before = clock.now();
+  ASSERT_TRUE(disk.ReadSectors(0, buf).ok());
+  EXPECT_GE(clock.now() - before, TestSpec().spin_up_ns);
+  EXPECT_EQ(disk.stats().spin_ups.value(), 1u);
+}
+
+TEST(DiskDeviceTest, NoSpinUpWhenBusy) {
+  SimClock clock;
+  DiskDevice disk(TestSpec(), clock);
+  disk.set_spin_down_after(1 * kSecond);
+  std::vector<uint8_t> buf(512);
+  ASSERT_TRUE(disk.ReadSectors(0, buf).ok());
+  clock.Advance(100 * kMillisecond);  // Shorter than spin-down timeout.
+  ASSERT_TRUE(disk.ReadSectors(5, buf).ok());
+  EXPECT_EQ(disk.stats().spin_ups.value(), 0u);
+}
+
+TEST(DiskDeviceTest, EnergyIncludesIdleSpinning) {
+  SimClock clock;
+  DiskDevice disk(TestSpec(), clock);
+  disk.set_spin_down_after(0);  // Never spin down.
+  std::vector<uint8_t> buf(512);
+  ASSERT_TRUE(disk.ReadSectors(0, buf).ok());
+  clock.Advance(kSecond);
+  disk.AccountIdleEnergy();
+  // Idle spinning at 700 mW for ~1 s ~= 0.7 J.
+  EXPECT_GT(disk.energy().idle_nanojoules(), 0.5e9);
+}
+
+TEST(DiskDeviceTest, StatsBreakDownLatency) {
+  SimClock clock;
+  DiskDevice disk(TestSpec(), clock);
+  disk.set_spin_down_after(0);
+  std::vector<uint8_t> buf(512);
+  ASSERT_TRUE(disk.ReadSectors(0, buf).ok());
+  ASSERT_TRUE(disk.ReadSectors(99 * 16, buf).ok());
+  EXPECT_GT(disk.stats().seek_ns.value(), 0u);
+  EXPECT_GT(disk.stats().transfer_ns.value(), 0u);
+  EXPECT_EQ(disk.stats().reads.value(), 2u);
+}
+
+}  // namespace
+}  // namespace ssmc

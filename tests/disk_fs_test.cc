@@ -1,0 +1,195 @@
+// DiskFileSystem-specific behavior: on-disk structure, indirect blocks,
+// persistence across remounts, and the latency profile of a mechanical disk.
+
+#include "src/fs/disk_fs.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace ssmc {
+namespace {
+
+DiskSpec TestDiskSpec() {
+  DiskSpec spec;
+  spec.sector_bytes = 512;
+  spec.sectors_per_track = 32;
+  spec.cylinders = 1024;  // 16 MiB.
+  spec.min_seek_ns = 2 * kMillisecond;
+  spec.avg_seek_ns = 12 * kMillisecond;
+  spec.max_seek_ns = 25 * kMillisecond;
+  spec.rotation_ns = 11 * kMillisecond;
+  spec.transfer_mib_per_s = 1.0;
+  spec.spin_up_ns = kSecond;
+  spec.active_mw = 1500;
+  spec.idle_mw = 700;
+  spec.standby_mw = 15;
+  return spec;
+}
+
+class DiskFsTest : public ::testing::Test {
+ protected:
+  DiskFsTest() : disk_(TestDiskSpec(), clock_) {
+    disk_.set_spin_down_after(0);
+    fs_ = std::make_unique<DiskFileSystem>(disk_, DiskFsOptions{});
+  }
+
+  std::vector<uint8_t> Pattern(size_t n, uint8_t seed = 1) {
+    std::vector<uint8_t> v(n);
+    for (size_t i = 0; i < n; ++i) {
+      v[i] = static_cast<uint8_t>(seed + i * 13);
+    }
+    return v;
+  }
+
+  SimClock clock_;
+  DiskDevice disk_;
+  std::unique_ptr<DiskFileSystem> fs_;
+};
+
+TEST_F(DiskFsTest, LayoutReservesMetadataBlocks) {
+  // Superblock + bitmaps + inode table come before data.
+  EXPECT_GT(fs_->data_block_start(), 2u);
+  EXPECT_LT(fs_->data_block_start(), fs_->total_blocks());
+}
+
+TEST_F(DiskFsTest, FileLargerThanDirectBlocksUsesIndirect) {
+  // 12 direct blocks of 4 KiB = 48 KiB; write 100 KiB to force the single
+  // indirect path.
+  ASSERT_TRUE(fs_->Create("/big").ok());
+  const auto data = Pattern(100 * 1024, 3);
+  ASSERT_TRUE(fs_->Write("/big", 0, data).ok());
+  EXPECT_GT(fs_->stats().indirect_fetches.value(), 0u);
+  std::vector<uint8_t> out(data.size());
+  Result<uint64_t> read = fs_->Read("/big", 0, out);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(DiskFsTest, VeryLargeFileUsesDoubleIndirect) {
+  // Direct (48 KiB) + single indirect (1024 * 4 KiB = 4 MiB) is the single-
+  // indirect limit; write past it.
+  ASSERT_TRUE(fs_->Create("/huge").ok());
+  const uint64_t limit = (12 + 1024) * 4096;
+  const auto tail = Pattern(8192, 9);
+  ASSERT_TRUE(fs_->Write("/huge", limit, tail).ok());
+  std::vector<uint8_t> out(tail.size());
+  Result<uint64_t> read = fs_->Read("/huge", limit, out);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(out, tail);
+}
+
+TEST_F(DiskFsTest, DataPersistsAcrossRemount) {
+  ASSERT_TRUE(fs_->Create("/f").ok());
+  const auto data = Pattern(5000, 5);
+  ASSERT_TRUE(fs_->Write("/f", 0, data).ok());
+  ASSERT_TRUE(fs_->Mkdir("/d").ok());
+  ASSERT_TRUE(fs_->Create("/d/g").ok());
+  ASSERT_TRUE(fs_->Sync().ok());
+
+  // Remount: a new DiskFileSystem instance would re-mkfs, so instead verify
+  // the cache-coldness path — drop everything by creating a fresh cache via
+  // a second file system is not possible without reformat. What we can
+  // check: all data reachable after Sync through a cache that has evicted
+  // everything (read enough other data to cycle the LRU).
+  ASSERT_TRUE(fs_->Create("/filler").ok());
+  ASSERT_TRUE(fs_->Write("/filler", 0, Pattern(300 * 1024, 1)).ok());
+  std::vector<uint8_t> sink(300 * 1024);
+  ASSERT_TRUE(fs_->Read("/filler", 0, sink).ok());
+
+  std::vector<uint8_t> out(5000);
+  Result<uint64_t> read = fs_->Read("/f", 0, out);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(out, data);
+  Result<FileInfo> info = fs_->Stat("/d/g");
+  ASSERT_TRUE(info.ok());
+}
+
+TEST_F(DiskFsTest, UnlinkReleasesBlocksForReuse) {
+  // Fill a large fraction of the disk, delete, repeat: only works if blocks
+  // are actually freed.
+  for (int round = 0; round < 4; ++round) {
+    ASSERT_TRUE(fs_->Create("/big").ok()) << "round " << round;
+    ASSERT_TRUE(fs_->Write("/big", 0, Pattern(4 * 1024 * 1024)).ok())
+        << "round " << round;
+    ASSERT_TRUE(fs_->Unlink("/big").ok()) << "round " << round;
+  }
+}
+
+TEST_F(DiskFsTest, ColdReadsCostMilliseconds) {
+  ASSERT_TRUE(fs_->Create("/f").ok());
+  ASSERT_TRUE(fs_->Write("/f", 0, Pattern(64 * 1024)).ok());
+  ASSERT_TRUE(fs_->Sync().ok());
+  // Cycle the cache so /f's blocks are cold.
+  ASSERT_TRUE(fs_->Create("/filler").ok());
+  ASSERT_TRUE(fs_->Write("/filler", 0, Pattern(300 * 1024)).ok());
+  std::vector<uint8_t> sink(300 * 1024);
+  ASSERT_TRUE(fs_->Read("/filler", 0, sink).ok());
+
+  const SimTime before = clock_.now();
+  std::vector<uint8_t> out(64 * 1024);
+  ASSERT_TRUE(fs_->Read("/f", 0, out).ok());
+  const Duration cost = clock_.now() - before;
+  EXPECT_GT(cost, 10 * kMillisecond);  // Mechanical latency is visible.
+}
+
+TEST_F(DiskFsTest, MetadataWritesHitDiskSynchronously) {
+  const uint64_t writes_before = disk_.stats().writes.value();
+  ASSERT_TRUE(fs_->Create("/f").ok());
+  // sync_metadata=true: the create pushed bitmap/inode/directory blocks.
+  EXPECT_GT(disk_.stats().writes.value(), writes_before);
+}
+
+TEST_F(DiskFsTest, AsyncMetadataOptionDefersWrites) {
+  DiskSpec spec = TestDiskSpec();
+  SimClock clock2;
+  DiskDevice disk2(spec, clock2);
+  disk2.set_spin_down_after(0);
+  DiskFsOptions options;
+  options.sync_metadata = false;
+  DiskFileSystem fs2(disk2, options);
+  const uint64_t writes_before = disk2.stats().writes.value();
+  ASSERT_TRUE(fs2.Create("/f").ok());
+  EXPECT_EQ(disk2.stats().writes.value(), writes_before);
+}
+
+TEST_F(DiskFsTest, DirScansAccumulate) {
+  ASSERT_TRUE(fs_->Mkdir("/d").ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(fs_->Create("/d/f" + std::to_string(i)).ok());
+  }
+  const uint64_t scans_before = fs_->stats().dir_scans.value();
+  ASSERT_TRUE(fs_->Stat("/d/f19").ok());
+  // Linear scan: must look at many entries to find the last one.
+  EXPECT_GE(fs_->stats().dir_scans.value() - scans_before, 15u);
+}
+
+TEST_F(DiskFsTest, OutOfInodesReported) {
+  DiskSpec spec = TestDiskSpec();
+  SimClock clock2;
+  DiskDevice disk2(spec, clock2);
+  disk2.set_spin_down_after(0);
+  DiskFsOptions options;
+  options.inode_count = 8;  // Inodes 2..7 usable (0 reserved, 1 root).
+  DiskFileSystem fs2(disk2, options);
+  int created = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (!fs2.Create("/f" + std::to_string(i)).ok()) {
+      break;
+    }
+    ++created;
+  }
+  EXPECT_EQ(created, 6);
+}
+
+TEST_F(DiskFsTest, SparseFileReadsZeros) {
+  ASSERT_TRUE(fs_->Create("/sparse").ok());
+  ASSERT_TRUE(fs_->Write("/sparse", 100 * 4096, Pattern(10)).ok());
+  std::vector<uint8_t> out(4096);
+  Result<uint64_t> read = fs_->Read("/sparse", 50 * 4096, out);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(out, std::vector<uint8_t>(4096, 0));
+}
+
+}  // namespace
+}  // namespace ssmc

@@ -1,0 +1,114 @@
+#include "src/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ssmc {
+namespace {
+
+TEST(EventQueueTest, RunsEventsInTimeOrder) {
+  SimClock clock;
+  EventQueue q(clock);
+  std::vector<int> order;
+  q.ScheduleAt(300, [&] { order.push_back(3); });
+  q.ScheduleAt(100, [&] { order.push_back(1); });
+  q.ScheduleAt(200, [&] { order.push_back(2); });
+  q.RunUntil(1000);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(clock.now(), 1000);
+}
+
+TEST(EventQueueTest, SameTimeEventsRunInScheduleOrder) {
+  SimClock clock;
+  EventQueue q(clock);
+  std::vector<int> order;
+  q.ScheduleAt(100, [&] { order.push_back(1); });
+  q.ScheduleAt(100, [&] { order.push_back(2); });
+  q.ScheduleAt(100, [&] { order.push_back(3); });
+  q.RunUntil(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, ClockAdvancesToEventTime) {
+  SimClock clock;
+  EventQueue q(clock);
+  SimTime seen = -1;
+  q.ScheduleAt(500, [&] { seen = clock.now(); });
+  q.RunUntil(600);
+  EXPECT_EQ(seen, 500);
+}
+
+TEST(EventQueueTest, FutureEventsStayPending) {
+  SimClock clock;
+  EventQueue q(clock);
+  bool ran = false;
+  q.ScheduleAt(1000, [&] { ran = true; });
+  q.RunUntil(999);
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(q.pending(), 1u);
+  q.RunUntil(1000);
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesCurrentTime) {
+  SimClock clock;
+  EventQueue q(clock);
+  clock.Advance(100);
+  SimTime seen = -1;
+  q.ScheduleAfter(50, [&] { seen = clock.now(); });
+  q.RunUntil(200);
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(EventQueueTest, CancelPreventsRun) {
+  SimClock clock;
+  EventQueue q(clock);
+  bool ran = false;
+  const EventQueue::EventId id = q.ScheduleAt(100, [&] { ran = true; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));  // Second cancel fails.
+  q.RunUntil(1000);
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, EventsMayScheduleMoreEvents) {
+  SimClock clock;
+  EventQueue q(clock);
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    if (count < 5) {
+      q.ScheduleAfter(10, tick);
+    }
+  };
+  q.ScheduleAt(10, tick);
+  q.RunUntil(100);
+  EXPECT_EQ(count, 5);
+}
+
+TEST(EventQueueTest, RunAllDrainsEverything) {
+  SimClock clock;
+  EventQueue q(clock);
+  int count = 0;
+  q.ScheduleAt(10, [&] { ++count; });
+  q.ScheduleAt(20, [&] { ++count; });
+  q.RunAll();
+  EXPECT_EQ(count, 2);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(clock.now(), 20);
+}
+
+TEST(EventQueueTest, PendingCountsExcludeCancelled) {
+  SimClock clock;
+  EventQueue q(clock);
+  const auto id = q.ScheduleAt(10, [] {});
+  q.ScheduleAt(20, [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  q.Cancel(id);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace ssmc

@@ -1,0 +1,238 @@
+#include "src/device/flash_device.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace ssmc {
+namespace {
+
+FlashSpec TestSpec() {
+  FlashSpec spec;
+  spec.name = "test flash";
+  spec.read = {100, 10};
+  spec.program = {1000, 1000};
+  spec.erase_sector_bytes = 1024;
+  spec.erase_ns = 1 * kMillisecond;
+  spec.endurance_cycles = 10;
+  spec.active_mw_per_mib = 30;
+  spec.standby_mw_per_mib = 0.05;
+  return spec;
+}
+
+class FlashDeviceTest : public ::testing::Test {
+ protected:
+  SimClock clock_;
+  FlashSpec spec_ = TestSpec();
+};
+
+TEST_F(FlashDeviceTest, GeometryDerivedFromSpec) {
+  FlashDevice flash(spec_, 64 * 1024, 4, clock_);
+  EXPECT_EQ(flash.capacity_bytes(), 64u * 1024);
+  EXPECT_EQ(flash.sector_bytes(), 1024u);
+  EXPECT_EQ(flash.num_sectors(), 64u);
+  EXPECT_EQ(flash.num_banks(), 4);
+  EXPECT_EQ(flash.sectors_per_bank(), 16u);
+  EXPECT_EQ(flash.BankOfSector(0), 0);
+  EXPECT_EQ(flash.BankOfSector(15), 0);
+  EXPECT_EQ(flash.BankOfSector(16), 1);
+  EXPECT_EQ(flash.BankOfAddress(17 * 1024), 1);
+}
+
+TEST_F(FlashDeviceTest, FreshDeviceIsErased) {
+  FlashDevice flash(spec_, 16 * 1024, 1, clock_);
+  for (uint64_t s = 0; s < flash.num_sectors(); ++s) {
+    EXPECT_TRUE(flash.IsSectorErased(s));
+    EXPECT_FALSE(flash.IsSectorBad(s));
+    EXPECT_EQ(flash.EraseCount(s), 0u);
+  }
+}
+
+TEST_F(FlashDeviceTest, ProgramThenReadRoundTrips) {
+  FlashDevice flash(spec_, 16 * 1024, 1, clock_);
+  std::vector<uint8_t> data(256);
+  std::iota(data.begin(), data.end(), 0);
+  ASSERT_TRUE(flash.Program(512, data).ok());
+  std::vector<uint8_t> out(256);
+  ASSERT_TRUE(flash.Read(512, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(FlashDeviceTest, ReadAdvancesClockBySpecLatency) {
+  FlashDevice flash(spec_, 16 * 1024, 1, clock_);
+  std::vector<uint8_t> out(100);
+  Result<Duration> r = flash.Read(0, out);
+  ASSERT_TRUE(r.ok());
+  // access 100 + 10/byte * 100 = 1100 ns.
+  EXPECT_EQ(r.value(), 1100);
+  EXPECT_EQ(clock_.now(), 1100);
+}
+
+TEST_F(FlashDeviceTest, ProgramIsSlowerThanRead) {
+  FlashDevice flash(spec_, 16 * 1024, 1, clock_);
+  std::vector<uint8_t> data(100, 0xAB);
+  Result<Duration> w = flash.Program(0, data);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w.value(), 1000 + 1000 * 100);
+}
+
+TEST_F(FlashDeviceTest, ProgramToNonErasedFails) {
+  FlashDevice flash(spec_, 16 * 1024, 1, clock_);
+  std::vector<uint8_t> data(16, 0x00);
+  ASSERT_TRUE(flash.Program(0, data).ok());
+  Result<Duration> again = flash.Program(0, data);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(FlashDeviceTest, EraseRestoresProgrammability) {
+  FlashDevice flash(spec_, 16 * 1024, 1, clock_);
+  std::vector<uint8_t> data(16, 0x77);
+  ASSERT_TRUE(flash.Program(0, data).ok());
+  EXPECT_FALSE(flash.IsSectorErased(0));
+  ASSERT_TRUE(flash.EraseSector(0).ok());
+  EXPECT_TRUE(flash.IsSectorErased(0));
+  EXPECT_EQ(flash.EraseCount(0), 1u);
+  EXPECT_TRUE(flash.Program(0, data).ok());
+}
+
+TEST_F(FlashDeviceTest, ProgramAcrossSectorBoundaryRejected) {
+  FlashDevice flash(spec_, 16 * 1024, 1, clock_);
+  std::vector<uint8_t> data(64, 1);
+  Result<Duration> r = flash.Program(1024 - 32, data);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(FlashDeviceTest, ReadAcrossBankBoundaryRejected) {
+  FlashDevice flash(spec_, 64 * 1024, 4, clock_);
+  std::vector<uint8_t> out(64);
+  // Bank 0 ends at 16 KiB.
+  Result<Duration> r = flash.Read(16 * 1024 - 32, out);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(FlashDeviceTest, OutOfRangeOpsRejected) {
+  FlashDevice flash(spec_, 16 * 1024, 1, clock_);
+  std::vector<uint8_t> buf(32);
+  EXPECT_EQ(flash.Read(16 * 1024, buf).status().code(),
+            ErrorCode::kOutOfRange);
+  EXPECT_EQ(flash.Program(16 * 1024 - 16, buf).status().code(),
+            ErrorCode::kOutOfRange);
+  EXPECT_EQ(flash.EraseSector(99).status().code(), ErrorCode::kOutOfRange);
+}
+
+TEST_F(FlashDeviceTest, NonBlockingProgramDoesNotAdvanceClock) {
+  FlashDevice flash(spec_, 16 * 1024, 1, clock_);
+  std::vector<uint8_t> data(16, 1);
+  const SimTime before = clock_.now();
+  Result<Duration> r = flash.Program(0, data, /*blocking=*/false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(clock_.now(), before);
+  EXPECT_GT(flash.BankBusyUntil(0), before);
+}
+
+TEST_F(FlashDeviceTest, ReadStallsBehindEraseInSameBank) {
+  FlashDevice flash(spec_, 64 * 1024, 4, clock_);
+  ASSERT_TRUE(flash.EraseSector(0, /*blocking=*/false).ok());
+  const SimTime busy_until = flash.BankBusyUntil(0);
+  std::vector<uint8_t> out(16);
+  Result<Duration> r = flash.Read(0, out);
+  ASSERT_TRUE(r.ok());
+  // The read had to wait the full erase (1 ms) plus its own time.
+  EXPECT_GE(clock_.now(), busy_until);
+  EXPECT_GE(r.value(), spec_.erase_ns);
+  EXPECT_GT(flash.stats().read_stall_ns.value(), 0u);
+}
+
+TEST_F(FlashDeviceTest, ReadProceedsInOtherBankDuringErase) {
+  FlashDevice flash(spec_, 64 * 1024, 4, clock_);
+  ASSERT_TRUE(flash.EraseSector(0, /*blocking=*/false).ok());
+  std::vector<uint8_t> out(16);
+  // Bank 1 begins at sector 16 -> address 16 KiB.
+  Result<Duration> r = flash.Read(16 * 1024, out);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r.value(), spec_.erase_ns);
+  EXPECT_EQ(flash.stats().read_stall_ns.value(), 0u);
+}
+
+TEST_F(FlashDeviceTest, WearOutEventuallyFailsSector) {
+  spec_.endurance_cycles = 5;
+  FlashDevice flash(spec_, 16 * 1024, 1, clock_, /*seed=*/7);
+  // Erase far past endurance; must fail by 2x endurance.
+  bool failed = false;
+  for (int i = 0; i < 20 && !failed; ++i) {
+    failed = !flash.EraseSector(0).ok();
+  }
+  EXPECT_TRUE(failed);
+  EXPECT_TRUE(flash.IsSectorBad(0));
+  EXPECT_EQ(flash.stats().bad_sectors.value(), 1u);
+  // Reads and further erases now fail with DATA_LOSS.
+  std::vector<uint8_t> out(8);
+  EXPECT_EQ(flash.Read(0, out).status().code(), ErrorCode::kDataLoss);
+  EXPECT_EQ(flash.EraseSector(0).status().code(), ErrorCode::kDataLoss);
+}
+
+TEST_F(FlashDeviceTest, WearWithinEnduranceNeverFails) {
+  spec_.endurance_cycles = 50;
+  FlashDevice flash(spec_, 16 * 1024, 1, clock_);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(flash.EraseSector(3).ok()) << "cycle " << i;
+  }
+  EXPECT_FALSE(flash.IsSectorBad(3));
+}
+
+TEST_F(FlashDeviceTest, WearSummaryTracksDistribution) {
+  FlashDevice flash(spec_, 16 * 1024, 1, clock_);
+  ASSERT_TRUE(flash.EraseSector(0).ok());
+  ASSERT_TRUE(flash.EraseSector(0).ok());
+  ASSERT_TRUE(flash.EraseSector(1).ok());
+  const FlashDevice::WearSummary w = flash.SummarizeWear();
+  EXPECT_EQ(w.min_erases, 0u);
+  EXPECT_EQ(w.max_erases, 2u);
+  EXPECT_NEAR(w.mean_erases, 3.0 / 16.0, 1e-9);
+  EXPECT_GT(w.stddev_erases, 0.0);
+  EXPECT_EQ(w.bad_sectors, 0u);
+}
+
+TEST_F(FlashDeviceTest, StatsCountOperations) {
+  FlashDevice flash(spec_, 16 * 1024, 1, clock_);
+  std::vector<uint8_t> buf(64, 1);
+  ASSERT_TRUE(flash.Program(0, buf).ok());
+  std::vector<uint8_t> out(64);
+  ASSERT_TRUE(flash.Read(0, out).ok());
+  ASSERT_TRUE(flash.EraseSector(1).ok());
+  EXPECT_EQ(flash.stats().programs.value(), 1u);
+  EXPECT_EQ(flash.stats().programmed_bytes.value(), 64u);
+  EXPECT_EQ(flash.stats().reads.value(), 1u);
+  EXPECT_EQ(flash.stats().read_bytes.value(), 64u);
+  EXPECT_EQ(flash.stats().erases.value(), 1u);
+}
+
+TEST_F(FlashDeviceTest, EnergyAccumulatesWithActivity) {
+  FlashDevice flash(spec_, 16 * 1024, 1, clock_);
+  std::vector<uint8_t> out(128);
+  ASSERT_TRUE(flash.Read(0, out).ok());
+  EXPECT_GT(flash.energy().active_nanojoules(), 0.0);
+}
+
+TEST_F(FlashDeviceTest, IdleEnergyAccountedOnDemand) {
+  FlashDevice flash(spec_, 1024 * 1024, 1, clock_);
+  clock_.Advance(kSecond);
+  flash.AccountIdleEnergy();
+  EXPECT_GT(flash.energy().idle_nanojoules(), 0.0);
+}
+
+TEST_F(FlashDeviceTest, EmptyReadAndProgramAreFree) {
+  FlashDevice flash(spec_, 16 * 1024, 1, clock_);
+  std::vector<uint8_t> empty;
+  Result<Duration> r = flash.Read(0, std::span<uint8_t>(empty));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 0);
+  EXPECT_EQ(clock_.now(), 0);
+}
+
+}  // namespace
+}  // namespace ssmc

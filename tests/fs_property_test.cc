@@ -1,0 +1,356 @@
+// Model-based property tests: a randomized operation stream is applied both
+// to the file system under test and to a trivially-correct in-memory
+// reference model; after every operation the observable results must match,
+// and at checkpoints the full state must match. Run against both file
+// systems across several seeds (parameterized), this catches semantic
+// divergence that example-based tests miss.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/device/disk_device.h"
+#include "src/device/dram_device.h"
+#include "src/device/flash_device.h"
+#include "src/fs/disk_fs.h"
+#include "src/fs/file_system.h"
+#include "src/fs/log_fs.h"
+#include "src/fs/memory_fs.h"
+#include "src/ftl/flash_store.h"
+#include "src/storage/storage_manager.h"
+#include "src/support/rng.h"
+
+namespace ssmc {
+namespace {
+
+// The reference model: perfect, obvious semantics.
+class ModelFs {
+ public:
+  ModelFs() { dirs_.insert("/"); }
+
+  bool DirExists(const std::string& path) const {
+    return dirs_.count(path) != 0;
+  }
+  bool FileExists(const std::string& path) const {
+    return files_.count(path) != 0;
+  }
+
+  bool Create(const std::string& path) {
+    if (FileExists(path) || DirExists(path) ||
+        !DirExists(ParentPathOf(path))) {
+      return false;
+    }
+    files_[path] = {};
+    return true;
+  }
+
+  bool Mkdir(const std::string& path) {
+    if (FileExists(path) || DirExists(path) ||
+        !DirExists(ParentPathOf(path))) {
+      return false;
+    }
+    dirs_.insert(path);
+    return true;
+  }
+
+  bool Unlink(const std::string& path) {
+    return files_.erase(path) != 0;
+  }
+
+  bool Write(const std::string& path, uint64_t offset,
+             const std::vector<uint8_t>& data) {
+    auto it = files_.find(path);
+    if (it == files_.end()) {
+      return false;
+    }
+    if (it->second.size() < offset + data.size()) {
+      it->second.resize(offset + data.size(), 0);
+    }
+    std::copy(data.begin(), data.end(),
+              it->second.begin() + static_cast<ptrdiff_t>(offset));
+    return true;
+  }
+
+  // Returns bytes read into out (zero-padded semantics match the FS).
+  int64_t Read(const std::string& path, uint64_t offset,
+               std::vector<uint8_t>* out) const {
+    auto it = files_.find(path);
+    if (it == files_.end()) {
+      return -1;
+    }
+    if (offset >= it->second.size()) {
+      out->clear();
+      return 0;
+    }
+    const uint64_t n =
+        std::min<uint64_t>(out->size(), it->second.size() - offset);
+    out->assign(it->second.begin() + static_cast<ptrdiff_t>(offset),
+                it->second.begin() + static_cast<ptrdiff_t>(offset + n));
+    return static_cast<int64_t>(n);
+  }
+
+  bool Truncate(const std::string& path, uint64_t size) {
+    auto it = files_.find(path);
+    if (it == files_.end()) {
+      return false;
+    }
+    it->second.resize(size, 0);
+    return true;
+  }
+
+  bool Rename(const std::string& from, const std::string& to) {
+    auto it = files_.find(from);
+    if (it == files_.end() || FileExists(to) || DirExists(to) ||
+        !DirExists(ParentPathOf(to))) {
+      return false;  // Model only renames files (matches generator usage).
+    }
+    files_[to] = std::move(it->second);
+    files_.erase(it);
+    return true;
+  }
+
+  const std::map<std::string, std::vector<uint8_t>>& files() const {
+    return files_;
+  }
+
+ private:
+  static std::string ParentPathOf(const std::string& path) {
+    const size_t slash = path.rfind('/');
+    return slash == 0 ? "/" : path.substr(0, slash);
+  }
+
+  std::set<std::string> dirs_;
+  std::map<std::string, std::vector<uint8_t>> files_;
+};
+
+// Harness owning devices + the FS under test.
+struct Harness {
+  virtual ~Harness() = default;
+  virtual FileSystem& fs() = 0;
+  SimClock clock;
+};
+
+struct MemoryHarness : Harness {
+  MemoryHarness() {
+    DramSpec dram_spec;
+    dram_spec.read = {80, 25};
+    dram_spec.write = {80, 25};
+    dram = std::make_unique<DramDevice>(dram_spec, 4 * kMiB, clock);
+    FlashSpec flash_spec;
+    flash_spec.read = {150, 100};
+    flash_spec.program = {2000, 1000};
+    flash_spec.erase_sector_bytes = 4096;
+    flash_spec.erase_ns = 10 * kMillisecond;
+    flash_spec.endurance_cycles = 100000000;
+    flash = std::make_unique<FlashDevice>(flash_spec, 16 * kMiB, 2, clock);
+    store = std::make_unique<FlashStore>(*flash, FlashStoreOptions{});
+    manager = std::make_unique<StorageManager>(*dram, *store, 512);
+    MemoryFsOptions options;
+    options.write_buffer_pages = 512;  // Small: forces eviction traffic.
+    impl = std::make_unique<MemoryFileSystem>(*manager, options);
+  }
+  FileSystem& fs() override { return *impl; }
+  std::unique_ptr<DramDevice> dram;
+  std::unique_ptr<FlashDevice> flash;
+  std::unique_ptr<FlashStore> store;
+  std::unique_ptr<StorageManager> manager;
+  std::unique_ptr<MemoryFileSystem> impl;
+};
+
+struct DiskHarness : Harness {
+  DiskHarness() {
+    DiskSpec spec;
+    spec.sector_bytes = 512;
+    spec.sectors_per_track = 32;
+    spec.cylinders = 2048;  // 32 MiB.
+    spec.min_seek_ns = kMillisecond;
+    spec.avg_seek_ns = 8 * kMillisecond;
+    spec.max_seek_ns = 16 * kMillisecond;
+    spec.rotation_ns = 11 * kMillisecond;
+    spec.transfer_mib_per_s = 1.0;
+    spec.spin_up_ns = kSecond;
+    disk = std::make_unique<DiskDevice>(spec, clock);
+    disk->set_spin_down_after(0);
+    DiskFsOptions options;
+    options.cache_blocks = 16;  // Small: forces miss/eviction traffic.
+    impl = std::make_unique<DiskFileSystem>(*disk, options);
+  }
+  FileSystem& fs() override { return *impl; }
+  std::unique_ptr<DiskDevice> disk;
+  std::unique_ptr<DiskFileSystem> impl;
+};
+
+struct LogHarness : Harness {
+  LogHarness() {
+    DiskSpec spec;
+    spec.sector_bytes = 512;
+    spec.sectors_per_track = 32;
+    spec.cylinders = 2048;  // 32 MiB.
+    spec.min_seek_ns = kMillisecond;
+    spec.avg_seek_ns = 8 * kMillisecond;
+    spec.max_seek_ns = 16 * kMillisecond;
+    spec.rotation_ns = 11 * kMillisecond;
+    spec.transfer_mib_per_s = 1.0;
+    spec.spin_up_ns = kSecond;
+    disk = std::make_unique<DiskDevice>(spec, clock);
+    disk->set_spin_down_after(0);
+    LogFsOptions options;
+    options.segment_blocks = 16;  // Small segments: frequent cleaning.
+    impl = std::make_unique<LogFileSystem>(*disk, options);
+  }
+  FileSystem& fs() override { return *impl; }
+  std::unique_ptr<DiskDevice> disk;
+  std::unique_ptr<LogFileSystem> impl;
+};
+
+enum class FsKind { kMemory, kDisk, kLog };
+
+using PropertyParam = std::tuple<FsKind, uint64_t>;
+
+class FsPropertyTest : public ::testing::TestWithParam<PropertyParam> {
+ protected:
+  void SetUp() override {
+    switch (std::get<0>(GetParam())) {
+      case FsKind::kMemory:
+        harness_ = std::make_unique<MemoryHarness>();
+        break;
+      case FsKind::kDisk:
+        harness_ = std::make_unique<DiskHarness>();
+        break;
+      case FsKind::kLog:
+        harness_ = std::make_unique<LogHarness>();
+        break;
+    }
+  }
+
+  std::string RandomPath(Rng& rng) {
+    // A small namespace so operations collide with interesting frequency.
+    const int dir = static_cast<int>(rng.NextBelow(3));
+    const int file = static_cast<int>(rng.NextBelow(8));
+    return "/dir" + std::to_string(dir) + "/f" + std::to_string(file);
+  }
+
+  std::unique_ptr<Harness> harness_;
+};
+
+TEST_P(FsPropertyTest, RandomOperationsMatchModel) {
+  const uint64_t seed = std::get<1>(GetParam());
+  Rng rng(seed);
+  ModelFs model;
+  FileSystem& fs = harness_->fs();
+
+  for (int d = 0; d < 3; ++d) {
+    const std::string dir = "/dir" + std::to_string(d);
+    ASSERT_TRUE(fs.Mkdir(dir).ok());
+    ASSERT_TRUE(model.Mkdir(dir));
+  }
+
+  const int kOps = 400;
+  for (int i = 0; i < kOps; ++i) {
+    const std::string path = RandomPath(rng);
+    const double u = rng.NextDouble();
+    if (u < 0.15) {
+      const bool model_ok = model.Create(path);
+      EXPECT_EQ(fs.Create(path).ok(), model_ok) << "op " << i << " create "
+                                                << path;
+    } else if (u < 0.40) {
+      const uint64_t offset = rng.NextBelow(6000);
+      std::vector<uint8_t> data(1 + rng.NextBelow(3000));
+      for (auto& b : data) {
+        b = static_cast<uint8_t>(rng.Next());
+      }
+      const bool model_ok = model.Write(path, offset, data);
+      Result<uint64_t> wrote = fs.Write(path, offset, data);
+      EXPECT_EQ(wrote.ok(), model_ok) << "op " << i << " write " << path;
+    } else if (u < 0.70) {
+      const uint64_t offset = rng.NextBelow(8000);
+      std::vector<uint8_t> expected(1 + rng.NextBelow(4000));
+      std::vector<uint8_t> actual(expected.size());
+      const int64_t model_n = model.Read(path, offset, &expected);
+      Result<uint64_t> read = fs.Read(path, offset, actual);
+      if (model_n < 0) {
+        EXPECT_FALSE(read.ok()) << "op " << i << " read " << path;
+      } else {
+        ASSERT_TRUE(read.ok()) << "op " << i << " read " << path << ": "
+                               << read.status().ToString();
+        ASSERT_EQ(read.value(), static_cast<uint64_t>(model_n))
+            << "op " << i << " read " << path;
+        actual.resize(read.value());
+        EXPECT_EQ(actual, expected) << "op " << i << " read " << path;
+      }
+    } else if (u < 0.80) {
+      const bool model_ok = model.Unlink(path);
+      EXPECT_EQ(fs.Unlink(path).ok(), model_ok) << "op " << i;
+    } else if (u < 0.88) {
+      const uint64_t size = rng.NextBelow(8000);
+      const bool model_ok = model.Truncate(path, size);
+      EXPECT_EQ(fs.Truncate(path, size).ok(), model_ok) << "op " << i;
+    } else if (u < 0.94) {
+      const std::string to = RandomPath(rng);
+      if (to != path) {
+        const bool model_ok = model.Rename(path, to);
+        EXPECT_EQ(fs.Rename(path, to).ok(), model_ok)
+            << "op " << i << " rename " << path << " -> " << to;
+      }
+    } else {
+      ASSERT_TRUE(fs.Sync().ok()) << "op " << i;
+    }
+    // Cross-check visible sizes against the model every few operations.
+    if (i % 16 == 0) {
+      const std::string probe = RandomPath(rng);
+      Result<FileInfo> info = fs.Stat(probe);
+      auto it = model.files().find(probe);
+      if (it == model.files().end()) {
+        EXPECT_FALSE(info.ok() && !info.value().is_directory)
+            << "op " << i << " stat " << probe;
+      } else {
+        ASSERT_TRUE(info.ok()) << "op " << i << " stat " << probe;
+        EXPECT_EQ(info.value().size, it->second.size())
+            << "op " << i << " stat " << probe;
+      }
+    }
+    harness_->clock.Advance(50 * kMillisecond);
+  }
+
+  // Final deep check: every model file exists with identical content.
+  ASSERT_TRUE(fs.Sync().ok());
+  for (const auto& [path, content] : model.files()) {
+    Result<FileInfo> info = fs.Stat(path);
+    ASSERT_TRUE(info.ok()) << path;
+    EXPECT_EQ(info.value().size, content.size()) << path;
+    std::vector<uint8_t> out(content.size());
+    if (!content.empty()) {
+      Result<uint64_t> read = fs.Read(path, 0, out);
+      ASSERT_TRUE(read.ok()) << path;
+      ASSERT_EQ(read.value(), content.size()) << path;
+      EXPECT_EQ(out, content) << path;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FsPropertyTest,
+    ::testing::Combine(
+        ::testing::Values(FsKind::kMemory, FsKind::kDisk, FsKind::kLog),
+        ::testing::Values(1u, 2u, 3u, 4u, 5u)),
+    [](const ::testing::TestParamInfo<PropertyParam>& info) {
+      std::string name;
+      switch (std::get<0>(info.param)) {
+        case FsKind::kMemory:
+          name = "MemoryFs";
+          break;
+        case FsKind::kDisk:
+          name = "DiskFs";
+          break;
+        case FsKind::kLog:
+          name = "LogFs";
+          break;
+      }
+      return name + "Seed" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace ssmc

@@ -1,0 +1,210 @@
+#include "src/vm/loader.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/machine.h"
+#include "src/fs/disk_fs.h"
+
+namespace ssmc {
+namespace {
+
+class LoaderTest : public ::testing::Test {
+ protected:
+  LoaderTest() : machine_(OmniBookConfig()) {}
+
+  Program MakeProgram(uint64_t text_bytes) {
+    Program program;
+    program.path = "/bin/app";
+    program.text_bytes = text_bytes;
+    program.data_bytes = 8 * kKiB;
+    return program;
+  }
+
+  MobileComputer machine_;
+  ProgramLoader loader_;
+};
+
+TEST_F(LoaderTest, InstallPutsImageInFlash) {
+  ASSERT_TRUE(machine_.fs().Mkdir("/bin").ok());
+  const Program program = MakeProgram(64 * kKiB);
+  ASSERT_TRUE(InstallProgram(machine_.fs(), program).ok());
+  Result<std::vector<BlockLocation>> locs =
+      machine_.fs().BlockLocations(program.path);
+  ASSERT_TRUE(locs.ok());
+  for (const BlockLocation& loc : locs.value()) {
+    EXPECT_EQ(loc.kind, BlockLocation::Kind::kFlash);
+  }
+}
+
+TEST_F(LoaderTest, XipLaunchIsFastAndUsesNoDramForText) {
+  ASSERT_TRUE(machine_.fs().Mkdir("/bin").ok());
+  const Program program = MakeProgram(64 * kKiB);
+  ASSERT_TRUE(InstallProgram(machine_.fs(), program).ok());
+
+  AddressSpace& space = machine_.CreateAddressSpace();
+  Result<LaunchResult> launch = loader_.Launch(
+      space, machine_.fs(), program, LaunchStrategy::kExecuteInPlace);
+  ASSERT_TRUE(launch.ok());
+  // Launch did not read the text: only mapping metadata cost.
+  EXPECT_LT(launch.value().launch_latency, kMillisecond);
+  EXPECT_EQ(launch.value().dram_pages_after_launch, 0u);
+}
+
+TEST_F(LoaderTest, CopyLaunchReadsWholeTextIntoDram) {
+  ASSERT_TRUE(machine_.fs().Mkdir("/bin").ok());
+  const Program program = MakeProgram(64 * kKiB);
+  ASSERT_TRUE(InstallProgram(machine_.fs(), program).ok());
+
+  AddressSpace& space = machine_.CreateAddressSpace();
+  Result<LaunchResult> launch = loader_.Launch(
+      space, machine_.fs(), program, LaunchStrategy::kCopyFromFlash);
+  ASSERT_TRUE(launch.ok());
+  EXPECT_EQ(launch.value().dram_pages_after_launch, 64u * kKiB / 512);
+  EXPECT_GT(launch.value().launch_latency, kMillisecond);
+}
+
+TEST_F(LoaderTest, XipLaunchMuchFasterThanCopy) {
+  ASSERT_TRUE(machine_.fs().Mkdir("/bin").ok());
+  const Program program = MakeProgram(128 * kKiB);
+  ASSERT_TRUE(InstallProgram(machine_.fs(), program).ok());
+
+  AddressSpace& xip_space = machine_.CreateAddressSpace();
+  Result<LaunchResult> xip = loader_.Launch(
+      xip_space, machine_.fs(), program, LaunchStrategy::kExecuteInPlace);
+  ASSERT_TRUE(xip.ok());
+
+  Program copy_program = program;
+  copy_program.path = "/bin/app2";
+  ASSERT_TRUE(InstallProgram(machine_.fs(), copy_program).ok());
+  AddressSpace& copy_space = machine_.CreateAddressSpace();
+  Result<LaunchResult> copy = loader_.Launch(
+      copy_space, machine_.fs(), copy_program, LaunchStrategy::kCopyFromFlash);
+  ASSERT_TRUE(copy.ok());
+
+  EXPECT_LT(xip.value().launch_latency * 10, copy.value().launch_latency);
+}
+
+TEST_F(LoaderTest, ExecutionWorksAfterBothLaunchStyles) {
+  ASSERT_TRUE(machine_.fs().Mkdir("/bin").ok());
+  const Program program = MakeProgram(32 * kKiB);
+  ASSERT_TRUE(InstallProgram(machine_.fs(), program).ok());
+
+  AddressSpace& space = machine_.CreateAddressSpace();
+  Result<LaunchResult> launch = loader_.Launch(
+      space, machine_.fs(), program, LaunchStrategy::kExecuteInPlace);
+  ASSERT_TRUE(launch.ok());
+  Result<Duration> ran = loader_.Execute(space, launch.value(), 3);
+  ASSERT_TRUE(ran.ok());
+  EXPECT_GT(ran.value(), 0);
+}
+
+TEST_F(LoaderTest, XipSteadyStateSlowerPerPassButCheaperOverall) {
+  ASSERT_TRUE(machine_.fs().Mkdir("/bin").ok());
+  const Program xip_program = MakeProgram(64 * kKiB);
+  ASSERT_TRUE(InstallProgram(machine_.fs(), xip_program).ok());
+  Program copy_program = MakeProgram(64 * kKiB);
+  copy_program.path = "/bin/app2";
+  ASSERT_TRUE(InstallProgram(machine_.fs(), copy_program).ok());
+  // Let the background installation writes drain out of the flash banks:
+  // launches measure steady state, not install interference.
+  machine_.Idle(10 * kSecond);
+
+  AddressSpace& xip_space = machine_.CreateAddressSpace();
+  Result<LaunchResult> xip = loader_.Launch(
+      xip_space, machine_.fs(), xip_program, LaunchStrategy::kExecuteInPlace);
+  ASSERT_TRUE(xip.ok());
+  Result<Duration> xip_run = loader_.Execute(xip_space, xip.value(), 2);
+  ASSERT_TRUE(xip_run.ok());
+
+  AddressSpace& copy_space = machine_.CreateAddressSpace();
+  Result<LaunchResult> copy = loader_.Launch(
+      copy_space, machine_.fs(), copy_program, LaunchStrategy::kCopyFromFlash);
+  ASSERT_TRUE(copy.ok());
+  Result<Duration> copy_run = loader_.Execute(copy_space, copy.value(), 2);
+  ASSERT_TRUE(copy_run.ok());
+
+  // Per-pass execution is slower from flash...
+  EXPECT_GT(xip_run.value(), copy_run.value());
+  // ...but launch + short run still favors XIP.
+  EXPECT_LT(xip.value().launch_latency + xip_run.value(),
+            copy.value().launch_latency + copy_run.value());
+}
+
+TEST_F(LoaderTest, DiskLaunchSlowestOfAll) {
+  // Conventional machine: disk file system.
+  SimClock disk_clock;
+  DiskSpec disk_spec = KittyHawkDisk1993();
+  DiskDevice disk(disk_spec, disk_clock);
+  disk.set_spin_down_after(0);
+  DiskFileSystem disk_fs(disk, DiskFsOptions{});
+  ASSERT_TRUE(disk_fs.Mkdir("/bin").ok());
+  const Program program = MakeProgram(64 * kKiB);
+  ASSERT_TRUE(InstallProgram(disk_fs, program).ok());
+  // Cold start: the image must actually come off the platters.
+  ASSERT_TRUE(disk_fs.DropCaches().ok());
+
+  // The disk machine still has DRAM for its address space; model it with a
+  // storage manager whose flash is vestigial.
+  DramSpec dram_spec = NecDram1993();
+  DramDevice dram(dram_spec, 2 * kMiB, disk_clock);
+  FlashSpec vestigial = GenericPaperFlash();
+  FlashDevice flash(vestigial, 256 * kKiB, 1, disk_clock);
+  FlashStore store(flash, FlashStoreOptions{});
+  StorageManager storage(dram, store, 512);
+  AddressSpace space(storage);
+
+  Result<LaunchResult> launch =
+      loader_.LaunchFromDisk(space, disk_fs, program);
+  ASSERT_TRUE(launch.ok());
+  // Mechanical latency: tens of milliseconds at least.
+  EXPECT_GT(launch.value().launch_latency, 20 * kMillisecond);
+  EXPECT_GE(launch.value().dram_pages_after_launch, 64u * kKiB / 512);
+
+  // And far slower than the flash copy launch on the solid-state machine.
+  ASSERT_TRUE(machine_.fs().Mkdir("/bin").ok());
+  ASSERT_TRUE(InstallProgram(machine_.fs(), program).ok());
+  machine_.Idle(10 * kSecond);  // Drain background install writes.
+  AddressSpace& ssd_space = machine_.CreateAddressSpace();
+  Result<LaunchResult> flash_launch = loader_.Launch(
+      ssd_space, machine_.fs(), program, LaunchStrategy::kCopyFromFlash);
+  ASSERT_TRUE(flash_launch.ok());
+  EXPECT_GT(launch.value().launch_latency,
+            flash_launch.value().launch_latency);
+}
+
+TEST_F(LoaderTest, DemandPagedLaunchIsLazy) {
+  ASSERT_TRUE(machine_.fs().Mkdir("/bin").ok());
+  const Program program = MakeProgram(64 * kKiB);
+  ASSERT_TRUE(InstallProgram(machine_.fs(), program).ok());
+  machine_.Idle(2 * kMinute);
+
+  AddressSpace& space = machine_.CreateAddressSpace();
+  Result<LaunchResult> launch = loader_.Launch(
+      space, machine_.fs(), program, LaunchStrategy::kDemandPaged);
+  ASSERT_TRUE(launch.ok());
+  // Launch is as fast as XIP and loads nothing.
+  EXPECT_LT(launch.value().launch_latency, kMillisecond);
+  EXPECT_EQ(launch.value().dram_pages_after_launch, 0u);
+  // Execution faults the text in; afterwards it is fully resident.
+  Result<Duration> run = loader_.Execute(space, launch.value(), 1);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(space.resident_dram_pages(), 64u * kKiB / 512);
+  // A second pass runs at DRAM speed: much faster than the faulting pass.
+  Result<Duration> warm = loader_.Execute(space, launch.value(), 1);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_LT(warm.value() * 5, run.value());
+}
+
+TEST_F(LoaderTest, StrategyNamesStable) {
+  EXPECT_EQ(LaunchStrategyName(LaunchStrategy::kExecuteInPlace),
+            "execute-in-place");
+  EXPECT_EQ(LaunchStrategyName(LaunchStrategy::kCopyFromFlash),
+            "copy-from-flash");
+  EXPECT_EQ(LaunchStrategyName(LaunchStrategy::kDemandPaged),
+            "demand-paged");
+  EXPECT_EQ(LaunchStrategyName(LaunchStrategy::kCopyFromDisk),
+            "copy-from-disk");
+}
+
+}  // namespace
+}  // namespace ssmc

@@ -1,0 +1,44 @@
+#include "src/support/log.h"
+
+#include <gtest/gtest.h>
+
+namespace ssmc {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetLogLevel(LogLevel::kWarning); }
+};
+
+TEST_F(LogTest, LevelRoundTrips) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kOff);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kOff);
+}
+
+TEST_F(LogTest, MacroStreamsArbitraryTypes) {
+  SetLogLevel(LogLevel::kOff);  // Discarded, but must compile and run.
+  SSMC_LOG(kInfo) << "value=" << 42 << " ratio=" << 1.5 << " name=" << "x";
+  SSMC_LOG(kError) << std::string("string payload");
+}
+
+TEST_F(LogTest, BelowThresholdDiscarded) {
+  // Behavioural smoke: capture stderr around calls.
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  SSMC_LOG(kDebug) << "hidden";
+  SSMC_LOG(kInfo) << "hidden";
+  SSMC_LOG(kWarning) << "hidden";
+  const std::string quiet = ::testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(quiet.empty());
+
+  ::testing::internal::CaptureStderr();
+  SSMC_LOG(kError) << "visible message";
+  const std::string loud = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(loud.find("visible message"), std::string::npos);
+  EXPECT_NE(loud.find("ERROR"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssmc

@@ -1,0 +1,93 @@
+#include "src/vm/page_table.h"
+
+#include <gtest/gtest.h>
+
+namespace ssmc {
+namespace {
+
+TEST(PageTableTest, FindOnEmptyReturnsNull) {
+  PageTable table(512, nullptr);
+  EXPECT_EQ(table.Find(0), nullptr);
+  EXPECT_EQ(table.Find(uint64_t{1} << 40), nullptr);
+  EXPECT_EQ(table.present_count(), 0u);
+}
+
+TEST(PageTableTest, FindOrCreateThenFind) {
+  PageTable table(512, nullptr);
+  PageTableEntry& pte = table.FindOrCreate(0x1000);
+  pte.frame = 42;
+  table.MarkPresent(pte, true);
+  PageTableEntry* found = table.Find(0x1000);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->frame, 42u);
+  EXPECT_TRUE(found->present);
+  EXPECT_EQ(table.present_count(), 1u);
+}
+
+TEST(PageTableTest, DistinctPagesDistinctEntries) {
+  PageTable table(512, nullptr);
+  PageTableEntry& a = table.FindOrCreate(0);
+  PageTableEntry& b = table.FindOrCreate(512);
+  EXPECT_NE(&a, &b);
+  // Same page, different offsets: same entry.
+  PageTableEntry& c = table.FindOrCreate(100);
+  EXPECT_EQ(&a, &c);
+}
+
+TEST(PageTableTest, SparseHighAddressesWork) {
+  PageTable table(512, nullptr);
+  const uint64_t va = uint64_t{0xDEADBEEF} << 24;
+  PageTableEntry& pte = table.FindOrCreate(va);
+  pte.frame = 7;
+  table.MarkPresent(pte, true);
+  ASSERT_NE(table.Find(va), nullptr);
+  EXPECT_EQ(table.Find(va)->frame, 7u);
+  // Neighbors remain unmapped.
+  EXPECT_TRUE(table.Find(va + 512) == nullptr ||
+              !table.Find(va + 512)->present);
+}
+
+TEST(PageTableTest, RemoveClearsEntry) {
+  PageTable table(512, nullptr);
+  PageTableEntry& pte = table.FindOrCreate(0x2000);
+  table.MarkPresent(pte, true);
+  EXPECT_EQ(table.present_count(), 1u);
+  table.Remove(0x2000);
+  EXPECT_EQ(table.present_count(), 0u);
+  PageTableEntry* found = table.Find(0x2000);
+  // Entry may exist but must not be present.
+  EXPECT_TRUE(found == nullptr || !found->present);
+}
+
+TEST(PageTableTest, MarkPresentIdempotent) {
+  PageTable table(512, nullptr);
+  PageTableEntry& pte = table.FindOrCreate(0);
+  table.MarkPresent(pte, true);
+  table.MarkPresent(pte, true);
+  EXPECT_EQ(table.present_count(), 1u);
+  table.MarkPresent(pte, false);
+  table.MarkPresent(pte, false);
+  EXPECT_EQ(table.present_count(), 0u);
+}
+
+TEST(PageTableTest, WalkStatsAccumulate) {
+  PageTable table(512, nullptr);
+  table.FindOrCreate(0);
+  const uint64_t walks = table.stats().walks.value();
+  const uint64_t levels = table.stats().levels_touched.value();
+  EXPECT_GE(walks, 1u);
+  // 512-byte pages, 55 VPN bits, 9 bits/level: 7 levels per full walk.
+  EXPECT_GE(levels, 7u);
+}
+
+TEST(PageTableTest, LargerPagesFewerLevels) {
+  PageTable small(512, nullptr);
+  PageTable big(64 * 1024, nullptr);
+  small.FindOrCreate(0);
+  big.FindOrCreate(0);
+  EXPECT_GT(small.stats().levels_touched.value(),
+            big.stats().levels_touched.value());
+}
+
+}  // namespace
+}  // namespace ssmc

@@ -1,0 +1,100 @@
+#include "src/trace/replayer.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/machine.h"
+#include "src/trace/generator.h"
+
+namespace ssmc {
+namespace {
+
+class ReplayerTest : public ::testing::Test {
+ protected:
+  ReplayerTest() : machine_(OmniBookConfig()) {}
+  MobileComputer machine_;
+};
+
+TEST_F(ReplayerTest, ReplaysSimpleTrace) {
+  Trace trace;
+  trace.Add({0, TraceOp::kMkdir, "/d", 0, 0, ""});
+  trace.Add({kMillisecond, TraceOp::kCreate, "/d/f", 0, 0, ""});
+  trace.Add({2 * kMillisecond, TraceOp::kWrite, "/d/f", 0, 1000, ""});
+  trace.Add({3 * kMillisecond, TraceOp::kRead, "/d/f", 0, 1000, ""});
+  trace.Add({4 * kMillisecond, TraceOp::kStat, "/d/f", 0, 0, ""});
+  trace.Add({5 * kMillisecond, TraceOp::kUnlink, "/d/f", 0, 0, ""});
+
+  ReplayReport report = machine_.RunTrace(trace);
+  EXPECT_EQ(report.ops, 6u);
+  EXPECT_EQ(report.failures, 0u);
+  EXPECT_EQ(report.bytes_written, 1000u);
+  EXPECT_EQ(report.bytes_read, 1000u);
+  EXPECT_GE(report.elapsed(), 5 * kMillisecond);
+}
+
+TEST_F(ReplayerTest, FailuresCountedNotFatal) {
+  Trace trace;
+  trace.Add({0, TraceOp::kUnlink, "/missing", 0, 0, ""});
+  trace.Add({10, TraceOp::kCreate, "/ok", 0, 0, ""});
+  ReplayReport report = machine_.RunTrace(trace);
+  EXPECT_EQ(report.ops, 2u);
+  EXPECT_EQ(report.failures, 1u);
+}
+
+TEST_F(ReplayerTest, RespectsTraceTiming) {
+  Trace trace;
+  trace.Add({0, TraceOp::kCreate, "/f", 0, 0, ""});
+  trace.Add({kSecond, TraceOp::kStat, "/f", 0, 0, ""});
+  ReplayReport report = machine_.RunTrace(trace);
+  EXPECT_GE(report.elapsed(), kSecond);
+}
+
+TEST_F(ReplayerTest, PerOpLatenciesRecorded) {
+  Trace trace;
+  trace.Add({0, TraceOp::kCreate, "/f", 0, 0, ""});
+  trace.Add({10, TraceOp::kWrite, "/f", 0, 4096, ""});
+  trace.Add({20, TraceOp::kRead, "/f", 0, 4096, ""});
+  ReplayReport report = machine_.RunTrace(trace);
+  EXPECT_EQ(report.ForOp(TraceOp::kWrite).count(), 1u);
+  EXPECT_EQ(report.ForOp(TraceOp::kRead).count(), 1u);
+  EXPECT_GT(report.ForOp(TraceOp::kWrite).mean_ns(), 0.0);
+}
+
+TEST_F(ReplayerTest, GeneratedOfficeTraceReplaysCleanly) {
+  WorkloadOptions options = OfficeWorkload();
+  options.duration = kMinute;
+  options.max_file_bytes = 64 * 1024;  // Keep within the small machine.
+  Trace trace = WorkloadGenerator(options).Generate();
+  ReplayReport report = machine_.RunTrace(trace);
+  EXPECT_EQ(report.failures, 0u);
+  EXPECT_EQ(report.ops, trace.size());
+  EXPECT_GT(report.OpsPerSecond(), 0.0);
+}
+
+TEST_F(ReplayerTest, FlushDaemonRunsDuringReplay) {
+  // A write left idle past the flush age must reach flash via the daemon
+  // without an explicit Sync.
+  Trace trace;
+  trace.Add({0, TraceOp::kCreate, "/f", 0, 0, ""});
+  trace.Add({kMillisecond, TraceOp::kWrite, "/f", 0, 512, ""});
+  trace.Add({60 * kSecond, TraceOp::kStat, "/f", 0, 0, ""});
+  ReplayReport report = machine_.RunTrace(trace);
+  EXPECT_EQ(report.failures, 0u);
+  EXPECT_GT(machine_.flash_store().stats().user_writes.value(), 0u);
+}
+
+TEST_F(ReplayerTest, WriteHotTraceExercisesWriteBuffer) {
+  WorkloadOptions options = WriteHotWorkload();
+  options.duration = kMinute;
+  options.max_file_bytes = 32 * 1024;
+  Trace trace = WorkloadGenerator(options).Generate();
+  ReplayReport report = machine_.RunTrace(trace);
+  EXPECT_EQ(report.failures, 0u);
+  const auto& wb = machine_.fs().write_buffer().stats();
+  // Overwrite absorption and/or delete-dropping must have occurred.
+  EXPECT_GT(wb.absorbed_overwrites.value() + wb.dropped_writes.value(), 0u);
+}
+
+}  // namespace
+}  // namespace ssmc

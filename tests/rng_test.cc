@@ -1,0 +1,168 @@
+#include "src/support/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace ssmc {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng a(7);
+  const uint64_t first = a.Next();
+  a.Next();
+  a.Seed(7);
+  EXPECT_EQ(a.Next(), first);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowOneIsZero) {
+  Rng rng(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.NextBelow(1), 0u);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(42);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(42);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  // Mean should be near 0.5.
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(42);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextExponential(10.0);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.3);
+}
+
+TEST(RngTest, GaussianIsRoughlyStandard) {
+  Rng rng(42);
+  double sum = 0;
+  double sumsq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sumsq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, BoundedParetoStaysInBounds) {
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextBoundedPareto(1.1, 100, 1000000);
+    EXPECT_GE(v, 100.0 * (1 - 1e-9));
+    EXPECT_LE(v, 1000000.0 * (1 + 1e-9));
+  }
+}
+
+TEST(RngTest, BoundedParetoIsSkewedTowardSmall) {
+  Rng rng(42);
+  int small = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBoundedPareto(1.2, 1, 1 << 20) < 16) {
+      ++small;
+    }
+  }
+  // Heavy-tailed: the majority of samples are tiny.
+  EXPECT_GT(small, n / 2);
+}
+
+TEST(ZipfSamplerTest, RankZeroIsMostFrequent) {
+  Rng rng(42);
+  ZipfSampler zipf(100, 1.0);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 20000; ++i) {
+    counts[zipf.Sample(rng)]++;
+  }
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[50]);
+  // Rank 0 of a 100-item zipf(1.0) distribution has weight ~19%.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / 20000, 0.19, 0.03);
+}
+
+TEST(ZipfSamplerTest, AllIndicesReachable) {
+  Rng rng(42);
+  ZipfSampler zipf(5, 0.5);
+  std::vector<bool> seen(5, false);
+  for (int i = 0; i < 5000; ++i) {
+    seen[zipf.Sample(rng)] = true;
+  }
+  for (bool s : seen) {
+    EXPECT_TRUE(s);
+  }
+}
+
+TEST(ZipfSamplerTest, SkewZeroIsUniform) {
+  Rng rng(42);
+  ZipfSampler zipf(10, 0.0);
+  std::map<size_t, int> counts;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    counts[zipf.Sample(rng)]++;
+  }
+  for (const auto& [idx, c] : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.02) << "index " << idx;
+  }
+}
+
+}  // namespace
+}  // namespace ssmc

@@ -1,0 +1,173 @@
+#include "src/core/single_level_store.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/machine.h"
+
+namespace ssmc {
+namespace {
+
+class SingleLevelStoreTest : public ::testing::Test {
+ protected:
+  SingleLevelStoreTest()
+      : machine_(NotebookConfig()),
+        store_(machine_.storage(), machine_.fs()) {}
+
+  void MakeFile(const std::string& path, size_t bytes, uint8_t seed,
+                bool sync = true) {
+    ASSERT_TRUE(machine_.fs().Create(path).ok());
+    std::vector<uint8_t> data(bytes);
+    for (size_t i = 0; i < bytes; ++i) {
+      data[i] = static_cast<uint8_t>(seed + i * 3);
+    }
+    ASSERT_TRUE(machine_.fs().Write(path, 0, data).ok());
+    if (sync) {
+      ASSERT_TRUE(machine_.fs().Sync().ok());
+      machine_.Idle(kMinute);
+    }
+  }
+
+  MobileComputer machine_;
+  SingleLevelStore store_;
+};
+
+TEST_F(SingleLevelStoreTest, AttachAssignsStableAlignedAddresses) {
+  MakeFile("/a", 1024, 1);
+  MakeFile("/b", 1024, 2);
+  Result<uint64_t> a = store_.Attach("/a");
+  Result<uint64_t> b = store_.Attach("/b");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.value(), b.value());
+  EXPECT_EQ(a.value() % SingleLevelStore::kWindowBytes, 0u);
+  EXPECT_GE(a.value(), SingleLevelStore::kWindowBase);
+  // Idempotent.
+  Result<uint64_t> again = store_.Attach("/a");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value(), a.value());
+  EXPECT_EQ(store_.attached_count(), 2u);
+  EXPECT_EQ(store_.stats().attaches.value(), 2u);
+}
+
+TEST_F(SingleLevelStoreTest, LoadReadsFileContent) {
+  MakeFile("/doc", 3000, 5);
+  Result<uint64_t> base = store_.Attach("/doc");
+  ASSERT_TRUE(base.ok());
+  std::vector<uint8_t> out(100);
+  ASSERT_TRUE(store_.Load(base.value() + 1000, out).ok());
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<uint8_t>(5 + (1000 + i) * 3)) << i;
+  }
+  // Read-only windows serve from flash in place: no DRAM consumed.
+  EXPECT_EQ(store_.space().resident_dram_pages(), 0u);
+}
+
+TEST_F(SingleLevelStoreTest, StoreToReadOnlyWindowDenied) {
+  MakeFile("/ro", 512, 1);
+  Result<uint64_t> base = store_.Attach("/ro");
+  ASSERT_TRUE(base.ok());
+  std::vector<uint8_t> data(16, 0xAA);
+  EXPECT_EQ(store_.Store(base.value(), data).status().code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST_F(SingleLevelStoreTest, WritableWindowStoresReachTheFile) {
+  MakeFile("/db", 2048, 3);
+  Result<uint64_t> base = store_.AttachWritable("/db");
+  ASSERT_TRUE(base.ok());
+  std::vector<uint8_t> record(64, 0xEE);
+  ASSERT_TRUE(store_.Store(base.value() + 512, record).ok());
+  // Visible through the store...
+  std::vector<uint8_t> out(64);
+  ASSERT_TRUE(store_.Load(base.value() + 512, out).ok());
+  EXPECT_EQ(out, record);
+  // ...and through the ordinary file interface.
+  ASSERT_TRUE(machine_.fs().Read("/db", 512, out).ok());
+  EXPECT_EQ(out, record);
+}
+
+TEST_F(SingleLevelStoreTest, StoresAreDurableViaFlushPolicy) {
+  MakeFile("/persist", 512, 2);
+  Result<uint64_t> base = store_.AttachWritable("/persist");
+  ASSERT_TRUE(base.ok());
+  std::vector<uint8_t> data(512, 0x77);
+  ASSERT_TRUE(store_.Store(base.value(), data).ok());
+  ASSERT_TRUE(machine_.fs().Sync().ok());
+  // The store's write went through the write buffer into flash.
+  Result<std::vector<BlockLocation>> locs =
+      machine_.fs().BlockLocations("/persist");
+  ASSERT_TRUE(locs.ok());
+  EXPECT_EQ(locs.value()[0].kind, BlockLocation::Kind::kFlash);
+}
+
+TEST_F(SingleLevelStoreTest, MixedAccessModesRejected) {
+  MakeFile("/f", 512, 1);
+  ASSERT_TRUE(store_.Attach("/f").ok());
+  EXPECT_EQ(store_.AttachWritable("/f").status().code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(SingleLevelStoreTest, ResolveMapsAddressesBack) {
+  MakeFile("/x", 512, 1);
+  Result<uint64_t> base = store_.Attach("/x");
+  ASSERT_TRUE(base.ok());
+  Result<std::pair<std::string, uint64_t>> hit =
+      store_.Resolve(base.value() + 123);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit.value().first, "/x");
+  EXPECT_EQ(hit.value().second, 123u);
+  EXPECT_FALSE(store_.Resolve(0x1000).ok());
+}
+
+TEST_F(SingleLevelStoreTest, DetachReleasesWindow) {
+  MakeFile("/gone", 512, 1);
+  Result<uint64_t> base = store_.Attach("/gone");
+  ASSERT_TRUE(base.ok());
+  std::vector<uint8_t> out(16);
+  ASSERT_TRUE(store_.Load(base.value(), out).ok());
+  ASSERT_TRUE(store_.Detach("/gone").ok());
+  EXPECT_FALSE(store_.Load(base.value(), out).ok());
+  EXPECT_EQ(store_.Detach("/gone").code(), ErrorCode::kNotFound);
+  // The file itself survives.
+  EXPECT_TRUE(machine_.fs().Stat("/gone").ok());
+}
+
+TEST_F(SingleLevelStoreTest, AttachMissingOrDirectoryFails) {
+  EXPECT_EQ(store_.Attach("/missing").status().code(), ErrorCode::kNotFound);
+  ASSERT_TRUE(machine_.fs().Mkdir("/dir").ok());
+  EXPECT_EQ(store_.Attach("/dir").status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(SingleLevelStoreTest, LoadPastEndOfFileFails) {
+  MakeFile("/short", 100, 1);
+  Result<uint64_t> base = store_.AttachWritable("/short");
+  ASSERT_TRUE(base.ok());
+  std::vector<uint8_t> out(200);
+  EXPECT_FALSE(store_.Load(base.value(), out).ok());
+}
+
+TEST_F(SingleLevelStoreTest, ManyWindowsCoexist) {
+  for (int i = 0; i < 20; ++i) {
+    MakeFile("/w" + std::to_string(i), 600, static_cast<uint8_t>(i),
+             /*sync=*/false);
+  }
+  ASSERT_TRUE(machine_.fs().Sync().ok());
+  machine_.Idle(kMinute);
+  std::vector<uint64_t> bases;
+  for (int i = 0; i < 20; ++i) {
+    Result<uint64_t> base = store_.Attach("/w" + std::to_string(i));
+    ASSERT_TRUE(base.ok());
+    bases.push_back(base.value());
+  }
+  // All distinct, all resolvable, all readable.
+  std::vector<uint8_t> out(1);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(store_.Load(bases[static_cast<size_t>(i)], out).ok());
+    EXPECT_EQ(out[0], static_cast<uint8_t>(i));
+  }
+  EXPECT_EQ(store_.attached_count(), 20u);
+}
+
+}  // namespace
+}  // namespace ssmc

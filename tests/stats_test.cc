@@ -1,0 +1,113 @@
+#include "src/sim/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace ssmc {
+namespace {
+
+TEST(CounterTest, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+}
+
+TEST(HistogramTest, BasicMoments) {
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 60u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 30u);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(HistogramTest, ZeroGoesToBucketZero) {
+  Histogram h;
+  h.Record(0);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+}
+
+TEST(HistogramTest, QuantileWithinBucketResolution) {
+  Histogram h;
+  for (int i = 0; i < 99; ++i) {
+    h.Record(100);  // Bucket [64, 128).
+  }
+  h.Record(100000);  // One outlier.
+  const uint64_t p50 = h.Quantile(0.5);
+  EXPECT_GE(p50, 64u);
+  EXPECT_LE(p50, 127u);
+  // The top quantile should land in the outlier's bucket, capped at max.
+  EXPECT_GE(h.Quantile(1.0), 65536u);
+  EXPECT_LE(h.Quantile(1.0), 100000u);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a;
+  Histogram b;
+  a.Record(5);
+  b.Record(500);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 5u);
+  EXPECT_EQ(a.max(), 500u);
+}
+
+TEST(HistogramTest, MergeWithEmptyKeepsStats) {
+  Histogram a;
+  Histogram empty;
+  a.Record(5);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 5u);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(9);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(LatencyRecorderTest, RecordsDurations) {
+  LatencyRecorder r;
+  r.Record(1000);
+  r.Record(3000);
+  EXPECT_EQ(r.count(), 2u);
+  EXPECT_DOUBLE_EQ(r.mean_ns(), 2000.0);
+  EXPECT_EQ(r.min_ns(), 1000u);
+  EXPECT_EQ(r.max_ns(), 3000u);
+  EXPECT_EQ(r.total_ns(), 4000u);
+}
+
+TEST(LatencyRecorderTest, NegativeDurationsClampToZero) {
+  LatencyRecorder r;
+  r.Record(-5);
+  EXPECT_EQ(r.min_ns(), 0u);
+}
+
+TEST(LatencyRecorderTest, SummaryMentionsCount) {
+  LatencyRecorder r;
+  EXPECT_EQ(r.Summary(), "no samples");
+  r.Record(1000);
+  EXPECT_NE(r.Summary().find("n=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssmc

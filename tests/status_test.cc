@@ -1,0 +1,81 @@
+#include "src/support/status.h"
+
+#include <gtest/gtest.h>
+
+namespace ssmc {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = NotFoundError("no such file");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(s.message(), "no such file");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: no such file");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(AlreadyExistsError("").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(InvalidArgumentError("").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(OutOfRangeError("").code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(NoSpaceError("").code(), ErrorCode::kNoSpace);
+  EXPECT_EQ(PermissionDeniedError("").code(), ErrorCode::kPermissionDenied);
+  EXPECT_EQ(FailedPreconditionError("").code(),
+            ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(DataLossError("").code(), ErrorCode::kDataLoss);
+  EXPECT_EQ(UnavailableError("").code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(InternalError("").code(), ErrorCode::kInternal);
+}
+
+TEST(StatusTest, ErrorCodeNamesAreDistinct) {
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kOk), "OK");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kNoSpace), "NO_SPACE");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kDataLoss), "DATA_LOSS");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = NoSpaceError("device full");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kNoSpace);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MovesValueOut) {
+  Result<std::string> r = std::string("hello");
+  ASSERT_TRUE(r.ok());
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+Status FailsIfNegative(int x) {
+  if (x < 0) {
+    return InvalidArgumentError("negative");
+  }
+  return Status::Ok();
+}
+
+Status UsesReturnIfError(int x) {
+  SSMC_RETURN_IF_ERROR(FailsIfNegative(x));
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UsesReturnIfError(1).ok());
+  EXPECT_EQ(UsesReturnIfError(-1).code(), ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ssmc

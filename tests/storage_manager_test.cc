@@ -1,0 +1,113 @@
+#include "src/storage/storage_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace ssmc {
+namespace {
+
+FlashSpec TestFlashSpec() {
+  FlashSpec spec;
+  spec.read = {100, 10};
+  spec.program = {1000, 100};
+  spec.erase_sector_bytes = 2048;
+  spec.erase_ns = kMillisecond;
+  spec.endurance_cycles = 1000000;
+  return spec;
+}
+
+DramSpec TestDramSpec() {
+  DramSpec spec;
+  spec.read = {50, 10};
+  spec.write = {60, 12};
+  spec.active_mw_per_mib = 150;
+  spec.standby_mw_per_mib = 1.5;
+  return spec;
+}
+
+class StorageManagerTest : public ::testing::Test {
+ protected:
+  StorageManagerTest()
+      : dram_(TestDramSpec(), 64 * 1024, clock_),
+        flash_(TestFlashSpec(), 128 * 1024, 1, clock_),
+        store_(flash_, {}),
+        manager_(dram_, store_, 512) {}
+
+  SimClock clock_;
+  DramDevice dram_;
+  FlashDevice flash_;
+  FlashStore store_;
+  StorageManager manager_;
+};
+
+TEST_F(StorageManagerTest, PageCountsFromCapacity) {
+  EXPECT_EQ(manager_.total_dram_pages(), 128u);  // 64 KiB / 512.
+  EXPECT_EQ(manager_.free_dram_pages(), 128u);
+  EXPECT_EQ(manager_.total_flash_blocks(), store_.num_blocks());
+  EXPECT_EQ(manager_.free_flash_blocks(), store_.num_blocks());
+}
+
+TEST_F(StorageManagerTest, DramPagesAllocatedLowFirst) {
+  Result<uint64_t> a = manager_.AllocateDramPage();
+  Result<uint64_t> b = manager_.AllocateDramPage();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), 0u);
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(manager_.free_dram_pages(), 126u);
+  EXPECT_EQ(manager_.DramPageAddress(b.value()), 512u);
+}
+
+TEST_F(StorageManagerTest, FreeReturnsPageToPool) {
+  Result<uint64_t> a = manager_.AllocateDramPage();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(manager_.FreeDramPage(a.value()).ok());
+  EXPECT_EQ(manager_.free_dram_pages(), 128u);
+}
+
+TEST_F(StorageManagerTest, DoubleFreeDetected) {
+  Result<uint64_t> a = manager_.AllocateDramPage();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(manager_.FreeDramPage(a.value()).ok());
+  EXPECT_EQ(manager_.FreeDramPage(a.value()).code(),
+            ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(manager_.FreeDramPage(9999).code(), ErrorCode::kOutOfRange);
+}
+
+TEST_F(StorageManagerTest, ExhaustionReturnsNoSpace) {
+  for (uint64_t i = 0; i < 128; ++i) {
+    ASSERT_TRUE(manager_.AllocateDramPage().ok());
+  }
+  EXPECT_EQ(manager_.AllocateDramPage().status().code(), ErrorCode::kNoSpace);
+}
+
+TEST_F(StorageManagerTest, FlashBlockAllocateAndFree) {
+  Result<uint64_t> b = manager_.AllocateFlashBlock();
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(manager_.free_flash_blocks(), store_.num_blocks() - 1);
+  // Write something so the free also trims.
+  std::vector<uint8_t> data(512, 0xAA);
+  ASSERT_TRUE(store_.Write(b.value(), data).ok());
+  ASSERT_TRUE(manager_.FreeFlashBlock(b.value()).ok());
+  EXPECT_EQ(manager_.free_flash_blocks(), store_.num_blocks());
+  EXPECT_FALSE(store_.IsMapped(b.value()));
+}
+
+TEST_F(StorageManagerTest, FlashDoubleFreeDetected) {
+  Result<uint64_t> b = manager_.AllocateFlashBlock();
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(manager_.FreeFlashBlock(b.value()).ok());
+  EXPECT_EQ(manager_.FreeFlashBlock(b.value()).code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(StorageManagerTest, MetadataChargesAdvanceClock) {
+  const SimTime before = clock_.now();
+  manager_.ChargeMetadataRead(64);
+  EXPECT_GT(clock_.now(), before);
+  const SimTime mid = clock_.now();
+  manager_.ChargeMetadataWrite(64);
+  EXPECT_GT(clock_.now(), mid);
+}
+
+}  // namespace
+}  // namespace ssmc

@@ -1,0 +1,68 @@
+#include "src/support/table.h"
+
+#include <gtest/gtest.h>
+
+namespace ssmc {
+namespace {
+
+TEST(TableTest, RendersHeadersAndRows) {
+  Table t({"name", "count"});
+  t.AddRow();
+  t.AddCell("alpha");
+  t.AddCell(int64_t{7});
+  t.AddRow();
+  t.AddCell("beta");
+  t.AddCell(int64_t{123});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("count"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("123"), std::string::npos);
+}
+
+TEST(TableTest, TitlePrintedFirst) {
+  Table t({"a"});
+  t.set_title("My Table");
+  t.AddRow();
+  t.AddCell("x");
+  const std::string s = t.ToString();
+  EXPECT_EQ(s.rfind("My Table", 0), 0u);
+}
+
+TEST(TableTest, NumericCellsRightAligned) {
+  Table t({"col"});
+  t.AddRow();
+  t.AddCell("wide-text-cell");
+  t.AddRow();
+  t.AddCell(int64_t{5});
+  const std::string s = t.ToString();
+  // The numeric cell should be padded on the left inside its cell.
+  EXPECT_NE(s.find("             5 "), std::string::npos) << s;
+}
+
+TEST(TableTest, DoubleFormatting) {
+  Table t({"v"});
+  t.AddRow();
+  t.AddCell(3.14159, 1);
+  EXPECT_NE(t.ToString().find("3.1"), std::string::npos);
+}
+
+TEST(TableTest, MissingCellsRenderEmpty) {
+  Table t({"a", "b"});
+  t.AddRow();
+  t.AddCell("only-one");
+  // Should not crash and should still render two columns.
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("only-one"), std::string::npos);
+}
+
+TEST(TableTest, RowCount) {
+  Table t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.AddRow();
+  t.AddCell("x");
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+}  // namespace
+}  // namespace ssmc

@@ -1,0 +1,50 @@
+#include "src/support/units.h"
+
+#include <gtest/gtest.h>
+
+namespace ssmc {
+namespace {
+
+TEST(UnitsTest, DurationConstants) {
+  EXPECT_EQ(kMicrosecond, 1000);
+  EXPECT_EQ(kMillisecond, 1000 * 1000);
+  EXPECT_EQ(kSecond, 1000 * 1000 * 1000);
+  EXPECT_EQ(kMinute, 60 * kSecond);
+  EXPECT_EQ(kHour, 60 * kMinute);
+  EXPECT_EQ(kDay, 24 * kHour);
+}
+
+TEST(UnitsTest, FormatDurationPicksUnit) {
+  EXPECT_EQ(FormatDuration(500), "500 ns");
+  EXPECT_EQ(FormatDuration(1500), "1.50 us");
+  EXPECT_EQ(FormatDuration(2 * kMillisecond), "2.00 ms");
+  EXPECT_EQ(FormatDuration(3 * kSecond), "3.00 s");
+  EXPECT_EQ(FormatDuration(90 * kSecond), "1.5 min");
+  EXPECT_EQ(FormatDuration(2 * kHour), "2.0 h");
+}
+
+TEST(UnitsTest, FormatDurationNegative) {
+  EXPECT_EQ(FormatDuration(-1500), "-1.50 us");
+}
+
+TEST(UnitsTest, FormatSizePicksUnit) {
+  EXPECT_EQ(FormatSize(100), "100 B");
+  EXPECT_EQ(FormatSize(2048), "2.0 KiB");
+  EXPECT_EQ(FormatSize(3 * kMiB), "3.0 MiB");
+  EXPECT_EQ(FormatSize(kGiB + kGiB / 2), "1.50 GiB");
+}
+
+TEST(UnitsTest, FormatEnergyPicksUnit) {
+  EXPECT_EQ(FormatEnergy(500), "500.0 nJ");
+  EXPECT_EQ(FormatEnergy(2500), "2.50 uJ");
+  EXPECT_EQ(FormatEnergy(3.3e6), "3.30 mJ");
+  EXPECT_EQ(FormatEnergy(4.2e9), "4.20 J");
+}
+
+TEST(UnitsTest, FormatDoubleDigits) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.14159, 0), "3");
+}
+
+}  // namespace
+}  // namespace ssmc

@@ -1,0 +1,219 @@
+#include "src/storage/write_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace ssmc {
+namespace {
+
+FlashSpec TestFlashSpec() {
+  FlashSpec spec;
+  spec.read = {100, 10};
+  spec.program = {1000, 100};
+  spec.erase_sector_bytes = 2048;
+  spec.erase_ns = kMillisecond;
+  spec.endurance_cycles = 1000000;
+  return spec;
+}
+
+DramSpec TestDramSpec() {
+  DramSpec spec;
+  spec.read = {50, 10};
+  spec.write = {60, 12};
+  spec.active_mw_per_mib = 150;
+  spec.standby_mw_per_mib = 1.5;
+  return spec;
+}
+
+class WriteBufferTest : public ::testing::Test {
+ protected:
+  WriteBufferTest()
+      : dram_(TestDramSpec(), 64 * 1024, clock_),
+        flash_(TestFlashSpec(), 256 * 1024, 1, clock_),
+        store_(flash_, {}),
+        manager_(dram_, store_, 512) {}
+
+  // Creates a buffer whose flushes record into flushed_ and write to the
+  // flash store at block = key.block_index.
+  std::unique_ptr<WriteBuffer> MakeBuffer(uint64_t capacity_pages) {
+    return std::make_unique<WriteBuffer>(
+        manager_, capacity_pages,
+        [this](const BlockKey& key, std::span<const uint8_t> data) -> Status {
+          flushed_[key.block_index] += 1;
+          Result<Duration> r = store_.Write(key.block_index, data);
+          return r.ok() ? Status::Ok() : r.status();
+        });
+  }
+
+  std::vector<uint8_t> Page(uint8_t fill) {
+    return std::vector<uint8_t>(512, fill);
+  }
+
+  SimClock clock_;
+  DramDevice dram_;
+  FlashDevice flash_;
+  FlashStore store_;
+  StorageManager manager_;
+  std::map<uint64_t, int> flushed_;
+};
+
+TEST_F(WriteBufferTest, PutThenGetRoundTrips) {
+  auto buffer = MakeBuffer(16);
+  const BlockKey key{1, 0};
+  ASSERT_TRUE(buffer->Put(key, Page(0xAA), clock_.now()).ok());
+  EXPECT_TRUE(buffer->Contains(key));
+  EXPECT_EQ(buffer->dirty_pages(), 1u);
+  auto out = Page(0);
+  ASSERT_TRUE(buffer->Get(key, out).ok());
+  EXPECT_EQ(out, Page(0xAA));
+  EXPECT_TRUE(flushed_.empty());  // Nothing reached flash.
+}
+
+TEST_F(WriteBufferTest, GetMissingIsNotFound) {
+  auto buffer = MakeBuffer(16);
+  auto out = Page(0);
+  EXPECT_EQ(buffer->Get(BlockKey{1, 0}, out).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(WriteBufferTest, WrongSizeRejected) {
+  auto buffer = MakeBuffer(16);
+  std::vector<uint8_t> small(100);
+  EXPECT_EQ(buffer->Put(BlockKey{1, 0}, small, 0).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(WriteBufferTest, OverwriteAbsorbedInDram) {
+  auto buffer = MakeBuffer(16);
+  const BlockKey key{1, 0};
+  ASSERT_TRUE(buffer->Put(key, Page(1), clock_.now()).ok());
+  ASSERT_TRUE(buffer->Put(key, Page(2), clock_.now()).ok());
+  ASSERT_TRUE(buffer->Put(key, Page(3), clock_.now()).ok());
+  EXPECT_EQ(buffer->stats().absorbed_overwrites.value(), 2u);
+  EXPECT_EQ(buffer->dirty_pages(), 1u);
+  EXPECT_TRUE(flushed_.empty());
+  auto out = Page(0);
+  ASSERT_TRUE(buffer->Get(key, out).ok());
+  EXPECT_EQ(out, Page(3));
+}
+
+TEST_F(WriteBufferTest, CapacityEvictionFlushesOldest) {
+  auto buffer = MakeBuffer(2);
+  ASSERT_TRUE(buffer->Put(BlockKey{1, 0}, Page(1), clock_.now()).ok());
+  ASSERT_TRUE(buffer->Put(BlockKey{1, 1}, Page(2), clock_.now()).ok());
+  ASSERT_TRUE(buffer->Put(BlockKey{1, 2}, Page(3), clock_.now()).ok());
+  EXPECT_EQ(buffer->dirty_pages(), 2u);
+  EXPECT_EQ(buffer->stats().capacity_evictions.value(), 1u);
+  EXPECT_EQ(flushed_[0], 1);  // Oldest block flushed.
+  EXPECT_FALSE(buffer->Contains(BlockKey{1, 0}));
+}
+
+TEST_F(WriteBufferTest, OverwriteKeepsFirstDirtyOrder) {
+  // Ordering follows first dirtying (BSD 30-second-rule semantics), so an
+  // overwrite does not postpone a block's flush indefinitely.
+  auto buffer = MakeBuffer(2);
+  ASSERT_TRUE(buffer->Put(BlockKey{1, 0}, Page(1), clock_.now()).ok());
+  ASSERT_TRUE(buffer->Put(BlockKey{1, 1}, Page(2), clock_.now()).ok());
+  // Touch block 0 again: it stays the oldest-dirtied and is evicted first.
+  ASSERT_TRUE(buffer->Put(BlockKey{1, 0}, Page(3), clock_.now()).ok());
+  ASSERT_TRUE(buffer->Put(BlockKey{1, 2}, Page(4), clock_.now()).ok());
+  EXPECT_EQ(flushed_[0], 1);
+  EXPECT_TRUE(buffer->Contains(BlockKey{1, 1}));
+}
+
+TEST_F(WriteBufferTest, HotBlockStillAgesOut) {
+  auto buffer = MakeBuffer(16);
+  ASSERT_TRUE(buffer->Put(BlockKey{1, 0}, Page(1), clock_.now()).ok());
+  // Keep overwriting for 40 s — hotter than the flush age.
+  for (int i = 0; i < 40; ++i) {
+    clock_.Advance(kSecond);
+    ASSERT_TRUE(buffer->Put(BlockKey{1, 0}, Page(2), clock_.now()).ok());
+  }
+  ASSERT_TRUE(buffer->FlushOlderThan(clock_.now(), 30 * kSecond).ok());
+  // First dirtied 40 s ago: it must flush despite constant overwrites.
+  EXPECT_EQ(flushed_[0], 1);
+}
+
+TEST_F(WriteBufferTest, DropAvoidsFlashWrite) {
+  auto buffer = MakeBuffer(16);
+  const BlockKey key{7, 3};
+  ASSERT_TRUE(buffer->Put(key, Page(1), clock_.now()).ok());
+  EXPECT_TRUE(buffer->Drop(key));
+  EXPECT_FALSE(buffer->Drop(key));  // Already gone.
+  ASSERT_TRUE(buffer->FlushAll().ok());
+  EXPECT_TRUE(flushed_.empty());
+  EXPECT_EQ(buffer->stats().dropped_writes.value(), 1u);
+}
+
+TEST_F(WriteBufferTest, FlushAllWritesEverything) {
+  auto buffer = MakeBuffer(16);
+  for (uint64_t b = 0; b < 5; ++b) {
+    ASSERT_TRUE(buffer->Put(BlockKey{1, b}, Page(1), clock_.now()).ok());
+  }
+  ASSERT_TRUE(buffer->FlushAll().ok());
+  EXPECT_EQ(buffer->dirty_pages(), 0u);
+  EXPECT_EQ(flushed_.size(), 5u);
+  EXPECT_EQ(buffer->stats().flushes.value(), 5u);
+}
+
+TEST_F(WriteBufferTest, FlushOlderThanHonorsAge) {
+  auto buffer = MakeBuffer(16);
+  ASSERT_TRUE(buffer->Put(BlockKey{1, 0}, Page(1), clock_.now()).ok());
+  clock_.Advance(40 * kSecond);
+  ASSERT_TRUE(buffer->Put(BlockKey{1, 1}, Page(2), clock_.now()).ok());
+  // Block 0 is 40 s old; block 1 fresh. 30 s threshold flushes only block 0.
+  ASSERT_TRUE(buffer->FlushOlderThan(clock_.now(), 30 * kSecond).ok());
+  EXPECT_EQ(flushed_.size(), 1u);
+  EXPECT_EQ(flushed_[0], 1);
+  EXPECT_TRUE(buffer->Contains(BlockKey{1, 1}));
+}
+
+TEST_F(WriteBufferTest, ZeroCapacityWritesThrough) {
+  auto buffer = MakeBuffer(0);
+  ASSERT_TRUE(buffer->Put(BlockKey{1, 0}, Page(1), clock_.now()).ok());
+  EXPECT_EQ(buffer->dirty_pages(), 0u);
+  EXPECT_EQ(flushed_[0], 1);
+  EXPECT_EQ(buffer->stats().flushes.value(), 1u);
+}
+
+TEST_F(WriteBufferTest, DropAllReportsLostBytes) {
+  auto buffer = MakeBuffer(16);
+  for (uint64_t b = 0; b < 3; ++b) {
+    ASSERT_TRUE(buffer->Put(BlockKey{1, b}, Page(1), clock_.now()).ok());
+  }
+  EXPECT_EQ(buffer->DropAllUnflushed(), 3u * 512);
+  EXPECT_EQ(buffer->dirty_pages(), 0u);
+  EXPECT_TRUE(flushed_.empty());
+}
+
+TEST_F(WriteBufferTest, DramPagesReturnedOnDropAndFlush) {
+  auto buffer = MakeBuffer(16);
+  const uint64_t free_before = manager_.free_dram_pages();
+  ASSERT_TRUE(buffer->Put(BlockKey{1, 0}, Page(1), clock_.now()).ok());
+  ASSERT_TRUE(buffer->Put(BlockKey{1, 1}, Page(1), clock_.now()).ok());
+  EXPECT_EQ(manager_.free_dram_pages(), free_before - 2);
+  buffer->Drop(BlockKey{1, 0});
+  ASSERT_TRUE(buffer->FlushAll().ok());
+  EXPECT_EQ(manager_.free_dram_pages(), free_before);
+}
+
+TEST_F(WriteBufferTest, WriteTrafficReductionUnderOverwrites) {
+  // The headline mechanism of E6: repeated overwrites of a small set of hot
+  // blocks reach flash far fewer times than they are written.
+  auto buffer = MakeBuffer(64);
+  int puts = 0;
+  for (int round = 0; round < 100; ++round) {
+    for (uint64_t b = 0; b < 8; ++b) {
+      ASSERT_TRUE(buffer->Put(BlockKey{1, b}, Page(1), clock_.now()).ok());
+      ++puts;
+    }
+  }
+  ASSERT_TRUE(buffer->FlushAll().ok());
+  const uint64_t flushed_total = buffer->stats().flushes.value();
+  EXPECT_EQ(flushed_total, 8u);  // One flash write per hot block.
+  EXPECT_EQ(puts, 800);
+}
+
+}  // namespace
+}  // namespace ssmc
