@@ -8,7 +8,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <fstream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "src/core/machine.h"
 #include "src/core/single_level_store.h"
@@ -103,6 +106,94 @@ void BM_FlashStoreHotOverwriteWithCleaning(benchmark::State& state) {
   state.counters["write_amp"] = store.WriteAmplification();
 }
 BENCHMARK(BM_FlashStoreHotOverwriteWithCleaning);
+
+// --- Large-device FTL hot paths ------------------------------------------
+//
+// Production-scale devices (4k-64k erase sectors) under sustained cleaning
+// pressure. These are the paths the indexed FTL keeps O(1)/O(log N): page
+// allocation, victim selection, free-sector take, and wear tracking. The
+// "sectors" counter is emitted into BENCH_micro.json so the perf trajectory
+// across PRs is machine-comparable.
+
+FlashSpec LargeFlashSpec() {
+  FlashSpec spec = GenericPaperFlash();
+  spec.erase_sector_bytes = 4 * kKiB;  // 8 pages of 512 B.
+  spec.erase_ns = 10 * kMillisecond;
+  spec.endurance_cycles = 0;  // Unlimited: these runs measure host cost only.
+  return spec;
+}
+
+// Fills every logical block once, so the steady-state loop starts with the
+// store near capacity and every further write fights the cleaner.
+void FillStore(FlashStore& store, std::span<const uint8_t> block) {
+  for (uint64_t b = 0; b < store.num_blocks(); ++b) {
+    (void)store.Write(b, block);
+  }
+}
+
+void LargeStoreOverwrite(benchmark::State& state, CleanerPolicy cleaner,
+                         WearPolicy wear, bool random_blocks, int banks,
+                         int hot_banks) {
+  const uint64_t sectors = static_cast<uint64_t>(state.range(0));
+  SimClock clock;
+  FlashDevice flash(LargeFlashSpec(), sectors * 4 * kKiB, banks, clock);
+  FlashStoreOptions options;
+  options.cleaner = cleaner;
+  options.wear = wear;
+  options.hot_bank_count = hot_banks;
+  FlashStore store(flash, options);
+  std::vector<uint8_t> block(512, 1);
+  FillStore(store, block);
+  Rng rng(7);
+  uint64_t b = 0;
+  for (auto _ : state) {
+    if (random_blocks) {
+      b = rng.NextBelow(store.num_blocks());
+    } else {
+      b = (b + 1) % store.num_blocks();
+    }
+    benchmark::DoNotOptimize(store.Write(b, block));
+  }
+  state.counters["sectors"] = static_cast<double>(sectors);
+  state.counters["write_amp"] = store.WriteAmplification();
+}
+
+void BM_LargeStoreSeqOverwrite(benchmark::State& state) {
+  // Sequential overwrite: victims are fully dead, so host cost is dominated
+  // by victim selection + free-sector take, one erase per pages_per_sector
+  // writes.
+  LargeStoreOverwrite(state, CleanerPolicy::kCostBenefit, WearPolicy::kDynamic,
+                      /*random_blocks=*/false, /*banks=*/1, /*hot_banks=*/0);
+}
+BENCHMARK(BM_LargeStoreSeqOverwrite)->Arg(4096)->Arg(16384)->Arg(65536)
+    ->Unit(benchmark::kNanosecond);
+
+void BM_LargeStoreRandOverwrite(benchmark::State& state) {
+  // Random overwrite at ~90% utilization: high write amplification, victim
+  // selection and relocation on nearly every user write.
+  LargeStoreOverwrite(state, CleanerPolicy::kCostBenefit, WearPolicy::kDynamic,
+                      /*random_blocks=*/true, /*banks=*/1, /*hot_banks=*/0);
+}
+BENCHMARK(BM_LargeStoreRandOverwrite)->Arg(4096)->Arg(16384)->Arg(65536)
+    ->Unit(benchmark::kNanosecond);
+
+void BM_LargeStoreRandOverwriteGreedyStatic(benchmark::State& state) {
+  // Greedy cleaning + static wear leveling: exercises the dead-page victim
+  // buckets and the min/max wear trackers instead of the cost-benefit index.
+  LargeStoreOverwrite(state, CleanerPolicy::kGreedy, WearPolicy::kStatic,
+                      /*random_blocks=*/true, /*banks=*/1, /*hot_banks=*/0);
+}
+BENCHMARK(BM_LargeStoreRandOverwriteGreedyStatic)
+    ->Arg(4096)->Arg(16384)->Arg(65536)->Unit(benchmark::kNanosecond);
+
+void BM_LargeStoreSegregatedChurn(benchmark::State& state) {
+  // Bank segregation with a hot-range working set: exercises the cold-sector
+  // eviction path on top of cleaning.
+  LargeStoreOverwrite(state, CleanerPolicy::kCostBenefit, WearPolicy::kDynamic,
+                      /*random_blocks=*/true, /*banks=*/8, /*hot_banks=*/2);
+}
+BENCHMARK(BM_LargeStoreSegregatedChurn)->Arg(4096)->Arg(16384)
+    ->Unit(benchmark::kNanosecond);
 
 void BM_MemoryFsCreateWriteUnlink(benchmark::State& state) {
   MobileComputer machine(NotebookConfig());
@@ -250,7 +341,68 @@ void BM_AddressSpaceDramRead(benchmark::State& state) {
 }
 BENCHMARK(BM_AddressSpaceDramRead);
 
+// Console reporter that also collects every run and dumps a minimal
+// machine-readable JSON file (op name, ns/op, counters) so successive PRs
+// can diff the perf trajectory without parsing the console table.
+class JsonDumpingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) {
+        continue;
+      }
+      Entry entry;
+      entry.name = run.benchmark_name();
+      entry.ns_per_op = run.GetAdjustedRealTime();
+      for (const auto& [counter_name, counter] : run.counters) {
+        entry.counters.emplace_back(counter_name,
+                                    static_cast<double>(counter.value));
+      }
+      entries_.push_back(std::move(entry));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  bool WriteJson(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      return false;
+    }
+    out << "[\n";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      out << "  {\"op\": \"" << e.name << "\", \"ns_per_op\": " << e.ns_per_op;
+      for (const auto& [name, value] : e.counters) {
+        out << ", \"" << name << "\": " << value;
+      }
+      out << "}" << (i + 1 < entries_.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    return out.good();
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double ns_per_op = 0;
+    std::vector<std::pair<std::string, double>> counters;
+  };
+  std::vector<Entry> entries_;
+};
+
 }  // namespace
 }  // namespace ssmc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  ssmc::JsonDumpingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!reporter.WriteJson("BENCH_micro.json")) {
+    fprintf(stderr, "failed to write BENCH_micro.json\n");
+    return 1;
+  }
+  return 0;
+}

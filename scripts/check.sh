@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build and run the full test suite in Release, then
+# again under AddressSanitizer + UndefinedBehaviorSanitizer. Run from the
+# repository root:
+#
+#   scripts/check.sh            # both configurations
+#   scripts/check.sh release    # just the optimized build
+#   scripts/check.sh asan       # just the sanitizer build
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+presets=("${@:-release asan}")
+# Word-split the default; explicit args arrive pre-split.
+if [ $# -eq 0 ]; then presets=(release asan); fi
+
+for preset in "${presets[@]}"; do
+  echo "=== ${preset}: configure ==="
+  cmake --preset "${preset}"
+  echo "=== ${preset}: build ==="
+  cmake --build --preset "${preset}" -j "$(nproc)"
+  echo "=== ${preset}: test ==="
+  ctest --preset "${preset}"
+done
+echo "All checks passed."

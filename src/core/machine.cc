@@ -114,6 +114,11 @@ Result<RecoveryReport> MobileComputer::RecoverAfterFailure(
                                               &report);
   if (!recovered.ok()) {
     // No checkpoint: come up with an empty file system (factory-reset).
+    // The failed recovery attempt constructed (and destroyed) a file system
+    // that reserved the superblock — and possibly checkpoint index blocks —
+    // in storage_, so rebuild the manager before constructing the fresh FS.
+    storage_ =
+        std::make_unique<StorageManager>(*dram_, *store_, config_.page_bytes);
     fs_ = std::make_unique<MemoryFileSystem>(*storage_, config_.fs_options);
     return recovered.status();
   }

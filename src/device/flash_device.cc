@@ -69,6 +69,11 @@ Result<Duration> FlashDevice::Read(uint64_t addr, std::span<uint8_t> out,
       return DataLossError("read from worn-out flash sector " +
                            std::to_string(s));
     }
+    if (fault_reads_remaining_ > 0 && s == fault_sector_) {
+      fault_reads_remaining_ -= 1;
+      return InternalError("injected read fault in flash sector " +
+                           std::to_string(s));
+    }
   }
 
   const Duration op_ns = spec_.read.LatencyFor(out.size());
@@ -161,10 +166,16 @@ Result<Duration> FlashDevice::EraseSector(uint64_t sector, bool blocking) {
     if (rng_.NextBool(std::min(1.0, overshoot))) {
       s.bad = true;
       stats_.bad_sectors.Add();
+      if (erase_observer_) {
+        erase_observer_(sector, s.erase_count, /*now_bad=*/true);
+      }
       return DataLossError("flash sector " + std::to_string(sector) +
                            " wore out after " + std::to_string(s.erase_count) +
                            " erase cycles");
     }
+  }
+  if (erase_observer_) {
+    erase_observer_(sector, s.erase_count, /*now_bad=*/false);
   }
 
   const uint64_t base = sector * sector_bytes();

@@ -25,6 +25,7 @@
 #define SSMC_SRC_DEVICE_FLASH_DEVICE_H_
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -87,6 +88,27 @@ class FlashDevice {
   // Simulated time at which the given bank becomes free.
   SimTime BankBusyUntil(int bank) const { return banks_[bank].busy_until; }
 
+  // Erase-count change notification. Called after every EraseSector attempt
+  // that bumps a sector's wear (i.e. on success AND on a wear-out failure —
+  // the cycle is consumed either way), with the new count and whether the
+  // sector just went bad. Lets the FTL's wear trackers stay incremental
+  // instead of rescanning erase counts. At most one observer; pass nullptr
+  // to unhook.
+  using EraseObserver =
+      std::function<void(uint64_t sector, uint64_t new_count, bool now_bad)>;
+  void set_erase_observer(EraseObserver observer) {
+    erase_observer_ = std::move(observer);
+  }
+
+  // Test hook: the next `count` reads touching `sector` fail with INTERNAL
+  // (transient fault, distinct from wear-out DATA_LOSS). The failure is
+  // injected before the bank is occupied, so it has no timing or energy
+  // side effects.
+  void InjectReadFaults(uint64_t sector, int count) {
+    fault_sector_ = sector;
+    fault_reads_remaining_ = count;
+  }
+
   // --- Accounting -------------------------------------------------------
   struct Stats {
     Counter reads;            // Read operations.
@@ -146,6 +168,9 @@ class FlashDevice {
   std::vector<Bank> banks_;
   Stats stats_;
   EnergyMeter energy_;
+  EraseObserver erase_observer_;
+  uint64_t fault_sector_ = 0;
+  int fault_reads_remaining_ = 0;
   Duration total_active_ns_ = 0;
   Duration idle_accounted_until_ = 0;
 };

@@ -42,8 +42,74 @@ int64_t PickCleaningVictim(const std::vector<SectorMeta>& sectors,
   return best;
 }
 
+int64_t ScanPickFreeSector(
+    const std::vector<std::pair<uint64_t, uint64_t>>& pool,
+    bool wear_ordered) {
+  if (pool.empty()) {
+    return -1;
+  }
+  size_t pick = pool.size() - 1;  // LIFO: reuse the freshest erase.
+  if (wear_ordered) {
+    // Dynamic leveling: the first strictly-least-worn free sector.
+    pick = 0;
+    for (size_t i = 1; i < pool.size(); ++i) {
+      if (pool[i].second < pool[pick].second) {
+        pick = i;
+      }
+    }
+  }
+  return static_cast<int64_t>(pool[pick].first);
+}
+
+int64_t ScanPickColdEvictionVictim(const std::vector<SectorMeta>& sectors,
+                                   uint64_t hot_sector_count, SimTime now,
+                                   Duration min_age) {
+  int64_t victim = -1;
+  for (uint64_t s = 0; s < hot_sector_count; ++s) {
+    const SectorMeta& m = sectors[s];
+    if (m.active || m.free || m.bad || m.dead_pages != 0 ||
+        m.valid_pages == 0) {
+      continue;
+    }
+    if (now - m.last_write_time < min_age) {
+      continue;  // Possibly just between overwrites; leave it be.
+    }
+    if (victim < 0 ||
+        m.last_write_time <
+            sectors[static_cast<size_t>(victim)].last_write_time) {
+      victim = static_cast<int64_t>(s);
+    }
+  }
+  return victim;
+}
+
+WearScanResult ScanWearLevelState(const std::vector<SectorMeta>& sectors,
+                                  const FlashDevice& flash) {
+  WearScanResult r;
+  for (uint64_t s = 0; s < sectors.size(); ++s) {
+    if (sectors[s].bad) {
+      continue;
+    }
+    const uint64_t e = flash.EraseCount(s);
+    r.min_erases = std::min(r.min_erases, e);
+    r.max_erases = std::max(r.max_erases, e);
+    if (!sectors[s].free && !sectors[s].active &&
+        (r.coldest < 0 ||
+         e < flash.EraseCount(static_cast<uint64_t>(r.coldest)))) {
+      r.coldest = static_cast<int64_t>(s);
+    }
+  }
+  return r;
+}
+
 FlashStore::FlashStore(FlashDevice& flash, FlashStoreOptions options)
-    : flash_(flash), options_(options) {
+    : flash_(flash),
+      options_(options),
+      victim_index_(options.cleaner,
+                    static_cast<uint32_t>(flash.sector_bytes() /
+                                          options.block_bytes),
+                    flash.num_sectors()),
+      cold_index_(flash.num_sectors()) {
   assert(options_.block_bytes > 0);
   assert(flash_.sector_bytes() % options_.block_bytes == 0 &&
          "block size must divide the erase sector size");
@@ -71,46 +137,94 @@ FlashStore::FlashStore(FlashDevice& flash, FlashStoreOptions options)
   for (auto& m : sectors_) {
     m.free = true;
   }
-  free_pool_.resize(static_cast<size_t>(flash_.num_banks()));
+  free_pool_.assign(static_cast<size_t>(flash_.num_banks()),
+                    FreeSectorPool(options_.wear != WearPolicy::kNone));
   for (uint64_t s = 0; s < num_sectors; ++s) {
-    free_pool_[static_cast<size_t>(flash_.BankOfSector(s))].push_back(s);
+    free_pool_[static_cast<size_t>(flash_.BankOfSector(s))].Add(
+        s, flash_.EraseCount(s));
   }
+  free_sector_count_ = num_sectors;
   active_.assign(static_cast<size_t>(flash_.num_banks()), -1);
+
+  if (options_.hot_bank_count > 0 &&
+      options_.hot_bank_count < flash_.num_banks()) {
+    hot_sector_count_ = static_cast<uint64_t>(options_.hot_bank_count) *
+                        flash_.sectors_per_bank();
+  }
+
+  if (options_.wear == WearPolicy::kStatic) {
+    wear_index_ = std::make_unique<WearIndex>(num_sectors);
+    for (uint64_t s = 0; s < num_sectors; ++s) {
+      wear_index_->Seed(s, flash_.EraseCount(s));
+    }
+    // Erase counts change inside the device; observe them so the wear
+    // trackers never need a rescan.
+    flash_.set_erase_observer(
+        [this](uint64_t sector, uint64_t new_count, bool now_bad) {
+          wear_index_->OnEraseCountChanged(sector, new_count, now_bad);
+        });
+    observer_registered_ = true;
+  }
 }
 
-uint64_t FlashStore::free_sectors() const {
-  uint64_t n = 0;
-  for (const auto& pool : free_pool_) {
-    n += pool.size();
+FlashStore::~FlashStore() {
+  if (observer_registered_) {
+    flash_.set_erase_observer(nullptr);
   }
-  return n;
+}
+
+void FlashStore::UpdateSectorIndexes(uint64_t sector) {
+  const SectorMeta& m = sectors_[sector];
+  const bool usable = !m.active && !m.free && !m.bad;
+  victim_index_.Sync(sector, m.valid_pages, m.dead_pages, m.last_write_time,
+                     usable && m.dead_pages > 0);
+  if (sector < hot_sector_count_) {
+    cold_index_.Sync(sector, m.last_write_time,
+                     usable && m.dead_pages == 0 && m.valid_pages > 0);
+  }
+  if (wear_index_ != nullptr) {
+    wear_index_->SyncOccupied(sector, flash_.EraseCount(sector), usable);
+  }
+}
+
+void FlashStore::RecordIndexMismatch(const char* what, int64_t indexed,
+                                     int64_t oracle) {
+  index_validation_failures_ += 1;
+  SSMC_LOG(kError) << "FTL index mismatch (" << what << "): indexed " << indexed
+                   << " vs linear-scan oracle " << oracle;
 }
 
 int64_t FlashStore::TakeFreeSector(int bank) {
-  auto& pool = free_pool_[static_cast<size_t>(bank)];
-  if (pool.empty()) {
-    return -1;
-  }
-  size_t pick = pool.size() - 1;  // kNone: LIFO — reuse the freshest erase,
-                                  // the naive allocator that concentrates
-                                  // wear on a handful of sectors.
-  if (options_.wear != WearPolicy::kNone) {
-    // Dynamic leveling: reuse the least-worn free sector first.
-    pick = 0;
-    for (size_t i = 1; i < pool.size(); ++i) {
-      if (flash_.EraseCount(pool[i]) < flash_.EraseCount(pool[pick])) {
-        pick = i;
-      }
+  FreeSectorPool& pool = free_pool_[static_cast<size_t>(bank)];
+  if (options_.validate_indexes) {
+    const int64_t oracle = ScanPickFreeSector(
+        pool.SnapshotInsertionOrder(), options_.wear != WearPolicy::kNone);
+    if (oracle != pool.Peek()) {
+      RecordIndexMismatch("free-sector take", pool.Peek(), oracle);
     }
   }
-  const int64_t sector = static_cast<int64_t>(pool[pick]);
-  pool.erase(pool.begin() + static_cast<ptrdiff_t>(pick));
+  const int64_t sector = pool.Take();
+  if (sector < 0) {
+    return -1;
+  }
   sectors_[static_cast<size_t>(sector)].free = false;
+  free_sector_count_ -= 1;
   return sector;
 }
 
 Result<uint64_t> FlashStore::AllocatePage(WriteStream stream,
                                           bool allow_clean) {
+  if (options_.validate_indexes) {
+    uint64_t pool_sum = 0;
+    for (const FreeSectorPool& pool : free_pool_) {
+      pool_sum += pool.size();
+    }
+    if (pool_sum != free_sector_count_) {
+      RecordIndexMismatch("free-sector count",
+                          static_cast<int64_t>(free_sector_count_),
+                          static_cast<int64_t>(pool_sum));
+    }
+  }
   // Proactive cleaning keeps the free pool above the low-water mark.
   if (allow_clean && free_sectors() <= options_.free_sector_low_water) {
     SSMC_RETURN_IF_ERROR(Clean());
@@ -141,8 +255,11 @@ Result<uint64_t> FlashStore::AllocatePage(WriteStream stream,
           sectors_[static_cast<size_t>(active)].next_free_page >=
               pages_per_sector()) {
         sectors_[static_cast<size_t>(active)].active = false;
-        active = -1;
         active_[static_cast<size_t>(bank)] = -1;
+        // The filled sector just became eligible for cleaning (if it holds
+        // dead pages) or cold eviction (if fully valid).
+        UpdateSectorIndexes(static_cast<uint64_t>(active));
+        active = -1;
       }
       if (active < 0) {
         active = TakeFreeSector(bank);
@@ -221,8 +338,11 @@ Result<Duration> FlashStore::WriteInternal(uint64_t block,
   map_[block] = page.value();
   page_owner_[page.value()] = block;
   SectorMeta& m = sectors_[SectorOfPage(page.value())];
+  assert(m.active && "programs only target the bank's active sector");
   m.valid_pages += 1;
   m.last_write_time = flash_.clock().now();
+  // No index update: active sectors are excluded from every index, and the
+  // sector enters them with its final metadata when it is deactivated.
   return programmed.value();
 }
 
@@ -301,11 +421,13 @@ Result<uint64_t> FlashStore::PhysicalAddressOf(uint64_t block) const {
 }
 
 void FlashStore::MarkPageDead(uint64_t page) {
-  SectorMeta& m = sectors_[SectorOfPage(page)];
+  const uint64_t sector = SectorOfPage(page);
+  SectorMeta& m = sectors_[sector];
   assert(m.valid_pages > 0);
   m.valid_pages -= 1;
   m.dead_pages += 1;
   page_owner_[page] = kUnmapped;
+  UpdateSectorIndexes(sector);
 }
 
 Status FlashStore::Clean() {
@@ -339,8 +461,15 @@ Status FlashStore::Clean() {
 }
 
 Result<bool> FlashStore::CleanOne() {
-  const int64_t victim = PickCleaningVictim(
-      sectors_, pages_per_sector(), options_.cleaner, flash_.clock().now());
+  const SimTime now = flash_.clock().now();
+  const int64_t victim = victim_index_.Pick(now);
+  if (options_.validate_indexes) {
+    const int64_t oracle =
+        PickCleaningVictim(sectors_, pages_per_sector(), options_.cleaner, now);
+    if (oracle != victim) {
+      RecordIndexMismatch("cleaning victim", victim, oracle);
+    }
+  }
   if (victim < 0) {
     return false;
   }
@@ -377,29 +506,18 @@ Result<bool> FlashStore::CleanOne() {
 }
 
 Result<bool> FlashStore::EvictColdSectorFromHotRange() {
-  if (options_.hot_bank_count <= 0 ||
-      options_.hot_bank_count >= flash_.num_banks()) {
+  if (hot_sector_count_ == 0) {
     return false;
   }
   // Oldest fully-valid, non-active sector in a hot bank.
-  int64_t victim = -1;
-  const uint64_t hot_sectors =
-      static_cast<uint64_t>(options_.hot_bank_count) *
-      flash_.sectors_per_bank();
   const SimTime now = flash_.clock().now();
-  for (uint64_t s = 0; s < hot_sectors; ++s) {
-    const SectorMeta& m = sectors_[s];
-    if (m.active || m.free || m.bad || m.dead_pages != 0 ||
-        m.valid_pages == 0) {
-      continue;
-    }
-    if (now - m.last_write_time < options_.cold_eviction_age) {
-      continue;  // Possibly just between overwrites; leave it be.
-    }
-    if (victim < 0 ||
-        m.last_write_time <
-            sectors_[static_cast<size_t>(victim)].last_write_time) {
-      victim = static_cast<int64_t>(s);
+  const int64_t victim =
+      cold_index_.PickOlderThan(now, options_.cold_eviction_age);
+  if (options_.validate_indexes) {
+    const int64_t oracle = ScanPickColdEvictionVictim(
+        sectors_, hot_sector_count_, now, options_.cold_eviction_age);
+    if (oracle != victim) {
+      RecordIndexMismatch("cold eviction victim", victim, oracle);
     }
   }
   if (victim < 0) {
@@ -439,9 +557,12 @@ Status FlashStore::EraseAndFree(uint64_t sector) {
   if (!erased.ok()) {
     if (erased.status().code() == ErrorCode::kDataLoss) {
       // The sector wore out. Retire it; the store keeps running with less
-      // spare capacity (graceful capacity degradation).
+      // spare capacity (graceful capacity degradation). Retirement must
+      // remove the sector from every index — it never becomes free,
+      // cleanable, or a wear-leveling target again.
       m.bad = true;
       m.dead_pages = 0;
+      UpdateSectorIndexes(sector);
       SSMC_LOG(kInfo) << "flash store retired worn-out sector " << sector;
       return Status::Ok();
     }
@@ -450,8 +571,10 @@ Status FlashStore::EraseAndFree(uint64_t sector) {
   stats_.erases.Add();
   m = SectorMeta{};
   m.free = true;
-  free_pool_[static_cast<size_t>(flash_.BankOfSector(sector))].push_back(
-      sector);
+  UpdateSectorIndexes(sector);
+  free_pool_[static_cast<size_t>(flash_.BankOfSector(sector))].Add(
+      sector, flash_.EraseCount(sector));
+  free_sector_count_ += 1;
   erases_since_wear_check_ += 1;
   MaybeStaticWearLevel();
   return Status::Ok();
@@ -466,20 +589,19 @@ void FlashStore::MaybeStaticWearLevel() {
   }
   erases_since_wear_check_ = 0;
 
-  // Find the wear spread and the coldest occupied sector.
+  // Wear spread and the coldest occupied sector, from the running trackers.
   uint64_t min_erases = ~uint64_t{0};
   uint64_t max_erases = 0;
-  int64_t coldest = -1;
-  for (uint64_t s = 0; s < sectors_.size(); ++s) {
-    if (sectors_[s].bad) {
-      continue;
-    }
-    const uint64_t e = flash_.EraseCount(s);
-    min_erases = std::min(min_erases, e);
-    max_erases = std::max(max_erases, e);
-    if (!sectors_[s].free && !sectors_[s].active &&
-        (coldest < 0 || e < flash_.EraseCount(static_cast<uint64_t>(coldest)))) {
-      coldest = static_cast<int64_t>(s);
+  if (wear_index_->has_sectors()) {
+    min_erases = wear_index_->min_erases();
+    max_erases = wear_index_->max_erases();
+  }
+  const int64_t coldest = wear_index_->ColdestOccupied();
+  if (options_.validate_indexes) {
+    const WearScanResult oracle = ScanWearLevelState(sectors_, flash_);
+    if (oracle.coldest != coldest || oracle.min_erases != min_erases ||
+        oracle.max_erases != max_erases) {
+      RecordIndexMismatch("wear-level target", coldest, oracle.coldest);
     }
   }
   if (coldest < 0 || max_erases - min_erases <= options_.static_wear_delta) {
@@ -493,26 +615,106 @@ void FlashStore::MaybeStaticWearLevel() {
   const uint64_t first_page = static_cast<uint64_t>(coldest) * pps;
   std::vector<uint8_t> buf(options_.block_bytes);
   const bool blocking = !options_.background_writes;
-  bool ok = true;
-  for (uint64_t p = first_page; p < first_page + pps && ok; ++p) {
+  Status migrate = Status::Ok();
+  for (uint64_t p = first_page; p < first_page + pps; ++p) {
     const uint64_t owner = page_owner_[p];
     if (owner == kUnmapped) {
       continue;
     }
-    ok = flash_.Read(PageAddress(p), buf, blocking).ok() &&
-         WriteInternal(owner, buf, WriteStream::kRelocation,
-                       /*allow_clean=*/false, blocking)
-             .ok();
-    if (ok) {
-      stats_.gc_relocations.Add();
+    Result<Duration> read = flash_.Read(PageAddress(p), buf, blocking);
+    if (read.ok()) {
+      Result<Duration> moved =
+          WriteInternal(owner, buf, WriteStream::kRelocation,
+                        /*allow_clean=*/false, blocking);
+      migrate = moved.ok() ? Status::Ok() : moved.status();
+    } else {
+      migrate = read.status();
     }
+    if (!migrate.ok()) {
+      break;
+    }
+    stats_.gc_relocations.Add();
   }
-  if (ok && sectors_[static_cast<size_t>(coldest)].valid_pages == 0) {
+  if (!migrate.ok()) {
+    // A failed migration is survivable — the cold data simply stays where it
+    // is and the next check retries — but it must not fail silently: it can
+    // be the first sign of a failing region.
+    stats_.wear_level_failures.Add();
+    SSMC_LOG(kWarning) << "static wear leveling: migrating sector " << coldest
+                       << " failed: " << migrate.ToString();
+  } else if (sectors_[static_cast<size_t>(coldest)].valid_pages == 0) {
     if (EraseAndFree(static_cast<uint64_t>(coldest)).ok()) {
       stats_.wear_migrations.Add();
     }
   }
   wear_leveling_ = false;
+}
+
+Status FlashStore::CheckIndexConsistency() const {
+  uint64_t free_count = 0;
+  uint64_t victim_count = 0;
+  uint64_t cold_count = 0;
+  uint64_t occupied_count = 0;
+  uint64_t non_bad = 0;
+  for (uint64_t s = 0; s < sectors_.size(); ++s) {
+    const SectorMeta& m = sectors_[s];
+    const bool usable = !m.active && !m.free && !m.bad;
+    if (m.free) {
+      free_count += 1;
+    }
+    if (!m.bad) {
+      non_bad += 1;
+    }
+    const bool candidate = usable && m.dead_pages > 0;
+    victim_count += candidate ? 1 : 0;
+    if (victim_index_.Contains(s) != candidate) {
+      return InternalError("victim index membership wrong for sector " +
+                           std::to_string(s));
+    }
+    const bool cold = s < hot_sector_count_ && usable && m.dead_pages == 0 &&
+                      m.valid_pages > 0;
+    cold_count += cold ? 1 : 0;
+    if (cold_index_.Contains(s) != cold) {
+      return InternalError("cold index membership wrong for sector " +
+                           std::to_string(s));
+    }
+    if (wear_index_ != nullptr) {
+      occupied_count += usable ? 1 : 0;
+      if (wear_index_->OccupiedContains(s) != usable) {
+        return InternalError("wear occupied-set membership wrong for sector " +
+                             std::to_string(s));
+      }
+    }
+  }
+  if (victim_index_.size() != victim_count) {
+    return InternalError("victim index size mismatch");
+  }
+  if (cold_index_.size() != cold_count) {
+    return InternalError("cold index size mismatch");
+  }
+  uint64_t pool_sum = 0;
+  for (const FreeSectorPool& pool : free_pool_) {
+    pool_sum += pool.size();
+  }
+  if (pool_sum != free_count || free_sector_count_ != free_count) {
+    return InternalError("free-sector count mismatch");
+  }
+  if (wear_index_ != nullptr) {
+    if (wear_index_->occupied_size() != occupied_count) {
+      return InternalError("wear occupied-set size mismatch");
+    }
+    if (wear_index_->tracked_sectors() != non_bad) {
+      return InternalError("wear erase-count tracker size mismatch");
+    }
+    const WearScanResult scan = ScanWearLevelState(sectors_, flash_);
+    if (wear_index_->has_sectors() &&
+        (wear_index_->min_erases() != scan.min_erases ||
+         wear_index_->max_erases() != scan.max_erases ||
+         wear_index_->ColdestOccupied() != scan.coldest)) {
+      return InternalError("wear tracker disagrees with linear scan");
+    }
+  }
+  return Status::Ok();
 }
 
 double FlashStore::WriteAmplification() const {

@@ -30,19 +30,17 @@
 #define SSMC_SRC_FTL_FLASH_STORE_H_
 
 #include <cstdint>
-#include <deque>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "src/device/flash_device.h"
+#include "src/ftl/victim_index.h"
 #include "src/sim/stats.h"
 #include "src/support/status.h"
 #include "src/support/units.h"
 
 namespace ssmc {
-
-enum class CleanerPolicy { kGreedy, kCostBenefit };
-enum class WearPolicy { kNone, kDynamic, kStatic };
 
 struct FlashStoreOptions {
   uint64_t block_bytes = 512;
@@ -74,6 +72,12 @@ struct FlashStoreOptions {
   // banks once it has gone unwritten this long (avoids ping-ponging data
   // that is merely between overwrites).
   Duration cold_eviction_age = 60 * kSecond;
+  // Debug/differential mode: cross-check every indexed decision (cleaning
+  // victim, free-sector take, cold eviction, wear-level target, free count)
+  // against the retained linear-scan oracles. Mismatches are logged at
+  // kError and counted in index_validation_failures(). O(sectors) per
+  // decision — tests only.
+  bool validate_indexes = false;
 };
 
 // Which append stream a page allocation serves (see hot_bank_count).
@@ -90,17 +94,48 @@ struct SectorMeta {
   bool bad = false;              // Worn out.
 };
 
-// Pure victim-selection function, exercised directly by unit tests.
-// Returns the victim sector index or -1 if no cleanable sector exists.
-// Only sectors that are neither active, free, nor bad, and that contain at
-// least one dead page, are candidates.
+// Pure linear-scan victim selection, exercised directly by unit tests and
+// retained as the reference oracle for the indexed fast path (see
+// victim_index.h). Returns the victim sector index or -1 if no cleanable
+// sector exists. Only sectors that are neither active, free, nor bad, and
+// that contain at least one dead page, are candidates.
 int64_t PickCleaningVictim(const std::vector<SectorMeta>& sectors,
                            uint32_t pages_per_sector, CleanerPolicy policy,
                            SimTime now);
 
+// Linear-scan oracles for the remaining indexed decisions. Each reproduces
+// the pre-index implementation verbatim; the indexed store must agree with
+// them bit-for-bit (enforced by FlashStoreOptions::validate_indexes and the
+// differential property suite).
+
+// Free-sector choice over `pool` — (sector, erase_count) pairs in insertion
+// order: last entry under the naive LIFO policy (wear_ordered = false), else
+// the first entry with the strictly smallest erase count.
+int64_t ScanPickFreeSector(
+    const std::vector<std::pair<uint64_t, uint64_t>>& pool, bool wear_ordered);
+
+// Oldest fully-valid, inactive, aged-out sector among the first
+// `hot_sector_count` sectors, or -1.
+int64_t ScanPickColdEvictionVictim(const std::vector<SectorMeta>& sectors,
+                                   uint64_t hot_sector_count, SimTime now,
+                                   Duration min_age);
+
+// Wear spread and coldest occupied sector over all non-retired sectors.
+struct WearScanResult {
+  uint64_t min_erases = ~uint64_t{0};
+  uint64_t max_erases = 0;
+  int64_t coldest = -1;
+};
+WearScanResult ScanWearLevelState(const std::vector<SectorMeta>& sectors,
+                                  const FlashDevice& flash);
+
 class FlashStore {
  public:
   FlashStore(FlashDevice& flash, FlashStoreOptions options);
+  ~FlashStore();
+
+  FlashStore(const FlashStore&) = delete;
+  FlashStore& operator=(const FlashStore&) = delete;
 
   uint64_t block_bytes() const { return options_.block_bytes; }
   // Number of logical blocks the store exposes (physical minus reserve).
@@ -155,6 +190,7 @@ class FlashStore {
     Counter gc_runs;            // Victim sectors cleaned.
     Counter erases;             // Successful sector erases.
     Counter wear_migrations;    // Sectors migrated by static leveling.
+    Counter wear_level_failures;  // Static-leveling migrations that failed.
     Counter trims;
   };
   const Stats& stats() const { return stats_; }
@@ -163,8 +199,18 @@ class FlashStore {
   // overhead. The canonical flash write-amplification metric.
   double WriteAmplification() const;
 
-  uint64_t free_sectors() const;
+  uint64_t free_sectors() const { return free_sector_count_; }
   const SectorMeta& sector_meta(uint64_t s) const { return sectors_[s]; }
+
+  // Mismatches recorded by validate_indexes mode (0 when the mode is off or
+  // every indexed decision agreed with its linear-scan oracle).
+  uint64_t index_validation_failures() const {
+    return index_validation_failures_;
+  }
+
+  // Exhaustive structural audit: every index's membership and size must match
+  // a fresh scan of the sector metadata. O(sectors log sectors); tests only.
+  Status CheckIndexConsistency() const;
 
  private:
   static constexpr uint64_t kUnmapped = ~uint64_t{0};
@@ -212,6 +258,15 @@ class FlashStore {
   // Static wear leveling check, run after every erase.
   void MaybeStaticWearLevel();
 
+  // Re-syncs `sector`'s membership in the victim, cold-eviction, and wear
+  // indexes from its current metadata. Must be called after any transition
+  // of a sector's free/active/bad flags or page counts (except while the
+  // sector is active — active sectors belong to no index).
+  void UpdateSectorIndexes(uint64_t sector);
+
+  // validate_indexes bookkeeping: logs at kError and bumps the counter.
+  void RecordIndexMismatch(const char* what, int64_t indexed, int64_t oracle);
+
   FlashDevice& flash_;
   FlashStoreOptions options_;
   uint64_t num_logical_blocks_;
@@ -219,7 +274,16 @@ class FlashStore {
   std::vector<uint64_t> map_;           // logical block -> physical page.
   std::vector<uint64_t> page_owner_;    // physical page -> logical block.
   std::vector<SectorMeta> sectors_;
-  std::vector<std::deque<uint64_t>> free_pool_;  // Per-bank free sectors.
+  std::vector<FreeSectorPool> free_pool_;  // Per-bank free sectors.
+  uint64_t free_sector_count_ = 0;         // == sum of free_pool_ sizes.
+  VictimIndex victim_index_;
+  ColdSectorIndex cold_index_;
+  std::unique_ptr<WearIndex> wear_index_;  // Only under WearPolicy::kStatic.
+  bool observer_registered_ = false;       // Erase observer needs unhooking.
+  // First hot_sector_count_ sectors form the hot-bank range; 0 = segregation
+  // off (hot_bank_count outside (0, num_banks)).
+  uint64_t hot_sector_count_ = 0;
+  uint64_t index_validation_failures_ = 0;
   std::vector<int64_t> active_;                  // Per-bank active sector.
   int next_bank_ = 0;
   uint64_t erases_since_wear_check_ = 0;

@@ -1,0 +1,278 @@
+#include "src/ftl/victim_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ssmc {
+
+// --- FreeSectorPool -------------------------------------------------------
+
+void FreeSectorPool::Add(uint64_t sector, uint64_t erase_count) {
+  const uint64_t seq = next_seq_++;
+  if (wear_ordered_) {
+    by_wear_.emplace(erase_count, seq, sector);
+  } else {
+    lifo_.emplace_back(sector, erase_count, seq);
+  }
+}
+
+int64_t FreeSectorPool::Peek() const {
+  if (wear_ordered_) {
+    if (by_wear_.empty()) {
+      return -1;
+    }
+    return static_cast<int64_t>(std::get<2>(*by_wear_.begin()));
+  }
+  if (lifo_.empty()) {
+    return -1;
+  }
+  return static_cast<int64_t>(std::get<0>(lifo_.back()));
+}
+
+int64_t FreeSectorPool::Take() {
+  if (wear_ordered_) {
+    if (by_wear_.empty()) {
+      return -1;
+    }
+    const int64_t sector = static_cast<int64_t>(std::get<2>(*by_wear_.begin()));
+    by_wear_.erase(by_wear_.begin());
+    return sector;
+  }
+  if (lifo_.empty()) {
+    return -1;
+  }
+  const int64_t sector = static_cast<int64_t>(std::get<0>(lifo_.back()));
+  lifo_.pop_back();
+  return sector;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>>
+FreeSectorPool::SnapshotInsertionOrder() const {
+  std::vector<std::tuple<uint64_t, uint64_t, uint64_t>> entries;  // (seq, sector, count)
+  if (wear_ordered_) {
+    entries.reserve(by_wear_.size());
+    for (const auto& [count, seq, sector] : by_wear_) {
+      entries.emplace_back(seq, sector, count);
+    }
+    std::sort(entries.begin(), entries.end());
+  } else {
+    entries.reserve(lifo_.size());
+    for (const auto& [sector, count, seq] : lifo_) {
+      entries.emplace_back(seq, sector, count);
+    }
+    // lifo_ only grows at the back and shrinks from the back, so it is
+    // already in insertion order.
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  out.reserve(entries.size());
+  for (const auto& [seq, sector, count] : entries) {
+    out.emplace_back(sector, count);
+  }
+  return out;
+}
+
+// --- VictimIndex ----------------------------------------------------------
+
+VictimIndex::VictimIndex(CleanerPolicy policy, uint32_t pages_per_sector,
+                         uint64_t num_sectors)
+    : policy_(policy), pages_per_sector_(pages_per_sector),
+      nodes_(num_sectors) {
+  assert(pages_per_sector_ > 0);
+  if (policy_ == CleanerPolicy::kGreedy) {
+    by_dead_.resize(pages_per_sector_ + 1);
+  } else {
+    // Candidates have dead > 0, so valid ranges over [0, pages_per_sector).
+    by_valid_.resize(pages_per_sector_);
+  }
+}
+
+void VictimIndex::Insert(uint64_t sector, uint32_t valid, uint32_t dead,
+                         SimTime t) {
+  Node& node = nodes_[sector];
+  assert(!node.present);
+  assert(dead > 0 && dead <= pages_per_sector_);
+  node.valid = valid;
+  node.dead = dead;
+  node.last_write = t;
+  node.present = true;
+  if (policy_ == CleanerPolicy::kGreedy) {
+    by_dead_[dead].insert(sector);
+  } else {
+    AgeBucket& bucket = by_valid_[valid];
+    bucket.by_age.emplace(t, sector);
+    bucket.by_index.insert(sector);
+  }
+  size_ += 1;
+}
+
+void VictimIndex::Remove(uint64_t sector) {
+  Node& node = nodes_[sector];
+  assert(node.present);
+  if (policy_ == CleanerPolicy::kGreedy) {
+    by_dead_[node.dead].erase(sector);
+  } else {
+    AgeBucket& bucket = by_valid_[node.valid];
+    bucket.by_age.erase({node.last_write, sector});
+    bucket.by_index.erase(sector);
+  }
+  node.present = false;
+  size_ -= 1;
+}
+
+void VictimIndex::Sync(uint64_t sector, uint32_t valid_pages,
+                       uint32_t dead_pages, SimTime last_write_time,
+                       bool candidate) {
+  Node& node = nodes_[sector];
+  if (node.present) {
+    if (candidate && node.valid == valid_pages && node.dead == dead_pages &&
+        node.last_write == last_write_time) {
+      return;  // Already indexed under the right keys.
+    }
+    Remove(sector);
+  }
+  if (candidate) {
+    Insert(sector, valid_pages, dead_pages, last_write_time);
+  }
+}
+
+int64_t VictimIndex::Pick(SimTime now) const {
+  if (policy_ == CleanerPolicy::kGreedy) {
+    // The scan kept the first sector with the strictly highest dead count:
+    // highest non-empty bucket, lowest index within it.
+    for (uint32_t dead = pages_per_sector_; dead >= 1; --dead) {
+      if (!by_dead_[dead].empty()) {
+        return static_cast<int64_t>(*by_dead_[dead].begin());
+      }
+    }
+    return -1;
+  }
+
+  // Cost-benefit: one representative per valid-count bucket, scored with the
+  // scan's exact arithmetic; ties across buckets resolve to the lowest
+  // sector index, as the ascending-index scan did.
+  int64_t best = -1;
+  double best_score = -1;
+  for (uint32_t valid = 0; valid < pages_per_sector_; ++valid) {
+    const AgeBucket& bucket = by_valid_[valid];
+    if (bucket.by_age.empty()) {
+      continue;
+    }
+    const SimTime oldest = bucket.by_age.begin()->first;
+    uint64_t candidate;
+    SimTime t;
+    if (now - oldest <= 1) {
+      // Even the oldest candidate's age clamps to max(1, now - t) == 1, so
+      // every sector in this bucket scores identically and the scan would
+      // keep the lowest index.
+      candidate = *bucket.by_index.begin();
+      t = nodes_[candidate].last_write;
+    } else {
+      // Scores are monotone in age within the bucket, so the oldest wins;
+      // the (t, sector) ordering already breaks exact-age ties by index.
+      candidate = bucket.by_age.begin()->second;
+      t = oldest;
+    }
+    const double u = static_cast<double>(valid) /
+                     static_cast<double>(pages_per_sector_);
+    const double age =
+        static_cast<double>(std::max<SimTime>(1, now - t));
+    const double score = age * (1.0 - u) / (1.0 + u);
+    if (score > best_score ||
+        (score == best_score && static_cast<int64_t>(candidate) < best)) {
+      best_score = score;
+      best = static_cast<int64_t>(candidate);
+    }
+  }
+  return best;
+}
+
+// --- ColdSectorIndex ------------------------------------------------------
+
+void ColdSectorIndex::Sync(uint64_t sector, SimTime last_write_time,
+                           bool eligible) {
+  Node& node = nodes_[sector];
+  if (node.present) {
+    if (eligible && node.last_write == last_write_time) {
+      return;
+    }
+    by_age_.erase({node.last_write, sector});
+    node.present = false;
+  }
+  if (eligible) {
+    by_age_.emplace(last_write_time, sector);
+    node.last_write = last_write_time;
+    node.present = true;
+  }
+}
+
+int64_t ColdSectorIndex::PickOlderThan(SimTime now, Duration min_age) const {
+  if (by_age_.empty()) {
+    return -1;
+  }
+  const auto& [oldest, sector] = *by_age_.begin();
+  if (now - oldest < min_age) {
+    return -1;
+  }
+  return static_cast<int64_t>(sector);
+}
+
+// --- WearIndex ------------------------------------------------------------
+
+void WearIndex::Seed(uint64_t sector, uint64_t erase_count) {
+  Node& node = nodes_[sector];
+  assert(!node.tracked);
+  node.count = erase_count;
+  node.tracked = true;
+  counts_.insert(erase_count);
+}
+
+void WearIndex::OnEraseCountChanged(uint64_t sector, uint64_t new_count,
+                                    bool now_bad) {
+  Node& node = nodes_[sector];
+  if (node.tracked) {
+    counts_.erase(counts_.find(node.count));
+    node.tracked = false;
+  }
+  if (!now_bad) {
+    counts_.insert(new_count);
+    node.count = new_count;
+    node.tracked = true;
+  }
+  if (node.occupied) {
+    // Keep the occupied key fresh (a retiring sector leaves outright; the
+    // follow-up SyncOccupied(false) then finds it already gone).
+    occupied_.erase({node.occupied_key, sector});
+    node.occupied = false;
+    if (!now_bad) {
+      occupied_.emplace(new_count, sector);
+      node.occupied_key = new_count;
+      node.occupied = true;
+    }
+  }
+}
+
+void WearIndex::SyncOccupied(uint64_t sector, uint64_t erase_count,
+                             bool occupied) {
+  Node& node = nodes_[sector];
+  if (node.occupied) {
+    if (occupied && node.occupied_key == erase_count) {
+      return;
+    }
+    occupied_.erase({node.occupied_key, sector});
+    node.occupied = false;
+  }
+  if (occupied) {
+    occupied_.emplace(erase_count, sector);
+    node.occupied_key = erase_count;
+    node.occupied = true;
+  }
+}
+
+int64_t WearIndex::ColdestOccupied() const {
+  if (occupied_.empty()) {
+    return -1;
+  }
+  return static_cast<int64_t>(occupied_.begin()->second);
+}
+
+}  // namespace ssmc

@@ -130,9 +130,13 @@ Status WriteBuffer::Flush(const BlockKey& key) {
 }
 
 Status WriteBuffer::FlushOlderThan(SimTime now, Duration max_age) {
-  // Oldest entries are at the front of the LRU list; because dirty_since is
-  // refreshed on overwrite and entries move to the back, the front is also
-  // the oldest dirty. Stop at the first young entry.
+  // lru_ is in insertion order: Put's overwrite path absorbs the write into
+  // the existing DRAM page and returns early — it neither refreshes
+  // dirty_since nor moves the entry to the back. The front is therefore the
+  // FIRST-dirtied entry, dirty_since is monotone along the list, and it is
+  // safe to stop at the first young entry. This is what bounds staleness: a
+  // block overwritten every second still flushes one age window after its
+  // first buffered write, rather than being deferred forever.
   while (!lru_.empty()) {
     auto it = entries_.find(lru_.front());
     assert(it != entries_.end());

@@ -3,6 +3,12 @@
 // Whatever the internal relocation traffic does, a logical block must always
 // read back the last value written, trimmed blocks must stay gone, and the
 // store's accounting invariants must hold.
+//
+// All configs run with validate_indexes on: every indexed decision (cleaning
+// victim, free-sector take, cold eviction, wear-level target) is cross-checked
+// at decision time against the retained linear-scan oracles, and the suite
+// asserts zero mismatches — the differential proof that the indexed hot paths
+// reproduce the scans' choices bit for bit.
 
 #include <gtest/gtest.h>
 
@@ -63,6 +69,7 @@ class FlashStorePropertyTest : public ::testing::TestWithParam<StoreConfig> {
     options.static_wear_check_interval = 16;
     options.static_wear_delta = 8;
     options.cold_eviction_age = kSecond;
+    options.validate_indexes = true;
     store_ = std::make_unique<FlashStore>(*flash_, options);
   }
 
@@ -130,6 +137,38 @@ TEST_P(FlashStorePropertyTest, RandomOpsAlwaysReadBackLastWrite) {
     ASSERT_TRUE(store_->Read(block, out).ok()) << "block " << block;
     EXPECT_EQ(out, BlockValue(block, v)) << "block " << block;
   }
+
+  // Differential guarantee: every indexed pick matched its scan oracle, and
+  // the index contents still reconcile with the sector metadata.
+  EXPECT_EQ(store_->index_validation_failures(), 0u);
+  EXPECT_TRUE(store_->CheckIndexConsistency().ok());
+}
+
+TEST_P(FlashStorePropertyTest, FrozenClockDecisionsMatchOracles) {
+  // background_writes keeps the caller's clock frozen through the storm, so
+  // whole cost-benefit buckets tie on the age clamp max(1, now - t) and the
+  // cold-eviction cutoff sits exactly at age zero — the hardest tie-breaking
+  // cases for the indexed pickers.
+  const StoreConfig& config = GetParam();
+  FlashStoreOptions options;
+  options.cleaner = config.cleaner;
+  options.wear = config.wear;
+  options.hot_bank_count = config.hot_banks;
+  options.static_wear_check_interval = 16;
+  options.static_wear_delta = 8;
+  options.cold_eviction_age = 0;
+  options.background_writes = true;
+  options.validate_indexes = true;
+  FlashStore store(*flash_, options);
+
+  Rng rng(4321);
+  const uint64_t blocks = store.num_blocks();
+  const std::vector<uint8_t> data(512, 0xA5);
+  for (int i = 0; i < 4000; ++i) {
+    ASSERT_TRUE(store.Write(rng.NextBelow(blocks), data).ok()) << "op " << i;
+  }
+  EXPECT_EQ(store.index_validation_failures(), 0u);
+  EXPECT_TRUE(store.CheckIndexConsistency().ok());
 }
 
 TEST_P(FlashStorePropertyTest, PartialReadsMatchFullReads) {

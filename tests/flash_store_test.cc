@@ -300,6 +300,84 @@ TEST_F(FlashStoreTest, WornOutSectorsRetiredGracefully) {
   EXPECT_GT(writes, 1000u);  // Device survived well past first failures.
 }
 
+TEST_F(FlashStoreTest, RetirementRemovesSectorFromEveryIndex) {
+  // Wear sectors out under the full index complement (victim + cold + wear +
+  // wear-ordered free pools) with differential validation on: a retired
+  // sector must leave every index, and every later decision must still match
+  // the linear-scan oracles.
+  FlashSpec spec = SmallFlashSpec();
+  spec.endurance_cycles = 20;
+  flash_ = std::make_unique<FlashDevice>(spec, 64 * 1024, 4, clock_, 11);
+  FlashStoreOptions opts;
+  opts.cleaner = CleanerPolicy::kCostBenefit;
+  opts.wear = WearPolicy::kStatic;
+  opts.static_wear_check_interval = 8;
+  opts.static_wear_delta = 8;
+  opts.hot_bank_count = 1;
+  opts.validate_indexes = true;
+  store_ = std::make_unique<FlashStore>(*flash_, opts);
+
+  for (int i = 0; i < 60000 && flash_->stats().bad_sectors.value() < 3; ++i) {
+    if (!store_->Write(static_cast<uint64_t>(i) % store_->num_blocks(),
+                       Block(1))
+             .ok()) {
+      break;
+    }
+  }
+  ASSERT_GT(flash_->stats().bad_sectors.value(), 0u);
+  uint64_t retired = 0;
+  for (uint64_t s = 0; s < flash_->num_sectors(); ++s) {
+    retired += store_->sector_meta(s).bad ? 1 : 0;
+  }
+  EXPECT_EQ(retired, flash_->stats().bad_sectors.value());
+  // Membership audit: bad sectors are in no index, and sizes reconcile.
+  EXPECT_TRUE(store_->CheckIndexConsistency().ok());
+  // Every pick made on the way here agreed with its oracle.
+  EXPECT_EQ(store_->index_validation_failures(), 0u);
+
+  // The store keeps serving around the retired sectors.
+  for (int i = 0; i < 500; ++i) {
+    if (!store_->Write(static_cast<uint64_t>(i) % 16, Block(2)).ok()) {
+      break;
+    }
+  }
+  EXPECT_TRUE(store_->CheckIndexConsistency().ok());
+  EXPECT_EQ(store_->index_validation_failures(), 0u);
+}
+
+TEST_F(FlashStoreTest, WearLevelMigrationFailureIsCountedNotSwallowed) {
+  // A failing wear-leveling migration must surface in stats (and the log),
+  // not vanish: the seed implementation dropped the error on the floor.
+  FlashStoreOptions opts;
+  opts.wear = WearPolicy::kStatic;
+  opts.cleaner = CleanerPolicy::kGreedy;
+  opts.static_wear_check_interval = 4;
+  opts.static_wear_delta = 4;
+  Recreate(128 * 1024, 1, opts);
+  // Fill every block; blocks 0..3 land in sector 0 and are never overwritten,
+  // so sector 0 stays fully valid at erase count 0 — the permanent coldest
+  // occupied sector and thus every migration's target.
+  for (uint64_t b = 0; b < store_->num_blocks(); ++b) {
+    ASSERT_TRUE(store_->Write(b, Block(static_cast<uint8_t>(b))).ok());
+  }
+  // All migration reads from sector 0 fail (transient fault injection).
+  flash_->InjectReadFaults(0, 1 << 20);
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(store_->Write(100 + static_cast<uint64_t>(i) % 8, Block(3))
+                    .ok());
+  }
+  EXPECT_GT(store_->stats().wear_level_failures.value(), 0u);
+  EXPECT_EQ(store_->stats().wear_migrations.value(), 0u);
+
+  // Once the fault clears, the cold data is still there and readable.
+  flash_->InjectReadFaults(0, 0);
+  for (uint64_t b = 0; b < 4; ++b) {
+    auto out = Block(0);
+    ASSERT_TRUE(store_->Read(b, out).ok());
+    EXPECT_EQ(out, Block(static_cast<uint8_t>(b)));
+  }
+}
+
 TEST_F(FlashStoreTest, StatsCountUserOps) {
   ASSERT_TRUE(store_->Write(0, Block(1)).ok());
   auto out = Block(0);

@@ -135,6 +135,36 @@ TEST_F(WriteBufferTest, HotBlockStillAgesOut) {
   EXPECT_EQ(flushed_[0], 1);
 }
 
+TEST_F(WriteBufferTest, OverwrittenHotBlockFlushesWithinExactlyOneAgeWindow) {
+  // Regression for the FlushOlderThan early-stop invariant: lru_ is in
+  // FIRST-dirty order because Put's overwrite path neither refreshes
+  // dirty_since nor moves the entry. A hot block must flush at exactly one
+  // age window after its first buffered write — no earlier (overwrites are
+  // still being absorbed) and no later (an implementation that re-ordered on
+  // overwrite would hide the old block behind younger entries and the
+  // early-stop would defer it indefinitely).
+  auto buffer = MakeBuffer(16);
+  const Duration kWindow = 30 * kSecond;
+  const SimTime first_dirty = clock_.now();
+  ASSERT_TRUE(buffer->Put(BlockKey{1, 0}, Page(1), clock_.now()).ok());
+  // A younger block queued behind it must not shadow the older hot one.
+  clock_.Advance(kSecond);
+  ASSERT_TRUE(buffer->Put(BlockKey{1, 1}, Page(9), clock_.now()).ok());
+
+  // Overwrite every second, running the periodic flush like a sync daemon.
+  while (clock_.now() - first_dirty < kWindow) {
+    ASSERT_TRUE(buffer->FlushOlderThan(clock_.now(), kWindow).ok());
+    EXPECT_TRUE(flushed_.empty()) << "flushed before the age window elapsed";
+    clock_.Advance(kSecond);
+    ASSERT_TRUE(buffer->Put(BlockKey{1, 0}, Page(2), clock_.now()).ok());
+  }
+
+  ASSERT_TRUE(buffer->FlushOlderThan(clock_.now(), kWindow).ok());
+  EXPECT_EQ(flushed_[0], 1);                      // Hot block reached flash,
+  EXPECT_EQ(buffer->stats().flushes.value(), 1u);  // and nothing else did:
+  EXPECT_TRUE(buffer->Contains(BlockKey{1, 1}));   // 29 s old, still young.
+}
+
 TEST_F(WriteBufferTest, DropAvoidsFlashWrite) {
   auto buffer = MakeBuffer(16);
   const BlockKey key{7, 3};
