@@ -1,0 +1,158 @@
+// E11 — Multi-user scale-out on the parallel harness (experiment M2).
+//
+// The ROADMAP's north star is serving heavy traffic from many users as fast
+// as the hardware allows. The simulator's unit of work — one machine, one
+// trace — is a closed world, so a fleet of M simulated users shards
+// perfectly over K concurrent cells. This bench replays M users (alternating
+// office / write-hot profiles, seeds derived per user via splitmix64 from
+// one base seed) sharded over K cells for K = 1 .. available CPUs, and
+// reports:
+//  * the aggregate simulated throughput (identical for every K — sharding
+//    must never change results; the bench asserts the merged report is
+//    bit-identical to the K=1 run);
+//  * the host wall-clock time and the speedup curve vs K=1.
+// Results also land in BENCH_scaleout.json for machine consumption.
+
+#include <chrono>
+#include <fstream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/harness/scaleout.h"
+
+namespace ssmc {
+namespace {
+
+struct SweepPoint {
+  int cells = 0;
+  ScaleoutReport report;
+  double host_ms = 0;
+};
+
+double HostMillis(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Bit-level equality of two reports (counts, windows, and every histogram).
+bool ReportsIdentical(const ReplayReport& a, const ReplayReport& b) {
+  if (a.ops != b.ops || a.failures != b.failures ||
+      a.bytes_read != b.bytes_read || a.bytes_written != b.bytes_written ||
+      a.failed_read_bytes != b.failed_read_bytes ||
+      a.failed_write_bytes != b.failed_write_bytes ||
+      a.started != b.started || a.finished != b.finished) {
+    return false;
+  }
+  auto same_hist = [](const LatencyRecorder& x, const LatencyRecorder& y) {
+    if (x.count() != y.count() || x.total_ns() != y.total_ns() ||
+        x.min_ns() != y.min_ns() || x.max_ns() != y.max_ns()) {
+      return false;
+    }
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      if (x.histogram().bucket_count(b) != y.histogram().bucket_count(b)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (!same_hist(a.all_ops, b.all_ops)) {
+    return false;
+  }
+  for (size_t i = 0; i < a.per_op.size(); ++i) {
+    if (!same_hist(a.per_op[i], b.per_op[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+}  // namespace ssmc
+
+int main(int argc, char** argv) {
+  using namespace ssmc;
+  PrintHeader("E11: multi-user scale-out on the parallel harness (M2)",
+              "Claim: independent simulation cells shard perfectly: K cells "
+              "on K CPUs cut host time\n~K-fold while the aggregate report "
+              "stays bit-identical to the serial run.");
+
+  const int hw = DefaultJobs();
+  const int jobs_cap = JobsFromArgs(argc, argv);
+  ScaleoutOptions options;
+  options.users = 2 * std::max(hw, 2);  // Fixed fleet; K only reshards it.
+  options.user_duration = 30 * kSecond;
+  std::cout << options.users << " simulated users (office / write-hot "
+            << "alternating, 30 s each), " << hw
+            << " host CPUs available.\n\n";
+
+  // K sweep: powers of two up to the CPU count, the CPU count itself, plus
+  // a K=2 point even on one CPU so resharding correctness is always shown.
+  std::vector<int> sweep = {1, 2};
+  for (int k = 4; k < hw; k *= 2) {
+    sweep.push_back(k);
+  }
+  if (hw > 2) {
+    sweep.push_back(hw);
+  }
+
+  std::vector<SweepPoint> points;
+  for (const int k : sweep) {
+    SweepPoint point;
+    point.cells = k;
+    options.cells = k;
+    options.jobs = std::min(k, jobs_cap);
+    const auto start = std::chrono::steady_clock::now();
+    point.report = RunScaleout(options);
+    point.host_ms = HostMillis(start);
+    points.push_back(std::move(point));
+  }
+
+  const SweepPoint& serial = points.front();
+  bool all_identical = true;
+  Table table({"K cells", "jobs", "host time (ms)", "speedup vs K=1",
+               "agg sim ops/s", "total ops", "failures", "identical to K=1"});
+  for (const SweepPoint& p : points) {
+    const bool identical =
+        ReportsIdentical(p.report.aggregate, serial.report.aggregate);
+    all_identical = all_identical && identical;
+    table.AddRow();
+    table.AddCell(static_cast<int64_t>(p.cells));
+    table.AddCell(static_cast<int64_t>(p.report.jobs));
+    table.AddCell(p.host_ms, 1);
+    table.AddCell(serial.host_ms / p.host_ms, 2);
+    table.AddCell(p.report.SimOpsPerSecond(), 0);
+    table.AddCell(p.report.aggregate.ops);
+    table.AddCell(p.report.aggregate.failures);
+    table.AddCell(identical ? std::string("yes") : std::string("NO"));
+  }
+  table.Print(std::cout);
+
+  const SweepPoint& widest = points.back();
+  const double speedup = serial.host_ms / widest.host_ms;
+  std::cout << "\nAt K=" << widest.cells << " on " << hw
+            << " CPUs: " << FormatDouble(speedup, 2) << "x host-time speedup ("
+            << FormatDouble(speedup / static_cast<double>(hw), 2)
+            << "x per CPU); aggregate reports "
+            << (all_identical ? "bit-identical across all K."
+                              : "DIVERGED — sharding bug!")
+            << "\n";
+
+  std::ofstream json("BENCH_scaleout.json");
+  json << "[\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    json << "  {\"cells\": " << p.cells << ", \"jobs\": " << p.report.jobs
+         << ", \"users\": " << p.report.users << ", \"host_ms\": " << p.host_ms
+         << ", \"speedup_vs_serial\": " << serial.host_ms / p.host_ms
+         << ", \"sim_ops_per_s\": " << p.report.SimOpsPerSecond()
+         << ", \"ops\": " << p.report.aggregate.ops
+         << ", \"identical_to_serial\": "
+         << (ReportsIdentical(p.report.aggregate, serial.report.aggregate)
+                 ? "true"
+                 : "false")
+         << "}" << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  json << "]\n";
+  return all_identical ? 0 : 1;
+}

@@ -12,8 +12,14 @@
 // contributes), and (c) the conventional DiskFileSystem on a KittyHawk-class
 // microdisk with a 256 KiB LRU buffer cache.
 
+// The five file-system cells are fully independent machines, so they run
+// concurrently through the parallel runner (bench_common.h: --jobs /
+// SSMC_JOBS); results are collected in submission order, so the table is
+// byte-identical to a --jobs=1 run.
+
 #include "bench/bench_common.h"
 #include "src/fs/log_fs.h"
+#include "src/harness/parallel_runner.h"
 #include "src/trace/replayer.h"
 
 namespace ssmc {
@@ -47,7 +53,7 @@ void AddRow(Table& table, const FsResult& result) {
 }  // namespace
 }  // namespace ssmc
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ssmc;
   PrintHeader("E3: memory-resident FS vs disk FS (Section 3.1)",
               "Claim: the memory-resident file system outperforms the "
@@ -63,33 +69,32 @@ int main() {
             << FormatSize(trace.TotalBytesWritten()) << " written, "
             << FormatSize(trace.TotalBytesRead()) << " read\n\n";
 
-  std::vector<FsResult> results;
-
-  {
+  std::vector<std::function<FsResult()>> cells;
+  cells.push_back([&trace] {
     MobileComputer machine(NotebookConfig());
-    results.push_back({"memory-fs (1 MiB buffer)", machine.RunTrace(trace)});
-  }
-  {
+    return FsResult{"memory-fs (1 MiB buffer)", machine.RunTrace(trace)};
+  });
+  cells.push_back([&trace] {
     MachineConfig config = NotebookConfig();
     config.fs_options.write_buffer_pages = 0;  // Ablation: write-through.
     MobileComputer machine(config);
-    results.push_back({"memory-fs (no buffer)", machine.RunTrace(trace)});
-  }
-  {
+    return FsResult{"memory-fs (no buffer)", machine.RunTrace(trace)};
+  });
+  cells.push_back([&trace] {
     DiskMachine machine(FujitsuDisk1993());  // 45 MB: fits the workload.
     TraceReplayer replayer(*machine.fs, machine.clock);
-    results.push_back({"disk-fs (sync metadata)", replayer.Replay(trace)});
-  }
-  {
+    return FsResult{"disk-fs (sync metadata)", replayer.Replay(trace)};
+  });
+  cells.push_back([&trace] {
     // Ablation: give the disk FS asynchronous metadata (trading crash
     // consistency for speed) — the strongest fair version of the baseline.
     DiskFsOptions options;
     options.sync_metadata = false;
     DiskMachine machine(FujitsuDisk1993(), options);
     TraceReplayer replayer(*machine.fs, machine.clock);
-    results.push_back({"disk-fs (async metadata)", replayer.Replay(trace)});
-  }
-  {
+    return FsResult{"disk-fs (async metadata)", replayer.Replay(trace)};
+  });
+  cells.push_back([&trace] {
     // The strongest possible disk organization: a log-structured file
     // system [11] — every write becomes sequential log bandwidth.
     SimClock clock;
@@ -97,8 +102,11 @@ int main() {
     disk.set_spin_down_after(0);
     LogFileSystem fs(disk, LogFsOptions{});
     TraceReplayer replayer(fs, clock);
-    results.push_back({"log-fs (LFS on disk)", replayer.Replay(trace)});
-  }
+    return FsResult{"log-fs (LFS on disk)", replayer.Replay(trace)};
+  });
+
+  ParallelRunner runner(JobsFromArgs(argc, argv));
+  const std::vector<FsResult> results = runner.RunOrdered(std::move(cells));
 
   Table table({"file system", "ops/s", "read mean", "read p99", "write mean",
                "write p99", "stat mean", "create mean", "busy time"});

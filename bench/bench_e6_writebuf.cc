@@ -11,7 +11,15 @@
 // absorbed traffic went (overwrites absorbed in DRAM vs short-lived data
 // dropped before flush). Ablation: the age-based flush threshold.
 
+// Every (buffer size, flush age) point is an independent machine replaying
+// the same trace, so the whole sweep matrix runs concurrently through the
+// parallel runner; rows print in submission order, byte-identical to
+// --jobs=1.
+
+#include <functional>
+
 #include "bench/bench_common.h"
+#include "src/harness/parallel_runner.h"
 
 namespace ssmc {
 namespace {
@@ -46,7 +54,7 @@ BufferResult RunWithBuffer(const Trace& trace, uint64_t buffer_pages,
 }  // namespace
 }  // namespace ssmc
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ssmc;
   PrintHeader("E6: DRAM write buffering (Section 3.3)",
               "Claim: ~1 MB of battery-backed RAM absorbs 40-50% of write "
@@ -78,16 +86,37 @@ int main() {
             << FormatSize(trace.TotalBytesWritten()) << " logically written "
             << "over " << FormatDuration(trace.DurationNs()) << "\n\n";
 
-  const BufferResult baseline = RunWithBuffer(trace, 0, 30 * kSecond);
+  // The whole matrix — baseline, size sweep, flush-age ablation — as
+  // independent cells. Cell 0 is the baseline; the reduction columns are
+  // computed against it after all cells complete.
+  const uint64_t sweep_kib[] = {0, 64, 128, 256, 512, 1024, 2048, 4096};
+  const Duration ablation_ages[] = {5 * kSecond, 15 * kSecond, 30 * kSecond,
+                                    60 * kSecond, 5 * kMinute};
+  std::vector<std::function<BufferResult()>> cells;
+  cells.push_back([&trace] { return RunWithBuffer(trace, 0, 30 * kSecond); });
+  for (const uint64_t kib : sweep_kib) {
+    cells.push_back([&trace, kib] {
+      return RunWithBuffer(trace, kib * 1024 / 512, 30 * kSecond);
+    });
+  }
+  for (const Duration age : ablation_ages) {
+    cells.push_back(
+        [&trace, age] { return RunWithBuffer(trace, 2048, age); });
+  }
+
+  ParallelRunner runner(JobsFromArgs(argc, argv));
+  const std::vector<BufferResult> results = runner.RunOrdered(std::move(cells));
+
+  const BufferResult& baseline = results[0];
   std::cout << "Write-through baseline: " << baseline.flash_writes
             << " flash block writes ("
             << FormatSize(baseline.flash_writes * 512) << ")\n\n";
 
   Table table({"buffer size", "flash writes", "flash bytes", "reduction",
                "absorbed overwrites", "dropped (dead) blocks", "flash WA"});
-  for (const uint64_t kib : {0, 64, 128, 256, 512, 1024, 2048, 4096}) {
-    const uint64_t pages = kib * 1024 / 512;
-    const BufferResult r = RunWithBuffer(trace, pages, 30 * kSecond);
+  for (size_t i = 0; i < std::size(sweep_kib); ++i) {
+    const uint64_t kib = sweep_kib[i];
+    const BufferResult& r = results[1 + i];
     const double reduction =
         1.0 - static_cast<double>(r.flash_writes) /
                   static_cast<double>(baseline.flash_writes);
@@ -105,11 +134,10 @@ int main() {
 
   std::cout << "\nAblation: flush-age threshold at a fixed 1 MiB buffer\n";
   Table ablation({"flush age", "flash writes", "reduction vs baseline"});
-  for (const Duration age : {5 * kSecond, 15 * kSecond, 30 * kSecond,
-                             60 * kSecond, 5 * kMinute}) {
-    const BufferResult r = RunWithBuffer(trace, 2048, age);
+  for (size_t i = 0; i < std::size(ablation_ages); ++i) {
+    const BufferResult& r = results[1 + std::size(sweep_kib) + i];
     ablation.AddRow();
-    ablation.AddCell(FormatDuration(age));
+    ablation.AddCell(FormatDuration(ablation_ages[i]));
     ablation.AddCell(r.flash_writes);
     ablation.AddCell(Pct(1.0 - static_cast<double>(r.flash_writes) /
                                    static_cast<double>(baseline.flash_writes)));

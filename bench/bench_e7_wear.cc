@@ -13,10 +13,16 @@
 //  (b) lifetime at a reduced endurance: how many writes the device absorbs
 //      before it can no longer accept data, and how many sectors died.
 
+// Each policy-cross-product point owns its clock, device and store, so the
+// 16 runs behind the three tables execute concurrently on the parallel
+// runner; rows print in submission order, byte-identical to --jobs=1.
+
+#include <functional>
 #include <memory>
 
 #include "bench/bench_common.h"
 #include "src/ftl/flash_store.h"
+#include "src/harness/parallel_runner.h"
 
 namespace ssmc {
 namespace {
@@ -107,7 +113,7 @@ std::string WearName(WearPolicy policy) {
 }  // namespace
 }  // namespace ssmc
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ssmc;
   PrintHeader("E7: cleaning & wear leveling (Section 3.3)",
               "Claim: LFS-style cleaning + wear leveling evenly balances the "
@@ -118,13 +124,40 @@ int main() {
   const WearPolicy wears[] = {WearPolicy::kNone, WearPolicy::kDynamic,
                               WearPolicy::kStatic};
 
+  // Submit the full policy cross-product for all three tables up front.
+  std::vector<std::function<WearResult()>> cells;
+  for (const CleanerPolicy cleaner : cleaners) {
+    for (const WearPolicy wear : wears) {
+      cells.push_back(
+          [cleaner, wear] { return RunPolicy(cleaner, wear, 1000000, 60000); });
+    }
+  }
+  for (const CleanerPolicy cleaner : cleaners) {
+    for (const WearPolicy wear : wears) {
+      cells.push_back([cleaner, wear] {
+        return RunPolicy(cleaner, wear, 300, 100000000);
+      });
+    }
+  }
+  for (const CleanerPolicy cleaner :
+       {CleanerPolicy::kGreedy, CleanerPolicy::kCostBenefit}) {
+    for (const WearPolicy wear : {WearPolicy::kNone, WearPolicy::kStatic}) {
+      cells.push_back([cleaner, wear] {
+        return RunPolicy(cleaner, wear, 300, 100000000, /*skewed=*/false);
+      });
+    }
+  }
+  ParallelRunner runner(JobsFromArgs(argc, argv));
+  const std::vector<WearResult> results = runner.RunOrdered(std::move(cells));
+  size_t cell = 0;
+
   std::cout << "(a) Wear balance under a skewed overwrite workload "
                "(endurance effectively unlimited, 60k writes)\n";
   Table balance({"cleaner", "leveling", "write amp", "erases",
                  "erase stddev", "min..max erases", "cold migrations"});
   for (const CleanerPolicy cleaner : cleaners) {
     for (const WearPolicy wear : wears) {
-      const WearResult r = RunPolicy(cleaner, wear, 1000000, 60000);
+      const WearResult& r = results[cell++];
       balance.AddRow();
       balance.AddCell(CleanerName(cleaner));
       balance.AddCell(WearName(wear));
@@ -145,7 +178,7 @@ int main() {
   // Ideal: every sector used perfectly evenly = sectors * endurance * pages.
   for (const CleanerPolicy cleaner : cleaners) {
     for (const WearPolicy wear : wears) {
-      const WearResult r = RunPolicy(cleaner, wear, 300, 100000000);
+      const WearResult& r = results[cell++];
       life.AddRow();
       life.AddCell(CleanerName(cleaner));
       life.AddCell(WearName(wear));
@@ -164,8 +197,7 @@ int main() {
   for (const CleanerPolicy cleaner :
        {CleanerPolicy::kGreedy, CleanerPolicy::kCostBenefit}) {
     for (const WearPolicy wear : {WearPolicy::kNone, WearPolicy::kStatic}) {
-      const WearResult r =
-          RunPolicy(cleaner, wear, 300, 100000000, /*skewed=*/false);
+      const WearResult& r = results[cell++];
       uniform.AddRow();
       uniform.AddCell(CleanerName(cleaner));
       uniform.AddCell(WearName(wear));

@@ -12,10 +12,16 @@
 // every read can stall behind a multi-millisecond erase; with several banks
 // reads proceed in the banks the writer is not using.
 
+// Each (banks, placement) configuration is a closed simulation cell; the
+// seven runs execute concurrently on the parallel runner and the table
+// prints in submission order, byte-identical to --jobs=1.
+
+#include <functional>
 #include <memory>
 
 #include "bench/bench_common.h"
 #include "src/ftl/flash_store.h"
+#include "src/harness/parallel_runner.h"
 
 namespace ssmc {
 namespace {
@@ -88,7 +94,7 @@ BankResult RunBanks(int banks, int hot_banks) {
 }  // namespace
 }  // namespace ssmc
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ssmc;
   PrintHeader("E8: flash bank partitioning (Section 3.3)",
               "Claim: partitioning flash into banks keeps reads fast during "
@@ -105,8 +111,16 @@ int main() {
   };
   const Config configs[] = {{1, 0}, {2, 0}, {4, 0}, {8, 0},
                             {2, 1}, {4, 1}, {8, 2}};
+  std::vector<std::function<BankResult()>> cells;
   for (const Config& config : configs) {
-    const BankResult r = RunBanks(config.banks, config.hot);
+    cells.push_back(
+        [config] { return RunBanks(config.banks, config.hot); });
+  }
+  ParallelRunner runner(JobsFromArgs(argc, argv));
+  const std::vector<BankResult> results = runner.RunOrdered(std::move(cells));
+  for (size_t i = 0; i < std::size(configs); ++i) {
+    const Config& config = configs[i];
+    const BankResult& r = results[i];
     table.AddRow();
     table.AddCell(static_cast<int64_t>(config.banks));
     table.AddCell(config.hot == 0

@@ -13,12 +13,20 @@
 // the workload). The best split should differ by workload — that is the
 // paper's point.
 
+// The 4 workloads x 5 splits matrix is 20 independent machines; all 20 run
+// concurrently through the parallel runner and the per-workload tables print
+// in submission order, byte-identical to --jobs=1.
+
+#include <functional>
+
 #include "bench/bench_common.h"
+#include "src/harness/parallel_runner.h"
 
 namespace ssmc {
 namespace {
 
 constexpr uint64_t kBudgetBytes = 12 * kMiB;
+constexpr uint64_t kDramSweepMib[] = {1, 2, 4, 6, 8};
 
 struct SizingResult {
   double ops_per_s = 0;
@@ -57,7 +65,7 @@ SizingResult RunSplit(uint64_t dram_bytes, const WorkloadOptions& workload) {
   return result;
 }
 
-void RunWorkload(const std::string& name, WorkloadOptions options) {
+WorkloadOptions Calibrate(WorkloadOptions options) {
   options.duration = 3 * kMinute;
   options.mean_interarrival = 15 * kMillisecond;
   options.min_file_bytes = 512;
@@ -65,12 +73,28 @@ void RunWorkload(const std::string& name, WorkloadOptions options) {
   options.num_directories = 16;
   options.initial_files = 320;
   options.hot_skew = 0.5;  // Broad write working set: sizing pressure.
+  return options;
+}
+
+// Queues this workload's five splits as cells; the results land, in order,
+// behind the previously queued workloads.
+void QueueWorkload(std::vector<std::function<SizingResult()>>& cells,
+                   const WorkloadOptions& options) {
+  for (const uint64_t dram_mib : kDramSweepMib) {
+    cells.push_back([dram_mib, options] {
+      return RunSplit(dram_mib * kMiB, options);
+    });
+  }
+}
+
+void PrintWorkload(const std::string& name,
+                   const std::vector<SizingResult>& results, size_t& cell) {
   std::cout << "\nWorkload: " << name << "\n";
   Table table({"DRAM : flash", "mean op (us)", "ops/s", "energy (mJ)",
                "flash WA", "erases", "failures"});
-  for (const uint64_t dram_mib : {1, 2, 4, 6, 8}) {
+  for (const uint64_t dram_mib : kDramSweepMib) {
     const uint64_t dram = dram_mib * kMiB;
-    const SizingResult r = RunSplit(dram, options);
+    const SizingResult& r = results[cell++];
     table.AddRow();
     table.AddCell(std::to_string(dram_mib) + " : " +
                   std::to_string((kBudgetBytes - dram) / kMiB) + " MiB");
@@ -87,17 +111,13 @@ void RunWorkload(const std::string& name, WorkloadOptions options) {
 }  // namespace
 }  // namespace ssmc
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ssmc;
   PrintHeader("E9: DRAM vs flash sizing at a fixed budget (Section 4)",
               "Claim: the right DRAM:flash split depends on the workload's "
               "writable working set.");
   std::cout << "Total solid-state budget: " << FormatSize(kBudgetBytes)
             << "; DRAM share swept; half of DRAM is write buffer.\n";
-
-  RunWorkload("read-mostly", ReadMostlyWorkload());
-  RunWorkload("office", OfficeWorkload());
-  RunWorkload("write-hot", WriteHotWorkload());
 
   // Archive: long-lived data accumulates until it no longer fits the flash
   // side — the "sufficiently large repository for permanent data" corner.
@@ -109,7 +129,21 @@ int main() {
   archive.p_delete = 0.02;
   archive.p_short_lived = 0.0;  // Nothing dies young.
   archive.max_file_bytes = 256 * 1024;
-  RunWorkload("archive (long-lived data)", archive);
+
+  std::vector<std::function<SizingResult()>> cells;
+  QueueWorkload(cells, Calibrate(ReadMostlyWorkload()));
+  QueueWorkload(cells, Calibrate(OfficeWorkload()));
+  QueueWorkload(cells, Calibrate(WriteHotWorkload()));
+  QueueWorkload(cells, Calibrate(archive));
+
+  ParallelRunner runner(JobsFromArgs(argc, argv));
+  const std::vector<SizingResult> results = runner.RunOrdered(std::move(cells));
+
+  size_t cell = 0;
+  PrintWorkload("read-mostly", results, cell);
+  PrintWorkload("office", results, cell);
+  PrintWorkload("write-hot", results, cell);
+  PrintWorkload("archive (long-lived data)", results, cell);
 
   std::cout << "\nReading: the write-hot profile wants more DRAM (lower "
                "latency); every profile pays\nDRAM retention power, so the "

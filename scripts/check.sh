@@ -1,17 +1,19 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build and run the full test suite in Release, then
-# again under AddressSanitizer + UndefinedBehaviorSanitizer. Run from the
-# repository root:
+# again under AddressSanitizer + UndefinedBehaviorSanitizer, then run the
+# parallel-harness tests (thread pool, parallel runner, sharded scale-out,
+# log sink) under ThreadSanitizer. Run from the repository root:
 #
-#   scripts/check.sh            # both configurations
+#   scripts/check.sh            # all three configurations
 #   scripts/check.sh release    # just the optimized build
 #   scripts/check.sh asan       # just the sanitizer build
+#   scripts/check.sh tsan       # just the ThreadSanitizer leg
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-presets=("${@:-release asan}")
+presets=("${@:-release asan tsan}")
 # Word-split the default; explicit args arrive pre-split.
-if [ $# -eq 0 ]; then presets=(release asan); fi
+if [ $# -eq 0 ]; then presets=(release asan tsan); fi
 
 for preset in "${presets[@]}"; do
   echo "=== ${preset}: configure ==="

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 
 namespace ssmc {
 
@@ -22,6 +23,7 @@ FlashDevice::FlashDevice(FlashSpec spec, uint64_t capacity_bytes, int banks,
   assert((capacity_ / spec_.erase_sector_bytes) % banks == 0 &&
          "sectors must divide evenly into banks");
   contents_.assign(capacity_, kErasedByte);
+  erased_template_.assign(spec_.erase_sector_bytes, kErasedByte);
   sectors_.resize(capacity_ / spec_.erase_sector_bytes);
   banks_.resize(banks);
 }
@@ -111,13 +113,18 @@ Result<Duration> FlashDevice::Program(uint64_t addr,
     return DataLossError("program to worn-out flash sector " +
                          std::to_string(sector));
   }
-  // Strict NOR semantics: target bytes must be erased.
-  for (uint64_t i = 0; i < data.size(); ++i) {
-    if (contents_[addr + i] != kErasedByte) {
-      return FailedPreconditionError(
-          "program to non-erased flash byte at address " +
-          std::to_string(addr + i));
+  // Strict NOR semantics: target bytes must be erased. memcmp against the
+  // all-0xFF template vectorizes; the per-byte scan only runs on the error
+  // path to name the offending address.
+  if (std::memcmp(contents_.data() + addr, erased_template_.data(),
+                  data.size()) != 0) {
+    uint64_t i = 0;
+    while (contents_[addr + i] == kErasedByte) {
+      ++i;
     }
+    return FailedPreconditionError(
+        "program to non-erased flash byte at address " +
+        std::to_string(addr + i));
   }
 
   const Duration op_ns = spec_.program.LatencyFor(data.size());
@@ -186,12 +193,8 @@ Result<Duration> FlashDevice::EraseSector(uint64_t sector, bool blocking) {
 
 bool FlashDevice::IsSectorErased(uint64_t sector) const {
   const uint64_t base = sector * sector_bytes();
-  for (uint64_t i = 0; i < sector_bytes(); ++i) {
-    if (contents_[base + i] != kErasedByte) {
-      return false;
-    }
-  }
-  return true;
+  return std::memcmp(contents_.data() + base, erased_template_.data(),
+                     sector_bytes()) == 0;
 }
 
 void FlashDevice::AccountIdleEnergy() {

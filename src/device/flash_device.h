@@ -164,6 +164,9 @@ class FlashDevice {
   SimClock& clock_;
   Rng rng_;
   std::vector<uint8_t> contents_;
+  // One sector's worth of 0xFF, compared wholesale (memcmp) by the erased
+  // checks in Program() and IsSectorErased().
+  std::vector<uint8_t> erased_template_;
   std::vector<Sector> sectors_;
   std::vector<Bank> banks_;
   Stats stats_;

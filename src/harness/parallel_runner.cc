@@ -1,0 +1,30 @@
+#include "src/harness/parallel_runner.h"
+
+namespace ssmc {
+
+uint64_t DeriveCellSeed(uint64_t base_seed, uint64_t cell_index) {
+  // splitmix64 of the (cell_index + 1)-th point of the golden-gamma walk
+  // from base_seed. +1 keeps cell 0 distinct from the raw base seed.
+  uint64_t z = base_seed + (cell_index + 1) * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+ParallelRunner::ParallelRunner(int jobs)
+    : jobs_(jobs > 0 ? jobs : DefaultJobs()) {}
+
+std::vector<ReplayReport> ParallelRunner::RunMachineCells(
+    std::vector<MachineCell> cells) {
+  std::vector<std::function<ReplayReport()>> tasks;
+  tasks.reserve(cells.size());
+  for (MachineCell& cell : cells) {
+    tasks.push_back([config = std::move(cell.config), trace = cell.trace] {
+      MobileComputer machine(config);
+      return machine.RunTrace(*trace);
+    });
+  }
+  return RunOrdered(std::move(tasks));
+}
+
+}  // namespace ssmc

@@ -1,0 +1,94 @@
+// Parallel experiment harness. The E3/E6/E7/E9-style benches sweep a matrix
+// of configurations, each replaying a trace on a fully independent simulated
+// machine; every such cell owns its SimClock, devices, file system, and Rng,
+// so cells are embarrassingly parallel. The runner executes cells on a
+// ThreadPool and returns results in submission order, which makes the
+// resulting tables byte-identical to a serial run regardless of how the OS
+// schedules the workers; `--jobs=1` (or SSMC_JOBS=1) degenerates to a plain
+// in-thread loop.
+//
+// Determinism contract: a cell closure must not touch state outside its own
+// cell (the closures the benches build construct everything they use). Seeds
+// for generated-per-cell randomness derive from one base seed via splitmix64
+// (DeriveCellSeed), so adding cells never perturbs existing ones.
+
+#ifndef SSMC_SRC_HARNESS_PARALLEL_RUNNER_H_
+#define SSMC_SRC_HARNESS_PARALLEL_RUNNER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <utility>
+#include <vector>
+
+#include "src/core/machine.h"
+#include "src/support/log.h"
+#include "src/support/thread_pool.h"
+#include "src/trace/replayer.h"
+#include "src/trace/trace.h"
+
+namespace ssmc {
+
+// Seed for cell `cell_index` of a run seeded with `base_seed`: one splitmix64
+// output per cell. Distinct indexes give decorrelated xoshiro streams (Rng
+// already expands its seed through splitmix64 once more).
+uint64_t DeriveCellSeed(uint64_t base_seed, uint64_t cell_index);
+
+// One (config, trace) simulation cell: an independent machine replaying a
+// trace. The trace is borrowed and may be shared between cells (replay only
+// reads it).
+struct MachineCell {
+  MachineConfig config;
+  const Trace* trace = nullptr;
+};
+
+class ParallelRunner {
+ public:
+  // jobs <= 0 selects DefaultJobs() (SSMC_JOBS env override, else CPU count).
+  explicit ParallelRunner(int jobs = 0);
+
+  int jobs() const { return jobs_; }
+
+  // Runs the tasks concurrently on jobs() workers and returns their results
+  // in submission order. With jobs() == 1 the tasks run inline, strictly
+  // serially, with no pool. Each task's log lines are tagged with its cell
+  // index. A task's exception resurfaces here in the calling thread.
+  template <typename T>
+  std::vector<T> RunOrdered(std::vector<std::function<T()>> tasks) {
+    std::vector<T> results;
+    results.reserve(tasks.size());
+    if (jobs_ == 1 || tasks.size() <= 1) {
+      for (size_t i = 0; i < tasks.size(); ++i) {
+        ScopedLogCell tag(static_cast<int>(i));
+        results.push_back(tasks[i]());
+      }
+      return results;
+    }
+    ThreadPool pool(std::min(jobs_, static_cast<int>(tasks.size())));
+    std::vector<std::future<T>> futures;
+    futures.reserve(tasks.size());
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      futures.push_back(pool.Submit(
+          [i, task = std::move(tasks[i])]() -> T {
+            ScopedLogCell tag(static_cast<int>(i));
+            return task();
+          }));
+    }
+    for (std::future<T>& f : futures) {
+      results.push_back(f.get());
+    }
+    return results;
+  }
+
+  // The common experiment shape: independent machines, one trace replay
+  // each; reports come back in cell order.
+  std::vector<ReplayReport> RunMachineCells(std::vector<MachineCell> cells);
+
+ private:
+  int jobs_;
+};
+
+}  // namespace ssmc
+
+#endif  // SSMC_SRC_HARNESS_PARALLEL_RUNNER_H_

@@ -1,0 +1,51 @@
+// Sharded multi-user scale-out (experiment E11). M simulated users — each a
+// full independent MobileComputer replaying its own generated trace — are
+// sharded over K cells; each cell runs its users serially, the cells run
+// concurrently on the parallel runner, and the per-user reports merge into
+// one aggregate. Because a user's entire simulation depends only on its
+// derived seed, and the merge happens in user order, the aggregate is
+// bit-identical for every K and every jobs count: sharding buys host time,
+// never different results.
+
+#ifndef SSMC_SRC_HARNESS_SCALEOUT_H_
+#define SSMC_SRC_HARNESS_SCALEOUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/harness/parallel_runner.h"
+#include "src/trace/replayer.h"
+
+namespace ssmc {
+
+struct ScaleoutOptions {
+  int users = 8;   // M: total simulated users.
+  int cells = 1;   // K: shards; users split into K contiguous balanced runs.
+  int jobs = 0;    // Worker threads; 0 = DefaultJobs(). Cells <= jobs scale.
+  uint64_t base_seed = 911;  // All per-user seeds derive from this.
+  // Per-user workload: even users replay the office profile, odd users the
+  // write-hot profile, over this simulated duration.
+  Duration user_duration = 30 * kSecond;
+  uint64_t max_file_bytes = 64 * 1024;
+};
+
+struct ScaleoutReport {
+  std::vector<ReplayReport> per_user;  // In user order; shard-independent.
+  ReplayReport aggregate;              // Merge of per_user, in user order.
+  int users = 0;
+  int cells = 0;
+  int jobs = 0;
+
+  // Aggregate simulated throughput: users run concurrently in simulated
+  // terms (each owns a clock starting at 0), so the fleet finishes when its
+  // slowest user does.
+  double SimOpsPerSecond() const;
+};
+
+// Runs the sharded experiment. Host wall time is the caller's to measure
+// (that is the quantity E11 sweeps K against).
+ScaleoutReport RunScaleout(const ScaleoutOptions& options);
+
+}  // namespace ssmc
+
+#endif  // SSMC_SRC_HARNESS_SCALEOUT_H_

@@ -24,6 +24,9 @@ class Counter {
   uint64_t value() const { return value_; }
   void Reset() { value_ = 0; }
 
+  // Folds another counter in (sharded runs aggregate into one report).
+  void Merge(const Counter& other) { value_ += other.value_; }
+
  private:
   uint64_t value_ = 0;
 };
@@ -82,6 +85,11 @@ class LatencyRecorder {
 
   const Histogram& histogram() const { return hist_; }
   void Reset() { hist_.Reset(); }
+
+  // Merges another recorder's samples into this one. Because the histogram
+  // is a fixed bucketing, merging shard recorders is exactly equivalent to
+  // one recorder having seen the concatenated sample streams.
+  void Merge(const LatencyRecorder& other) { hist_.Merge(other.hist_); }
 
   // "mean 1.2 us, p99 14 us, max 30 us (n=...)"
   std::string Summary() const;

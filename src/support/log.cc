@@ -1,11 +1,15 @@
 #include "src/support/log.h"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace ssmc {
 
 namespace {
-LogLevel g_level = LogLevel::kWarning;
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+std::mutex g_emit_mutex;
+thread_local int t_cell_id = -1;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -24,14 +28,30 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+ScopedLogCell::ScopedLogCell(int cell_id) : previous_(t_cell_id) {
+  t_cell_id = cell_id;
+}
+
+ScopedLogCell::~ScopedLogCell() { t_cell_id = previous_; }
+
+int CurrentLogCell() { return t_cell_id; }
 
 void LogMessage(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) {
+  if (static_cast<int>(level) < static_cast<int>(GetLogLevel())) {
     return;
   }
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  if (t_cell_id >= 0) {
+    std::fprintf(stderr, "[%s] [cell %d] %s\n", LevelName(level), t_cell_id,
+                 message.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  }
 }
 
 }  // namespace ssmc

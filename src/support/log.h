@@ -1,6 +1,9 @@
 // Minimal leveled logging. Off by default so simulations stay quiet; benches
-// and examples can raise the level for narration. Not thread-safe by design:
-// the simulator is single-threaded.
+// and examples can raise the level for narration. Thread-safe: each
+// simulation cell is single-threaded, but the parallel harness runs many
+// cells concurrently, so the level is atomic, emission is serialized under a
+// mutex (lines never interleave), and a thread-local cell id tags every line
+// produced inside a harness cell with its origin.
 
 #ifndef SSMC_SRC_SUPPORT_LOG_H_
 #define SSMC_SRC_SUPPORT_LOG_H_
@@ -18,6 +21,23 @@ LogLevel GetLogLevel();
 
 // Emits one formatted line to stderr if `level` >= threshold.
 void LogMessage(LogLevel level, const std::string& message);
+
+// Tags every log line emitted by the current thread with "[cell N]" while in
+// scope (the parallel runner wraps each cell in one). -1 = untagged.
+class ScopedLogCell {
+ public:
+  explicit ScopedLogCell(int cell_id);
+  ~ScopedLogCell();
+
+  ScopedLogCell(const ScopedLogCell&) = delete;
+  ScopedLogCell& operator=(const ScopedLogCell&) = delete;
+
+ private:
+  int previous_;
+};
+
+// The current thread's cell tag (-1 when none).
+int CurrentLogCell();
 
 namespace log_internal {
 

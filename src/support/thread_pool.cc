@@ -1,0 +1,117 @@
+#include "src/support/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace ssmc {
+
+ThreadPool::ThreadPool(int threads) {
+  threads = std::max(threads, 1);
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { Worker(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::Worker() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping_ && drained.
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+int AvailableCpus() {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    const int n = CPU_COUNT(&set);
+    if (n > 0) {
+      return n;
+    }
+  }
+#endif
+  const unsigned n = std::thread::hardware_concurrency();
+  return n > 0 ? static_cast<int>(n) : 1;
+}
+
+int ParsePositiveInt(const char* text) {
+  if (text == nullptr || *text == '\0') {
+    return 0;
+  }
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (end == nullptr || *end != '\0' || v <= 0 || v > 1 << 20) {
+    return 0;
+  }
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+int DefaultJobs() {
+  if (const int env = ParsePositiveInt(std::getenv("SSMC_JOBS")); env > 0) {
+    return env;
+  }
+  return AvailableCpus();
+}
+
+int JobsFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      if (const int v = ParsePositiveInt(arg + 7); v > 0) {
+        return v;
+      }
+    } else if (std::strcmp(arg, "--jobs") == 0 || std::strcmp(arg, "-j") == 0) {
+      if (i + 1 < argc) {
+        if (const int v = ParsePositiveInt(argv[i + 1]); v > 0) {
+          return v;
+        }
+      }
+    } else if (std::strncmp(arg, "-j", 2) == 0) {
+      if (const int v = ParsePositiveInt(arg + 2); v > 0) {
+        return v;
+      }
+    }
+  }
+  return DefaultJobs();
+}
+
+}  // namespace ssmc

@@ -1,0 +1,72 @@
+// Fixed-size worker pool for running independent simulation cells on host
+// threads. The simulator itself stays single-threaded: nothing in here is
+// for use *inside* a cell. A cell is a closed world (its own SimClock,
+// devices, file system, Rng), so cells scheduled on different workers share
+// no mutable state and the pool needs no synchronization beyond its queue.
+//
+// Shutdown drains: the destructor runs every task already submitted before
+// joining the workers, so a submitted future is always eventually ready.
+// Exceptions thrown by a task are captured by its std::packaged_task and
+// rethrown from future.get() in the submitting thread.
+
+#ifndef SSMC_SRC_SUPPORT_THREAD_POOL_H_
+#define SSMC_SRC_SUPPORT_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace ssmc {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues `fn` and returns a future for its result. The future carries
+  // any exception the task throws.
+  template <typename Fn>
+  auto Submit(Fn fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> result = task->get_future();
+    Enqueue([task] { (*task)(); });
+    return result;
+  }
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void Worker();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+// Worker count for parallel harness runs: the SSMC_JOBS environment variable
+// if set to a positive integer, else the number of CPUs this process may run
+// on (affinity-aware, so container limits are respected), else 1.
+int DefaultJobs();
+
+// Scans argv for a trailing `--jobs=N` (or `-j N` / `-jN`) override; returns
+// DefaultJobs() when absent or unparsable. Benches pass their argc/argv here.
+int JobsFromArgs(int argc, char** argv);
+
+}  // namespace ssmc
+
+#endif  // SSMC_SRC_SUPPORT_THREAD_POOL_H_

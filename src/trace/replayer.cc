@@ -5,13 +5,44 @@
 
 namespace ssmc {
 
+void ReplayReport::Merge(const ReplayReport& other) {
+  if (other.ops == 0 && other.elapsed() == 0) {
+    return;
+  }
+  if (ops == 0 && elapsed() == 0) {
+    started = other.started;
+    finished = other.finished;
+  } else {
+    started = std::min(started, other.started);
+    finished = std::max(finished, other.finished);
+  }
+  ops += other.ops;
+  failures += other.failures;
+  bytes_read += other.bytes_read;
+  bytes_written += other.bytes_written;
+  failed_read_bytes += other.failed_read_bytes;
+  failed_write_bytes += other.failed_write_bytes;
+  all_ops.Merge(other.all_ops);
+  for (size_t i = 0; i < per_op.size(); ++i) {
+    per_op[i].Merge(other.per_op[i]);
+  }
+}
+
 TraceReplayer::TraceReplayer(FileSystem& fs, SimClock& clock,
                              EventQueue* events)
     : fs_(fs), clock_(clock), events_(events) {}
 
+uint64_t TraceReplayer::PathHash(const std::string& path) {
+  const auto [it, inserted] = path_hash_cache_.try_emplace(path, 0);
+  if (inserted) {
+    it->second = std::hash<std::string>()(path);
+  }
+  return it->second;
+}
+
 void TraceReplayer::FillPattern(const std::string& path, uint64_t offset,
                                 std::span<uint8_t> out) {
-  const uint64_t h = std::hash<std::string>()(path);
+  const uint64_t h = PathHash(path);
   for (size_t i = 0; i < out.size(); ++i) {
     out[i] = static_cast<uint8_t>((h + offset + i) * 131);
   }
@@ -21,6 +52,12 @@ ReplayReport TraceReplayer::Replay(const Trace& trace) {
   ReplayReport report;
   report.started = clock_.now();
   std::vector<uint8_t> buffer;
+  // One allocation up front instead of growing across the replay.
+  uint64_t max_length = 0;
+  for (const TraceRecord& r : trace.records()) {
+    max_length = std::max(max_length, r.length);
+  }
+  buffer.reserve(max_length);
 
   for (const TraceRecord& r : trace.records()) {
     // Advance to the issue time (unless we are already running behind).
@@ -59,6 +96,8 @@ ReplayReport TraceReplayer::Replay(const Trace& trace) {
         status = n.status();
         if (n.ok()) {
           report.bytes_written += n.value();
+        } else {
+          report.failed_write_bytes += r.length;
         }
         break;
       }
@@ -68,6 +107,8 @@ ReplayReport TraceReplayer::Replay(const Trace& trace) {
         status = n.status();
         if (n.ok()) {
           report.bytes_read += n.value();
+        } else {
+          report.failed_read_bytes += r.length;
         }
         break;
       }

@@ -8,6 +8,7 @@
 
 #include <array>
 #include <string>
+#include <unordered_map>
 
 #include "src/fs/file_system.h"
 #include "src/sim/clock.h"
@@ -20,8 +21,13 @@ namespace ssmc {
 struct ReplayReport {
   uint64_t ops = 0;
   uint64_t failures = 0;
+  // Bytes successfully transferred. Failed read/write ops contribute nothing
+  // here; their requested lengths are tallied separately below so throughput
+  // numbers never include partially-failed transfers.
   uint64_t bytes_read = 0;
   uint64_t bytes_written = 0;
+  uint64_t failed_read_bytes = 0;   // Requested bytes of failed reads.
+  uint64_t failed_write_bytes = 0;  // Requested bytes of failed writes.
   SimTime started = 0;
   SimTime finished = 0;
   LatencyRecorder all_ops;
@@ -36,6 +42,11 @@ struct ReplayReport {
   const LatencyRecorder& ForOp(TraceOp op) const {
     return per_op[static_cast<size_t>(op)];
   }
+
+  // Folds another report in (a shard of the same sharded experiment). The
+  // merged window spans both reports, so OpsPerSecond() over the merge of
+  // concurrent shards is aggregate simulated throughput.
+  void Merge(const ReplayReport& other);
 };
 
 class TraceReplayer {
@@ -53,10 +64,14 @@ class TraceReplayer {
   // Deterministic content for writes (so read-back checks are possible).
   void FillPattern(const std::string& path, uint64_t offset,
                    std::span<uint8_t> out);
+  // The pattern seeds from the path's hash; traces revisit the same paths
+  // constantly, so the hash is computed once per path, not per record.
+  uint64_t PathHash(const std::string& path);
 
   FileSystem& fs_;
   SimClock& clock_;
   EventQueue* events_;
+  std::unordered_map<std::string, uint64_t> path_hash_cache_;
 };
 
 }  // namespace ssmc

@@ -72,6 +72,100 @@ TEST_F(ReplayerTest, GeneratedOfficeTraceReplaysCleanly) {
   EXPECT_GT(report.OpsPerSecond(), 0.0);
 }
 
+// Regression: a failed transfer must never leak its requested length into
+// the throughput byte counts; it is tallied in failed_{read,write}_bytes.
+TEST_F(ReplayerTest, FailedOpBytesCountedSeparately) {
+  Trace trace;
+  trace.Add({0, TraceOp::kCreate, "/f", 0, 0, ""});
+  trace.Add({10, TraceOp::kWrite, "/f", 0, 2048, ""});
+  trace.Add({20, TraceOp::kRead, "/f", 0, 2048, ""});
+  trace.Add({30, TraceOp::kRead, "/missing", 0, 4096, ""});  // Fails.
+  trace.Add({40, TraceOp::kWrite, "/missing", 0, 1024, ""});  // Fails.
+  ReplayReport report = machine_.RunTrace(trace);
+  EXPECT_EQ(report.failures, 2u);
+  EXPECT_EQ(report.bytes_read, 2048u);
+  EXPECT_EQ(report.bytes_written, 2048u);
+  EXPECT_EQ(report.failed_read_bytes, 4096u);
+  EXPECT_EQ(report.failed_write_bytes, 1024u);
+}
+
+// Same regression against a device-level fault: an injected flash read fault
+// surfaces as a failed read whose bytes stay out of bytes_read.
+TEST_F(ReplayerTest, InjectedFlashFaultKeepsBytesOutOfThroughput) {
+  Trace setup;
+  setup.Add({0, TraceOp::kCreate, "/f", 0, 0, ""});
+  setup.Add({10, TraceOp::kWrite, "/f", 0, 8192, ""});
+  ReplayReport wrote = machine_.RunTrace(setup);
+  ASSERT_EQ(wrote.failures, 0u);
+  // Flush the write buffer so subsequent reads must come from flash.
+  ASSERT_TRUE(machine_.fs().Sync().ok());
+
+  // Poison the sector holding the file's first block.
+  auto locations = machine_.fs().BlockLocations("/f");
+  ASSERT_TRUE(locations.ok());
+  ASSERT_FALSE(locations.value().empty());
+  ASSERT_EQ(locations.value()[0].kind, BlockLocation::Kind::kFlash);
+  auto addr =
+      machine_.flash_store().PhysicalAddressOf(locations.value()[0].flash_block);
+  ASSERT_TRUE(addr.ok());
+  machine_.flash().InjectReadFaults(addr.value() / machine_.flash().sector_bytes(),
+                                    1000);
+
+  Trace read_back;
+  read_back.Add({0, TraceOp::kRead, "/f", 0, 8192, ""});
+  ReplayReport report = machine_.RunTrace(read_back);
+  EXPECT_EQ(report.failures, 1u);
+  EXPECT_EQ(report.bytes_read, 0u);
+  EXPECT_EQ(report.failed_read_bytes, 8192u);
+}
+
+TEST(ReplayReportTest, MergeCombinesShards) {
+  ReplayReport a;
+  a.ops = 10;
+  a.failures = 1;
+  a.bytes_read = 100;
+  a.bytes_written = 200;
+  a.failed_read_bytes = 50;
+  a.started = 1000;
+  a.finished = 5000;
+  a.all_ops.Record(10);
+  a.per_op[static_cast<size_t>(TraceOp::kRead)].Record(10);
+
+  ReplayReport b;
+  b.ops = 20;
+  b.failures = 2;
+  b.bytes_read = 300;
+  b.bytes_written = 400;
+  b.failed_write_bytes = 60;
+  b.started = 500;
+  b.finished = 4000;
+  b.all_ops.Record(30);
+  b.per_op[static_cast<size_t>(TraceOp::kWrite)].Record(30);
+
+  ReplayReport merged;
+  merged.Merge(a);
+  merged.Merge(b);
+  EXPECT_EQ(merged.ops, 30u);
+  EXPECT_EQ(merged.failures, 3u);
+  EXPECT_EQ(merged.bytes_read, 400u);
+  EXPECT_EQ(merged.bytes_written, 600u);
+  EXPECT_EQ(merged.failed_read_bytes, 50u);
+  EXPECT_EQ(merged.failed_write_bytes, 60u);
+  // The merged window spans both shards (concurrent users overlap).
+  EXPECT_EQ(merged.started, 500);
+  EXPECT_EQ(merged.finished, 5000);
+  EXPECT_EQ(merged.all_ops.count(), 2u);
+  EXPECT_EQ(merged.ForOp(TraceOp::kRead).count(), 1u);
+  EXPECT_EQ(merged.ForOp(TraceOp::kWrite).count(), 1u);
+
+  // Merging an empty report is the identity.
+  ReplayReport before = merged;
+  merged.Merge(ReplayReport());
+  EXPECT_EQ(merged.ops, before.ops);
+  EXPECT_EQ(merged.started, before.started);
+  EXPECT_EQ(merged.finished, before.finished);
+}
+
 TEST_F(ReplayerTest, FlushDaemonRunsDuringReplay) {
   // A write left idle past the flush age must reach flash via the daemon
   // without an explicit Sync.

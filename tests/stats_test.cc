@@ -102,6 +102,63 @@ TEST(LatencyRecorderTest, NegativeDurationsClampToZero) {
   EXPECT_EQ(r.min_ns(), 0u);
 }
 
+TEST(CounterTest, MergeSumsValues) {
+  Counter a;
+  Counter b;
+  a.Add(10);
+  b.Add(32);
+  a.Merge(b);
+  EXPECT_EQ(a.value(), 42u);
+  EXPECT_EQ(b.value(), 32u);  // Source is untouched.
+  Counter empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.value(), 42u);
+}
+
+// Merging shard recorders must be exactly equivalent to one recorder having
+// seen the concatenated sample stream — this is what makes sharded
+// experiment results independent of the shard count.
+TEST(LatencyRecorderTest, MergeOfShardsMatchesSingleRecorder) {
+  const uint64_t samples[] = {0,    1,     7,      64,     100,    1000,
+                              4096, 99999, 100000, 123456, 7777777};
+  LatencyRecorder whole;
+  LatencyRecorder shard_a;
+  LatencyRecorder shard_b;
+  size_t i = 0;
+  for (const uint64_t s : samples) {
+    whole.Record(static_cast<Duration>(s));
+    ((i++ % 3 == 0) ? shard_a : shard_b).Record(static_cast<Duration>(s));
+  }
+  LatencyRecorder merged;
+  merged.Merge(shard_a);
+  merged.Merge(shard_b);
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_EQ(merged.total_ns(), whole.total_ns());
+  EXPECT_EQ(merged.min_ns(), whole.min_ns());
+  EXPECT_EQ(merged.max_ns(), whole.max_ns());
+  EXPECT_DOUBLE_EQ(merged.mean_ns(), whole.mean_ns());
+  EXPECT_EQ(merged.p50_ns(), whole.p50_ns());
+  EXPECT_EQ(merged.p95_ns(), whole.p95_ns());
+  EXPECT_EQ(merged.p99_ns(), whole.p99_ns());
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    EXPECT_EQ(merged.histogram().bucket_count(b),
+              whole.histogram().bucket_count(b))
+        << "bucket " << b;
+  }
+}
+
+TEST(LatencyRecorderTest, MergeWithEmptyIsIdentity) {
+  LatencyRecorder r;
+  r.Record(1000);
+  LatencyRecorder empty;
+  r.Merge(empty);
+  EXPECT_EQ(r.count(), 1u);
+  EXPECT_EQ(r.min_ns(), 1000u);
+  empty.Merge(r);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.min_ns(), 1000u);
+}
+
 TEST(LatencyRecorderTest, SummaryMentionsCount) {
   LatencyRecorder r;
   EXPECT_EQ(r.Summary(), "no samples");

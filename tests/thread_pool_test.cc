@@ -1,0 +1,106 @@
+#include "src/support/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace ssmc {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  EXPECT_EQ(pool.Submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  std::future<int> poisoned =
+      pool.Submit([]() -> int { throw std::runtime_error("cell exploded"); });
+  std::future<int> healthy = pool.Submit([] { return 1; });
+  EXPECT_THROW(
+      {
+        try {
+          poisoned.get();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "cell exploded");
+          throw;
+        }
+      },
+      std::runtime_error);
+  // The pool survives a throwing task.
+  EXPECT_EQ(healthy.get(), 1);
+  EXPECT_EQ(pool.Submit([] { return 2; }).get(), 2);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  {
+    // One slow worker and a deep queue: destruction must run every queued
+    // task, not discard them.
+    ThreadPool pool(1);
+    futures.push_back(pool.Submit(
+        [] { std::this_thread::sleep_for(std::chrono::milliseconds(20)); }));
+    for (int i = 0; i < 64; ++i) {
+      futures.push_back(pool.Submit([&ran] { ran.fetch_add(1); }));
+    }
+  }
+  EXPECT_EQ(ran.load(), 64);
+  for (std::future<void>& f : futures) {
+    f.get();  // Every future is ready; none was abandoned.
+  }
+}
+
+TEST(ThreadPoolTest, DefaultJobsHonorsEnvOverride) {
+  ASSERT_EQ(setenv("SSMC_JOBS", "3", /*overwrite=*/1), 0);
+  EXPECT_EQ(DefaultJobs(), 3);
+  ASSERT_EQ(setenv("SSMC_JOBS", "not-a-number", 1), 0);
+  EXPECT_GE(DefaultJobs(), 1);  // Unparsable: falls back to CPU count.
+  ASSERT_EQ(unsetenv("SSMC_JOBS"), 0);
+  EXPECT_GE(DefaultJobs(), 1);
+}
+
+TEST(ThreadPoolTest, JobsFromArgsParsesOverrides) {
+  ASSERT_EQ(unsetenv("SSMC_JOBS"), 0);
+  {
+    const char* argv[] = {"bench", "--jobs=5"};
+    EXPECT_EQ(JobsFromArgs(2, const_cast<char**>(argv)), 5);
+  }
+  {
+    const char* argv[] = {"bench", "-j", "6"};
+    EXPECT_EQ(JobsFromArgs(3, const_cast<char**>(argv)), 6);
+  }
+  {
+    const char* argv[] = {"bench", "-j7"};
+    EXPECT_EQ(JobsFromArgs(2, const_cast<char**>(argv)), 7);
+  }
+  {
+    const char* argv[] = {"bench", "--jobs=0"};  // Invalid: fall back.
+    EXPECT_GE(JobsFromArgs(2, const_cast<char**>(argv)), 1);
+  }
+  {
+    const char* argv[] = {"bench"};
+    EXPECT_EQ(JobsFromArgs(1, const_cast<char**>(argv)), DefaultJobs());
+  }
+}
+
+}  // namespace
+}  // namespace ssmc
