@@ -6,13 +6,17 @@
 #define SSMC_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/core/machine.h"
 #include "src/device/disk_device.h"
 #include "src/fs/disk_fs.h"
+#include "src/harness/parallel_runner.h"
 #include "src/support/log.h"
 #include "src/support/table.h"
 #include "src/support/units.h"
@@ -43,6 +47,29 @@ inline void PrintHeader(const std::string& id, const std::string& claim) {
 
 inline std::string Pct(double fraction) {
   return FormatDouble(fraction * 100.0, 1) + "%";
+}
+
+// True when `flag` (e.g. "--tail") appears verbatim in argv. Benches use
+// this for opt-in ablation sections that must not perturb the default
+// (regression-compared) output.
+inline bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == flag) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Runs independent experiment cells through the shared --jobs / SSMC_JOBS
+// parallel harness, returning results in submission order so the tables are
+// byte-identical to a serial run. Matrix benches call this instead of
+// hand-rolling the ParallelRunner setup.
+template <typename Result>
+std::vector<Result> RunCellsOrdered(int argc, char** argv,
+                                    std::vector<std::function<Result()>> cells) {
+  ParallelRunner runner(JobsFromArgs(argc, argv));
+  return runner.RunOrdered(std::move(cells));
 }
 
 }  // namespace ssmc

@@ -19,7 +19,6 @@
 
 #include "bench/bench_common.h"
 #include "src/fs/log_fs.h"
-#include "src/harness/parallel_runner.h"
 #include "src/trace/replayer.h"
 
 namespace ssmc {
@@ -105,8 +104,8 @@ int main(int argc, char** argv) {
     return FsResult{"log-fs (LFS on disk)", replayer.Replay(trace)};
   });
 
-  ParallelRunner runner(JobsFromArgs(argc, argv));
-  const std::vector<FsResult> results = runner.RunOrdered(std::move(cells));
+  const std::vector<FsResult> results =
+      RunCellsOrdered(argc, argv, std::move(cells));
 
   Table table({"file system", "ops/s", "read mean", "read p99", "write mean",
                "write p99", "stat mean", "create mean", "busy time"});

@@ -19,7 +19,6 @@
 #include <functional>
 
 #include "bench/bench_common.h"
-#include "src/harness/parallel_runner.h"
 
 namespace ssmc {
 namespace {
@@ -104,8 +103,8 @@ int main(int argc, char** argv) {
         [&trace, age] { return RunWithBuffer(trace, 2048, age); });
   }
 
-  ParallelRunner runner(JobsFromArgs(argc, argv));
-  const std::vector<BufferResult> results = runner.RunOrdered(std::move(cells));
+  const std::vector<BufferResult> results =
+      RunCellsOrdered(argc, argv, std::move(cells));
 
   const BufferResult& baseline = results[0];
   std::cout << "Write-through baseline: " << baseline.flash_writes

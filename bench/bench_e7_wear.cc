@@ -22,7 +22,6 @@
 
 #include "bench/bench_common.h"
 #include "src/ftl/flash_store.h"
-#include "src/harness/parallel_runner.h"
 
 namespace ssmc {
 namespace {
@@ -147,8 +146,8 @@ int main(int argc, char** argv) {
       });
     }
   }
-  ParallelRunner runner(JobsFromArgs(argc, argv));
-  const std::vector<WearResult> results = runner.RunOrdered(std::move(cells));
+  const std::vector<WearResult> results =
+      RunCellsOrdered(argc, argv, std::move(cells));
   size_t cell = 0;
 
   std::cout << "(a) Wear balance under a skewed overwrite workload "

@@ -20,7 +20,6 @@
 #include <functional>
 
 #include "bench/bench_common.h"
-#include "src/harness/parallel_runner.h"
 
 namespace ssmc {
 namespace {
@@ -136,8 +135,8 @@ int main(int argc, char** argv) {
   QueueWorkload(cells, Calibrate(WriteHotWorkload()));
   QueueWorkload(cells, Calibrate(archive));
 
-  ParallelRunner runner(JobsFromArgs(argc, argv));
-  const std::vector<SizingResult> results = runner.RunOrdered(std::move(cells));
+  const std::vector<SizingResult> results =
+      RunCellsOrdered(argc, argv, std::move(cells));
 
   size_t cell = 0;
   PrintWorkload("read-mostly", results, cell);

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Regenerates the experiment artifacts after a change that may move numbers:
+# rebuilds the release preset, runs every experiment bench (E1-E11) plus the
+# microbenchmarks, and refreshes the machine-readable result files
+# (BENCH_micro.json, BENCH_scaleout.json) at the repository root.
+#
+#   scripts/regen_experiments.sh             # everything
+#   scripts/regen_experiments.sh --no-micro  # skip bench_micro/e11 (fast)
+#
+# Per-bench console output lands in experiments_out/<bench>.txt so a diff
+# against the previous run shows exactly which tables moved; EXPERIMENTS.md
+# quotes those tables, so any diff here means EXPERIMENTS.md needs a matching
+# prose update (the numbers are deterministic — an unchanged simulator
+# reproduces them byte-for-byte). The E8 FIFO-vs-priority scheduling ablation
+# (opt-in: bench_e8_banks --tail) is captured alongside the default output.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_micro=1
+if [ "${1:-}" = "--no-micro" ]; then run_micro=0; fi
+
+echo "=== release: configure + build ==="
+cmake --preset release
+cmake --build --preset release -j "$(nproc)"
+
+bindir="build-release/bench"
+outdir="experiments_out"
+mkdir -p "${outdir}"
+
+for bench in "${bindir}"/bench_e[0-9]*; do
+  name="$(basename "${bench}")"
+  case "${name}" in
+    bench_e11_scaleout) continue ;;  # runs below with its JSON artifact
+  esac
+  echo "=== ${name} ==="
+  "${bench}" | tee "${outdir}/${name}.txt"
+done
+
+echo "=== bench_e8_banks --tail (scheduling ablation) ==="
+"${bindir}/bench_e8_banks" --tail | tee "${outdir}/bench_e8_banks_tail.txt"
+
+if [ "${run_micro}" -eq 1 ]; then
+  echo "=== bench_e11_scaleout ==="
+  (cd "${bindir}" && ./bench_e11_scaleout) | tee "${outdir}/bench_e11_scaleout.txt"
+  cp "${bindir}/BENCH_scaleout.json" BENCH_scaleout.json
+
+  echo "=== bench_micro ==="
+  (cd "${bindir}" && ./bench_micro) | tee "${outdir}/bench_micro.txt"
+  cp "${bindir}/BENCH_micro.json" BENCH_micro.json
+fi
+
+echo
+echo "Done. Console tables: ${outdir}/ ; JSON artifacts refreshed in repo root."
+echo "If any table changed, update the matching section of EXPERIMENTS.md."

@@ -36,6 +36,11 @@ struct MachineConfig {
   uint64_t flash_bytes = 16 * kMiB;
   int flash_banks = 2;
   FlashStoreOptions store_options;   // background_writes forced on below.
+  // How each flash bank orders contending requests. kFifo (default) is the
+  // paper-faithful charge-latency model, byte-identical to the pre-pipeline
+  // simulator; kPriority lets foreground reads jump queued flush/cleaner
+  // work (the E8 read-tail ablation).
+  IoSchedPolicy io_sched = IoSchedPolicy::kFifo;
   MemoryFsOptions fs_options;
   double primary_battery_mwh = 20000;  // Notebook pack.
   double backup_battery_mwh = 250;     // Lithium backup.

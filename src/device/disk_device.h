@@ -12,6 +12,16 @@
 //  * spin state: the disk spins down after an idle timeout (a power-saving
 //    necessity on mobile machines) and pays the spin-up latency on the next
 //    access. Power accounting distinguishes active / idle-spinning / standby.
+//
+// Request pipeline: the single arm is one IoScheduler channel (FIFO — the
+// arm position makes reordering nonsensical here). Each operation is an
+// IoRequest whose service time (seek + rotation + transfer) is computed at
+// dispatch, since rotation depends on when the arm starts. Blocking issues
+// advance the clock to completion; a non-blocking issue (write-behind)
+// reserves arm time and lets the next request queue behind it — the queue
+// wait is surfaced in Stats with the same breakdown FlashDevice reports.
+// Spin-up always advances the caller's clock: the issuing process waits for
+// the medium to become ready before the request can be scheduled.
 
 #ifndef SSMC_SRC_DEVICE_DISK_DEVICE_H_
 #define SSMC_SRC_DEVICE_DISK_DEVICE_H_
@@ -23,6 +33,8 @@
 #include "src/device/specs.h"
 #include "src/sim/clock.h"
 #include "src/sim/energy.h"
+#include "src/sim/io_request.h"
+#include "src/sim/io_scheduler.h"
 #include "src/sim/stats.h"
 #include "src/support/status.h"
 #include "src/support/units.h"
@@ -43,10 +55,17 @@ class DiskDevice {
   // Disable automatic spin-down (0 = never spin down).
   void set_spin_down_after(Duration idle) { spin_down_after_ = idle; }
 
-  // Blocking sector-granularity I/O; `sector` is a logical block address.
-  // Buffers must be a multiple of the sector size.
-  Result<Duration> ReadSectors(uint64_t sector, std::span<uint8_t> out);
-  Result<Duration> WriteSectors(uint64_t sector, std::span<const uint8_t> data);
+  // Sector-granularity I/O; `sector` is a logical block address. Buffers
+  // must be a multiple of the sector size. Blocking (the default) advances
+  // the clock to the request's completion; a non-blocking issue reserves the
+  // arm without advancing the clock, and later requests queue behind it.
+  Result<Duration> ReadSectors(uint64_t sector, std::span<uint8_t> out,
+                               IoIssue issue = {});
+  Result<Duration> WriteSectors(uint64_t sector, std::span<const uint8_t> data,
+                                IoIssue issue = {});
+
+  // Time at which the arm finishes its last reservation (monotone).
+  SimTime ArmBusyUntil() const { return sched_.ChannelBusyUntil(0); }
 
   struct Stats {
     Counter reads;
@@ -58,6 +77,11 @@ class DiskDevice {
     Counter rotation_ns;
     Counter transfer_ns;
     Counter spin_ups;
+    // Pipeline attribution, parity with FlashDevice::Stats: time requests
+    // spent queued behind the arm's earlier reservations (all requests), and
+    // the slice of that wait observed by blocking reads specifically.
+    Counter queue_wait_ns;
+    Counter read_stall_ns;
   };
   const Stats& stats() const { return stats_; }
   const EnergyMeter& energy() const { return energy_; }
@@ -84,10 +108,12 @@ class DiskDevice {
   // operation.
   void EnsureSpinning();
 
-  Result<Duration> DoIo(uint64_t sector, uint64_t bytes, bool is_write);
+  Result<Duration> DoIo(uint64_t sector, uint64_t bytes, bool is_write,
+                        IoIssue issue);
 
   DiskSpec spec_;
   SimClock& clock_;
+  IoScheduler sched_;  // One channel: the arm. Always FIFO.
   std::vector<uint8_t> contents_;
   uint64_t head_cylinder_ = 0;
   bool spinning_ = true;

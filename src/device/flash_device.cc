@@ -16,7 +16,8 @@ FlashDevice::FlashDevice(FlashSpec spec, uint64_t capacity_bytes, int banks,
     : spec_(std::move(spec)),
       capacity_(capacity_bytes),
       clock_(clock),
-      rng_(seed) {
+      rng_(seed),
+      sched_(clock, banks) {
   assert(banks >= 1);
   assert(spec_.erase_sector_bytes > 0);
   assert(capacity_ % spec_.erase_sector_bytes == 0);
@@ -25,7 +26,13 @@ FlashDevice::FlashDevice(FlashSpec spec, uint64_t capacity_bytes, int banks,
   contents_.assign(capacity_, kErasedByte);
   erased_template_.assign(spec_.erase_sector_bytes, kErasedByte);
   sectors_.resize(capacity_ / spec_.erase_sector_bytes);
-  banks_.resize(banks);
+  // Queued reservations pushed later by a higher-priority request owe their
+  // class the extra wait; add it as the shift happens so by_class stays
+  // exact without draining the pipeline.
+  sched_.set_shift_observer([this](const IoRequest& req, Duration delta) {
+    stats_.by_class[static_cast<int>(req.priority)].queue_wait_ns.Add(
+        static_cast<uint64_t>(delta));
+  });
 }
 
 int FlashDevice::BankOfAddress(uint64_t addr) const {
@@ -36,15 +43,23 @@ int FlashDevice::BankOfSector(uint64_t sector) const {
   return static_cast<int>(sector / sectors_per_bank());
 }
 
-SimTime FlashDevice::OccupyBank(int bank, Duration op_ns, Duration* wait_out) {
-  Bank& b = banks_[bank];
-  const SimTime start = std::max(clock_.now(), b.busy_until);
-  if (wait_out != nullptr) {
-    *wait_out = start - clock_.now();
-  }
-  b.busy_until = start + op_ns;
+IoScheduler::Dispatch FlashDevice::SubmitOp(IoOp op, int bank, uint64_t addr,
+                                            uint64_t bytes, Duration op_ns,
+                                            IoIssue issue) {
+  IoRequest req;
+  req.op = op;
+  req.addr = addr;
+  req.bytes = bytes;
+  req.priority = issue.priority;
+  req.blocking = issue.blocking;
+  const IoScheduler::Dispatch d = sched_.Submit(bank, std::move(req), op_ns);
   total_active_ns_ += op_ns;
-  return b.busy_until;
+  IoClassStats& cls = stats_.by_class[static_cast<int>(issue.priority)];
+  cls.requests.Add();
+  cls.queue_wait_ns.Add(static_cast<uint64_t>(d.wait));
+  cls.service_ns.Add(static_cast<uint64_t>(d.service));
+  AddActiveEnergy(op_ns);
+  return d;
 }
 
 void FlashDevice::AddActiveEnergy(Duration busy_ns) {
@@ -52,7 +67,7 @@ void FlashDevice::AddActiveEnergy(Duration busy_ns) {
 }
 
 Result<Duration> FlashDevice::Read(uint64_t addr, std::span<uint8_t> out,
-                                   bool blocking) {
+                                   IoIssue issue) {
   if (addr + out.size() > capacity_) {
     return OutOfRangeError("flash read past end of device");
   }
@@ -79,26 +94,23 @@ Result<Duration> FlashDevice::Read(uint64_t addr, std::span<uint8_t> out,
   }
 
   const Duration op_ns = spec_.read.LatencyFor(out.size());
-  Duration wait = 0;
-  const SimTime done = OccupyBank(bank, op_ns, &wait);
-  if (blocking) {
-    stats_.read_stall_ns.Add(static_cast<uint64_t>(wait));
-  }
-  AddActiveEnergy(op_ns);
-  if (blocking) {
-    clock_.AdvanceTo(done);
+  const IoScheduler::Dispatch d =
+      SubmitOp(IoOp::kRead, bank, addr, out.size(), op_ns, issue);
+  if (issue.blocking) {
+    stats_.read_stall_ns.Add(static_cast<uint64_t>(d.wait));
+    clock_.AdvanceTo(d.complete);
   }
 
   std::copy_n(contents_.begin() + static_cast<ptrdiff_t>(addr), out.size(),
               out.begin());
   stats_.reads.Add();
   stats_.read_bytes.Add(out.size());
-  return wait + op_ns;
+  return d.wait + op_ns;
 }
 
 Result<Duration> FlashDevice::Program(uint64_t addr,
                                       std::span<const uint8_t> data,
-                                      bool blocking) {
+                                      IoIssue issue) {
   if (addr + data.size() > capacity_) {
     return OutOfRangeError("flash program past end of device");
   }
@@ -128,21 +140,20 @@ Result<Duration> FlashDevice::Program(uint64_t addr,
   }
 
   const Duration op_ns = spec_.program.LatencyFor(data.size());
-  Duration wait = 0;
-  const SimTime done = OccupyBank(BankOfAddress(addr), op_ns, &wait);
-  AddActiveEnergy(op_ns);
-  if (blocking) {
-    clock_.AdvanceTo(done);
+  const IoScheduler::Dispatch d = SubmitOp(
+      IoOp::kProgram, BankOfAddress(addr), addr, data.size(), op_ns, issue);
+  if (issue.blocking) {
+    clock_.AdvanceTo(d.complete);
   }
 
   std::copy(data.begin(), data.end(),
             contents_.begin() + static_cast<ptrdiff_t>(addr));
   stats_.programs.Add();
   stats_.programmed_bytes.Add(data.size());
-  return wait + op_ns;
+  return d.wait + op_ns;
 }
 
-Result<Duration> FlashDevice::EraseSector(uint64_t sector, bool blocking) {
+Result<Duration> FlashDevice::EraseSector(uint64_t sector, IoIssue issue) {
   if (sector >= num_sectors()) {
     return OutOfRangeError("erase of nonexistent flash sector");
   }
@@ -153,11 +164,11 @@ Result<Duration> FlashDevice::EraseSector(uint64_t sector, bool blocking) {
   }
 
   const Duration op_ns = spec_.erase_ns;
-  Duration wait = 0;
-  const SimTime done = OccupyBank(BankOfSector(sector), op_ns, &wait);
-  AddActiveEnergy(op_ns);
-  if (blocking) {
-    clock_.AdvanceTo(done);
+  const IoScheduler::Dispatch d =
+      SubmitOp(IoOp::kErase, BankOfSector(sector), sector * sector_bytes(),
+               /*bytes=*/0, op_ns, issue);
+  if (issue.blocking) {
+    clock_.AdvanceTo(d.complete);
   }
 
   s.erase_count += 1;
@@ -188,7 +199,7 @@ Result<Duration> FlashDevice::EraseSector(uint64_t sector, bool blocking) {
   const uint64_t base = sector * sector_bytes();
   std::fill_n(contents_.begin() + static_cast<ptrdiff_t>(base), sector_bytes(),
               kErasedByte);
-  return wait + op_ns;
+  return d.wait + op_ns;
 }
 
 bool FlashDevice::IsSectorErased(uint64_t sector) const {

@@ -12,14 +12,23 @@
 //    guaranteed endurance, erases fail probabilistically and the sector goes
 //    bad (reads return DATA_LOSS) — this drives the wear-leveling experiment.
 //
-// Bank model (Section 3.3): capacity is split into equal contiguous banks.
-// While a program or erase is in flight in a bank, reads to that bank stall
-// until it completes; reads to other banks proceed. Programs and erases can
-// be issued non-blocking (the storage manager's background flush path), in
-// which case they occupy the bank but do not advance the caller's clock.
+// Bank model (Section 3.3): capacity is split into equal contiguous banks,
+// each an independent channel of the device's IoScheduler. Every operation
+// is an IoRequest dispatched onto its bank's channel: while a program or
+// erase is being served in a bank, requests to that bank queue behind it;
+// requests to other banks proceed. Under the default FIFO policy dispatch
+// reproduces the historical per-bank busy-until charge-latency model
+// bit-for-bit; IoSchedPolicy::kPriority lets foreground reads jump queued
+// flush/cleaner work (see io_request.h).
+//
+// Callers describe how they issue each operation with an IoIssue: the
+// scheduling class, and whether the caller's clock advances to completion
+// (the CPU is waiting) or the bank absorbs the time in the background (the
+// storage manager's flush and cleaning paths).
 //
 // Threading: none. The simulator is single-threaded; "concurrency" between
-// the CPU and the flash array is represented by per-bank busy-until times.
+// the CPU and the flash array is represented by the per-bank reservation
+// timelines of the scheduler.
 
 #ifndef SSMC_SRC_DEVICE_FLASH_DEVICE_H_
 #define SSMC_SRC_DEVICE_FLASH_DEVICE_H_
@@ -32,6 +41,8 @@
 #include "src/device/specs.h"
 #include "src/sim/clock.h"
 #include "src/sim/energy.h"
+#include "src/sim/io_request.h"
+#include "src/sim/io_scheduler.h"
 #include "src/sim/stats.h"
 #include "src/support/rng.h"
 #include "src/support/status.h"
@@ -49,7 +60,7 @@ class FlashDevice {
   uint64_t capacity_bytes() const { return capacity_; }
   uint64_t sector_bytes() const { return spec_.erase_sector_bytes; }
   uint64_t num_sectors() const { return capacity_ / sector_bytes(); }
-  int num_banks() const { return static_cast<int>(banks_.size()); }
+  int num_banks() const { return sched_.num_channels(); }
   uint64_t sectors_per_bank() const { return num_sectors() / num_banks(); }
   int BankOfAddress(uint64_t addr) const;
   int BankOfSector(uint64_t sector) const;
@@ -57,26 +68,28 @@ class FlashDevice {
   SimClock& clock() { return clock_; }
 
   // --- Operations -------------------------------------------------------
-  // All operations validate bounds. Blocking operations advance the shared
-  // clock by (bank wait + operation time) and return the total latency the
-  // caller observed. Non-blocking Program/Erase reserve the bank and return
-  // the operation's completion latency without advancing the clock.
+  // All operations validate bounds, then submit an IoRequest to the bank's
+  // scheduler channel. Blocking issues advance the shared clock to the
+  // request's completion and return the total latency the caller observed
+  // (queue wait + service). Non-blocking issues reserve bank time and return
+  // the same figure without advancing the clock (under kPriority it is the
+  // dispatch-time estimate; queued work may shift later).
 
-  // Random-access read. Blocking by default (the CPU consumes the data);
-  // the cleaner's background relocation reads pass blocking=false so they
+  // Random-access read. Foreground-blocking by default (the CPU consumes the
+  // data); the cleaner's relocation reads pass a background issue so they
   // reserve bank time without advancing the caller's clock. Fails with
   // DATA_LOSS if any touched sector has worn out.
   Result<Duration> Read(uint64_t addr, std::span<uint8_t> out,
-                        bool blocking = true);
+                        IoIssue issue = {});
 
   // Program pre-erased bytes. The span must lie within one sector. Fails with
   // FAILED_PRECONDITION if any target byte is not 0xFF.
   Result<Duration> Program(uint64_t addr, std::span<const uint8_t> data,
-                           bool blocking = true);
+                           IoIssue issue = {});
 
   // Erase one sector by index. Increments wear; may permanently fail the
   // sector once past the endurance limit.
-  Result<Duration> EraseSector(uint64_t sector, bool blocking = true);
+  Result<Duration> EraseSector(uint64_t sector, IoIssue issue = {});
 
   // True if the sector is entirely 0xFF (cheap check used by allocators).
   bool IsSectorErased(uint64_t sector) const;
@@ -85,8 +98,18 @@ class FlashDevice {
     return sectors_[sector].erase_count;
   }
 
-  // Simulated time at which the given bank becomes free.
-  SimTime BankBusyUntil(int bank) const { return banks_[bank].busy_until; }
+  // Simulated time at which the given bank becomes free (completion of its
+  // last reservation; monotone, like the busy-until timestamp it replaces).
+  SimTime BankBusyUntil(int bank) const {
+    return sched_.ChannelBusyUntil(bank);
+  }
+
+  // Request scheduling policy for all banks (default FIFO — byte-identical
+  // to the pre-pipeline simulator). Switch requires an idle device.
+  IoSchedPolicy sched_policy() const { return sched_.policy(); }
+  void set_sched_policy(IoSchedPolicy policy) { sched_.set_policy(policy); }
+  // The underlying per-bank scheduler (tests, pipeline introspection).
+  IoScheduler& scheduler() { return sched_; }
 
   // Erase-count change notification. Called after every EraseSector attempt
   // that bumps a sector's wear (i.e. on success AND on a wear-out failure —
@@ -102,7 +125,7 @@ class FlashDevice {
 
   // Test hook: the next `count` reads touching `sector` fail with INTERNAL
   // (transient fault, distinct from wear-out DATA_LOSS). The failure is
-  // injected before the bank is occupied, so it has no timing or energy
+  // injected before the request is scheduled, so it has no timing or energy
   // side effects.
   void InjectReadFaults(uint64_t sector, int count) {
     fault_sector_ = sector;
@@ -110,6 +133,15 @@ class FlashDevice {
   }
 
   // --- Accounting -------------------------------------------------------
+  // Per-priority-class request attribution: how much of each stream's
+  // latency was queueing behind other work vs time on the medium. Queue
+  // waits are kept exact under kPriority via the scheduler's shift observer
+  // (pushed-back reservations add their extra wait as it happens).
+  struct IoClassStats {
+    Counter requests;
+    Counter queue_wait_ns;  // start - issue, summed.
+    Counter service_ns;     // complete - start, summed.
+  };
   struct Stats {
     Counter reads;            // Read operations.
     Counter read_bytes;
@@ -118,6 +150,7 @@ class FlashDevice {
     Counter erases;           // Sector erases (includes failed attempts).
     Counter read_stall_ns;    // Time blocking reads spent waiting on banks.
     Counter bad_sectors;      // Sectors permanently failed.
+    IoClassStats by_class[kNumIoPriorities];  // Indexed by IoPriority.
   };
   const Stats& stats() const { return stats_; }
   const EnergyMeter& energy() const { return energy_; }
@@ -149,13 +182,13 @@ class FlashDevice {
     uint64_t erase_count = 0;
     bool bad = false;
   };
-  struct Bank {
-    SimTime busy_until = 0;
-  };
 
-  // Reserves the bank for an operation of duration `op_ns` starting no
-  // earlier than now. Returns the operation's completion time.
-  SimTime OccupyBank(int bank, Duration op_ns, Duration* wait_out);
+  // Builds and submits the request for an operation of duration `op_ns` on
+  // `bank`, records attribution, and advances the clock for blocking issues.
+  // Returns the dispatch (wait + service = the latency the caller observed).
+  IoScheduler::Dispatch SubmitOp(IoOp op, int bank, uint64_t addr,
+                                 uint64_t bytes, Duration op_ns,
+                                 IoIssue issue);
 
   void AddActiveEnergy(Duration busy_ns);
 
@@ -168,7 +201,7 @@ class FlashDevice {
   // checks in Program() and IsSectorErased().
   std::vector<uint8_t> erased_template_;
   std::vector<Sector> sectors_;
-  std::vector<Bank> banks_;
+  IoScheduler sched_;  // One channel per bank.
   Stats stats_;
   EnergyMeter energy_;
   EraseObserver erase_observer_;

@@ -383,8 +383,12 @@ Status MemoryFileSystem::FlushBlock(const BlockKey& key,
     }
     slot = static_cast<int64_t>(block.value());
   }
-  Result<Duration> written =
-      storage_.flash_store().Write(static_cast<uint64_t>(slot), data);
+  // This is the write buffer draining: flush-class traffic, never cleaner,
+  // never foreground (whether it blocks still follows the store's
+  // background_writes mode).
+  Result<Duration> written = storage_.flash_store().Write(
+      static_cast<uint64_t>(slot), data, WriteStream::kUser,
+      IoPriority::kFlush);
   return written.ok() ? Status::Ok() : written.status();
 }
 

@@ -312,7 +312,7 @@ Result<uint64_t> FlashStore::AllocatePage(WriteStream stream,
 Result<Duration> FlashStore::WriteInternal(uint64_t block,
                                            std::span<const uint8_t> data,
                                            WriteStream stream,
-                                           bool allow_clean, bool blocking) {
+                                           bool allow_clean, IoIssue issue) {
   if (block >= num_logical_blocks_) {
     return OutOfRangeError("flash store block out of range");
   }
@@ -327,7 +327,7 @@ Result<Duration> FlashStore::WriteInternal(uint64_t block,
   next_bank_ += 1;
 
   Result<Duration> programmed =
-      flash_.Program(PageAddress(page.value()), data, blocking);
+      flash_.Program(PageAddress(page.value()), data, issue);
   if (!programmed.ok()) {
     return programmed.status();
   }
@@ -354,9 +354,19 @@ Result<Duration> FlashStore::Write(uint64_t block,
 Result<Duration> FlashStore::Write(uint64_t block,
                                    std::span<const uint8_t> data,
                                    WriteStream hint) {
+  // Background mode means the write is flush traffic draining in the
+  // write-behind path; otherwise the caller is waiting on it.
+  return Write(block, data, hint,
+               options_.background_writes ? IoPriority::kFlush
+                                          : IoPriority::kForeground);
+}
+
+Result<Duration> FlashStore::Write(uint64_t block,
+                                   std::span<const uint8_t> data,
+                                   WriteStream hint, IoPriority priority) {
   Result<Duration> r =
       WriteInternal(block, data, hint, /*allow_clean=*/true,
-                    /*blocking=*/!options_.background_writes);
+                    UserIssue(priority));
   if (r.ok()) {
     stats_.user_writes.Add();
   }
@@ -483,18 +493,18 @@ Result<bool> FlashStore::CleanOne() {
   const uint64_t pps = pages_per_sector();
   const uint64_t first_page = static_cast<uint64_t>(victim) * pps;
   std::vector<uint8_t> buf(options_.block_bytes);
-  const bool blocking = !options_.background_writes;
+  const IoIssue issue = CleanerIssue();
   for (uint64_t p = first_page; p < first_page + pps; ++p) {
     const uint64_t owner = page_owner_[p];
     if (owner == kUnmapped) {
       continue;
     }
-    Result<Duration> read = flash_.Read(PageAddress(p), buf, blocking);
+    Result<Duration> read = flash_.Read(PageAddress(p), buf, issue);
     if (!read.ok()) {
       return read.status();
     }
     Result<Duration> moved =
-        WriteInternal(owner, buf, stream, /*allow_clean=*/false, blocking);
+        WriteInternal(owner, buf, stream, /*allow_clean=*/false, issue);
     if (!moved.ok()) {
       return moved.status();
     }
@@ -526,19 +536,19 @@ Result<bool> FlashStore::EvictColdSectorFromHotRange() {
   const uint64_t pps = pages_per_sector();
   const uint64_t first_page = static_cast<uint64_t>(victim) * pps;
   std::vector<uint8_t> buf(options_.block_bytes);
-  const bool blocking = !options_.background_writes;
+  const IoIssue issue = CleanerIssue();
   for (uint64_t p = first_page; p < first_page + pps; ++p) {
     const uint64_t owner = page_owner_[p];
     if (owner == kUnmapped) {
       continue;
     }
-    Result<Duration> read = flash_.Read(PageAddress(p), buf, blocking);
+    Result<Duration> read = flash_.Read(PageAddress(p), buf, issue);
     if (!read.ok()) {
       return read.status();
     }
     Result<Duration> moved =
         WriteInternal(owner, buf, WriteStream::kRelocation,
-                      /*allow_clean=*/false, blocking);
+                      /*allow_clean=*/false, issue);
     if (!moved.ok()) {
       return moved.status();
     }
@@ -552,8 +562,7 @@ Status FlashStore::EraseAndFree(uint64_t sector) {
   SectorMeta& m = sectors_[sector];
   assert(!m.active && !m.free);
   assert(m.valid_pages == 0 && "erasing a sector with live data");
-  const bool blocking = !options_.background_writes;
-  Result<Duration> erased = flash_.EraseSector(sector, blocking);
+  Result<Duration> erased = flash_.EraseSector(sector, CleanerIssue());
   if (!erased.ok()) {
     if (erased.status().code() == ErrorCode::kDataLoss) {
       // The sector wore out. Retire it; the store keeps running with less
@@ -614,18 +623,18 @@ void FlashStore::MaybeStaticWearLevel() {
   const uint64_t pps = pages_per_sector();
   const uint64_t first_page = static_cast<uint64_t>(coldest) * pps;
   std::vector<uint8_t> buf(options_.block_bytes);
-  const bool blocking = !options_.background_writes;
+  const IoIssue issue = CleanerIssue();
   Status migrate = Status::Ok();
   for (uint64_t p = first_page; p < first_page + pps; ++p) {
     const uint64_t owner = page_owner_[p];
     if (owner == kUnmapped) {
       continue;
     }
-    Result<Duration> read = flash_.Read(PageAddress(p), buf, blocking);
+    Result<Duration> read = flash_.Read(PageAddress(p), buf, issue);
     if (read.ok()) {
       Result<Duration> moved =
           WriteInternal(owner, buf, WriteStream::kRelocation,
-                        /*allow_clean=*/false, blocking);
+                        /*allow_clean=*/false, issue);
       migrate = moved.ok() ? Status::Ok() : moved.status();
     } else {
       migrate = read.status();

@@ -167,6 +167,13 @@ class FlashStore {
   Result<Duration> Write(uint64_t block, std::span<const uint8_t> data,
                          WriteStream hint);
 
+  // Write with an explicit scheduling class (the storage manager's flush
+  // path passes IoPriority::kFlush). Whether the write blocks the caller is
+  // still governed by options_.background_writes; the class only affects
+  // dispatch order under IoSchedPolicy::kPriority, and attribution always.
+  Result<Duration> Write(uint64_t block, std::span<const uint8_t> data,
+                         WriteStream hint, IoPriority priority);
+
   // Drops a logical block's contents (marks its page dead).
   Status Trim(uint64_t block);
 
@@ -235,10 +242,21 @@ class FlashStore {
   Result<uint64_t> AllocatePage(WriteStream stream, bool allow_clean);
 
   // Writes `data` into a freshly allocated page and points `block` at it.
-  // The blocking flag selects foreground vs background device timing.
+  // The issue selects the request's scheduling class and foreground vs
+  // background device timing.
   Result<Duration> WriteInternal(uint64_t block, std::span<const uint8_t> data,
                                  WriteStream stream, bool allow_clean,
-                                 bool blocking);
+                                 IoIssue issue);
+
+  // How this store issues device requests for the paper's three streams,
+  // given options_.background_writes: user/flush writes and cleaner traffic
+  // block the caller only when background mode is off.
+  IoIssue UserIssue(IoPriority priority) const {
+    return IoIssue{priority, !options_.background_writes};
+  }
+  IoIssue CleanerIssue() const {
+    return IoIssue{IoPriority::kCleaner, !options_.background_writes};
+  }
 
   void MarkPageDead(uint64_t page);
 

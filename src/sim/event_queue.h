@@ -1,9 +1,17 @@
 // Discrete-event queue bound to a SimClock.
 //
 // Components schedule callbacks at absolute simulated times; the simulation
-// driver pumps due events as it advances the clock. Events scheduled at the
-// same time fire in scheduling order (stable by sequence number). Events may
-// schedule further events, including at the current time.
+// driver pumps due events as it advances the clock. Events may schedule
+// further events, including at the current time.
+//
+// Determinism guarantee: events scheduled for the same simulated time fire
+// in scheduling order (stable by sequence number), regardless of how the
+// underlying heap rebalances and regardless of how many same-time events are
+// interleaved with cancellations. Simulation reproducibility depends on
+// this — the I/O request pipeline (io_scheduler.h) breaks same-time
+// dispatch ties the same way, and the flush/checkpoint daemons rely on it
+// when both fire in the same tick. Guarded by the regression tests in
+// event_queue_test.cc; do not weaken it.
 
 #ifndef SSMC_SRC_SIM_EVENT_QUEUE_H_
 #define SSMC_SRC_SIM_EVENT_QUEUE_H_

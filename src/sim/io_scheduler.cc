@@ -1,0 +1,165 @@
+#include "src/sim/io_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+
+namespace ssmc {
+
+const char* IoOpName(IoOp op) {
+  switch (op) {
+    case IoOp::kRead:
+      return "read";
+    case IoOp::kProgram:
+      return "program";
+    case IoOp::kErase:
+      return "erase";
+    case IoOp::kDiskRead:
+      return "disk-read";
+    case IoOp::kDiskWrite:
+      return "disk-write";
+  }
+  return "?";
+}
+
+const char* IoPriorityName(IoPriority priority) {
+  switch (priority) {
+    case IoPriority::kForeground:
+      return "foreground";
+    case IoPriority::kFlush:
+      return "flush";
+    case IoPriority::kCleaner:
+      return "cleaner";
+  }
+  return "?";
+}
+
+IoScheduler::IoScheduler(SimClock& clock, int channels, IoSchedPolicy policy)
+    : clock_(clock), policy_(policy) {
+  assert(channels >= 1);
+  channels_.resize(static_cast<size_t>(channels));
+}
+
+void IoScheduler::set_policy(IoSchedPolicy policy) {
+  assert(pending() == 0 && "policy change requires an idle pipeline");
+  policy_ = policy;
+}
+
+void IoScheduler::Retire(Channel& channel) {
+  const SimTime now = clock_.now();
+  while (!channel.timeline.empty() &&
+         channel.timeline.front().req.complete_time <= now) {
+    Reservation done = std::move(channel.timeline.front());
+    channel.timeline.pop_front();
+    channel.last_complete = done.req.complete_time;
+    if (done.req.on_complete) {
+      done.req.on_complete(done.req);
+    }
+  }
+}
+
+void IoScheduler::Reflow(Channel& channel, size_t from) {
+  for (size_t i = from; i < channel.timeline.size(); ++i) {
+    Reservation& r = channel.timeline[i];
+    const SimTime new_start = channel.timeline[i - 1].req.complete_time;
+    const Duration delta = new_start - r.req.start_time;
+    if (delta == 0) {
+      break;  // Starts are contiguous; nothing further moves.
+    }
+    assert(delta > 0 && "reservations only ever shift later");
+    r.req.start_time = new_start;
+    r.req.complete_time = new_start + r.service;
+    if (shift_observer_) {
+      shift_observer_(r.req, delta);
+    }
+  }
+}
+
+IoScheduler::Dispatch IoScheduler::Place(int channel_index, IoRequest req,
+                                         Duration service_now,
+                                         const ServiceFn* service_fn) {
+  assert(channel_index >= 0 && channel_index < num_channels());
+  Channel& channel = channels_[static_cast<size_t>(channel_index)];
+  const SimTime now = clock_.now();
+  req.issue_time = now;
+  Retire(channel);
+
+  // Insertion point. FIFO: the back. Priority: ahead of queued reservations
+  // of a strictly lower class that have not started (the front may be in
+  // service — start_time <= now — and is never preempted). Equal classes
+  // keep submission order.
+  size_t idx = channel.timeline.size();
+  if (policy_ == IoSchedPolicy::kPriority) {
+    size_t first_movable = 0;
+    while (first_movable < channel.timeline.size() &&
+           channel.timeline[first_movable].req.start_time <= now) {
+      ++first_movable;
+    }
+    for (size_t i = first_movable; i < channel.timeline.size(); ++i) {
+      if (channel.timeline[i].req.priority > req.priority) {
+        idx = i;
+        break;
+      }
+    }
+  }
+
+  // Start when the predecessor completes; an idle channel serves at once
+  // (start = max(now, busy_until) of the historical charge-latency model —
+  // every retired reservation completed at or before now).
+  const SimTime start =
+      idx == 0 ? now : channel.timeline[idx - 1].req.complete_time;
+  const Duration service =
+      service_fn != nullptr ? (*service_fn)(start) : service_now;
+  assert(service >= 0);
+  req.start_time = start;
+  req.complete_time = start + service;
+
+  Dispatch dispatch;
+  dispatch.start = start;
+  dispatch.complete = req.complete_time;
+  dispatch.wait = start - now;
+  dispatch.service = service;
+
+  Reservation reservation{std::move(req), service, next_seq_++};
+  channel.timeline.insert(
+      channel.timeline.begin() + static_cast<ptrdiff_t>(idx),
+      std::move(reservation));
+  Reflow(channel, idx + 1);
+  return dispatch;
+}
+
+IoScheduler::Dispatch IoScheduler::Submit(int channel, IoRequest req,
+                                          Duration service_ns) {
+  return Place(channel, std::move(req), service_ns, nullptr);
+}
+
+IoScheduler::Dispatch IoScheduler::Submit(int channel, IoRequest req,
+                                          const ServiceFn& service) {
+  return Place(channel, std::move(req), 0, &service);
+}
+
+void IoScheduler::Poll() {
+  for (Channel& channel : channels_) {
+    Retire(channel);
+  }
+}
+
+SimTime IoScheduler::ChannelBusyUntil(int channel) const {
+  const Channel& ch = channels_[static_cast<size_t>(channel)];
+  return ch.timeline.empty() ? ch.last_complete
+                             : ch.timeline.back().req.complete_time;
+}
+
+size_t IoScheduler::PendingOn(int channel) const {
+  return channels_[static_cast<size_t>(channel)].timeline.size();
+}
+
+size_t IoScheduler::pending() const {
+  size_t total = 0;
+  for (const Channel& channel : channels_) {
+    total += channel.timeline.size();
+  }
+  return total;
+}
+
+}  // namespace ssmc

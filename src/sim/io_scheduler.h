@@ -1,0 +1,131 @@
+// Per-channel I/O request scheduler — the dispatch stage of the request
+// pipeline (io_request.h).
+//
+// A device owns one IoScheduler with one channel per independently-busy
+// resource (a flash bank, a disk arm). Submitting a request reserves channel
+// time for it and returns its dispatch (start/complete times); the device
+// then advances the caller's clock for blocking requests and leaves the
+// channel to absorb background ones.
+//
+// Policies:
+//  * kFifo (default): a request starts at max(now, channel busy-until) —
+//    bit-for-bit the historical per-bank `busy_until` charge-latency model,
+//    so default-policy simulations are byte-identical to the pre-pipeline
+//    simulator (enforced by the differential oracle in io_scheduler_test).
+//  * kPriority: a request may be placed ahead of queued reservations of a
+//    strictly lower class that have not started yet, pushing them later.
+//    The op already on the medium is never preempted. Blocking requests'
+//    dispatch is always final (the caller advances the clock past their
+//    completion); queued background reservations may shift later, and the
+//    shift is reported to the wait observer so attribution counters track
+//    true waits.
+//
+// Determinism: ties (same channel, same priority) dispatch in submission
+// order, mirroring EventQueue's same-timestamp guarantee. The scheduler
+// never advances the clock itself.
+
+#ifndef SSMC_SRC_SIM_IO_SCHEDULER_H_
+#define SSMC_SRC_SIM_IO_SCHEDULER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "src/sim/clock.h"
+#include "src/sim/io_request.h"
+#include "src/support/units.h"
+
+namespace ssmc {
+
+class IoScheduler {
+ public:
+  // Where and when a submitted request was placed on its channel.
+  struct Dispatch {
+    SimTime start = 0;
+    SimTime complete = 0;
+    Duration wait = 0;     // start - submit time.
+    Duration service = 0;  // complete - start.
+  };
+
+  // Service time evaluated at dispatch: devices whose cost depends on the
+  // start time (disk rotation position) compute it here. Evaluated once per
+  // request, at submission, with the request's dispatch start time.
+  using ServiceFn = std::function<Duration(SimTime start)>;
+
+  // Called when a queued reservation is pushed `delta` ns later by a
+  // higher-priority submission (kPriority only; delta > 0). Lets the device
+  // keep per-class wait counters exact without draining the pipeline.
+  using ShiftObserver = std::function<void(const IoRequest&, Duration delta)>;
+
+  IoScheduler(SimClock& clock, int channels,
+              IoSchedPolicy policy = IoSchedPolicy::kFifo);
+
+  IoSchedPolicy policy() const { return policy_; }
+  // Policy changes require an idle pipeline (no pending reservations);
+  // switching mid-flight would reinterpret already-placed reservations.
+  void set_policy(IoSchedPolicy policy);
+
+  void set_shift_observer(ShiftObserver observer) {
+    shift_observer_ = std::move(observer);
+  }
+
+  // Reserves channel time for `req` (service `service_ns`) and returns its
+  // dispatch. Retires every reservation on the channel whose completion time
+  // has passed (firing on_complete callbacks) as a side effect.
+  Dispatch Submit(int channel, IoRequest req, Duration service_ns);
+
+  // As above with the service time computed at dispatch. The service
+  // function sees the final start time under kFifo; under kPriority it sees
+  // the start as of submission (later shifts do not re-evaluate it) — the
+  // disk, the only position-dependent device, schedules FIFO.
+  Dispatch Submit(int channel, IoRequest req, const ServiceFn& service);
+
+  // Retires completed reservations on every channel (fires on_complete).
+  void Poll();
+
+  // Time at which the channel's last reservation completes; monotone, like
+  // the per-bank busy_until it replaces (it does not reset when idle).
+  SimTime ChannelBusyUntil(int channel) const;
+
+  // Reservations not yet retired on `channel` (in service + queued).
+  size_t PendingOn(int channel) const;
+  size_t pending() const;
+
+  int num_channels() const { return static_cast<int>(channels_.size()); }
+
+ private:
+  struct Reservation {
+    IoRequest req;        // Timestamps kept current as the schedule shifts.
+    Duration service = 0;
+    uint64_t seq = 0;     // Global submission order; breaks priority ties.
+  };
+
+  struct Channel {
+    // Reservations ordered by start time; front may be in service
+    // (start <= now < complete). Starts are contiguous: each reservation
+    // starts exactly when its predecessor completes (or at its own issue
+    // time on an idle channel).
+    std::deque<Reservation> timeline;
+    // busy_until of the last retired reservation (timeline empty).
+    SimTime last_complete = 0;
+  };
+
+  // Pops front reservations with complete_time <= now, firing callbacks.
+  void Retire(Channel& channel);
+  // Recomputes start/complete for timeline[from..], notifying shifts.
+  void Reflow(Channel& channel, size_t from);
+
+  Dispatch Place(int channel, IoRequest req, Duration service_now,
+                 const ServiceFn* service_fn);
+
+  SimClock& clock_;
+  IoSchedPolicy policy_;
+  std::vector<Channel> channels_;
+  ShiftObserver shift_observer_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace ssmc
+
+#endif  // SSMC_SRC_SIM_IO_SCHEDULER_H_

@@ -8,6 +8,11 @@
 //  * a logical flash-block allocator over the FlashStore;
 //  * metadata-access accounting (memory-resident structures cost DRAM time);
 //  * the shared WriteBuffer (write_buffer.h) is built on these allocators.
+//
+// Flash traffic issued on behalf of these services is classed (see
+// src/sim/io_request.h): user I/O runs foreground, write-buffer flushes run
+// flush-class, and the store's own cleaning runs cleaner-class, so the
+// device scheduler can keep reads fast while background work drains.
 
 #ifndef SSMC_SRC_STORAGE_STORAGE_MANAGER_H_
 #define SSMC_SRC_STORAGE_STORAGE_MANAGER_H_

@@ -19,6 +19,10 @@
 //  * write avoidance: Drop(key) discards a dirty block whose file was
 //    deleted or truncated — that write never reaches flash, which is where
 //    the 40-50% traffic reduction comes from.
+//
+// Flushed blocks reach the flash store as flush-class I/O requests
+// (IoPriority::kFlush — see src/sim/io_request.h): below foreground reads,
+// above cleaner traffic when the machine opts into priority scheduling.
 
 #ifndef SSMC_SRC_STORAGE_WRITE_BUFFER_H_
 #define SSMC_SRC_STORAGE_WRITE_BUFFER_H_

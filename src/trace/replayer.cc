@@ -26,6 +26,11 @@ void ReplayReport::Merge(const ReplayReport& other) {
   for (size_t i = 0; i < per_op.size(); ++i) {
     per_op[i].Merge(other.per_op[i]);
   }
+  for (size_t i = 0; i < io_by_class.size(); ++i) {
+    io_by_class[i].requests += other.io_by_class[i].requests;
+    io_by_class[i].queue_wait_ns += other.io_by_class[i].queue_wait_ns;
+    io_by_class[i].service_ns += other.io_by_class[i].service_ns;
+  }
 }
 
 TraceReplayer::TraceReplayer(FileSystem& fs, SimClock& clock,

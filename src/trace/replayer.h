@@ -13,6 +13,7 @@
 #include "src/fs/file_system.h"
 #include "src/sim/clock.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/io_request.h"
 #include "src/sim/stats.h"
 #include "src/trace/trace.h"
 
@@ -41,6 +42,21 @@ struct ReplayReport {
   }
   const LatencyRecorder& ForOp(TraceOp op) const {
     return per_op[static_cast<size_t>(op)];
+  }
+
+  // Device-level request attribution over the replay window: for each
+  // scheduling class, how much time its requests spent queued behind other
+  // work vs being served by the medium. Filled by drivers that own the
+  // device (MobileComputer::RunTrace); zero when the replayer is used
+  // standalone.
+  struct IoClassBreakdown {
+    uint64_t requests = 0;
+    uint64_t queue_wait_ns = 0;
+    uint64_t service_ns = 0;
+  };
+  std::array<IoClassBreakdown, kNumIoPriorities> io_by_class;
+  const IoClassBreakdown& ForClass(IoPriority p) const {
+    return io_by_class[static_cast<size_t>(p)];
   }
 
   // Folds another report in (a shard of the same sharded experiment). The

@@ -150,5 +150,48 @@ TEST(DiskDeviceTest, StatsBreakDownLatency) {
   EXPECT_EQ(disk.stats().reads.value(), 2u);
 }
 
+// Stats parity with FlashDevice: a blocking read that queues behind an
+// earlier reservation reports its wait in queue_wait_ns and read_stall_ns,
+// and the wait shows up in the returned latency.
+TEST(DiskDeviceTest, BlockingReadBehindWriteBehindReportsStall) {
+  SimClock clock;
+  DiskDevice disk(TestSpec(), clock);
+  disk.set_spin_down_after(0);
+  std::vector<uint8_t> data(512, 7);
+  // Write-behind: reserves the arm without advancing our clock.
+  Result<Duration> w = disk.WriteSectors(0, data, kFlushIo);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(clock.now(), 0);
+  const SimTime arm_busy = disk.ArmBusyUntil();
+  EXPECT_GT(arm_busy, 0);
+  EXPECT_EQ(disk.stats().queue_wait_ns.value(), 0u);
+  EXPECT_EQ(disk.stats().read_stall_ns.value(), 0u);
+
+  // A foreground read now queues behind the in-flight write.
+  std::vector<uint8_t> out(512);
+  Result<Duration> r = disk.ReadSectors(0, out);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(disk.stats().read_stall_ns.value(),
+            static_cast<uint64_t>(arm_busy));
+  EXPECT_EQ(disk.stats().queue_wait_ns.value(),
+            static_cast<uint64_t>(arm_busy));
+  EXPECT_GE(r.value(), arm_busy);        // Latency includes the wait.
+  EXPECT_GE(clock.now(), arm_busy);      // Blocking: clock passed the queue.
+}
+
+// Blocking-only traffic never queues, so the parity counters stay zero —
+// the disk baseline rows in E3 report a clean breakdown.
+TEST(DiskDeviceTest, BlockingOnlyTrafficHasNoQueueWait) {
+  SimClock clock;
+  DiskDevice disk(TestSpec(), clock);
+  disk.set_spin_down_after(0);
+  std::vector<uint8_t> buf(512);
+  ASSERT_TRUE(disk.ReadSectors(0, buf).ok());
+  ASSERT_TRUE(disk.WriteSectors(40, buf).ok());
+  ASSERT_TRUE(disk.ReadSectors(99 * 16, buf).ok());
+  EXPECT_EQ(disk.stats().queue_wait_ns.value(), 0u);
+  EXPECT_EQ(disk.stats().read_stall_ns.value(), 0u);
+}
+
 }  // namespace
 }  // namespace ssmc

@@ -30,6 +30,70 @@ TEST(EventQueueTest, SameTimeEventsRunInScheduleOrder) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
+// Regression guard for the determinism guarantee documented in
+// event_queue.h: insertion order must survive heap rebalancing at scale.
+// The I/O scheduler breaks dispatch ties the same way, so a violation here
+// would silently reorder same-time I/O completions.
+TEST(EventQueueTest, ManySameTimeEventsPopInInsertionOrder) {
+  SimClock clock;
+  EventQueue q(clock);
+  std::vector<int> order;
+  // Enough events, at interleaved timestamps, that the heap reshuffles
+  // repeatedly; insertion order within each timestamp must still hold.
+  constexpr int kPerTime = 257;
+  for (int i = 0; i < kPerTime; ++i) {
+    for (SimTime t : {300, 100, 200}) {
+      q.ScheduleAt(t, [&order, t, i] {
+        order.push_back(static_cast<int>(t) * 1000 + i);
+      });
+    }
+  }
+  q.RunUntil(300);
+  ASSERT_EQ(order.size(), 3u * kPerTime);
+  std::vector<int> expected;
+  for (int t : {100, 200, 300}) {
+    for (int i = 0; i < kPerTime; ++i) {
+      expected.push_back(t * 1000 + i);
+    }
+  }
+  EXPECT_EQ(order, expected);
+}
+
+TEST(EventQueueTest, SameTimeOrderSurvivesCancellations) {
+  SimClock clock;
+  EventQueue q(clock);
+  std::vector<int> order;
+  std::vector<EventQueue::EventId> ids;
+  for (int i = 0; i < 64; ++i) {
+    ids.push_back(q.ScheduleAt(100, [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 64; i += 2) {
+    EXPECT_TRUE(q.Cancel(ids[static_cast<size_t>(i)]));
+  }
+  q.RunUntil(100);
+  std::vector<int> expected;
+  for (int i = 1; i < 64; i += 2) {
+    expected.push_back(i);
+  }
+  EXPECT_EQ(order, expected);
+}
+
+// Events scheduled *during* a same-time cascade at the current time run
+// after the already-queued same-time events, still in scheduling order.
+TEST(EventQueueTest, SameTimeCascadeAppendsInOrder) {
+  SimClock clock;
+  EventQueue q(clock);
+  std::vector<int> order;
+  q.ScheduleAt(100, [&] {
+    order.push_back(1);
+    q.ScheduleAt(100, [&] { order.push_back(3); });
+    q.ScheduleAt(100, [&] { order.push_back(4); });
+  });
+  q.ScheduleAt(100, [&] { order.push_back(2); });
+  q.RunUntil(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
 TEST(EventQueueTest, ClockAdvancesToEventTime) {
   SimClock clock;
   EventQueue q(clock);

@@ -128,7 +128,7 @@ TEST_F(FlashDeviceTest, NonBlockingProgramDoesNotAdvanceClock) {
   FlashDevice flash(spec_, 16 * 1024, 1, clock_);
   std::vector<uint8_t> data(16, 1);
   const SimTime before = clock_.now();
-  Result<Duration> r = flash.Program(0, data, /*blocking=*/false);
+  Result<Duration> r = flash.Program(0, data, kFlushIo);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(clock_.now(), before);
   EXPECT_GT(flash.BankBusyUntil(0), before);
@@ -136,7 +136,7 @@ TEST_F(FlashDeviceTest, NonBlockingProgramDoesNotAdvanceClock) {
 
 TEST_F(FlashDeviceTest, ReadStallsBehindEraseInSameBank) {
   FlashDevice flash(spec_, 64 * 1024, 4, clock_);
-  ASSERT_TRUE(flash.EraseSector(0, /*blocking=*/false).ok());
+  ASSERT_TRUE(flash.EraseSector(0, kCleanerIo).ok());
   const SimTime busy_until = flash.BankBusyUntil(0);
   std::vector<uint8_t> out(16);
   Result<Duration> r = flash.Read(0, out);
@@ -149,7 +149,7 @@ TEST_F(FlashDeviceTest, ReadStallsBehindEraseInSameBank) {
 
 TEST_F(FlashDeviceTest, ReadProceedsInOtherBankDuringErase) {
   FlashDevice flash(spec_, 64 * 1024, 4, clock_);
-  ASSERT_TRUE(flash.EraseSector(0, /*blocking=*/false).ok());
+  ASSERT_TRUE(flash.EraseSector(0, kCleanerIo).ok());
   std::vector<uint8_t> out(16);
   // Bank 1 begins at sector 16 -> address 16 KiB.
   Result<Duration> r = flash.Read(16 * 1024, out);

@@ -1,0 +1,415 @@
+// IoScheduler unit tests, including the differential oracle the refactor's
+// behavior-preservation claim rests on: under the default FIFO policy, every
+// dispatch must reproduce the historical per-bank busy-until charge-latency
+// model (start = max(now, busy_until)) bit-for-bit, for any interleaving of
+// blocking and background requests across channels.
+
+#include "src/sim/io_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/device/flash_device.h"
+#include "src/sim/clock.h"
+#include "src/support/rng.h"
+
+namespace ssmc {
+namespace {
+
+IoRequest MakeReq(IoOp op, IoPriority priority, bool blocking) {
+  IoRequest req;
+  req.op = op;
+  req.priority = priority;
+  req.blocking = blocking;
+  return req;
+}
+
+// The pre-pipeline charge-latency model, verbatim: one busy-until timestamp
+// per bank, start = max(now, busy_until), blocking ops advance the clock to
+// completion.
+class ChargeLatencyOracle {
+ public:
+  explicit ChargeLatencyOracle(int channels) : busy_until_(channels, 0) {}
+
+  struct Op {
+    SimTime start;
+    SimTime complete;
+    Duration wait;
+  };
+
+  Op Occupy(SimTime now, int channel, Duration op_ns) {
+    SimTime& busy = busy_until_[static_cast<size_t>(channel)];
+    const SimTime start = std::max(now, busy);
+    busy = start + op_ns;
+    return Op{start, busy, start - now};
+  }
+
+  SimTime busy_until(int channel) const {
+    return busy_until_[static_cast<size_t>(channel)];
+  }
+
+ private:
+  std::vector<SimTime> busy_until_;
+};
+
+// --- FIFO differential oracle ---------------------------------------------
+
+TEST(IoSchedulerOracleTest, FifoDispatchMatchesChargeLatencyModel) {
+  constexpr int kChannels = 4;
+  SimClock clock;
+  IoScheduler sched(clock, kChannels, IoSchedPolicy::kFifo);
+  ChargeLatencyOracle oracle(kChannels);
+  Rng rng(12345);
+
+  for (int i = 0; i < 20000; ++i) {
+    // Random idle gaps, including none (back-to-back submissions).
+    if (rng.NextBelow(3) == 0) {
+      clock.Advance(static_cast<Duration>(rng.NextBelow(5000)));
+    }
+    const int channel = static_cast<int>(rng.NextBelow(kChannels));
+    const Duration service = static_cast<Duration>(1 + rng.NextBelow(10000));
+    const bool blocking = rng.NextBelow(2) == 0;
+    const IoPriority priority =
+        static_cast<IoPriority>(rng.NextBelow(kNumIoPriorities));
+
+    const ChargeLatencyOracle::Op expected =
+        oracle.Occupy(clock.now(), channel, service);
+    const IoScheduler::Dispatch got = sched.Submit(
+        channel, MakeReq(IoOp::kProgram, priority, blocking), service);
+
+    ASSERT_EQ(got.start, expected.start) << "op " << i;
+    ASSERT_EQ(got.complete, expected.complete) << "op " << i;
+    ASSERT_EQ(got.wait, expected.wait) << "op " << i;
+    ASSERT_EQ(got.service, service) << "op " << i;
+    if (blocking) {
+      clock.AdvanceTo(got.complete);
+    }
+    for (int c = 0; c < kChannels; ++c) {
+      ASSERT_EQ(sched.ChannelBusyUntil(c), oracle.busy_until(c))
+          << "op " << i << " channel " << c;
+    }
+  }
+}
+
+// The same differential at the device layer: a FlashDevice must charge
+// exactly the latencies and clock advances of the historical model for any
+// mix of reads, programs, and erases across banks and issue modes.
+TEST(IoSchedulerOracleTest, FlashDeviceFifoMatchesChargeLatencyModel) {
+  FlashSpec spec;
+  spec.name = "oracle flash";
+  spec.read = {100, 10};
+  spec.program = {1000, 1000};
+  spec.erase_sector_bytes = 1024;
+  spec.erase_ns = 1 * kMillisecond;
+  spec.endurance_cycles = 0;  // No wear-out: every op succeeds.
+  constexpr int kBanks = 4;
+  SimClock clock;
+  FlashDevice flash(spec, 64 * 1024, kBanks, clock);
+  ChargeLatencyOracle oracle(kBanks);
+  SimTime oracle_now = 0;
+  Rng rng(999);
+
+  std::vector<uint8_t> buf(64, 0xAB);
+  std::vector<uint8_t> out(64);
+  for (int i = 0; i < 4000; ++i) {
+    if (rng.NextBelow(4) == 0) {
+      const Duration gap = static_cast<Duration>(rng.NextBelow(20000));
+      clock.Advance(gap);
+      oracle_now += gap;
+    }
+    const uint64_t sector = rng.NextBelow(flash.num_sectors());
+    const int bank = flash.BankOfSector(sector);
+    const bool blocking = rng.NextBelow(2) == 0;
+    const IoIssue issue{blocking ? IoPriority::kForeground
+                                 : IoPriority::kCleaner,
+                        blocking};
+
+    Duration got = 0;
+    Duration op_ns = 0;
+    switch (rng.NextBelow(3)) {
+      case 0: {
+        op_ns = spec.read.LatencyFor(out.size());
+        got = flash.Read(sector * 1024, out, issue).value();
+        break;
+      }
+      case 1: {
+        // Erase first so the program always hits erased bytes; account the
+        // erase in the oracle too.
+        const ChargeLatencyOracle::Op e =
+            oracle.Occupy(oracle_now, bank, spec.erase_ns);
+        const Duration erased = flash.EraseSector(sector, issue).value();
+        ASSERT_EQ(erased, e.wait + spec.erase_ns);
+        if (blocking) {
+          oracle_now = e.complete;
+        }
+        op_ns = spec.program.LatencyFor(buf.size());
+        got = flash.Program(sector * 1024, buf, issue).value();
+        break;
+      }
+      default: {
+        op_ns = spec.erase_ns;
+        got = flash.EraseSector(sector, issue).value();
+        break;
+      }
+    }
+    const ChargeLatencyOracle::Op expected =
+        oracle.Occupy(oracle_now, bank, op_ns);
+    if (blocking) {
+      oracle_now = expected.complete;
+    }
+    ASSERT_EQ(got, expected.wait + op_ns) << "op " << i;
+    ASSERT_EQ(clock.now(), oracle_now) << "op " << i;
+    for (int b = 0; b < kBanks; ++b) {
+      ASSERT_EQ(flash.BankBusyUntil(b), oracle.busy_until(b)) << "op " << i;
+    }
+  }
+}
+
+// --- Basic pipeline mechanics ---------------------------------------------
+
+TEST(IoSchedulerTest, IdleChannelServesImmediately) {
+  SimClock clock;
+  IoScheduler sched(clock, 1);
+  clock.Advance(500);
+  const auto d = sched.Submit(
+      0, MakeReq(IoOp::kRead, IoPriority::kForeground, true), 100);
+  EXPECT_EQ(d.start, 500);
+  EXPECT_EQ(d.complete, 600);
+  EXPECT_EQ(d.wait, 0);
+  EXPECT_EQ(sched.ChannelBusyUntil(0), 600);
+}
+
+TEST(IoSchedulerTest, BusyUntilIsMonotoneAcrossIdlePeriods) {
+  SimClock clock;
+  IoScheduler sched(clock, 1);
+  sched.Submit(0, MakeReq(IoOp::kErase, IoPriority::kCleaner, false), 1000);
+  EXPECT_EQ(sched.ChannelBusyUntil(0), 1000);
+  clock.Advance(5000);
+  sched.Poll();
+  // Like the busy-until timestamp it replaces, the value does not reset when
+  // the channel goes idle.
+  EXPECT_EQ(sched.ChannelBusyUntil(0), 1000);
+}
+
+TEST(IoSchedulerTest, OnCompleteFiresWithFinalTimestamps) {
+  SimClock clock;
+  IoScheduler sched(clock, 1);
+  std::vector<std::pair<SimTime, SimTime>> completed;
+  IoRequest req = MakeReq(IoOp::kProgram, IoPriority::kFlush, false);
+  req.on_complete = [&](const IoRequest& r) {
+    completed.emplace_back(r.start_time, r.complete_time);
+  };
+  sched.Submit(0, std::move(req), 700);
+  EXPECT_TRUE(completed.empty());
+  clock.Advance(699);
+  sched.Poll();
+  EXPECT_TRUE(completed.empty());  // Not done yet.
+  clock.Advance(1);
+  sched.Poll();
+  ASSERT_EQ(completed.size(), 1u);
+  EXPECT_EQ(completed[0].first, 0);
+  EXPECT_EQ(completed[0].second, 700);
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
+TEST(IoSchedulerTest, LaterSubmitRetiresCompletedFront) {
+  SimClock clock;
+  IoScheduler sched(clock, 1);
+  int completions = 0;
+  IoRequest req = MakeReq(IoOp::kProgram, IoPriority::kFlush, false);
+  req.on_complete = [&](const IoRequest&) { ++completions; };
+  sched.Submit(0, std::move(req), 100);
+  clock.Advance(100);
+  // The pipeline is pumped by traffic: the next submit retires the front.
+  sched.Submit(0, MakeReq(IoOp::kRead, IoPriority::kForeground, true), 10);
+  EXPECT_EQ(completions, 1);
+  EXPECT_EQ(sched.PendingOn(0), 1u);
+}
+
+// --- Priority policy ------------------------------------------------------
+
+TEST(IoSchedulerTest, PriorityReadJumpsQueuedCleanerWork) {
+  SimClock clock;
+  IoScheduler sched(clock, 1, IoSchedPolicy::kPriority);
+  // In service now: a cleaner erase. Queued behind it: another one.
+  const auto inflight = sched.Submit(
+      0, MakeReq(IoOp::kErase, IoPriority::kCleaner, false), 1000000);
+  const auto queued = sched.Submit(
+      0, MakeReq(IoOp::kErase, IoPriority::kCleaner, false), 1000000);
+  EXPECT_EQ(inflight.start, 0);
+  EXPECT_EQ(queued.start, 1000000);
+
+  clock.Advance(10);  // The first erase is now on the medium.
+  const auto read = sched.Submit(
+      0, MakeReq(IoOp::kRead, IoPriority::kForeground, true), 500);
+  // The read waits only for the op on the medium, not the queued erase.
+  EXPECT_EQ(read.start, 1000000);
+  EXPECT_EQ(read.complete, 1000500);
+  // And the queued erase was pushed back behind the read.
+  EXPECT_EQ(sched.ChannelBusyUntil(0), 1000500 + 1000000);
+}
+
+TEST(IoSchedulerTest, PriorityInFlightOpIsNeverPreempted) {
+  SimClock clock;
+  IoScheduler sched(clock, 1, IoSchedPolicy::kPriority);
+  sched.Submit(0, MakeReq(IoOp::kErase, IoPriority::kCleaner, false), 50000);
+  clock.Advance(1);
+  const auto read = sched.Submit(
+      0, MakeReq(IoOp::kRead, IoPriority::kForeground, true), 100);
+  EXPECT_EQ(read.start, 50000);  // Waits out the erase already in service.
+  EXPECT_EQ(read.wait, 49999);
+}
+
+TEST(IoSchedulerTest, PriorityEqualClassKeepsSubmissionOrder) {
+  SimClock clock;
+  IoScheduler sched(clock, 1, IoSchedPolicy::kPriority);
+  sched.Submit(0, MakeReq(IoOp::kProgram, IoPriority::kFlush, false), 100);
+  const auto second = sched.Submit(
+      0, MakeReq(IoOp::kProgram, IoPriority::kFlush, false), 100);
+  const auto third = sched.Submit(
+      0, MakeReq(IoOp::kProgram, IoPriority::kFlush, false), 100);
+  EXPECT_EQ(second.start, 100);
+  EXPECT_EQ(third.start, 200);
+}
+
+TEST(IoSchedulerTest, PriorityFlushOutranksCleanerButNotForeground) {
+  SimClock clock;
+  IoScheduler sched(clock, 1, IoSchedPolicy::kPriority);
+  sched.Submit(0, MakeReq(IoOp::kErase, IoPriority::kCleaner, false), 1000);
+  const auto cleaner2 = sched.Submit(
+      0, MakeReq(IoOp::kErase, IoPriority::kCleaner, false), 1000);
+  EXPECT_EQ(cleaner2.start, 1000);
+  clock.Advance(1);
+  const auto flush = sched.Submit(
+      0, MakeReq(IoOp::kProgram, IoPriority::kFlush, false), 200);
+  EXPECT_EQ(flush.start, 1000);  // Ahead of the queued cleaner erase.
+  clock.Advance(1);
+  const auto fg = sched.Submit(
+      0, MakeReq(IoOp::kRead, IoPriority::kForeground, true), 10);
+  EXPECT_EQ(fg.start, 1000);  // Ahead of the queued flush, too.
+}
+
+TEST(IoSchedulerTest, ShiftObserverReportsPushback) {
+  SimClock clock;
+  IoScheduler sched(clock, 1, IoSchedPolicy::kPriority);
+  Duration shifted = 0;
+  IoPriority shifted_class = IoPriority::kForeground;
+  sched.set_shift_observer([&](const IoRequest& r, Duration delta) {
+    shifted += delta;
+    shifted_class = r.priority;
+  });
+  sched.Submit(0, MakeReq(IoOp::kErase, IoPriority::kCleaner, false), 1000);
+  sched.Submit(0, MakeReq(IoOp::kErase, IoPriority::kCleaner, false), 1000);
+  clock.Advance(1);
+  sched.Submit(0, MakeReq(IoOp::kRead, IoPriority::kForeground, true), 300);
+  EXPECT_EQ(shifted, 300);
+  EXPECT_EQ(shifted_class, IoPriority::kCleaner);
+}
+
+// Final queue waits reported via on_complete must equal the dispatch-time
+// wait plus every observed shift — the attribution invariant FlashDevice's
+// per-class counters rely on.
+TEST(IoSchedulerTest, ShiftsReconcileWithFinalTimestamps) {
+  SimClock clock;
+  IoScheduler sched(clock, 2, IoSchedPolicy::kPriority);
+  Rng rng(777);
+  Duration dispatch_waits = 0;
+  Duration observed_shifts = 0;
+  Duration final_waits = 0;
+  sched.set_shift_observer(
+      [&](const IoRequest&, Duration delta) { observed_shifts += delta; });
+
+  for (int i = 0; i < 5000; ++i) {
+    if (rng.NextBelow(3) == 0) {
+      clock.Advance(static_cast<Duration>(rng.NextBelow(2000)));
+    }
+    const int channel = static_cast<int>(rng.NextBelow(2));
+    const IoPriority priority =
+        static_cast<IoPriority>(rng.NextBelow(kNumIoPriorities));
+    const bool blocking = priority == IoPriority::kForeground;
+    IoRequest req = MakeReq(IoOp::kProgram, priority, blocking);
+    req.on_complete =
+        [&](const IoRequest& r) { final_waits += r.queue_wait(); };
+    const auto d = sched.Submit(channel, std::move(req),
+                                static_cast<Duration>(1 + rng.NextBelow(500)));
+    dispatch_waits += d.wait;
+    if (blocking) {
+      clock.AdvanceTo(d.complete);
+    }
+  }
+  clock.Advance(1000000);
+  sched.Poll();  // Drain everything.
+  EXPECT_EQ(sched.pending(), 0u);
+  EXPECT_EQ(final_waits, dispatch_waits + observed_shifts);
+}
+
+// --- Device-level priority behavior ---------------------------------------
+
+TEST(IoSchedulerTest, FlashDevicePriorityModeCutsReadTailBehindCleaning) {
+  FlashSpec spec;
+  spec.name = "tail flash";
+  spec.read = {100, 10};
+  spec.program = {1000, 1000};
+  spec.erase_sector_bytes = 1024;
+  spec.erase_ns = 10 * kMillisecond;
+  spec.endurance_cycles = 0;
+
+  auto read_latency_with = [&](IoSchedPolicy policy) {
+    SimClock clock;
+    FlashDevice flash(spec, 16 * 1024, 1, clock);
+    flash.set_sched_policy(policy);
+    // A burst of background cleaner erases piles up on the bank.
+    for (uint64_t s = 0; s < 4; ++s) {
+      EXPECT_TRUE(flash.EraseSector(s, kCleanerIo).ok());
+    }
+    clock.Advance(1);  // First erase is on the medium.
+    std::vector<uint8_t> out(64);
+    return flash.Read(8 * 1024, out).value();
+  };
+
+  const Duration fifo = read_latency_with(IoSchedPolicy::kFifo);
+  const Duration prio = read_latency_with(IoSchedPolicy::kPriority);
+  // FIFO waits out all four erases; priority waits only for the in-flight
+  // one.
+  EXPECT_GE(fifo, 4 * spec.erase_ns - 1);
+  EXPECT_LT(prio, 2 * spec.erase_ns);
+}
+
+TEST(IoSchedulerTest, FlashDeviceAttributesWaitAndServiceByClass) {
+  FlashSpec spec;
+  spec.name = "attr flash";
+  spec.read = {100, 10};
+  spec.program = {1000, 1000};
+  spec.erase_sector_bytes = 1024;
+  spec.erase_ns = 1 * kMillisecond;
+  spec.endurance_cycles = 0;
+  SimClock clock;
+  FlashDevice flash(spec, 16 * 1024, 1, clock);
+
+  ASSERT_TRUE(flash.EraseSector(0, kCleanerIo).ok());
+  std::vector<uint8_t> out(64);
+  ASSERT_TRUE(flash.Read(1024, out).ok());  // Foreground, stalls on erase.
+
+  const auto& fg = flash.stats().by_class[static_cast<int>(
+      IoPriority::kForeground)];
+  const auto& cleaner =
+      flash.stats().by_class[static_cast<int>(IoPriority::kCleaner)];
+  EXPECT_EQ(fg.requests.value(), 1u);
+  EXPECT_EQ(fg.queue_wait_ns.value(),
+            static_cast<uint64_t>(spec.erase_ns));
+  EXPECT_EQ(fg.service_ns.value(),
+            static_cast<uint64_t>(spec.read.LatencyFor(out.size())));
+  EXPECT_EQ(cleaner.requests.value(), 1u);
+  EXPECT_EQ(cleaner.queue_wait_ns.value(), 0u);
+  EXPECT_EQ(cleaner.service_ns.value(),
+            static_cast<uint64_t>(spec.erase_ns));
+  // read_stall_ns remains the blocking-read slice, matching the historical
+  // counter.
+  EXPECT_EQ(flash.stats().read_stall_ns.value(),
+            static_cast<uint64_t>(spec.erase_ns));
+}
+
+}  // namespace
+}  // namespace ssmc
