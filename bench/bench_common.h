@@ -8,7 +8,9 @@
 #include <cstdio>
 #include <functional>
 #include <iostream>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -17,6 +19,9 @@
 #include "src/device/disk_device.h"
 #include "src/fs/disk_fs.h"
 #include "src/harness/parallel_runner.h"
+#include "src/obs/metrics_export.h"
+#include "src/obs/obs.h"
+#include "src/obs/trace_export.h"
 #include "src/support/log.h"
 #include "src/support/table.h"
 #include "src/support/units.h"
@@ -60,6 +65,92 @@ inline bool HasFlag(int argc, char** argv, const char* flag) {
   }
   return false;
 }
+
+// Value of a `--flag=value` argument, or "" when absent. Benches use this
+// for --trace=<path> and --metrics=<path>.
+inline std::string FlagValue(int argc, char** argv, const char* prefix) {
+  const std::string p(prefix);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    if (arg.rfind(p, 0) == 0) {
+      return arg.substr(p.size());
+    }
+  }
+  return "";
+}
+
+// Per-bench observability capture: parses --trace=<path> (Chrome
+// trace-event / Perfetto JSON) and --metrics=<path> (merged metrics
+// snapshot JSON) and owns one Obs bundle per experiment cell. With neither
+// flag given, ForCell() returns null and every hook in the simulator stays
+// a disabled null check — the default output is untouched.
+class ObsCapture {
+ public:
+  ObsCapture(int argc, char** argv)
+      : trace_path_(FlagValue(argc, argv, "--trace=")),
+        metrics_path_(FlagValue(argc, argv, "--metrics=")) {}
+
+  bool enabled() const {
+    return !trace_path_.empty() || !metrics_path_.empty();
+  }
+
+  // The Obs bundle for experiment cell `cell` (created on first use, tagged
+  // with the cell id), or null when capture is off. Thread-safe: cells run
+  // concurrently under the parallel runner, but each cell must use its own
+  // bundle.
+  Obs* ForCell(int cell) {
+    if (!enabled()) {
+      return nullptr;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_ptr<Obs>& slot = cells_[cell];
+    if (slot == nullptr) {
+      ObsOptions options;
+      options.cell = cell;
+      slot = std::make_unique<Obs>(options);
+    }
+    return slot.get();
+  }
+
+  // Writes whatever was requested: the trace file over all cells (one
+  // Perfetto pid per cell) and the metrics file as the deterministic merge
+  // of every cell's snapshot. Call once, after all cells finished.
+  void Finish() {
+    if (!enabled()) {
+      return;
+    }
+    std::vector<Obs*> ordered;
+    ordered.reserve(cells_.size());
+    for (const auto& [cell, obs] : cells_) {
+      ordered.push_back(obs.get());
+    }
+    if (!trace_path_.empty()) {
+      const std::vector<const Obs*> view(ordered.begin(), ordered.end());
+      if (WriteChromeTraceFile(trace_path_, view)) {
+        std::cout << "\n[trace written to " << trace_path_ << "]\n";
+      } else {
+        std::cerr << "failed to write trace to " << trace_path_ << "\n";
+      }
+    }
+    if (!metrics_path_.empty()) {
+      MetricsSnapshot merged;
+      for (Obs* obs : ordered) {
+        merged.Merge(obs->SnapshotMetrics());
+      }
+      if (WriteMetricsJsonFile(metrics_path_, merged)) {
+        std::cout << "[metrics written to " << metrics_path_ << "]\n";
+      } else {
+        std::cerr << "failed to write metrics to " << metrics_path_ << "\n";
+      }
+    }
+  }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::mutex mu_;
+  std::map<int, std::unique_ptr<Obs>> cells_;  // Keyed by cell id.
+};
 
 // Runs independent experiment cells through the shared --jobs / SSMC_JOBS
 // parallel harness, returning results in submission order so the tables are

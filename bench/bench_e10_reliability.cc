@@ -27,7 +27,8 @@ struct LossResult {
 // Replays the trace records up to `cut`, then injects battery failure.
 // buffer_pages == 0 is true write-through (no exposure, maximum traffic).
 LossResult RunFailure(uint64_t buffer_pages, Duration flush_age,
-                      uint64_t seed, double cut_fraction) {
+                      uint64_t seed, double cut_fraction,
+                      Obs* obs = nullptr) {
   WorkloadOptions options = WriteHotWorkload();
   options.seed = seed;
   options.duration = 4 * kMinute;
@@ -42,6 +43,7 @@ LossResult RunFailure(uint64_t buffer_pages, Duration flush_age,
   MachineConfig config = NotebookConfig();
   config.fs_options.write_buffer_pages = buffer_pages;
   config.fs_options.flush_age = flush_age;
+  config.obs = obs;
   MobileComputer machine(config);
   const ReplayReport report = machine.RunTrace(prefix);
   const MobileComputer::CrashReport crash = machine.InjectBatteryFailure();
@@ -56,7 +58,7 @@ LossResult RunFailure(uint64_t buffer_pages, Duration flush_age,
 }  // namespace
 }  // namespace ssmc
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ssmc;
   PrintHeader("E10: battery failure and flush policy (Section 3.1)",
               "Claim: battery-backed DRAM safely buffers file data, but a "
@@ -78,14 +80,31 @@ int main() {
       {"flush age 5 min", 4096, 5 * kMinute},
       {"never (capacity evictions only)", 4096, 365 * kDay},
   };
+  // One cell per (policy, seed) pair, aggregated per policy row below.
+  ObsCapture capture(argc, argv);
+  std::vector<std::function<LossResult()>> cells;
   for (const Policy& policy : policies) {
+    for (const uint64_t seed : seeds) {
+      const int cell = static_cast<int>(cells.size());
+      const uint64_t buffer_pages = policy.buffer_pages;
+      const Duration age = policy.age;
+      cells.push_back([&capture, cell, buffer_pages, age, seed] {
+        return RunFailure(buffer_pages, age, seed, 0.7,
+                          capture.ForCell(cell));
+      });
+    }
+  }
+  const std::vector<LossResult> results =
+      RunCellsOrdered(argc, argv, std::move(cells));
+
+  for (size_t p = 0; p < std::size(policies); ++p) {
+    const Policy& policy = policies[p];
     uint64_t total_lost = 0;
     uint64_t max_lost = 0;
     uint64_t total_written = 0;
     uint64_t total_flash_writes = 0;
-    for (const uint64_t seed : seeds) {
-      const LossResult r =
-          RunFailure(policy.buffer_pages, policy.age, seed, 0.7);
+    for (size_t s = 0; s < std::size(seeds); ++s) {
+      const LossResult& r = results[p * std::size(seeds) + s];
       total_lost += r.lost_bytes;
       max_lost = std::max(max_lost, r.lost_bytes);
       total_written += r.written_bytes;
@@ -117,6 +136,9 @@ int main() {
     // Pair checkpoints with a shorter flush age: metadata recovery is only
     // as useful as the data that actually reached flash.
     config.fs_options.flush_age = 10 * kSecond;
+    // Capture cell 25 (after the 5x5 failure matrix): the checkpoint /
+    // crash / recovery spans land on this cell's "machine" track.
+    config.obs = capture.ForCell(25);
     MobileComputer machine(config);
     (void)machine.RunTrace(prefix);
     const MobileComputer::CrashReport crash = machine.InjectBatteryFailure();
@@ -170,5 +192,6 @@ int main() {
               << FormatDuration(backup_only.TimeRemainingAt(standby_mw))
               << " (paper: \"many hours\")\n";
   }
+  capture.Finish();
   return 0;
 }

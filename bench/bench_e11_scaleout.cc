@@ -14,11 +14,11 @@
 // Results also land in BENCH_scaleout.json for machine consumption.
 
 #include <chrono>
-#include <fstream>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "src/harness/scaleout.h"
+#include "src/obs/metrics_export.h"
 
 namespace ssmc {
 namespace {
@@ -96,12 +96,22 @@ int main(int argc, char** argv) {
     sweep.push_back(hw);
   }
 
+  // --trace/--metrics capture one Obs per user (cell id = user index), on
+  // the K=1 point only: the sweep re-runs the same fleet at every K, so one
+  // capture already covers every user once, and the determinism guarantee
+  // makes the other K points redundant in the trace.
+  ObsCapture capture(argc, argv);
   std::vector<SweepPoint> points;
   for (const int k : sweep) {
     SweepPoint point;
     point.cells = k;
     options.cells = k;
     options.jobs = std::min(k, jobs_cap);
+    if (capture.enabled() && k == sweep.front()) {
+      options.user_obs = [&capture](int user) { return capture.ForCell(user); };
+    } else {
+      options.user_obs = nullptr;
+    }
     const auto start = std::chrono::steady_clock::now();
     point.report = RunScaleout(options);
     point.host_ms = HostMillis(start);
@@ -138,21 +148,28 @@ int main(int argc, char** argv) {
                               : "DIVERGED — sharding bug!")
             << "\n";
 
-  std::ofstream json("BENCH_scaleout.json");
-  json << "[\n";
-  for (size_t i = 0; i < points.size(); ++i) {
-    const SweepPoint& p = points[i];
-    json << "  {\"cells\": " << p.cells << ", \"jobs\": " << p.report.jobs
-         << ", \"users\": " << p.report.users << ", \"host_ms\": " << p.host_ms
-         << ", \"speedup_vs_serial\": " << serial.host_ms / p.host_ms
-         << ", \"sim_ops_per_s\": " << p.report.SimOpsPerSecond()
-         << ", \"ops\": " << p.report.aggregate.ops
-         << ", \"identical_to_serial\": "
-         << (ReportsIdentical(p.report.aggregate, serial.report.aggregate)
-                 ? "true"
-                 : "false")
-         << "}" << (i + 1 < points.size() ? "," : "") << "\n";
+  // Machine-readable sweep through the shared metrics-snapshot emitter
+  // (same code path as BENCH_micro.json and --metrics).
+  std::vector<MetricsSnapshot> rows;
+  rows.reserve(points.size());
+  for (const SweepPoint& p : points) {
+    MetricsSnapshot row;
+    row.Set("cells", MetricValue::MakeInt(p.cells));
+    row.Set("jobs", MetricValue::MakeInt(p.report.jobs));
+    row.Set("users", MetricValue::MakeInt(p.report.users));
+    row.Set("host_ms", MetricValue::MakeDouble(p.host_ms));
+    row.Set("speedup_vs_serial",
+            MetricValue::MakeDouble(serial.host_ms / p.host_ms));
+    row.Set("sim_ops_per_s",
+            MetricValue::MakeDouble(p.report.SimOpsPerSecond()));
+    row.Set("ops", MetricValue::MakeInt(
+                       static_cast<int64_t>(p.report.aggregate.ops)));
+    row.Set("identical_to_serial",
+            MetricValue::MakeBool(ReportsIdentical(p.report.aggregate,
+                                                   serial.report.aggregate)));
+    rows.push_back(std::move(row));
   }
-  json << "]\n";
+  (void)WriteMetricsJsonArrayFile("BENCH_scaleout.json", rows);
+  capture.Finish();
   return all_identical ? 0 : 1;
 }

@@ -51,9 +51,10 @@ Row MeasureDram(const DramSpec& spec) {
   return row;
 }
 
-Row MeasureFlash(const FlashSpec& spec) {
+Row MeasureFlash(const FlashSpec& spec, Obs* obs = nullptr) {
   SimClock clock;
   FlashDevice flash(spec, 4 * kMiB, 1, clock);
+  flash.AttachObs(obs);
   Row row;
   row.name = spec.name;
   std::vector<uint8_t> buf(512);
@@ -87,9 +88,10 @@ Row MeasureFlash(const FlashSpec& spec) {
   return row;
 }
 
-Row MeasureDisk(const DiskSpec& spec) {
+Row MeasureDisk(const DiskSpec& spec, Obs* obs = nullptr) {
   SimClock clock;
   DiskDevice disk(spec, clock);
+  disk.AttachObs(obs);
   disk.set_spin_down_after(0);
   Row row;
   row.name = spec.name;
@@ -127,19 +129,20 @@ Row MeasureDisk(const DiskSpec& spec) {
 }  // namespace
 }  // namespace ssmc
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ssmc;
   PrintHeader("E1: device characteristics (Section 2)",
               "Claim: DRAM > flash > disk in speed; disk < flash < DRAM in "
               "$/MB; flash lowest power.\nFlash: ~100 ns/B reads, ~10 us/B "
               "writes, sector erase, 100k cycles.");
 
+  ObsCapture capture(argc, argv);
   std::vector<Row> rows;
   rows.push_back(MeasureDram(NecDram1993()));
-  rows.push_back(MeasureFlash(IntelFlash1993()));
-  rows.push_back(MeasureFlash(SunDiskFlash1993()));
-  rows.push_back(MeasureDisk(KittyHawkDisk1993()));
-  rows.push_back(MeasureDisk(FujitsuDisk1993()));
+  rows.push_back(MeasureFlash(IntelFlash1993(), capture.ForCell(1)));
+  rows.push_back(MeasureFlash(SunDiskFlash1993(), capture.ForCell(2)));
+  rows.push_back(MeasureDisk(KittyHawkDisk1993(), capture.ForCell(3)));
+  rows.push_back(MeasureDisk(FujitsuDisk1993(), capture.ForCell(4)));
 
   Table table({"device", "512B read", "512B write", "seq read MiB/s",
                "seq write MiB/s", "$/MiB", "MiB/in^3", "mW/MiB",
@@ -170,5 +173,6 @@ int main() {
                                 static_cast<double>(rows[1].read_512),
                             0)
             << "x\n";
+  capture.Finish();
   return 0;
 }

@@ -17,8 +17,12 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ssmc;
+  // E2 is catalog arithmetic (no simulated machine), but it accepts the
+  // shared --trace/--metrics flags so every bench has the same CLI; the
+  // outputs are valid, empty captures.
+  ObsCapture capture(argc, argv);
   PrintHeader("E2: cost & density trends (Section 2)",
               "Claims: DRAM $/MB approaches disk (40%/yr vs 25%/yr); DRAM "
               "density passes disk;\nflash matches 40MB-disk cost mid-90s.");
@@ -100,5 +104,6 @@ int main() {
   }
   std::cout << "\nDRAM density passes the 2.5\" drive in: " << dram_passes_disk
             << " (paper: \"shortly\")\n";
+  capture.Finish();
   return 0;
 }

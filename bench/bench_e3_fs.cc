@@ -68,39 +68,49 @@ int main(int argc, char** argv) {
             << FormatSize(trace.TotalBytesWritten()) << " written, "
             << FormatSize(trace.TotalBytesRead()) << " read\n\n";
 
+  ObsCapture capture(argc, argv);
   std::vector<std::function<FsResult()>> cells;
-  cells.push_back([&trace] {
-    MobileComputer machine(NotebookConfig());
+  cells.push_back([&trace, &capture] {
+    MachineConfig config = NotebookConfig();
+    config.obs = capture.ForCell(0);
+    MobileComputer machine(config);
     return FsResult{"memory-fs (1 MiB buffer)", machine.RunTrace(trace)};
   });
-  cells.push_back([&trace] {
+  cells.push_back([&trace, &capture] {
     MachineConfig config = NotebookConfig();
     config.fs_options.write_buffer_pages = 0;  // Ablation: write-through.
+    config.obs = capture.ForCell(1);
     MobileComputer machine(config);
     return FsResult{"memory-fs (no buffer)", machine.RunTrace(trace)};
   });
-  cells.push_back([&trace] {
+  cells.push_back([&trace, &capture] {
     DiskMachine machine(FujitsuDisk1993());  // 45 MB: fits the workload.
+    machine.disk->AttachObs(capture.ForCell(2));
     TraceReplayer replayer(*machine.fs, machine.clock);
+    replayer.AttachObs(capture.ForCell(2));
     return FsResult{"disk-fs (sync metadata)", replayer.Replay(trace)};
   });
-  cells.push_back([&trace] {
+  cells.push_back([&trace, &capture] {
     // Ablation: give the disk FS asynchronous metadata (trading crash
     // consistency for speed) — the strongest fair version of the baseline.
     DiskFsOptions options;
     options.sync_metadata = false;
     DiskMachine machine(FujitsuDisk1993(), options);
+    machine.disk->AttachObs(capture.ForCell(3));
     TraceReplayer replayer(*machine.fs, machine.clock);
+    replayer.AttachObs(capture.ForCell(3));
     return FsResult{"disk-fs (async metadata)", replayer.Replay(trace)};
   });
-  cells.push_back([&trace] {
+  cells.push_back([&trace, &capture] {
     // The strongest possible disk organization: a log-structured file
     // system [11] — every write becomes sequential log bandwidth.
     SimClock clock;
     DiskDevice disk(FujitsuDisk1993(), clock);
+    disk.AttachObs(capture.ForCell(4));
     disk.set_spin_down_after(0);
     LogFileSystem fs(disk, LogFsOptions{});
     TraceReplayer replayer(fs, clock);
+    replayer.AttachObs(capture.ForCell(4));
     return FsResult{"log-fs (LFS on disk)", replayer.Replay(trace)};
   });
 
@@ -129,5 +139,6 @@ int main(int argc, char** argv) {
     failures += result.report.failures;
   }
   std::cout << "Total op failures across all runs: " << failures << "\n";
+  capture.Finish();
   return 0;
 }

@@ -28,10 +28,12 @@ struct XipRow {
   Duration pass10 = 0;   // Cumulative over 10 passes.
 };
 
-XipRow RunSolidState(LaunchStrategy strategy) {
+XipRow RunSolidState(LaunchStrategy strategy, Obs* obs = nullptr) {
   // The OmniBook preset uses Intel-style memory-mapped flash — the part
   // XIP was actually done on (slow to write, near-DRAM to read).
-  MobileComputer machine(OmniBookConfig());
+  MachineConfig config = OmniBookConfig();
+  config.obs = obs;
+  MobileComputer machine(config);
   Program program;
   program.path = "/app";
   program.text_bytes = kTextBytes;
@@ -54,8 +56,9 @@ XipRow RunSolidState(LaunchStrategy strategy) {
   return row;
 }
 
-XipRow RunDisk() {
+XipRow RunDisk(Obs* obs = nullptr) {
   DiskMachine disk_machine(FujitsuDisk1993());
+  disk_machine.disk->AttachObs(obs);
   Program program;
   program.path = "/app";
   program.text_bytes = kTextBytes;
@@ -86,7 +89,7 @@ XipRow RunDisk() {
 }  // namespace
 }  // namespace ssmc
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ssmc;
   PrintHeader("E5: execute-in-place (Section 3.2)",
               "Claim: XIP eliminates the code-copy at launch, saving the "
@@ -95,11 +98,22 @@ int main() {
   std::cout << "Program: " << FormatSize(kTextBytes)
             << " text + 32 KiB data. 10 execution passes.\n\n";
 
-  std::vector<XipRow> rows;
-  rows.push_back(RunSolidState(LaunchStrategy::kExecuteInPlace));
-  rows.push_back(RunSolidState(LaunchStrategy::kCopyFromFlash));
-  rows.push_back(RunSolidState(LaunchStrategy::kDemandPaged));
-  rows.push_back(RunDisk());
+  // One cell per launch strategy, in table order.
+  ObsCapture capture(argc, argv);
+  std::vector<std::function<XipRow()>> cells;
+  const std::vector<LaunchStrategy> strategies = {
+      LaunchStrategy::kExecuteInPlace, LaunchStrategy::kCopyFromFlash,
+      LaunchStrategy::kDemandPaged};
+  for (size_t s = 0; s < strategies.size(); ++s) {
+    const int cell = static_cast<int>(s);
+    const LaunchStrategy strategy = strategies[s];
+    cells.push_back([&capture, cell, strategy] {
+      return RunSolidState(strategy, capture.ForCell(cell));
+    });
+  }
+  cells.push_back([&capture] { return RunDisk(capture.ForCell(3)); });
+  const std::vector<XipRow> rows =
+      RunCellsOrdered(argc, argv, std::move(cells));
 
   Table table({"strategy", "launch", "text DRAM after 10 passes",
                "exec pass 1", "launch+10 passes"});
@@ -143,5 +157,6 @@ int main() {
   } else {
     std::cout << "XIP stays cheaper for at least 10000 executions.\n";
   }
+  capture.Finish();
   return 0;
 }

@@ -32,10 +32,11 @@ struct BufferResult {
 };
 
 BufferResult RunWithBuffer(const Trace& trace, uint64_t buffer_pages,
-                           Duration flush_age) {
+                           Duration flush_age, Obs* obs = nullptr) {
   MachineConfig config = NotebookConfig();
   config.fs_options.write_buffer_pages = buffer_pages;
   config.fs_options.flush_age = flush_age;
+  config.obs = obs;
   MobileComputer machine(config);
   (void)machine.RunTrace(trace);
   // End-of-day sync so every run accounts its tail identically.
@@ -91,16 +92,23 @@ int main(int argc, char** argv) {
   const uint64_t sweep_kib[] = {0, 64, 128, 256, 512, 1024, 2048, 4096};
   const Duration ablation_ages[] = {5 * kSecond, 15 * kSecond, 30 * kSecond,
                                     60 * kSecond, 5 * kMinute};
+  ObsCapture capture(argc, argv);
   std::vector<std::function<BufferResult()>> cells;
-  cells.push_back([&trace] { return RunWithBuffer(trace, 0, 30 * kSecond); });
+  cells.push_back([&trace, &capture] {
+    return RunWithBuffer(trace, 0, 30 * kSecond, capture.ForCell(0));
+  });
   for (const uint64_t kib : sweep_kib) {
-    cells.push_back([&trace, kib] {
-      return RunWithBuffer(trace, kib * 1024 / 512, 30 * kSecond);
+    const int cell = static_cast<int>(cells.size());
+    cells.push_back([&trace, &capture, cell, kib] {
+      return RunWithBuffer(trace, kib * 1024 / 512, 30 * kSecond,
+                           capture.ForCell(cell));
     });
   }
   for (const Duration age : ablation_ages) {
-    cells.push_back(
-        [&trace, age] { return RunWithBuffer(trace, 2048, age); });
+    const int cell = static_cast<int>(cells.size());
+    cells.push_back([&trace, &capture, cell, age] {
+      return RunWithBuffer(trace, 2048, age, capture.ForCell(cell));
+    });
   }
 
   const std::vector<BufferResult> results =
@@ -142,5 +150,6 @@ int main(int argc, char** argv) {
                                    static_cast<double>(baseline.flash_writes)));
   }
   ablation.Print(std::cout);
+  capture.Finish();
   return 0;
 }

@@ -47,15 +47,17 @@ struct WearResult {
 
 WearResult RunPolicy(CleanerPolicy cleaner, WearPolicy wear,
                      uint64_t endurance, uint64_t max_writes,
-                     bool skewed = true) {
+                     bool skewed = true, Obs* obs = nullptr) {
   SimClock clock;
   FlashDevice flash(BenchFlashSpec(endurance), 2 * kMiB, 1, clock, /*seed=*/5);
+  flash.AttachObs(obs);
   FlashStoreOptions options;
   options.cleaner = cleaner;
   options.wear = wear;
   options.static_wear_check_interval = 32;
   options.static_wear_delta = 16;
   FlashStore store(flash, options);
+  store.AttachObs(obs);
 
   Rng rng(99);
   std::vector<uint8_t> block(512, 0xAB);
@@ -124,25 +126,33 @@ int main(int argc, char** argv) {
                               WearPolicy::kStatic};
 
   // Submit the full policy cross-product for all three tables up front.
+  ObsCapture capture(argc, argv);
   std::vector<std::function<WearResult()>> cells;
   for (const CleanerPolicy cleaner : cleaners) {
     for (const WearPolicy wear : wears) {
-      cells.push_back(
-          [cleaner, wear] { return RunPolicy(cleaner, wear, 1000000, 60000); });
+      const int cell = static_cast<int>(cells.size());
+      cells.push_back([&capture, cell, cleaner, wear] {
+        return RunPolicy(cleaner, wear, 1000000, 60000, /*skewed=*/true,
+                         capture.ForCell(cell));
+      });
     }
   }
   for (const CleanerPolicy cleaner : cleaners) {
     for (const WearPolicy wear : wears) {
-      cells.push_back([cleaner, wear] {
-        return RunPolicy(cleaner, wear, 300, 100000000);
+      const int cell = static_cast<int>(cells.size());
+      cells.push_back([&capture, cell, cleaner, wear] {
+        return RunPolicy(cleaner, wear, 300, 100000000, /*skewed=*/true,
+                         capture.ForCell(cell));
       });
     }
   }
   for (const CleanerPolicy cleaner :
        {CleanerPolicy::kGreedy, CleanerPolicy::kCostBenefit}) {
     for (const WearPolicy wear : {WearPolicy::kNone, WearPolicy::kStatic}) {
-      cells.push_back([cleaner, wear] {
-        return RunPolicy(cleaner, wear, 300, 100000000, /*skewed=*/false);
+      const int cell = static_cast<int>(cells.size());
+      cells.push_back([&capture, cell, cleaner, wear] {
+        return RunPolicy(cleaner, wear, 300, 100000000, /*skewed=*/false,
+                         capture.ForCell(cell));
       });
     }
   }
@@ -210,5 +220,6 @@ int main(int argc, char** argv) {
   std::cout << "\nReading: under a skewed workload, cost-benefit cleaning + "
                "static leveling extends\ndevice life ~40%; under uniform "
                "wear the workload self-levels and the policies tie.\n";
+  capture.Finish();
   return 0;
 }

@@ -37,7 +37,7 @@ struct BankResult {
 // The default (1) is the original smooth-writer workload.
 BankResult RunBanks(int banks, int hot_banks,
                     IoSchedPolicy policy = IoSchedPolicy::kFifo,
-                    int write_burst = 1) {
+                    int write_burst = 1, Obs* obs = nullptr) {
   SimClock clock;
   FlashSpec spec = GenericPaperFlash();
   spec.erase_sector_bytes = 4 * kKiB;
@@ -45,10 +45,12 @@ BankResult RunBanks(int banks, int hot_banks,
   spec.endurance_cycles = 10000000;
   FlashDevice flash(spec, 4 * kMiB, banks, clock, /*seed=*/4);
   flash.set_sched_policy(policy);
+  flash.AttachObs(obs);  // Per-bank + per-class tracks (--trace).
   FlashStoreOptions options;
   options.background_writes = true;  // Writer does not advance our clock.
   options.hot_bank_count = hot_banks;
   FlashStore store(flash, options);
+  store.AttachObs(obs);  // Cleaner-pass spans on the same cell.
 
   // Pre-fill to 70% so reads have targets and cleaning has work. The hot
   // tenth (blocks the writer overwrites) is placed as ordinary user data;
@@ -119,10 +121,14 @@ int main(int argc, char** argv) {
   };
   const Config configs[] = {{1, 0}, {2, 0}, {4, 0}, {8, 0},
                             {2, 1}, {4, 1}, {8, 2}};
+  ObsCapture capture(argc, argv);
   std::vector<std::function<BankResult()>> cells;
   for (const Config& config : configs) {
-    cells.push_back(
-        [config] { return RunBanks(config.banks, config.hot); });
+    const int cell = static_cast<int>(cells.size());
+    cells.push_back([&capture, cell, config] {
+      return RunBanks(config.banks, config.hot, IoSchedPolicy::kFifo,
+                      /*write_burst=*/1, capture.ForCell(cell));
+    });
   }
   const std::vector<BankResult> results =
       RunCellsOrdered(argc, argv, std::move(cells));
@@ -177,9 +183,12 @@ int main(int argc, char** argv) {
     };
     std::vector<std::function<BankResult()>> tail_cells;
     for (const TailConfig& config : tail_configs) {
-      tail_cells.push_back([config] {
+      // Tail cells get ids after the 7 default cells so a combined capture
+      // keeps every configuration distinct.
+      const int cell = static_cast<int>(std::size(configs) + tail_cells.size());
+      tail_cells.push_back([&capture, cell, config] {
         return RunBanks(config.banks, /*hot_banks=*/0, config.policy,
-                        /*write_burst=*/8);
+                        /*write_burst=*/8, capture.ForCell(cell));
       });
     }
     const std::vector<BankResult> tail_results =
@@ -214,5 +223,6 @@ int main(int argc, char** argv) {
            "by\nphysical parallelism, priority by reordering, and they "
            "compose.\n";
   }
+  capture.Finish();
   return 0;
 }

@@ -36,8 +36,10 @@ struct SizingResult {
   uint64_t failures = 0;
 };
 
-SizingResult RunSplit(uint64_t dram_bytes, const WorkloadOptions& workload) {
+SizingResult RunSplit(uint64_t dram_bytes, const WorkloadOptions& workload,
+                      Obs* obs = nullptr) {
   MachineConfig config;
+  config.obs = obs;
   config.name = "sizing";
   config.dram_bytes = dram_bytes;
   config.flash_spec = GenericPaperFlash();
@@ -78,10 +80,11 @@ WorkloadOptions Calibrate(WorkloadOptions options) {
 // Queues this workload's five splits as cells; the results land, in order,
 // behind the previously queued workloads.
 void QueueWorkload(std::vector<std::function<SizingResult()>>& cells,
-                   const WorkloadOptions& options) {
+                   const WorkloadOptions& options, ObsCapture& capture) {
   for (const uint64_t dram_mib : kDramSweepMib) {
-    cells.push_back([dram_mib, options] {
-      return RunSplit(dram_mib * kMiB, options);
+    const int cell = static_cast<int>(cells.size());
+    cells.push_back([&capture, cell, dram_mib, options] {
+      return RunSplit(dram_mib * kMiB, options, capture.ForCell(cell));
     });
   }
 }
@@ -129,11 +132,12 @@ int main(int argc, char** argv) {
   archive.p_short_lived = 0.0;  // Nothing dies young.
   archive.max_file_bytes = 256 * 1024;
 
+  ObsCapture capture(argc, argv);
   std::vector<std::function<SizingResult()>> cells;
-  QueueWorkload(cells, Calibrate(ReadMostlyWorkload()));
-  QueueWorkload(cells, Calibrate(OfficeWorkload()));
-  QueueWorkload(cells, Calibrate(WriteHotWorkload()));
-  QueueWorkload(cells, Calibrate(archive));
+  QueueWorkload(cells, Calibrate(ReadMostlyWorkload()), capture);
+  QueueWorkload(cells, Calibrate(OfficeWorkload()), capture);
+  QueueWorkload(cells, Calibrate(WriteHotWorkload()), capture);
+  QueueWorkload(cells, Calibrate(archive), capture);
 
   const std::vector<SizingResult> results =
       RunCellsOrdered(argc, argv, std::move(cells));
@@ -150,5 +154,6 @@ int main(int argc, char** argv) {
                "profile fails outright (NO_SPACE) when the flash share is "
                "too small — flash must be\nthe repository for long-lived "
                "data.\n";
+  capture.Finish();
   return 0;
 }

@@ -8,7 +8,6 @@
 
 #include <benchmark/benchmark.h>
 
-#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -17,6 +16,7 @@
 #include "src/core/single_level_store.h"
 #include "src/device/disk_device.h"
 #include "src/fs/disk_fs.h"
+#include "src/obs/metrics_export.h"
 #include "src/trace/generator.h"
 #include "src/vm/loader.h"
 
@@ -414,9 +414,10 @@ void BM_AddressSpaceDramRead(benchmark::State& state) {
 }
 BENCHMARK(BM_AddressSpaceDramRead);
 
-// Console reporter that also collects every run and dumps a minimal
-// machine-readable JSON file (op name, ns/op, counters) so successive PRs
-// can diff the perf trajectory without parsing the console table.
+// Console reporter that also collects every run as a MetricsSnapshot row
+// and dumps them through the shared metrics-snapshot emitter (same code
+// path as BENCH_scaleout.json and the benches' --metrics flag): op name,
+// ns/op (normalized to nanoseconds), counters; keys in sorted order.
 class JsonDumpingReporter : public benchmark::ConsoleReporter {
  public:
   void ReportRuns(const std::vector<Run>& runs) override {
@@ -424,8 +425,8 @@ class JsonDumpingReporter : public benchmark::ConsoleReporter {
       if (run.error_occurred) {
         continue;
       }
-      Entry entry;
-      entry.name = run.benchmark_name();
+      MetricsSnapshot row;
+      row.Set("op", MetricValue::MakeString(run.benchmark_name()));
       // GetAdjustedRealTime() is in the run's display unit; normalize so the
       // JSON field is always nanoseconds regardless of ->Unit().
       double to_ns = 1.0;
@@ -435,41 +436,23 @@ class JsonDumpingReporter : public benchmark::ConsoleReporter {
         case benchmark::kMillisecond: to_ns = 1e6;  break;
         case benchmark::kSecond:      to_ns = 1e9;  break;
       }
-      entry.ns_per_op = run.GetAdjustedRealTime() * to_ns;
+      row.Set("ns_per_op",
+              MetricValue::MakeDouble(run.GetAdjustedRealTime() * to_ns));
       for (const auto& [counter_name, counter] : run.counters) {
-        entry.counters.emplace_back(counter_name,
-                                    static_cast<double>(counter.value));
+        row.Set(counter_name,
+                MetricValue::MakeDouble(static_cast<double>(counter.value)));
       }
-      entries_.push_back(std::move(entry));
+      rows_.push_back(std::move(row));
     }
     ConsoleReporter::ReportRuns(runs);
   }
 
   bool WriteJson(const std::string& path) const {
-    std::ofstream out(path);
-    if (!out) {
-      return false;
-    }
-    out << "[\n";
-    for (size_t i = 0; i < entries_.size(); ++i) {
-      const Entry& e = entries_[i];
-      out << "  {\"op\": \"" << e.name << "\", \"ns_per_op\": " << e.ns_per_op;
-      for (const auto& [name, value] : e.counters) {
-        out << ", \"" << name << "\": " << value;
-      }
-      out << "}" << (i + 1 < entries_.size() ? "," : "") << "\n";
-    }
-    out << "]\n";
-    return out.good();
+    return WriteMetricsJsonArrayFile(path, rows_);
   }
 
  private:
-  struct Entry {
-    std::string name;
-    double ns_per_op = 0;
-    std::vector<std::pair<std::string, double>> counters;
-  };
-  std::vector<Entry> entries_;
+  std::vector<MetricsSnapshot> rows_;
 };
 
 }  // namespace

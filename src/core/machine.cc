@@ -1,5 +1,6 @@
 #include "src/core/machine.h"
 
+#include "src/obs/obs.h"
 #include "src/support/log.h"
 
 namespace ssmc {
@@ -66,6 +67,13 @@ MobileComputer::MobileComputer(MachineConfig config)
   storage_ =
       std::make_unique<StorageManager>(*dram_, *store_, config_.page_bytes);
   fs_ = std::make_unique<MemoryFileSystem>(*storage_, config_.fs_options);
+  if (config_.obs != nullptr) {
+    obs_track_ = config_.obs->tracer().RegisterTrack("machine");
+    flash_->AttachObs(config_.obs);
+    store_->AttachObs(config_.obs);
+    storage_->AttachObs(config_.obs);
+    fs_->AttachObs(config_.obs);
+  }
   ScheduleFlushDaemon();
   if (config_.checkpoint_period > 0) {
     ScheduleCheckpointDaemon();
@@ -101,6 +109,7 @@ void MobileComputer::ScheduleCheckpointDaemon() {
 
 Result<RecoveryReport> MobileComputer::RecoverAfterFailure(
     double fresh_battery_mwh) {
+  const SimTime recovery_start = clock_.now();
   battery_ = std::make_unique<Battery>(fresh_battery_mwh,
                                        config_.backup_battery_mwh, clock_);
   spaces_.clear();
@@ -121,9 +130,24 @@ Result<RecoveryReport> MobileComputer::RecoverAfterFailure(
     storage_ =
         std::make_unique<StorageManager>(*dram_, *store_, config_.page_bytes);
     fs_ = std::make_unique<MemoryFileSystem>(*storage_, config_.fs_options);
+    if (config_.obs != nullptr) {
+      storage_->AttachObs(config_.obs);
+      fs_->AttachObs(config_.obs);
+    }
     return recovered.status();
   }
   fs_ = std::move(recovered).value();
+  if (config_.obs != nullptr) {
+    // The fs and storage manager were rebuilt; re-point their collectors and
+    // tracks at the new instances (keyed collectors replace, track
+    // registration dedupes by name).
+    storage_->AttachObs(config_.obs);
+    fs_->AttachObs(config_.obs);
+    config_.obs->tracer().Span(obs_track_, "recovery", recovery_start,
+                               clock_.now() - recovery_start,
+                               {"files", report.files_recovered},
+                               {"bytes", report.bytes_recovered});
+  }
   return report;
 }
 
@@ -146,6 +170,7 @@ ReplayReport MobileComputer::RunTrace(const Trace& trace) {
                                       c.service_ns.value()};
   }
   TraceReplayer replayer(*fs_, clock_, &events_);
+  replayer.AttachObs(config_.obs);
   ReplayReport report = replayer.Replay(trace);
   for (int i = 0; i < kNumIoPriorities; ++i) {
     const FlashDevice::IoClassStats& c = flash_->stats().by_class[i];
@@ -183,6 +208,9 @@ double MobileComputer::TotalEnergyNj() const {
 MobileComputer::CrashReport MobileComputer::InjectBatteryFailure() {
   CrashReport report;
   report.at = clock_.now();
+  if (config_.obs != nullptr) {
+    config_.obs->tracer().Instant(obs_track_, "battery-failure", report.at);
+  }
   battery_->InjectFailure();
   report.lost_dirty_bytes = fs_->LoseBufferedData();
   dram_->ForceContentLoss();

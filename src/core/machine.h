@@ -28,6 +28,8 @@
 
 namespace ssmc {
 
+class Obs;
+
 struct MachineConfig {
   std::string name = "ssmc";
   DramSpec dram_spec = NecDram1993();
@@ -50,6 +52,12 @@ struct MachineConfig {
   Duration checkpoint_period = 0;
   uint64_t page_bytes = 512;
   uint64_t seed = 1;
+  // Observability bundle (metrics registry + span tracer), not owned. Null
+  // (the default) keeps every hook disabled — the hot paths see only a null
+  // check. The machine attaches all of its layers (flash device, flash
+  // store, storage manager, file system, write buffer, trace replays) and
+  // re-attaches after crash recovery rebuilds the fs/storage stack.
+  Obs* obs = nullptr;
 };
 
 // Presets modeled on the machines the paper names.
@@ -132,6 +140,7 @@ class MobileComputer {
   std::unique_ptr<MemoryFileSystem> fs_;
   std::vector<std::unique_ptr<AddressSpace>> spaces_;
   double drained_nj_ = 0;  // Energy already taken from the battery.
+  int obs_track_ = 0;      // "machine" track (crash/recovery lifecycle).
 };
 
 }  // namespace ssmc

@@ -41,9 +41,14 @@
 
 namespace ssmc {
 
+class Obs;
+
 class DiskDevice {
  public:
   DiskDevice(DiskSpec spec, SimClock& clock);
+  // Flushes and removes this device's metrics collector from any attached
+  // Obs (which routinely outlives the device).
+  ~DiskDevice();
 
   uint64_t capacity_bytes() const { return spec_.capacity_bytes(); }
   uint64_t sector_bytes() const { return spec_.sector_bytes; }
@@ -66,6 +71,11 @@ class DiskDevice {
 
   // Time at which the arm finishes its last reservation (monotone).
   SimTime ArmBusyUntil() const { return sched_.ChannelBusyUntil(0); }
+
+  // Observability (nullable; null detaches): one "disk arm" trace track with
+  // a span per retired request, spin-up instants, latency histograms, and a
+  // Stats mirror collector.
+  void AttachObs(Obs* obs);
 
   struct Stats {
     Counter reads;
@@ -122,6 +132,11 @@ class DiskDevice {
   Stats stats_;
   EnergyMeter energy_;
   SimTime energy_accounted_until_ = 0;
+
+  Obs* obs_ = nullptr;
+  int obs_arm_track_ = 0;
+  Histogram* obs_wait_hist_ = nullptr;
+  Histogram* obs_service_hist_ = nullptr;
 };
 
 }  // namespace ssmc

@@ -4,6 +4,9 @@
 #include <cassert>
 #include <cmath>
 #include <cstring>
+#include <string>
+
+#include "src/obs/obs.h"
 
 namespace ssmc {
 
@@ -33,6 +36,85 @@ FlashDevice::FlashDevice(FlashSpec spec, uint64_t capacity_bytes, int banks,
     stats_.by_class[static_cast<int>(req.priority)].queue_wait_ns.Add(
         static_cast<uint64_t>(delta));
   });
+}
+
+FlashDevice::~FlashDevice() {
+  // The Obs routinely outlives the device (benches snapshot after the run):
+  // flush the final stats into the registry and drop the dangling collector.
+  if (obs_ != nullptr) {
+    obs_->metrics().FlushAndRemoveCollector("flash");
+  }
+}
+
+void FlashDevice::AttachObs(Obs* obs) {
+  if (obs_ != nullptr && obs_ != obs) {
+    obs_->metrics().FlushAndRemoveCollector("flash");
+  }
+  obs_ = obs;
+  if (obs_ == nullptr) {
+    sched_.set_retire_hook(nullptr);
+    return;
+  }
+  SpanTracer& tracer = obs_->tracer();
+  obs_bank_tracks_.clear();
+  for (int b = 0; b < num_banks(); ++b) {
+    obs_bank_tracks_.push_back(
+        tracer.RegisterTrack("flash bank " + std::to_string(b)));
+  }
+  MetricsRegistry& m = obs_->metrics();
+  for (int c = 0; c < kNumIoPriorities; ++c) {
+    const std::string cls = IoPriorityName(static_cast<IoPriority>(c));
+    obs_class_tracks_[c] = tracer.RegisterTrack("flash class " + cls);
+    obs_wait_hist_[c] = m.AddHistogram("flash/" + cls + "/wait_ns");
+    obs_service_hist_[c] = m.AddHistogram("flash/" + cls + "/service_ns");
+  }
+  sched_.set_retire_hook(
+      [this](int bank, const IoRequest& req) { ObsRetire(bank, req); });
+
+  // Snapshot-time pull of the device's Stats — no per-operation cost.
+  Counter* reads = m.AddCounter("flash/reads");
+  Counter* read_bytes = m.AddCounter("flash/read_bytes");
+  Counter* programs = m.AddCounter("flash/programs");
+  Counter* programmed_bytes = m.AddCounter("flash/programmed_bytes");
+  Counter* erases = m.AddCounter("flash/erases");
+  Counter* read_stall = m.AddCounter("flash/read_stall_ns");
+  Gauge* bad = m.AddGauge("flash/bad_sectors");
+  Gauge* wear_max = m.AddGauge("flash/wear_max_erases");
+  m.AddCollector("flash", [=, this] {
+    auto mirror = [](Counter* dst, const Counter& src) {
+      dst->Reset();
+      dst->Add(src.value());
+    };
+    mirror(reads, stats_.reads);
+    mirror(read_bytes, stats_.read_bytes);
+    mirror(programs, stats_.programs);
+    mirror(programmed_bytes, stats_.programmed_bytes);
+    mirror(erases, stats_.erases);
+    mirror(read_stall, stats_.read_stall_ns);
+    bad->Set(static_cast<int64_t>(stats_.bad_sectors.value()));
+    const WearSummary w = SummarizeWear();
+    wear_max->Set(static_cast<int64_t>(w.max_erases));
+  });
+}
+
+void FlashDevice::ObsRetire(int bank, const IoRequest& req) {
+  const int cls = static_cast<int>(req.priority);
+  const Duration wait = std::max<Duration>(0, req.start_time - req.issue_time);
+  const Duration service =
+      std::max<Duration>(0, req.complete_time - req.start_time);
+  obs_wait_hist_[cls]->Record(static_cast<uint64_t>(wait));
+  obs_service_hist_[cls]->Record(static_cast<uint64_t>(service));
+  SpanTracer& tracer = obs_->tracer();
+  // Bank track: the service window on the medium. Class track: the request's
+  // full latency including its queue wait — on a per-class track a long span
+  // with a short bank twin reads directly as queueing delay.
+  tracer.Span(obs_bank_tracks_[static_cast<size_t>(bank)], IoOpName(req.op),
+              req.start_time, service, {"bytes", req.bytes},
+              {"wait_ns", static_cast<uint64_t>(wait)},
+              {"prio", static_cast<uint64_t>(cls)});
+  tracer.Span(obs_class_tracks_[cls], IoOpName(req.op), req.issue_time,
+              wait + service, {"bytes", req.bytes},
+              {"bank", static_cast<uint64_t>(bank)});
 }
 
 int FlashDevice::BankOfAddress(uint64_t addr) const {

@@ -50,11 +50,16 @@
 
 namespace ssmc {
 
+class Obs;
+
 class FlashDevice {
  public:
   // capacity_bytes must be a multiple of spec.erase_sector_bytes * banks.
   FlashDevice(FlashSpec spec, uint64_t capacity_bytes, int banks,
               SimClock& clock, uint64_t seed = 1);
+  // Flushes and removes this device's metrics collector from any attached
+  // Obs (which routinely outlives the device).
+  ~FlashDevice();
 
   // --- Geometry ---------------------------------------------------------
   uint64_t capacity_bytes() const { return capacity_; }
@@ -122,6 +127,14 @@ class FlashDevice {
   void set_erase_observer(EraseObserver observer) {
     erase_observer_ = std::move(observer);
   }
+
+  // Observability (nullable; null detaches). Registers one trace track per
+  // bank and per priority class plus wait/service histograms and counter
+  // mirrors in `obs`, and hooks the scheduler's retire path so every request
+  // becomes a span with FINAL timestamps (queue-shifts under kPriority are
+  // settled by retirement). With no obs attached the hot paths are
+  // unchanged: the scheduler's retire hook stays empty.
+  void AttachObs(Obs* obs);
 
   // Test hook: the next `count` reads touching `sector` fail with INTERNAL
   // (transient fault, distinct from wear-out DATA_LOSS). The failure is
@@ -192,6 +205,9 @@ class FlashDevice {
 
   void AddActiveEnergy(Duration busy_ns);
 
+  // Retire-hook body: spans + latency histograms for one finished request.
+  void ObsRetire(int bank, const IoRequest& req);
+
   FlashSpec spec_;
   uint64_t capacity_;
   SimClock& clock_;
@@ -209,6 +225,12 @@ class FlashDevice {
   int fault_reads_remaining_ = 0;
   Duration total_active_ns_ = 0;
   Duration idle_accounted_until_ = 0;
+
+  Obs* obs_ = nullptr;
+  std::vector<int> obs_bank_tracks_;
+  int obs_class_tracks_[kNumIoPriorities] = {};
+  Histogram* obs_wait_hist_[kNumIoPriorities] = {};
+  Histogram* obs_service_hist_[kNumIoPriorities] = {};
 };
 
 }  // namespace ssmc

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "src/fs/path.h"
+#include "src/obs/obs.h"
 
 namespace ssmc {
 
@@ -26,7 +27,11 @@ MemoryFileSystem::MemoryFileSystem(StorageManager& storage,
   (void)reserved;
 }
 
-MemoryFileSystem::~MemoryFileSystem() = default;
+MemoryFileSystem::~MemoryFileSystem() {
+  if (obs_ != nullptr) {
+    obs_->metrics().FlushAndRemoveCollector("fs");
+  }
+}
 
 MemoryFileSystem::Node* MemoryFileSystem::Lookup(const std::string& path) {
   if (!IsValidPath(path)) {
@@ -155,9 +160,48 @@ Status MemoryFileSystem::Rmdir(const std::string& path) {
   return Status::Ok();
 }
 
+void MemoryFileSystem::AttachObs(Obs* obs) {
+  if (obs_ != nullptr && obs_ != obs) {
+    obs_->metrics().FlushAndRemoveCollector("fs");
+  }
+  obs_ = obs;
+  buffer_.AttachObs(obs);
+  if (obs_ == nullptr) {
+    return;
+  }
+  obs_track_ = obs_->tracer().RegisterTrack("memory-fs");
+  MetricsRegistry& m = obs_->metrics();
+  Counter* creates = m.AddCounter("fs/creates");
+  Counter* unlinks = m.AddCounter("fs/unlinks");
+  Counter* reads = m.AddCounter("fs/reads");
+  Counter* read_bytes = m.AddCounter("fs/read_bytes");
+  Counter* writes = m.AddCounter("fs/writes");
+  Counter* written_bytes = m.AddCounter("fs/written_bytes");
+  Counter* flash_direct = m.AddCounter("fs/flash_direct_read_bytes");
+  Counter* buffered = m.AddCounter("fs/buffered_read_bytes");
+  Counter* cow_copies = m.AddCounter("fs/cow_block_copies");
+  m.AddCollector("fs", [=, this] {
+    auto mirror = [](Counter* dst, const Counter& src) {
+      dst->Reset();
+      dst->Add(src.value());
+    };
+    mirror(creates, stats_.creates);
+    mirror(unlinks, stats_.unlinks);
+    mirror(reads, stats_.reads);
+    mirror(read_bytes, stats_.read_bytes);
+    mirror(writes, stats_.writes);
+    mirror(written_bytes, stats_.written_bytes);
+    mirror(flash_direct, stats_.flash_direct_read_bytes);
+    mirror(buffered, stats_.buffered_read_bytes);
+    mirror(cow_copies, stats_.cow_block_copies);
+  });
+}
+
 Result<uint64_t> MemoryFileSystem::Read(const std::string& path,
                                         uint64_t offset,
                                         std::span<uint8_t> out) {
+  const SimTime obs_t0 =
+      obs_ != nullptr ? storage_.flash_store().device().clock().now() : 0;
   Node* node = Lookup(path);
   if (node == nullptr) {
     return NotFoundError(path);
@@ -204,6 +248,11 @@ Result<uint64_t> MemoryFileSystem::Read(const std::string& path,
   }
   stats_.reads.Add();
   stats_.read_bytes.Add(n);
+  if (obs_ != nullptr) {
+    const SimTime t1 = storage_.flash_store().device().clock().now();
+    obs_->tracer().Span(obs_track_, "fs-read", obs_t0, t1 - obs_t0,
+                        {"bytes", n});
+  }
   return n;
 }
 
@@ -241,6 +290,8 @@ Status MemoryFileSystem::StageBlockWrite(Inode& inode, uint64_t block_index,
 Result<uint64_t> MemoryFileSystem::Write(const std::string& path,
                                          uint64_t offset,
                                          std::span<const uint8_t> data) {
+  const SimTime obs_t0 =
+      obs_ != nullptr ? storage_.flash_store().device().clock().now() : 0;
   Node* node = Lookup(path);
   if (node == nullptr) {
     return NotFoundError(path);
@@ -268,6 +319,11 @@ Result<uint64_t> MemoryFileSystem::Write(const std::string& path,
   storage_.ChargeMetadataWrite(kInodeBytes);
   stats_.writes.Add();
   stats_.written_bytes.Add(data.size());
+  if (obs_ != nullptr) {
+    const SimTime t1 = storage_.flash_store().device().clock().now();
+    obs_->tracer().Span(obs_track_, "fs-write", obs_t0, t1 - obs_t0,
+                        {"bytes", data.size()});
+  }
   return static_cast<uint64_t>(data.size());
 }
 
@@ -583,6 +639,11 @@ Status MemoryFileSystem::CheckpointMetadata() {
   ReleaseOldCheckpoint();
   checkpoint_blocks_ = std::move(new_blocks);
   last_checkpoint_at_ = now;
+  if (obs_ != nullptr) {
+    const SimTime t1 = storage_.flash_store().device().clock().now();
+    obs_->tracer().Span(obs_track_, "checkpoint", now, t1 - now,
+                        {"blocks", data_ids.size()}, {"bytes", blob_size});
+  }
   return Status::Ok();
 }
 

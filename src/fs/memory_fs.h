@@ -136,6 +136,13 @@ class MemoryFileSystem : public FileSystem {
   };
   const Stats& stats() const { return stats_; }
 
+  // Observability (nullable; null detaches): a "memory-fs" trace track with
+  // data-op and checkpoint spans plus a Stats mirror collector. Also attaches
+  // the embedded write buffer. The machine re-attaches after crash recovery
+  // (the fs and buffer are rebuilt); track registration and collector keys
+  // dedupe, so re-attachment is safe.
+  void AttachObs(Obs* obs);
+
  private:
   struct Inode {
     uint64_t id = 0;
@@ -193,6 +200,8 @@ class MemoryFileSystem : public FileSystem {
                                              // checkpoint (superblock extra).
   SimTime last_checkpoint_at_ = -1;          // -1: never checkpointed.
   Stats stats_;
+  Obs* obs_ = nullptr;
+  int obs_track_ = 0;
 };
 
 }  // namespace ssmc

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/obs/obs.h"
 #include "src/support/log.h"
 
 namespace ssmc {
@@ -170,6 +171,9 @@ FlashStore::FlashStore(FlashDevice& flash, FlashStoreOptions options)
 FlashStore::~FlashStore() {
   if (observer_registered_) {
     flash_.set_erase_observer(nullptr);
+  }
+  if (obs_ != nullptr) {
+    obs_->metrics().FlushAndRemoveCollector("ftl");
   }
 }
 
@@ -440,6 +444,57 @@ void FlashStore::MarkPageDead(uint64_t page) {
   UpdateSectorIndexes(sector);
 }
 
+void FlashStore::AttachObs(Obs* obs) {
+  if (obs_ != nullptr && obs_ != obs) {
+    obs_->metrics().FlushAndRemoveCollector("ftl");
+  }
+  obs_ = obs;
+  if (obs_ == nullptr) {
+    return;
+  }
+  obs_cleaner_track_ = obs_->tracer().RegisterTrack("flash cleaner");
+  MetricsRegistry& m = obs_->metrics();
+  Counter* user_writes = m.AddCounter("ftl/user_writes");
+  Counter* user_reads = m.AddCounter("ftl/user_reads");
+  Counter* gc_runs = m.AddCounter("ftl/gc_runs");
+  Counter* gc_relocations = m.AddCounter("ftl/gc_relocations");
+  Counter* erases = m.AddCounter("ftl/erases");
+  Counter* wear_migrations = m.AddCounter("ftl/wear_migrations");
+  Counter* trims = m.AddCounter("ftl/trims");
+  Gauge* free_sectors_g = m.AddGauge("ftl/free_sectors");
+  Gauge* wa_milli = m.AddGauge("ftl/write_amp_milli");
+  m.AddCollector("ftl", [=, this] {
+    auto mirror = [](Counter* dst, const Counter& src) {
+      dst->Reset();
+      dst->Add(src.value());
+    };
+    mirror(user_writes, stats_.user_writes);
+    mirror(user_reads, stats_.user_reads);
+    mirror(gc_runs, stats_.gc_runs);
+    mirror(gc_relocations, stats_.gc_relocations);
+    mirror(erases, stats_.erases);
+    mirror(wear_migrations, stats_.wear_migrations);
+    mirror(trims, stats_.trims);
+    free_sectors_g->Set(static_cast<int64_t>(free_sector_count_));
+    wa_milli->Set(static_cast<int64_t>(WriteAmplification() * 1000.0));
+  });
+}
+
+SimTime FlashStore::BanksBusyUntil() const {
+  SimTime t = 0;
+  for (int b = 0; b < flash_.num_banks(); ++b) {
+    t = std::max(t, flash_.BankBusyUntil(b));
+  }
+  return t;
+}
+
+void FlashStore::ObsCleanerSpan(const char* name, SimTime t0, uint64_t sector,
+                                uint64_t relocated) {
+  obs_->tracer().Span(obs_cleaner_track_, name, t0,
+                      std::max<Duration>(0, BanksBusyUntil() - t0),
+                      {"sector", sector}, {"relocated", relocated});
+}
+
 Status FlashStore::Clean() {
   if (cleaning_) {
     return Status::Ok();  // Re-entrancy from relocation writes.
@@ -484,6 +539,7 @@ Result<bool> FlashStore::CleanOne() {
     return false;
   }
   stats_.gc_runs.Add();
+  const uint64_t relocations_before = stats_.gc_relocations.value();
 
   // Relocate the victim's valid pages. Survivors go to the cold stream: a
   // page that stayed valid while its neighbors died is read-mostly, so under
@@ -512,6 +568,10 @@ Result<bool> FlashStore::CleanOne() {
   }
 
   SSMC_RETURN_IF_ERROR(EraseAndFree(static_cast<uint64_t>(victim)));
+  if (obs_ != nullptr) {
+    ObsCleanerSpan("clean", now, static_cast<uint64_t>(victim),
+                   stats_.gc_relocations.value() - relocations_before);
+  }
   return true;
 }
 
@@ -533,6 +593,7 @@ Result<bool> FlashStore::EvictColdSectorFromHotRange() {
   if (victim < 0) {
     return false;
   }
+  const uint64_t relocations_before = stats_.gc_relocations.value();
   const uint64_t pps = pages_per_sector();
   const uint64_t first_page = static_cast<uint64_t>(victim) * pps;
   std::vector<uint8_t> buf(options_.block_bytes);
@@ -555,6 +616,10 @@ Result<bool> FlashStore::EvictColdSectorFromHotRange() {
     stats_.gc_relocations.Add();
   }
   SSMC_RETURN_IF_ERROR(EraseAndFree(static_cast<uint64_t>(victim)));
+  if (obs_ != nullptr) {
+    ObsCleanerSpan("cold-evict", now, static_cast<uint64_t>(victim),
+                   stats_.gc_relocations.value() - relocations_before);
+  }
   return true;
 }
 
@@ -572,6 +637,10 @@ Status FlashStore::EraseAndFree(uint64_t sector) {
       m.bad = true;
       m.dead_pages = 0;
       UpdateSectorIndexes(sector);
+      if (obs_ != nullptr) {
+        obs_->tracer().Instant(obs_cleaner_track_, "sector-retired",
+                               flash_.clock().now(), {"sector", sector});
+      }
       SSMC_LOG(kInfo) << "flash store retired worn-out sector " << sector;
       return Status::Ok();
     }
@@ -620,6 +689,8 @@ void FlashStore::MaybeStaticWearLevel() {
   // Migrate the coldest sector's live data so its barely-worn cells rejoin
   // the allocation pool.
   wear_leveling_ = true;
+  const SimTime migrate_start = flash_.clock().now();
+  const uint64_t relocations_before = stats_.gc_relocations.value();
   const uint64_t pps = pages_per_sector();
   const uint64_t first_page = static_cast<uint64_t>(coldest) * pps;
   std::vector<uint8_t> buf(options_.block_bytes);
@@ -655,6 +726,11 @@ void FlashStore::MaybeStaticWearLevel() {
     if (EraseAndFree(static_cast<uint64_t>(coldest)).ok()) {
       stats_.wear_migrations.Add();
     }
+  }
+  if (obs_ != nullptr) {
+    ObsCleanerSpan("wear-level", migrate_start,
+                   static_cast<uint64_t>(coldest),
+                   stats_.gc_relocations.value() - relocations_before);
   }
   wear_leveling_ = false;
 }

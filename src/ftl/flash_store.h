@@ -42,6 +42,8 @@
 
 namespace ssmc {
 
+class Obs;
+
 struct FlashStoreOptions {
   uint64_t block_bytes = 512;
   CleanerPolicy cleaner = CleanerPolicy::kCostBenefit;
@@ -209,6 +211,13 @@ class FlashStore {
   uint64_t free_sectors() const { return free_sector_count_; }
   const SectorMeta& sector_meta(uint64_t s) const { return sectors_[s]; }
 
+  // Observability (nullable; null detaches): a "flash cleaner" trace track
+  // with one span per cleaner pass / cold eviction / wear-level migration
+  // plus wear-out instants, and a Stats mirror collector (free sectors and
+  // write amplification as gauges). Does not touch the device's own obs —
+  // attach that separately.
+  void AttachObs(Obs* obs);
+
   // Mismatches recorded by validate_indexes mode (0 when the mode is off or
   // every indexed decision agreed with its linear-scan oracle).
   uint64_t index_validation_failures() const {
@@ -285,6 +294,13 @@ class FlashStore {
   // validate_indexes bookkeeping: logs at kError and bumps the counter.
   void RecordIndexMismatch(const char* what, int64_t indexed, int64_t oracle);
 
+  // Background passes never advance the clock; the end of a pass in sim time
+  // is when the last bank reservation it queued completes.
+  SimTime BanksBusyUntil() const;
+  // Records a cleaner-track span covering [t0, BanksBusyUntil()].
+  void ObsCleanerSpan(const char* name, SimTime t0, uint64_t sector,
+                      uint64_t relocated);
+
   FlashDevice& flash_;
   FlashStoreOptions options_;
   uint64_t num_logical_blocks_;
@@ -309,6 +325,8 @@ class FlashStore {
   bool cleaning_ = false;       // Re-entrancy guard for the cleaner.
   bool wear_leveling_ = false;  // Re-entrancy guard for static leveling.
   Stats stats_;
+  Obs* obs_ = nullptr;
+  int obs_cleaner_track_ = 0;
 };
 
 }  // namespace ssmc

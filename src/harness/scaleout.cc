@@ -26,6 +26,9 @@ ReplayReport RunUser(const ScaleoutOptions& options, int user) {
   config.name = "scaleout-user-" + std::to_string(user);
   config.seed =
       DeriveCellSeed(options.base_seed, 2 * static_cast<uint64_t>(user) + 1);
+  if (options.user_obs) {
+    config.obs = options.user_obs(user);
+  }
   MobileComputer machine(config);
   return machine.RunTrace(trace);
 }

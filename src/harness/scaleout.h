@@ -11,12 +11,15 @@
 #define SSMC_SRC_HARNESS_SCALEOUT_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "src/harness/parallel_runner.h"
 #include "src/trace/replayer.h"
 
 namespace ssmc {
+
+class Obs;
 
 struct ScaleoutOptions {
   int users = 8;   // M: total simulated users.
@@ -27,6 +30,13 @@ struct ScaleoutOptions {
   // write-hot profile, over this simulated duration.
   Duration user_duration = 30 * kSecond;
   uint64_t max_file_bytes = 64 * 1024;
+  // Optional per-user observability: called once per user (from the shard's
+  // worker thread, in that shard's serial user order) before the user's
+  // machine is built; the returned bundle — null to skip that user — is
+  // wired through MachineConfig::obs. The callee owns the Obs objects and
+  // must make the callback thread-safe (shards run concurrently); give each
+  // user its own Obs so no two threads ever share one.
+  std::function<Obs*(int user)> user_obs;
 };
 
 struct ScaleoutReport {

@@ -1,0 +1,64 @@
+#include "src/obs/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace ssmc {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void WriteJsonString(std::ostream& os, std::string_view s) {
+  os << '"' << JsonEscape(s) << '"';
+}
+
+std::string FormatJsonNumber(double value) {
+  if (!std::isfinite(value)) {
+    return "0";
+  }
+  // Default ostream formatting (6 significant digits, exponent fallback) —
+  // identical to what the pre-obs hand-rolled bench writers produced, which
+  // keeps regenerated BENCH_*.json diffs limited to real changes.
+  std::ostringstream os;
+  os << value;
+  return os.str();
+}
+
+}  // namespace ssmc

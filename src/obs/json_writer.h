@@ -1,0 +1,31 @@
+// Minimal JSON emission helpers shared by the trace and metrics exporters.
+// Formatting is fully deterministic: doubles print through FormatJsonNumber
+// (shortest round-trip-free fixed notation the old hand-rolled bench writers
+// used), strings escape the JSON control set, and callers are responsible
+// for key order (the exporters iterate sorted maps).
+
+#ifndef SSMC_SRC_OBS_JSON_WRITER_H_
+#define SSMC_SRC_OBS_JSON_WRITER_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace ssmc {
+
+// Escapes `s` for inclusion inside a JSON string literal (no surrounding
+// quotes added).
+std::string JsonEscape(std::string_view s);
+
+// Writes `"escaped"` including quotes.
+void WriteJsonString(std::ostream& os, std::string_view s);
+
+// Deterministic double formatting: integers without a fraction part print as
+// integers; otherwise default precision (6 significant digits), matching the
+// pre-obs hand-rolled bench JSON writers. NaN/inf degrade to 0 (JSON has no
+// spelling for them).
+std::string FormatJsonNumber(double value);
+
+}  // namespace ssmc
+
+#endif  // SSMC_SRC_OBS_JSON_WRITER_H_

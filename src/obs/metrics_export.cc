@@ -1,0 +1,153 @@
+#include "src/obs/metrics_export.h"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+
+#include "src/obs/json_writer.h"
+
+namespace ssmc {
+namespace {
+
+void WriteValue(std::ostream& os, const MetricValue& v) {
+  switch (v.kind) {
+    case MetricValue::Kind::kCounter:
+      os << v.counter;
+      break;
+    case MetricValue::Kind::kGauge:
+    case MetricValue::Kind::kInt:
+      os << v.gauge;
+      break;
+    case MetricValue::Kind::kDouble:
+      os << FormatJsonNumber(v.number);
+      break;
+    case MetricValue::Kind::kBool:
+      os << (v.flag ? "true" : "false");
+      break;
+    case MetricValue::Kind::kString:
+      WriteJsonString(os, v.text);
+      break;
+    case MetricValue::Kind::kHistogram: {
+      const HistogramData& h = v.histogram;
+      const double mean =
+          h.count == 0 ? 0.0
+                       : static_cast<double>(h.sum) / static_cast<double>(h.count);
+      os << "{\"count\": " << h.count << ", \"sum\": " << h.sum
+         << ", \"min\": " << h.min << ", \"max\": " << h.max
+         << ", \"mean\": " << FormatJsonNumber(mean)
+         << ", \"p50\": " << HistogramDataQuantile(h, 0.50)
+         << ", \"p95\": " << HistogramDataQuantile(h, 0.95)
+         << ", \"p99\": " << HistogramDataQuantile(h, 0.99) << "}";
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+uint64_t HistogramDataQuantile(const HistogramData& h, double q) {
+  if (h.count == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t rank =
+      static_cast<uint64_t>(q * static_cast<double>(h.count - 1));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < h.buckets.size(); ++b) {
+    seen += h.buckets[b];
+    if (seen > rank) {
+      if (b == 0) {
+        return 0;
+      }
+      const uint64_t edge = b >= 63 ? std::numeric_limits<uint64_t>::max()
+                                    : (1ULL << b) - 1;
+      return std::min(edge, h.max);
+    }
+  }
+  return h.max;
+}
+
+void WriteMetricsJson(std::ostream& os, const MetricsSnapshot& snapshot,
+                      int indent) {
+  const std::string pad(static_cast<size_t>(indent), ' ');
+  os << "{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.values()) {
+    os << (first ? "\n" : ",\n") << pad << "  ";
+    first = false;
+    WriteJsonString(os, name);
+    os << ": ";
+    WriteValue(os, value);
+  }
+  if (!first) {
+    os << "\n" << pad;
+  }
+  os << "}";
+}
+
+void WriteMetricsJsonArray(std::ostream& os,
+                           const std::vector<MetricsSnapshot>& rows) {
+  os << "[\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    // Bench rows are flat scalars: one line per row diffs cleanly.
+    os << "  {";
+    bool first = true;
+    for (const auto& [name, value] : rows[i].values()) {
+      os << (first ? "" : ", ");
+      first = false;
+      WriteJsonString(os, name);
+      os << ": ";
+      WriteValue(os, value);
+    }
+    os << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+}
+
+bool WriteMetricsJsonFile(const std::string& path,
+                          const MetricsSnapshot& snapshot) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  WriteMetricsJson(out, snapshot);
+  out << "\n";
+  return out.good();
+}
+
+bool WriteMetricsJsonArrayFile(const std::string& path,
+                               const std::vector<MetricsSnapshot>& rows) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  WriteMetricsJsonArray(out, rows);
+  return out.good();
+}
+
+void WriteHistogramText(std::ostream& os, const MetricsSnapshot& snapshot) {
+  for (const auto& [name, value] : snapshot.values()) {
+    if (value.kind != MetricValue::Kind::kHistogram ||
+        value.histogram.count == 0) {
+      continue;
+    }
+    const HistogramData& h = value.histogram;
+    os << name << ": n=" << h.count << " min=" << h.min << " max=" << h.max
+       << " p50=" << HistogramDataQuantile(h, 0.50)
+       << " p99=" << HistogramDataQuantile(h, 0.99) << "\n";
+    const uint64_t peak =
+        *std::max_element(h.buckets.begin(), h.buckets.end());
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] == 0) {
+        continue;
+      }
+      const uint64_t lo = b == 0 ? 0 : (1ULL << (b - 1));
+      const int bar = static_cast<int>((h.buckets[b] * 40 + peak - 1) / peak);
+      os << "  [" << lo << ", " << (b >= 63 ? h.max : (1ULL << b) - 1)
+         << "]  " << std::string(static_cast<size_t>(bar), '#') << " "
+         << h.buckets[b] << "\n";
+    }
+  }
+}
+
+}  // namespace ssmc

@@ -1,0 +1,46 @@
+// Metrics-snapshot JSON emitter and text histogram dump — the one code path
+// all benches share for machine-readable output (BENCH_micro.json,
+// BENCH_scaleout.json, --metrics=out.json). Key order is the snapshot's
+// sorted map order; number formatting is FormatJsonNumber (json_writer.h),
+// so a given snapshot always serializes to the same bytes.
+
+#ifndef SSMC_SRC_OBS_METRICS_EXPORT_H_
+#define SSMC_SRC_OBS_METRICS_EXPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace ssmc {
+
+// Approximate quantile over snapshot bucket data — same semantics as
+// Histogram::Quantile (upper bucket edge, clamped to observed max).
+uint64_t HistogramDataQuantile(const HistogramData& h, double q);
+
+// Writes one snapshot as a JSON object, keys in sorted order. Histogram
+// values become nested objects {"count","sum","min","max","mean","p50",
+// "p95","p99"}; counters/gauges/ints are integers, doubles go through
+// FormatJsonNumber, bools and strings as themselves.
+void WriteMetricsJson(std::ostream& os, const MetricsSnapshot& snapshot,
+                      int indent = 0);
+
+// Writes a JSON array with one object per snapshot — the bench-table shape
+// (one row per benchmark op / sweep point).
+void WriteMetricsJsonArray(std::ostream& os,
+                           const std::vector<MetricsSnapshot>& rows);
+
+// Convenience file writers; return false on open/write failure.
+bool WriteMetricsJsonFile(const std::string& path,
+                          const MetricsSnapshot& snapshot);
+bool WriteMetricsJsonArrayFile(const std::string& path,
+                               const std::vector<MetricsSnapshot>& rows);
+
+// Human-readable log2-bucket dump of every histogram in the snapshot (one
+// '#'-bar block per histogram); no-op if the snapshot holds none.
+void WriteHistogramText(std::ostream& os, const MetricsSnapshot& snapshot);
+
+}  // namespace ssmc
+
+#endif  // SSMC_SRC_OBS_METRICS_EXPORT_H_

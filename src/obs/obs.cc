@@ -1,0 +1,22 @@
+#include "src/obs/obs.h"
+
+namespace ssmc {
+
+Obs::Obs(ObsOptions options) : tracer_(options.trace_capacity) {
+  tracer_.set_default_cell(options.cell);
+}
+
+MetricsSnapshot Obs::SnapshotMetrics() {
+  std::string prefix;
+  if (cell() >= 0) {
+    prefix = "cell" + std::to_string(cell()) + "/";
+  }
+  MetricsSnapshot snapshot = metrics_.Snapshot(prefix);
+  snapshot.Set(prefix + "obs/trace_events_retained",
+               MetricValue::MakeCounter(tracer_.size()));
+  snapshot.Set(prefix + "obs/trace_events_dropped",
+               MetricValue::MakeCounter(tracer_.dropped()));
+  return snapshot;
+}
+
+}  // namespace ssmc

@@ -1,0 +1,61 @@
+// Obs — one simulation cell's observability bundle: a metrics registry plus
+// a span tracer, handed to every instrumented layer of that cell's machine
+// (device, FTL, storage, FS, replayer) as a single non-owning pointer.
+//
+// The toggle contract: a null Obs* disables everything. Instrumented hot
+// paths guard with one pointer test (`if (obs_ == nullptr) return;`), so the
+// disabled configuration costs a predicted branch — measured at <= 2% on the
+// bench_micro hot loops (EXPERIMENTS.md M1) — and produces byte-identical
+// results, because observability never reads the RNG, never advances the
+// clock, and never changes a decision.
+//
+// One Obs per cell, cells single-threaded: no locking anywhere in the
+// subsystem. Cross-cell aggregation happens after the cells finish, on
+// snapshots and event streams, in cell order — deterministic at any --jobs.
+
+#ifndef SSMC_SRC_OBS_OBS_H_
+#define SSMC_SRC_OBS_OBS_H_
+
+#include <cstddef>
+
+#include "src/obs/metrics.h"
+#include "src/obs/span_tracer.h"
+
+namespace ssmc {
+
+struct ObsOptions {
+  // Flight-recorder depth: the tracer retains the most recent
+  // trace_capacity events and counts exact overwrites.
+  size_t trace_capacity = SpanTracer::kDefaultCapacity;
+  // Cell id stamped on every event and metrics-snapshot key prefix; -1 =
+  // take the parallel harness's thread-local ScopedLogCell tag per event.
+  int cell = -1;
+};
+
+class Obs {
+ public:
+  explicit Obs(ObsOptions options = {});
+
+  Obs(const Obs&) = delete;
+  Obs& operator=(const Obs&) = delete;
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  SpanTracer& tracer() { return tracer_; }
+  const SpanTracer& tracer() const { return tracer_; }
+
+  int cell() const { return tracer_.default_cell(); }
+  void set_cell(int cell) { tracer_.set_default_cell(cell); }
+
+  // Snapshot with this cell's key prefix ("cell3/..."), plus the tracer's
+  // own health metrics (retained/dropped event counts).
+  MetricsSnapshot SnapshotMetrics();
+
+ private:
+  MetricsRegistry metrics_;
+  SpanTracer tracer_;
+};
+
+}  // namespace ssmc
+
+#endif  // SSMC_SRC_OBS_OBS_H_

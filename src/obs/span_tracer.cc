@@ -1,0 +1,73 @@
+#include "src/obs/span_tracer.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/support/log.h"
+
+namespace ssmc {
+
+SpanTracer::SpanTracer(size_t capacity) : capacity_(std::max<size_t>(1, capacity)) {
+  buffer_.reserve(capacity_);
+}
+
+int SpanTracer::RegisterTrack(const std::string& name) {
+  for (size_t i = 0; i < tracks_.size(); ++i) {
+    if (tracks_[i] == name) {
+      return static_cast<int>(i);
+    }
+  }
+  tracks_.push_back(name);
+  return static_cast<int>(tracks_.size() - 1);
+}
+
+void SpanTracer::Push(TraceEvent event) {
+  if (event.cell < 0) {
+    event.cell = default_cell_ >= 0 ? default_cell_ : CurrentLogCell();
+  }
+  if (buffer_.size() < capacity_) {
+    buffer_.push_back(event);
+    return;
+  }
+  // Flight-recorder overwrite: the oldest retained event is lost, exactly
+  // counted.
+  buffer_[head_] = event;
+  head_ = (head_ + 1) % capacity_;
+  dropped_ += 1;
+}
+
+void SpanTracer::Span(int track, const char* name, SimTime start, Duration dur,
+                      TraceArg a, TraceArg b, TraceArg c) {
+  assert(track >= 0 && static_cast<size_t>(track) < tracks_.size());
+  TraceEvent event;
+  event.name = name;
+  event.start = start;
+  event.dur = std::max<Duration>(0, dur);
+  event.track = track;
+  event.args[0] = a;
+  event.args[1] = b;
+  event.args[2] = c;
+  Push(event);
+}
+
+void SpanTracer::Instant(int track, const char* name, SimTime at, TraceArg a,
+                         TraceArg b) {
+  assert(track >= 0 && static_cast<size_t>(track) < tracks_.size());
+  TraceEvent event;
+  event.name = name;
+  event.start = at;
+  event.dur = -1;
+  event.track = track;
+  event.args[0] = a;
+  event.args[1] = b;
+  Push(event);
+}
+
+std::vector<TraceEvent> SpanTracer::Events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(buffer_.size());
+  ForEach([&out](const TraceEvent& e) { out.push_back(e); });
+  return out;
+}
+
+}  // namespace ssmc

@@ -1,0 +1,105 @@
+// Sim-time span tracer — the flight-recorder half of the observability
+// subsystem (ssmc_obs). Instrumented components record structured spans
+// (a named interval on a track: an IoRequest's service window on its bank, a
+// cleaner pass, a checkpoint) and instant events into a bounded per-cell
+// ring buffer. The buffer keeps the most recent `capacity` events and counts
+// exactly how many older events it overwrote — the drop counter is part of
+// the deterministic output, so two runs of the same cell always agree on
+// both the retained events and the number lost.
+//
+// Timestamps are SIMULATED nanoseconds (SimClock), never host time: the
+// trace of a run is a pure function of the simulation, byte-identical at any
+// --jobs width. Event names and argument keys must be string literals (or
+// otherwise outlive the tracer); tracks are registered once by name and
+// deduplicated, so components re-attached after a rebuild (crash recovery)
+// reuse their tracks.
+//
+// Cell attribution (the ScopedLogCell fix): every recorded event carries a
+// cell id — the tracer's explicitly set default cell when one was assigned
+// (RunScaleout tags each user's Obs with the user index, which is sharding-
+// independent), else the calling thread's CurrentLogCell() from the parallel
+// harness, else -1.
+
+#ifndef SSMC_SRC_OBS_SPAN_TRACER_H_
+#define SSMC_SRC_OBS_SPAN_TRACER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/support/units.h"
+
+namespace ssmc {
+
+// One named numeric argument on an event. `key == nullptr` marks an unused
+// slot.
+struct TraceArg {
+  const char* key = nullptr;
+  uint64_t value = 0;
+};
+
+struct TraceEvent {
+  const char* name = "";  // Static string: never owned by the event.
+  SimTime start = 0;      // Simulated ns.
+  Duration dur = -1;      // Span length; < 0 marks an instant event.
+  int track = 0;
+  int cell = -1;
+  TraceArg args[3];
+
+  bool is_span() const { return dur >= 0; }
+};
+
+class SpanTracer {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+  explicit SpanTracer(size_t capacity = kDefaultCapacity);
+
+  // Registers (or finds) a track by display name and returns its id. Track
+  // ids are dense and stable; a bank, an arm, a priority class, and each
+  // subsystem get one track each.
+  int RegisterTrack(const std::string& name);
+  const std::vector<std::string>& tracks() const { return tracks_; }
+
+  // Explicit cell tag for every event this tracer records; overrides the
+  // thread's CurrentLogCell(). -1 = use the thread tag.
+  void set_default_cell(int cell) { default_cell_ = cell; }
+  int default_cell() const { return default_cell_; }
+
+  void Span(int track, const char* name, SimTime start, Duration dur,
+            TraceArg a = {}, TraceArg b = {}, TraceArg c = {});
+  void Instant(int track, const char* name, SimTime at, TraceArg a = {},
+               TraceArg b = {});
+
+  size_t capacity() const { return capacity_; }
+  // Events currently retained (<= capacity).
+  size_t size() const { return buffer_.size(); }
+  // Exact number of events overwritten because the ring was full.
+  uint64_t dropped() const { return dropped_; }
+  uint64_t total_recorded() const { return dropped_ + buffer_.size(); }
+
+  // Visits retained events oldest-first (the ring unrolled).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    const size_t n = buffer_.size();
+    for (size_t i = 0; i < n; ++i) {
+      fn(buffer_[(head_ + i) % n]);
+    }
+  }
+  // Copies the retained events out, oldest-first (tests, exporters).
+  std::vector<TraceEvent> Events() const;
+
+ private:
+  void Push(TraceEvent event);
+
+  size_t capacity_;
+  std::vector<TraceEvent> buffer_;  // Ring once size reaches capacity_.
+  size_t head_ = 0;                 // Oldest retained event.
+  uint64_t dropped_ = 0;
+  int default_cell_ = -1;
+  std::vector<std::string> tracks_;
+};
+
+}  // namespace ssmc
+
+#endif  // SSMC_SRC_OBS_SPAN_TRACER_H_

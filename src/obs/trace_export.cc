@@ -1,0 +1,120 @@
+#include "src/obs/trace_export.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/obs/json_writer.h"
+#include "src/obs/obs.h"
+
+namespace ssmc {
+namespace {
+
+// Trace-event timestamps are microseconds; sim-time is integer ns, so three
+// fraction digits represent every timestamp exactly.
+std::string Micros(int64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns < 0 ? -(ns % 1000) : ns % 1000));
+  return std::string(buf);
+}
+
+void WriteArgs(std::ostream& os, const TraceEvent& e) {
+  bool any = false;
+  for (const TraceArg& arg : e.args) {
+    if (arg.key == nullptr) {
+      continue;
+    }
+    os << (any ? "," : ",\"args\":{");
+    any = true;
+    WriteJsonString(os, arg.key);
+    os << ":" << arg.value;
+  }
+  if (any) {
+    os << "}";
+  }
+}
+
+}  // namespace
+
+bool WriteChromeTrace(std::ostream& os, const std::vector<const Obs*>& cells) {
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  auto sep = [&os, &first]() {
+    if (!first) {
+      os << ",\n";
+    }
+    first = false;
+  };
+
+  // Metadata pass: name every process (cell) and thread (track).
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Obs* obs = cells[i];
+    if (obs == nullptr) {
+      continue;
+    }
+    const int pid = obs->cell() >= 0 ? obs->cell() : static_cast<int>(i);
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << pid
+       << ",\"name\":\"process_name\",\"args\":{\"name\":\"cell " << pid
+       << "\"}}";
+    const std::vector<std::string>& tracks = obs->tracer().tracks();
+    for (size_t t = 0; t < tracks.size(); ++t) {
+      sep();
+      os << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << t
+         << ",\"name\":\"thread_name\",\"args\":{\"name\":";
+      WriteJsonString(os, tracks[t]);
+      os << "}}";
+    }
+  }
+
+  // Event pass, cell by cell, each flight recorder oldest-first.
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Obs* obs = cells[i];
+    if (obs == nullptr) {
+      continue;
+    }
+    const int default_pid = obs->cell() >= 0 ? obs->cell() : static_cast<int>(i);
+    obs->tracer().ForEach([&](const TraceEvent& e) {
+      const int pid = e.cell >= 0 ? e.cell : default_pid;
+      sep();
+      os << "{\"ph\":\"" << (e.is_span() ? 'X' : 'i') << "\",\"pid\":" << pid
+         << ",\"tid\":" << e.track << ",\"name\":";
+      WriteJsonString(os, e.name);
+      os << ",\"ts\":" << Micros(e.start);
+      if (e.is_span()) {
+        os << ",\"dur\":" << Micros(e.dur);
+      } else {
+        os << ",\"s\":\"t\"";
+      }
+      WriteArgs(os, e);
+      os << "}";
+    });
+  }
+
+  os << "\n],\n\"ssmcDropCounts\":{";
+  bool first_drop = true;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Obs* obs = cells[i];
+    if (obs == nullptr) {
+      continue;
+    }
+    const int pid = obs->cell() >= 0 ? obs->cell() : static_cast<int>(i);
+    os << (first_drop ? "" : ",") << "\"" << pid
+       << "\":" << obs->tracer().dropped();
+    first_drop = false;
+  }
+  os << "}}\n";
+  return os.good();
+}
+
+bool WriteChromeTraceFile(const std::string& path,
+                          const std::vector<const Obs*>& cells) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  return WriteChromeTrace(out, cells);
+}
+
+}  // namespace ssmc

@@ -1,0 +1,38 @@
+// Chrome trace-event exporter: serializes one or more cells' SpanTracer
+// flight recorders into the Trace Event Format JSON that chrome://tracing
+// and Perfetto (ui.perfetto.dev) open directly.
+//
+// Mapping: pid = cell id (one "process" per simulated machine/cell, named
+// "cell N"), tid = track id within that cell (one named track per flash
+// bank, disk arm, priority class, and subsystem — the names come from
+// SpanTracer::RegisterTrack). Spans become "ph":"X" complete events with
+// ts/dur in microseconds (fractional — sim-time is ns); instants become
+// "ph":"i" thread-scoped events. Metadata events name every process and
+// thread. A top-level "ssmcDropCounts" object reports each cell's exact
+// flight-recorder drop count so a truncated capture is visible in the file
+// itself.
+
+#ifndef SSMC_SRC_OBS_TRACE_EXPORT_H_
+#define SSMC_SRC_OBS_TRACE_EXPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ssmc {
+
+class Obs;
+
+// Writes all cells' events as one Chrome trace JSON document. Null entries
+// in `cells` are skipped; events are emitted cell by cell in vector order
+// (deterministic given deterministic tracers). Returns false if the stream
+// failed.
+bool WriteChromeTrace(std::ostream& os, const std::vector<const Obs*>& cells);
+
+// Convenience: open `path` and write. Returns false on open/write failure.
+bool WriteChromeTraceFile(const std::string& path,
+                          const std::vector<const Obs*>& cells);
+
+}  // namespace ssmc
+
+#endif  // SSMC_SRC_OBS_TRACE_EXPORT_H_

@@ -45,13 +45,16 @@ void IoScheduler::set_policy(IoSchedPolicy policy) {
   policy_ = policy;
 }
 
-void IoScheduler::Retire(Channel& channel) {
+void IoScheduler::Retire(int channel_index, Channel& channel) {
   const SimTime now = clock_.now();
   while (!channel.timeline.empty() &&
          channel.timeline.front().req.complete_time <= now) {
     Reservation done = std::move(channel.timeline.front());
     channel.timeline.pop_front();
     channel.last_complete = done.req.complete_time;
+    if (retire_hook_) {
+      retire_hook_(channel_index, done.req);
+    }
     if (done.req.on_complete) {
       done.req.on_complete(done.req);
     }
@@ -82,7 +85,7 @@ IoScheduler::Dispatch IoScheduler::Place(int channel_index, IoRequest req,
   Channel& channel = channels_[static_cast<size_t>(channel_index)];
   const SimTime now = clock_.now();
   req.issue_time = now;
-  Retire(channel);
+  Retire(channel_index, channel);
 
   // Insertion point. FIFO: the back. Priority: ahead of queued reservations
   // of a strictly lower class that have not started (the front may be in
@@ -139,8 +142,8 @@ IoScheduler::Dispatch IoScheduler::Submit(int channel, IoRequest req,
 }
 
 void IoScheduler::Poll() {
-  for (Channel& channel : channels_) {
-    Retire(channel);
+  for (size_t i = 0; i < channels_.size(); ++i) {
+    Retire(static_cast<int>(i), channels_[i]);
   }
 }
 

@@ -70,6 +70,14 @@ class IoScheduler {
     shift_observer_ = std::move(observer);
   }
 
+  // Called as each reservation retires, with its channel and the request
+  // carrying FINAL timestamps (queued reservations may shift later under
+  // kPriority until they start, so retirement is the only point where the
+  // full queue-wait/service split is settled). Fires before the request's
+  // own on_complete. Tracing hook: must not submit or advance the clock.
+  using RetireHook = std::function<void(int channel, const IoRequest&)>;
+  void set_retire_hook(RetireHook hook) { retire_hook_ = std::move(hook); }
+
   // Reserves channel time for `req` (service `service_ns`) and returns its
   // dispatch. Retires every reservation on the channel whose completion time
   // has passed (firing on_complete callbacks) as a side effect.
@@ -112,7 +120,7 @@ class IoScheduler {
   };
 
   // Pops front reservations with complete_time <= now, firing callbacks.
-  void Retire(Channel& channel);
+  void Retire(int channel_index, Channel& channel);
   // Recomputes start/complete for timeline[from..], notifying shifts.
   void Reflow(Channel& channel, size_t from);
 
@@ -123,6 +131,7 @@ class IoScheduler {
   IoSchedPolicy policy_;
   std::vector<Channel> channels_;
   ShiftObserver shift_observer_;
+  RetireHook retire_hook_;
   uint64_t next_seq_ = 0;
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/obs/obs.h"
+
 namespace ssmc {
 
 StorageManager::StorageManager(DramDevice& dram, FlashStore& flash_store,
@@ -25,6 +27,33 @@ StorageManager::StorageManager(DramDevice& dram, FlashStore& flash_store,
     free_flash_blocks_.push_back(b - 1);
   }
   flash_block_used_.assign(blocks, false);
+}
+
+StorageManager::~StorageManager() {
+  if (obs_ != nullptr) {
+    obs_->metrics().FlushAndRemoveCollector("storage");
+  }
+}
+
+void StorageManager::AttachObs(Obs* obs) {
+  if (obs_ != nullptr && obs_ != obs) {
+    obs_->metrics().FlushAndRemoveCollector("storage");
+  }
+  obs_ = obs;
+  if (obs == nullptr) {
+    return;
+  }
+  MetricsRegistry& m = obs->metrics();
+  Gauge* free_dram = m.AddGauge("storage/free_dram_pages");
+  Gauge* total_dram = m.AddGauge("storage/total_dram_pages");
+  Gauge* free_flash = m.AddGauge("storage/free_flash_blocks");
+  Gauge* total_flash = m.AddGauge("storage/total_flash_blocks");
+  m.AddCollector("storage", [=, this] {
+    free_dram->Set(static_cast<int64_t>(free_dram_pages()));
+    total_dram->Set(static_cast<int64_t>(total_dram_pages()));
+    free_flash->Set(static_cast<int64_t>(free_flash_blocks()));
+    total_flash->Set(static_cast<int64_t>(total_flash_blocks()));
+  });
 }
 
 Result<uint64_t> StorageManager::AllocateDramPage() {

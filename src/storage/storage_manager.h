@@ -26,12 +26,17 @@
 
 namespace ssmc {
 
+class Obs;
+
 class StorageManager {
  public:
   // page_bytes is the unit of DRAM allocation; it must equal the flash
   // store's block size so buffered blocks flush 1:1.
   StorageManager(DramDevice& dram, FlashStore& flash_store,
                  uint64_t page_bytes);
+  // Flushes and removes the free-pool collector from any attached Obs
+  // (which routinely outlives the manager).
+  ~StorageManager();
 
   uint64_t page_bytes() const { return page_bytes_; }
   DramDevice& dram() { return dram_; }
@@ -57,6 +62,10 @@ class StorageManager {
     return block < flash_block_used_.size() && flash_block_used_[block];
   }
 
+  // Observability (nullable; null detaches): free-pool gauges pulled at
+  // snapshot time.
+  void AttachObs(Obs* obs);
+
   // --- Metadata accounting ------------------------------------------------
   // Memory-resident metadata (directories, inodes, page tables) lives in
   // DRAM; operations on it cost DRAM access time.
@@ -76,6 +85,7 @@ class StorageManager {
   std::vector<uint64_t> free_flash_blocks_;
   std::vector<bool> dram_page_used_;
   std::vector<bool> flash_block_used_;
+  Obs* obs_ = nullptr;
 };
 
 }  // namespace ssmc

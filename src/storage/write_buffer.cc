@@ -3,6 +3,8 @@
 #include <cassert>
 #include <vector>
 
+#include "src/obs/obs.h"
+
 namespace ssmc {
 
 WriteBuffer::WriteBuffer(StorageManager& storage, uint64_t capacity_pages,
@@ -18,6 +20,41 @@ WriteBuffer::~WriteBuffer() {
   for (auto& [key, entry] : entries_) {
     (void)storage_.FreeDramPage(entry.dram_page);
   }
+  if (obs_ != nullptr) {
+    obs_->metrics().FlushAndRemoveCollector("wbuf");
+  }
+}
+
+void WriteBuffer::AttachObs(Obs* obs) {
+  if (obs_ != nullptr && obs_ != obs) {
+    obs_->metrics().FlushAndRemoveCollector("wbuf");
+  }
+  obs_ = obs;
+  if (obs_ == nullptr) {
+    return;
+  }
+  obs_track_ = obs_->tracer().RegisterTrack("write buffer");
+  MetricsRegistry& m = obs_->metrics();
+  Counter* puts = m.AddCounter("wbuf/puts");
+  Counter* absorbed = m.AddCounter("wbuf/absorbed_overwrites");
+  Counter* flushes = m.AddCounter("wbuf/flushes");
+  Counter* flushed_bytes = m.AddCounter("wbuf/flushed_bytes");
+  Counter* evictions = m.AddCounter("wbuf/capacity_evictions");
+  Counter* dropped = m.AddCounter("wbuf/dropped_writes");
+  Gauge* dirty = m.AddGauge("wbuf/dirty_pages");
+  m.AddCollector("wbuf", [=, this] {
+    auto mirror = [](Counter* dst, const Counter& src) {
+      dst->Reset();
+      dst->Add(src.value());
+    };
+    mirror(puts, stats_.puts);
+    mirror(absorbed, stats_.absorbed_overwrites);
+    mirror(flushes, stats_.flushes);
+    mirror(flushed_bytes, stats_.flushed_bytes);
+    mirror(evictions, stats_.capacity_evictions);
+    mirror(dropped, stats_.dropped_writes);
+    dirty->Set(static_cast<int64_t>(entries_.size()));
+  });
 }
 
 Status WriteBuffer::Put(const BlockKey& key, std::span<const uint8_t> data,
@@ -55,6 +92,10 @@ Status WriteBuffer::Put(const BlockKey& key, std::span<const uint8_t> data,
     auto victim = entries_.find(lru_.front());
     assert(victim != entries_.end());
     stats_.capacity_evictions.Add();
+    if (obs_ != nullptr) {
+      obs_->tracer().Instant(obs_track_, "capacity-evict",
+                             storage_.dram().clock().now());
+    }
     SSMC_RETURN_IF_ERROR(FlushEntry(victim));
   }
 
@@ -130,6 +171,7 @@ Status WriteBuffer::Flush(const BlockKey& key) {
 }
 
 Status WriteBuffer::FlushOlderThan(SimTime now, Duration max_age) {
+  const uint64_t flushes_before = stats_.flushes.value();
   // lru_ is in insertion order: Put's overwrite path absorbs the write into
   // the existing DRAM page and returns early — it neither refreshes
   // dirty_since nor moves the entry to the back. The front is therefore the
@@ -145,18 +187,35 @@ Status WriteBuffer::FlushOlderThan(SimTime now, Duration max_age) {
     }
     SSMC_RETURN_IF_ERROR(FlushEntry(it));
   }
+  if (obs_ != nullptr && stats_.flushes.value() != flushes_before) {
+    obs_->tracer().Span(obs_track_, "age-flush", now,
+                        storage_.dram().clock().now() - now,
+                        {"blocks", stats_.flushes.value() - flushes_before});
+  }
   return Status::Ok();
 }
 
 Status WriteBuffer::FlushAll() {
+  const uint64_t flushes_before = stats_.flushes.value();
+  const SimTime t0 = storage_.dram().clock().now();
   while (!entries_.empty()) {
     SSMC_RETURN_IF_ERROR(FlushEntry(entries_.begin()));
+  }
+  if (obs_ != nullptr && stats_.flushes.value() != flushes_before) {
+    obs_->tracer().Span(obs_track_, "sync-flush", t0,
+                        storage_.dram().clock().now() - t0,
+                        {"blocks", stats_.flushes.value() - flushes_before});
   }
   return Status::Ok();
 }
 
 uint64_t WriteBuffer::DropAllUnflushed() {
   const uint64_t lost = entries_.size() * page_bytes();
+  if (obs_ != nullptr && lost > 0) {
+    obs_->tracer().Instant(obs_track_, "buffer-lost",
+                           storage_.dram().clock().now(),
+                           {"bytes_lost", lost});
+  }
   for (auto& [key, entry] : entries_) {
     (void)storage_.FreeDramPage(entry.dram_page);
   }

@@ -39,6 +39,8 @@
 
 namespace ssmc {
 
+class Obs;
+
 // Identifies one file block: (file id, block index within the file).
 struct BlockKey {
   uint64_t file_id = 0;
@@ -118,6 +120,12 @@ class WriteBuffer {
   };
   const Stats& stats() const { return stats_; }
 
+  // Observability (nullable; null detaches): a "write buffer" trace track
+  // with spans per age-flush / sync batch, instants for capacity evictions,
+  // write-avoidance drops and buffer loss, and a Stats mirror collector
+  // (dirty pages as a gauge).
+  void AttachObs(Obs* obs);
+
  private:
   struct Entry {
     uint64_t dram_page;
@@ -134,6 +142,8 @@ class WriteBuffer {
   std::unordered_map<BlockKey, Entry, BlockKeyHash> entries_;
   std::list<BlockKey> lru_;  // Front = least recently written.
   Stats stats_;
+  Obs* obs_ = nullptr;
+  int obs_track_ = 0;
 };
 
 }  // namespace ssmc

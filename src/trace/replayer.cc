@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "src/obs/obs.h"
+
 namespace ssmc {
 
 void ReplayReport::Merge(const ReplayReport& other) {
@@ -36,6 +38,13 @@ void ReplayReport::Merge(const ReplayReport& other) {
 TraceReplayer::TraceReplayer(FileSystem& fs, SimClock& clock,
                              EventQueue* events)
     : fs_(fs), clock_(clock), events_(events) {}
+
+void TraceReplayer::AttachObs(Obs* obs) {
+  obs_ = obs;
+  if (obs_ != nullptr) {
+    obs_track_ = obs_->tracer().RegisterTrack("replayer");
+  }
+}
 
 uint64_t TraceReplayer::PathHash(const std::string& path) {
   const auto [it, inserted] = path_hash_cache_.try_emplace(path, 0);
@@ -119,6 +128,13 @@ ReplayReport TraceReplayer::Replay(const Trace& trace) {
       }
     }
     const Duration latency = clock_.now() - before;
+    if (obs_ != nullptr) {
+      // TraceOpName returns views over string literals, so .data() is a
+      // stable null-terminated name.
+      obs_->tracer().Span(obs_track_, TraceOpName(r.op).data(), before,
+                          latency, {"bytes", r.length},
+                          {"ok", status.ok() ? 1u : 0u});
+    }
     report.ops += 1;
     if (!status.ok()) {
       report.failures += 1;

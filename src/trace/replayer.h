@@ -19,6 +19,8 @@
 
 namespace ssmc {
 
+class Obs;
+
 struct ReplayReport {
   uint64_t ops = 0;
   uint64_t failures = 0;
@@ -76,6 +78,11 @@ class TraceReplayer {
   // fatal (a trace may delete a file twice under failure injection).
   ReplayReport Replay(const Trace& trace);
 
+  // Observability (nullable; null detaches): one "replayer" trace track with
+  // a span per replayed record, named after the op, covering issue to
+  // completion in simulated time.
+  void AttachObs(Obs* obs);
+
  private:
   // Deterministic content for writes (so read-back checks are possible).
   void FillPattern(const std::string& path, uint64_t offset,
@@ -88,6 +95,8 @@ class TraceReplayer {
   SimClock& clock_;
   EventQueue* events_;
   std::unordered_map<std::string, uint64_t> path_hash_cache_;
+  Obs* obs_ = nullptr;
+  int obs_track_ = 0;
 };
 
 }  // namespace ssmc

@@ -1,0 +1,151 @@
+// Trace and metrics determinism across host parallelism (satellite of the
+// obs subsystem PR): the same seed must produce identical span streams and
+// identical merged metrics snapshots whether the fleet runs serially or
+// sharded wide. Simulated time is the only clock in the trace, each user
+// owns a private Obs tagged with its user index (the ScopedLogCell fix), and
+// snapshot Merge is order-invariant — so --jobs=1 vs --jobs=4 must agree
+// byte for byte.
+
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/harness/scaleout.h"
+#include "src/obs/metrics_export.h"
+#include "src/obs/obs.h"
+#include "src/obs/trace_export.h"
+
+namespace ssmc {
+namespace {
+
+struct Capture {
+  std::vector<std::unique_ptr<Obs>> per_user;
+
+  explicit Capture(int users) {
+    per_user.resize(users);
+    for (int u = 0; u < users; ++u) {
+      ObsOptions options;
+      options.cell = u;
+      per_user[u] = std::make_unique<Obs>(options);
+    }
+  }
+};
+
+ScaleoutOptions SmallFleet(Capture* capture, int cells, int jobs) {
+  ScaleoutOptions options;
+  options.users = 4;
+  options.cells = cells;
+  options.jobs = jobs;
+  options.user_duration = 2 * kSecond;  // Small but non-trivial event count.
+  options.user_obs = [capture](int user) {
+    return capture->per_user[user].get();
+  };
+  return options;
+}
+
+bool SameEvent(const TraceEvent& a, const TraceEvent& b) {
+  if (std::strcmp(a.name, b.name) != 0 || a.start != b.start ||
+      a.dur != b.dur || a.track != b.track || a.cell != b.cell) {
+    return false;
+  }
+  for (int i = 0; i < 3; ++i) {
+    const bool a_used = a.args[i].key != nullptr;
+    const bool b_used = b.args[i].key != nullptr;
+    if (a_used != b_used) {
+      return false;
+    }
+    if (a_used && (std::strcmp(a.args[i].key, b.args[i].key) != 0 ||
+                   a.args[i].value != b.args[i].value)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(ObsDeterminismTest, SpanStreamsIdenticalAcrossJobsAndSharding) {
+  Capture serial(4);
+  Capture wide(4);
+  RunScaleout(SmallFleet(&serial, /*cells=*/1, /*jobs=*/1));
+  RunScaleout(SmallFleet(&wide, /*cells=*/4, /*jobs=*/4));
+
+  for (int u = 0; u < 4; ++u) {
+    const SpanTracer& a = serial.per_user[u]->tracer();
+    const SpanTracer& b = wide.per_user[u]->tracer();
+    EXPECT_GT(a.total_recorded(), 0u) << "user " << u << " recorded nothing";
+    EXPECT_EQ(a.tracks(), b.tracks()) << "user " << u;
+    EXPECT_EQ(a.dropped(), b.dropped()) << "user " << u;
+    const std::vector<TraceEvent> ea = a.Events();
+    const std::vector<TraceEvent> eb = b.Events();
+    ASSERT_EQ(ea.size(), eb.size()) << "user " << u;
+    for (size_t i = 0; i < ea.size(); ++i) {
+      ASSERT_TRUE(SameEvent(ea[i], eb[i]))
+          << "user " << u << " event " << i << ": " << ea[i].name << " vs "
+          << eb[i].name;
+    }
+  }
+}
+
+TEST(ObsDeterminismTest, MergedMetricsIdenticalAcrossJobsAndSharding) {
+  Capture serial(4);
+  Capture wide(4);
+  RunScaleout(SmallFleet(&serial, /*cells=*/1, /*jobs=*/1));
+  RunScaleout(SmallFleet(&wide, /*cells=*/4, /*jobs=*/4));
+
+  MetricsSnapshot merged_serial;
+  MetricsSnapshot merged_wide;
+  for (int u = 0; u < 4; ++u) {
+    merged_serial.Merge(serial.per_user[u]->SnapshotMetrics());
+    merged_wide.Merge(wide.per_user[u]->SnapshotMetrics());
+  }
+  EXPECT_FALSE(merged_serial.empty());
+  EXPECT_EQ(merged_serial, merged_wide);
+
+  // And the serialized form — the bytes a --metrics capture would write —
+  // matches too.
+  std::ostringstream ja, jb;
+  WriteMetricsJson(ja, merged_serial);
+  WriteMetricsJson(jb, merged_wide);
+  EXPECT_EQ(ja.str(), jb.str());
+}
+
+TEST(ObsDeterminismTest, ChromeTraceBytesIdenticalAcrossJobs) {
+  Capture serial(4);
+  Capture wide(4);
+  RunScaleout(SmallFleet(&serial, /*cells=*/1, /*jobs=*/1));
+  RunScaleout(SmallFleet(&wide, /*cells=*/4, /*jobs=*/4));
+
+  auto dump = [](const Capture& c) {
+    std::vector<const Obs*> cells;
+    for (const std::unique_ptr<Obs>& obs : c.per_user) {
+      cells.push_back(obs.get());
+    }
+    std::ostringstream out;
+    WriteChromeTrace(out, cells);
+    return out.str();
+  };
+  const std::string a = dump(serial);
+  const std::string b = dump(wide);
+  EXPECT_GT(a.size(), 100u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ObsDeterminismTest, ReRunWithSameSeedIsBitIdentical) {
+  Capture first(4);
+  Capture second(4);
+  RunScaleout(SmallFleet(&first, /*cells=*/2, /*jobs=*/2));
+  RunScaleout(SmallFleet(&second, /*cells=*/2, /*jobs=*/2));
+  for (int u = 0; u < 4; ++u) {
+    EXPECT_EQ(first.per_user[u]->SnapshotMetrics(),
+              second.per_user[u]->SnapshotMetrics())
+        << "user " << u;
+    EXPECT_EQ(first.per_user[u]->tracer().total_recorded(),
+              second.per_user[u]->tracer().total_recorded())
+        << "user " << u;
+  }
+}
+
+}  // namespace
+}  // namespace ssmc

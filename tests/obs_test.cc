@@ -1,0 +1,317 @@
+// Unit and property tests for the observability subsystem (src/obs/):
+// metric handle registration, snapshot Merge algebra (associativity,
+// commutativity, empty identity — the contract that makes per-cell
+// registries combine deterministically under any --jobs sharding), the
+// span tracer's ring-buffer drop accounting, and the JSON exporters'
+// well-formedness.
+
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/metrics.h"
+#include "src/obs/metrics_export.h"
+#include "src/obs/obs.h"
+#include "src/obs/span_tracer.h"
+#include "src/obs/trace_export.h"
+#include "src/support/rng.h"
+
+namespace ssmc {
+namespace {
+
+// --- MetricsRegistry handles --------------------------------------------
+
+TEST(MetricsRegistryTest, HandlesAreStableAndDeduplicated) {
+  MetricsRegistry registry;
+  Counter* a = registry.AddCounter("flash/reads");
+  Counter* b = registry.AddCounter("flash/reads");
+  EXPECT_EQ(a, b);
+  a->Add(3);
+  EXPECT_EQ(b->value(), 3u);
+
+  // Registering many more metrics must not invalidate earlier handles.
+  for (int i = 0; i < 1000; ++i) {
+    registry.AddCounter("c" + std::to_string(i));
+  }
+  EXPECT_EQ(a->value(), 3u);
+  EXPECT_EQ(registry.num_metrics(), 1001u);
+}
+
+TEST(MetricsRegistryTest, SnapshotPrefixesEveryKey) {
+  MetricsRegistry registry;
+  registry.AddCounter("reads")->Add(7);
+  registry.AddGauge("dirty")->Set(-2);
+  const MetricsSnapshot snap = registry.Snapshot("cell3/");
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap.values().at("cell3/reads").counter, 7u);
+  EXPECT_EQ(snap.values().at("cell3/dirty").gauge, -2);
+}
+
+TEST(MetricsRegistryTest, KeyedCollectorReplacesOnReRegistration) {
+  // The crash-recovery contract: a component rebuilt after a failure
+  // re-registers its collector under the same key, REPLACING the old
+  // closure (which holds a dangling `this`). Only the new one may run.
+  MetricsRegistry registry;
+  Gauge* g = registry.AddGauge("fs/files");
+  registry.AddCollector("fs", [g] { g->Set(1); });
+  registry.AddCollector("fs", [g] { g->Set(2); });
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.values().at("fs/files").gauge, 2);
+}
+
+TEST(MetricsRegistryTest, SnapshotRunsCollectorsInKeyOrder) {
+  MetricsRegistry registry;
+  Gauge* g = registry.AddGauge("order");
+  // "a" runs after "z" registered first: key order, not insertion order.
+  registry.AddCollector("z", [g] { g->Set(1); });
+  registry.AddCollector("a", [g] { g->Set(26); });
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.values().at("order").gauge, 1);  // "z" ran last.
+}
+
+// --- Merge algebra -------------------------------------------------------
+
+// A pseudo-random snapshot exercising every mergeable kind.
+MetricsSnapshot RandomSnapshot(uint64_t seed) {
+  Rng rng(seed);
+  MetricsSnapshot s;
+  // Overlapping key space across seeds so merges actually combine.
+  for (const char* key : {"k0", "k1", "k2", "k3"}) {
+    if (rng.NextBelow(3) != 0) {
+      s.Set(key, MetricValue::MakeCounter(rng.NextBelow(1000)));
+    }
+  }
+  for (const char* key : {"g0", "g1"}) {
+    if (rng.NextBelow(2) != 0) {
+      s.Set(key, MetricValue::MakeGauge(static_cast<int64_t>(
+                     rng.NextBelow(2000)) - 1000));
+    }
+  }
+  if (rng.NextBelow(2) != 0) {
+    Histogram h;
+    const int n = static_cast<int>(rng.NextBelow(200));
+    for (int i = 0; i < n; ++i) {
+      h.Record(static_cast<int64_t>(rng.NextBelow(1u << 20)));
+    }
+    MetricValue v;
+    v.kind = MetricValue::Kind::kHistogram;
+    v.histogram.CopyFrom(h);
+    s.Set("h0", v);
+  }
+  return s;
+}
+
+MetricsSnapshot Merged(const MetricsSnapshot& a, const MetricsSnapshot& b) {
+  MetricsSnapshot out = a;
+  out.Merge(b);
+  return out;
+}
+
+TEST(MetricsSnapshotTest, MergeEmptyIsIdentity) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const MetricsSnapshot s = RandomSnapshot(seed);
+    const MetricsSnapshot empty;
+    EXPECT_EQ(Merged(s, empty), s) << "right identity, seed " << seed;
+    EXPECT_EQ(Merged(empty, s), s) << "left identity, seed " << seed;
+  }
+}
+
+TEST(MetricsSnapshotTest, MergeIsCommutative) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const MetricsSnapshot a = RandomSnapshot(seed);
+    const MetricsSnapshot b = RandomSnapshot(seed + 100);
+    EXPECT_EQ(Merged(a, b), Merged(b, a)) << "seed " << seed;
+  }
+}
+
+TEST(MetricsSnapshotTest, MergeIsAssociative) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const MetricsSnapshot a = RandomSnapshot(seed);
+    const MetricsSnapshot b = RandomSnapshot(seed + 100);
+    const MetricsSnapshot c = RandomSnapshot(seed + 200);
+    EXPECT_EQ(Merged(Merged(a, b), c), Merged(a, Merged(b, c)))
+        << "seed " << seed;
+  }
+}
+
+TEST(MetricsSnapshotTest, ShardingIsMergeOrderInvariant) {
+  // The --jobs contract in miniature: any contiguous sharding of the same
+  // per-cell snapshots merges to the same aggregate.
+  std::vector<MetricsSnapshot> cells;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    cells.push_back(RandomSnapshot(seed));
+  }
+  MetricsSnapshot serial;
+  for (const MetricsSnapshot& c : cells) {
+    serial.Merge(c);
+  }
+  for (size_t split = 1; split < cells.size(); ++split) {
+    MetricsSnapshot left, right;
+    for (size_t i = 0; i < split; ++i) {
+      left.Merge(cells[i]);
+    }
+    for (size_t i = split; i < cells.size(); ++i) {
+      right.Merge(cells[i]);
+    }
+    EXPECT_EQ(Merged(left, right), serial) << "split at " << split;
+  }
+}
+
+TEST(MetricsSnapshotTest, HistogramMergeIsExact) {
+  // Recording the union of two streams equals merging their snapshots:
+  // log2 bucketing is fixed, so bucket-merge loses nothing.
+  Histogram ha, hb, hu;
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const int64_t v = static_cast<int64_t>(rng.NextBelow(1u << 24));
+    ((i % 2 == 0) ? ha : hb).Record(v);
+    hu.Record(v);
+  }
+  HistogramData a, b, u;
+  a.CopyFrom(ha);
+  b.CopyFrom(hb);
+  u.CopyFrom(hu);
+  a.Merge(b);
+  EXPECT_EQ(a, u);
+}
+
+TEST(MetricsSnapshotTest, ScalarKindsAreFirstWriterWinsLabels) {
+  MetricsSnapshot a, b;
+  a.Set("op", MetricValue::MakeString("read"));
+  b.Set("op", MetricValue::MakeString("write"));
+  EXPECT_EQ(Merged(a, b).values().at("op").text, "read");
+}
+
+// --- SpanTracer ring buffer ---------------------------------------------
+
+TEST(SpanTracerTest, RetainsEverythingUnderCapacity) {
+  SpanTracer tracer(/*capacity=*/8);
+  const int track = tracer.RegisterTrack("t");
+  for (int i = 0; i < 5; ++i) {
+    tracer.Span(track, "s", i * 10, 5);
+  }
+  EXPECT_EQ(tracer.size(), 5u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_EQ(tracer.total_recorded(), 5u);
+}
+
+TEST(SpanTracerTest, OverflowKeepsNewestAndCountsExactDrops) {
+  SpanTracer tracer(/*capacity=*/4);
+  const int track = tracer.RegisterTrack("t");
+  for (int i = 0; i < 11; ++i) {
+    tracer.Instant(track, "i", i);
+  }
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 7u);  // Exactly 11 - 4.
+  EXPECT_EQ(tracer.total_recorded(), 11u);
+  // Oldest-first iteration yields the newest 4 events in order.
+  const std::vector<TraceEvent> events = tracer.Events();
+  ASSERT_EQ(events.size(), 4u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].start, static_cast<SimTime>(7 + i));
+  }
+}
+
+TEST(SpanTracerTest, TrackRegistrationDeduplicatesByName) {
+  SpanTracer tracer;
+  const int a = tracer.RegisterTrack("flash bank 0");
+  const int b = tracer.RegisterTrack("flash bank 1");
+  const int a2 = tracer.RegisterTrack("flash bank 0");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, a2);
+  EXPECT_EQ(tracer.tracks().size(), 2u);
+}
+
+TEST(SpanTracerTest, DefaultCellTagsEveryEvent) {
+  SpanTracer tracer;
+  tracer.set_default_cell(5);
+  tracer.Instant(tracer.RegisterTrack("t"), "i", 1);
+  ASSERT_EQ(tracer.size(), 1u);
+  EXPECT_EQ(tracer.Events()[0].cell, 5);
+}
+
+TEST(SpanTracerTest, NegativeSpanDurationClampsToInstantFloor) {
+  SpanTracer tracer;
+  tracer.Span(tracer.RegisterTrack("t"), "s", 10, -3);
+  ASSERT_EQ(tracer.size(), 1u);
+  EXPECT_TRUE(tracer.Events()[0].is_span());
+  EXPECT_EQ(tracer.Events()[0].dur, 0);
+}
+
+// --- Obs bundle + exporters ---------------------------------------------
+
+TEST(ObsTest, SnapshotMetricsPrefixesByCellAndReportsTracerHealth) {
+  ObsOptions options;
+  options.cell = 2;
+  options.trace_capacity = 2;
+  Obs obs(options);
+  obs.metrics().AddCounter("x")->Add(1);
+  obs.tracer().Instant(obs.tracer().RegisterTrack("t"), "i", 0);
+  obs.tracer().Instant(0, "i", 1);
+  obs.tracer().Instant(0, "i", 2);  // Overflows capacity 2.
+  const MetricsSnapshot snap = obs.SnapshotMetrics();
+  EXPECT_EQ(snap.values().at("cell2/x").counter, 1u);
+  EXPECT_EQ(snap.values().at("cell2/obs/trace_events_retained").counter, 2u);
+  EXPECT_EQ(snap.values().at("cell2/obs/trace_events_dropped").counter, 1u);
+}
+
+TEST(TraceExportTest, EmitsValidShapeWithDropCounts) {
+  ObsOptions options;
+  options.cell = 0;
+  Obs obs(options);
+  const int track = obs.tracer().RegisterTrack("flash bank 0");
+  obs.tracer().Span(track, "read", 1000, 500, {"bytes", 512});
+  obs.tracer().Instant(track, "sector-retired", 2000);
+  std::ostringstream out;
+  ASSERT_TRUE(WriteChromeTrace(out, {&obs}));
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"flash bank 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"ssmcDropCounts\""), std::string::npos);
+  // ts is exact fractional microseconds: 1000 ns = 1.000 us.
+  EXPECT_NE(json.find("\"ts\":1.000"), std::string::npos);
+}
+
+TEST(TraceExportTest, EmptyCaptureIsStillWellFormed) {
+  std::ostringstream out;
+  ASSERT_TRUE(WriteChromeTrace(out, {}));
+  EXPECT_NE(out.str().find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(MetricsExportTest, WritesSortedKeysAndHistogramRollups) {
+  MetricsSnapshot snap;
+  snap.Set("b", MetricValue::MakeCounter(2));
+  snap.Set("a", MetricValue::MakeInt(-1));
+  Histogram h;
+  h.Record(100);
+  h.Record(200);
+  MetricValue hv;
+  hv.kind = MetricValue::Kind::kHistogram;
+  hv.histogram.CopyFrom(h);
+  snap.Set("lat", hv);
+  std::ostringstream out;
+  WriteMetricsJson(out, snap);
+  const std::string json = out.str();
+  EXPECT_LT(json.find("\"a\""), json.find("\"b\""));
+  EXPECT_NE(json.find("\"count\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(MetricsExportTest, QuantileMatchesLiveHistogram) {
+  Histogram h;
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    h.Record(static_cast<int64_t>(rng.NextBelow(1u << 22)));
+  }
+  HistogramData d;
+  d.CopyFrom(h);
+  for (const double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(HistogramDataQuantile(d, q), h.Quantile(q)) << "q=" << q;
+  }
+}
+
+}  // namespace
+}  // namespace ssmc
