@@ -1,0 +1,211 @@
+// E12 — DRAM<->flash migration-policy ablation (paper Section 3.3).
+//
+// Claim under test: "the physical storage manager ... migrating data
+// between DRAM and flash". The write buffer already migrates dirty data
+// downward; this experiment asks what *upward* migration — promoting hot
+// read-mostly flash blocks into a DRAM clean cache — buys on a skewed
+// workload, and what it costs.
+//
+// Method: replay one hot/cold-skewed read-heavy trace per DRAM size under
+// the three residency policies (src/storage/residency.h):
+//   write-buffer-only  — dirty buffering only (the pre-E12 baseline);
+//   read-promote       — heat-threshold promotion into the clean cache;
+//   aggressive         — promote on second touch + cold-flush hints.
+// Report foreground read latency (p50/p99), how much read traffic still
+// goes to flash vs the clean cache, promotion/demotion churn, and flash
+// write amplification. The promotion policies should cut flash read traffic
+// and tail latency at a fixed DRAM budget, with diminishing (or negative)
+// returns when DRAM is too small to hold the hot set.
+//
+// The 3 policies x 3 DRAM sizes matrix is 9 independent machines; all run
+// concurrently through the parallel runner and print in submission order,
+// byte-identical to --jobs=1. Results also land in BENCH_migration.json.
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/obs/metrics_export.h"
+#include "src/storage/residency.h"
+
+namespace ssmc {
+namespace {
+
+constexpr uint64_t kDramSweepKib[] = {512, 1024, 4096};
+constexpr ResidencyPolicy kPolicies[] = {ResidencyPolicy::kWriteBufferOnly,
+                                         ResidencyPolicy::kReadPromote,
+                                         ResidencyPolicy::kAggressive};
+
+struct MigrationResult {
+  double read_p50_us = 0;
+  double read_p99_us = 0;
+  uint64_t flash_read_bytes = 0;   // Read bytes that had to touch flash.
+  uint64_t clean_hit_bytes = 0;    // Read bytes served by the clean cache.
+  uint64_t buffered_read_bytes = 0;
+  uint64_t promotions = 0;
+  uint64_t demotions = 0;          // Pressure + invalidation demotions.
+  double write_amp = 0;
+  double energy_mj = 0;
+  uint64_t failures = 0;
+};
+
+// One machine, one policy, one DRAM size, the shared skewed trace.
+MigrationResult RunCell(ResidencyPolicy policy, uint64_t dram_bytes,
+                        const WorkloadOptions& workload, Obs* obs) {
+  MachineConfig config;
+  config.obs = obs;
+  config.name = "migration";
+  config.dram_bytes = dram_bytes;
+  config.flash_spec = GenericPaperFlash();
+  config.flash_spec.erase_sector_bytes = 8 * kKiB;
+  config.flash_spec.erase_ns = 50 * kMillisecond;
+  config.flash_bytes = 16 * kMiB;
+  config.flash_banks = 2;
+  // A fixed, deliberately small write buffer: the interesting DRAM headroom
+  // is what the clean cache can claim (residency caps it at half of DRAM).
+  config.fs_options.write_buffer_pages = 256;
+  config.residency.policy = policy;
+  MobileComputer machine(config);
+
+  const Trace trace = WorkloadGenerator(workload).Generate();
+  const ReplayReport report = machine.RunTrace(trace);
+  (void)machine.fs().Sync();
+  machine.SettleEnergy();
+
+  const MemoryFileSystem::Stats& fs = machine.fs().stats();
+  const ResidencyManager::Stats& res = machine.storage().residency().stats();
+  MigrationResult result;
+  result.read_p50_us = report.ForOp(TraceOp::kRead).p50_ns() / 1e3;
+  result.read_p99_us = report.ForOp(TraceOp::kRead).p99_ns() / 1e3;
+  result.flash_read_bytes = fs.flash_direct_read_bytes.value();
+  result.clean_hit_bytes = fs.clean_cached_read_bytes.value();
+  result.buffered_read_bytes = fs.buffered_read_bytes.value();
+  result.promotions = res.promotions.value();
+  result.demotions = res.demotions_pressure.value() +
+                     res.demotions_invalidated.value();
+  result.write_amp = machine.flash_store().WriteAmplification();
+  result.energy_mj = machine.TotalEnergyNj() / 1e6;
+  result.failures = report.failures;
+  return result;
+}
+
+// Read-heavy with a hot set: the case upward migration exists for. The same
+// seed is used for every cell, so all nine machines replay the same trace.
+WorkloadOptions SkewedReadWorkload() {
+  WorkloadOptions options = ReadMostlyWorkload();
+  options.seed = 1212;
+  options.duration = 3 * kMinute;
+  options.mean_interarrival = 15 * kMillisecond;
+  options.num_directories = 16;
+  options.initial_files = 384;
+  options.min_file_bytes = 512;
+  options.max_file_bytes = 64 * 1024;
+  options.hot_skew = 0.9;      // Hot set wider than the smallest cache.
+  options.p_whole_file = 0.4;  // Mostly partial re-reads of hot blocks.
+  options.partial_io_bytes = 1024;
+  return options;
+}
+
+}  // namespace
+}  // namespace ssmc
+
+int main(int argc, char** argv) {
+  using namespace ssmc;
+  PrintHeader("E12: DRAM<->flash migration-policy ablation (Section 3.3)",
+              "Claim: promoting hot read-mostly flash blocks into a DRAM "
+              "clean cache cuts flash read traffic and read tail latency at "
+              "a fixed DRAM budget.");
+  // --residency=<policy> restricts the sweep to one policy (quick A/B runs;
+  // the "avoided vs baseline" JSON column is then relative to that policy's
+  // own first row, i.e. zero).
+  std::vector<ResidencyPolicy> policies(std::begin(kPolicies),
+                                        std::end(kPolicies));
+  const std::string policy_flag = FlagValue(argc, argv, "--residency=");
+  if (!policy_flag.empty()) {
+    ResidencyPolicy one;
+    if (!ParseResidencyPolicy(policy_flag, &one)) {
+      std::cerr << "unknown --residency policy: " << policy_flag
+                << " (want write-buffer-only | read-promote | aggressive)\n";
+      return 2;
+    }
+    policies.assign(1, one);
+  }
+  const WorkloadOptions workload = SkewedReadWorkload();
+  std::cout << "Skewed read-heavy replay (hot_skew=0.9), flash 16 MiB, "
+               "write buffer 256 pages;\nDRAM size and residency policy "
+               "swept; clean cache capped at half of DRAM.\n";
+
+  ObsCapture capture(argc, argv);
+  std::vector<std::function<MigrationResult()>> cells;
+  for (const uint64_t dram_kib : kDramSweepKib) {
+    for (const ResidencyPolicy policy : policies) {
+      const int cell = static_cast<int>(cells.size());
+      cells.push_back([&capture, cell, policy, dram_kib, workload] {
+        return RunCell(policy, dram_kib * kKiB, workload,
+                       capture.ForCell(cell));
+      });
+    }
+  }
+  const std::vector<MigrationResult> results =
+      RunCellsOrdered(argc, argv, std::move(cells));
+
+  std::vector<MetricsSnapshot> rows;
+  size_t cell = 0;
+  for (const uint64_t dram_kib : kDramSweepKib) {
+    std::cout << "\nDRAM = " << FormatSize(dram_kib * kKiB) << "\n";
+    Table table({"policy", "read p50 (us)", "read p99 (us)",
+                 "flash reads (MiB)", "clean hits (MiB)", "promos", "demos",
+                 "flash WA", "energy (mJ)", "failures"});
+    const MigrationResult& base = results[cell];  // write-buffer-only row.
+    for (const ResidencyPolicy policy : policies) {
+      const MigrationResult& r = results[cell++];
+      table.AddRow();
+      table.AddCell(ResidencyPolicyName(policy));
+      table.AddCell(r.read_p50_us, 1);
+      table.AddCell(r.read_p99_us, 1);
+      table.AddCell(static_cast<double>(r.flash_read_bytes) / kMiB, 2);
+      table.AddCell(static_cast<double>(r.clean_hit_bytes) / kMiB, 2);
+      table.AddCell(r.promotions);
+      table.AddCell(r.demotions);
+      table.AddCell(r.write_amp, 2);
+      table.AddCell(r.energy_mj, 1);
+      table.AddCell(r.failures);
+
+      MetricsSnapshot row;
+      row.Set("policy", MetricValue::MakeString(ResidencyPolicyName(policy)));
+      row.Set("dram_kib", MetricValue::MakeInt(static_cast<int64_t>(dram_kib)));
+      row.Set("read_p50_us", MetricValue::MakeDouble(r.read_p50_us));
+      row.Set("read_p99_us", MetricValue::MakeDouble(r.read_p99_us));
+      row.Set("flash_direct_read_bytes",
+              MetricValue::MakeInt(static_cast<int64_t>(r.flash_read_bytes)));
+      row.Set("clean_cached_read_bytes",
+              MetricValue::MakeInt(static_cast<int64_t>(r.clean_hit_bytes)));
+      row.Set("flash_read_bytes_avoided_vs_baseline",
+              MetricValue::MakeInt(static_cast<int64_t>(base.flash_read_bytes) -
+                                   static_cast<int64_t>(r.flash_read_bytes)));
+      row.Set("promotions", MetricValue::MakeInt(
+                                static_cast<int64_t>(r.promotions)));
+      row.Set("demotions", MetricValue::MakeInt(
+                               static_cast<int64_t>(r.demotions)));
+      row.Set("write_amplification", MetricValue::MakeDouble(r.write_amp));
+      row.Set("energy_mj", MetricValue::MakeDouble(r.energy_mj));
+      row.Set("failures", MetricValue::MakeInt(
+                              static_cast<int64_t>(r.failures)));
+      rows.push_back(std::move(row));
+    }
+    table.Print(std::cout);
+  }
+
+  std::cout << "\nReading: at each DRAM size, read-promote serves the hot "
+               "set from the clean cache —\nflash read traffic drops and "
+               "read p50/p99 fall toward DRAM speed. aggressive promotes\n"
+               "sooner (more churn for a similar hit rate) and routes cold "
+               "flushes to the relocation\nstream. With tiny DRAM the cache "
+               "cap shrinks and the benefit fades — migration only\npays "
+               "when there is headroom to hold the hot set.\n";
+  (void)WriteMetricsJsonArrayFile("BENCH_migration.json", rows);
+  capture.Finish();
+  return 0;
+}

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Regenerates the experiment artifacts after a change that may move numbers:
-# rebuilds the release preset, runs every experiment bench (E1-E11) plus the
+# rebuilds the release preset, runs every experiment bench (E1-E12) plus the
 # microbenchmarks, and refreshes the machine-readable result files
-# (BENCH_micro.json, BENCH_scaleout.json) at the repository root.
+# (BENCH_micro.json, BENCH_scaleout.json, BENCH_migration.json) at the
+# repository root.
 #
 #   scripts/regen_experiments.sh             # everything
 #   scripts/regen_experiments.sh --no-micro  # skip bench_micro/e11 (fast)
@@ -35,6 +36,9 @@ for bench in "${bindir}"/bench_e[0-9]*; do
   echo "=== ${name} ==="
   "${bench}" | tee "${outdir}/${name}.txt"
 done
+# bench_e12_migration (in the loop above, run from the repo root) also
+# refreshes BENCH_migration.json in place; fail loudly if it did not.
+test -s BENCH_migration.json
 
 echo "=== bench_e8_banks --tail (scheduling ablation) ==="
 "${bindir}/bench_e8_banks" --tail | tee "${outdir}/bench_e8_banks_tail.txt"

@@ -64,8 +64,9 @@ MobileComputer::MobileComputer(MachineConfig config)
   store_options.background_writes = true;
   store_options.block_bytes = config_.page_bytes;
   store_ = std::make_unique<FlashStore>(*flash_, store_options);
-  storage_ =
-      std::make_unique<StorageManager>(*dram_, *store_, config_.page_bytes);
+  storage_ = std::make_unique<StorageManager>(*dram_, *store_,
+                                              config_.page_bytes,
+                                              config_.residency);
   fs_ = std::make_unique<MemoryFileSystem>(*storage_, config_.fs_options);
   if (config_.obs != nullptr) {
     obs_track_ = config_.obs->tracer().RegisterTrack("machine");
@@ -116,8 +117,9 @@ Result<RecoveryReport> MobileComputer::RecoverAfterFailure(
   // Tear down in dependency order, then rebuild the DRAM-resident state
   // (allocators, namespace) from flash.
   fs_.reset();
-  storage_ =
-      std::make_unique<StorageManager>(*dram_, *store_, config_.page_bytes);
+  storage_ = std::make_unique<StorageManager>(*dram_, *store_,
+                                              config_.page_bytes,
+                                              config_.residency);
   RecoveryReport report;
   Result<std::unique_ptr<MemoryFileSystem>> recovered =
       MemoryFileSystem::RecoverFromCheckpoint(*storage_, config_.fs_options,
@@ -127,8 +129,9 @@ Result<RecoveryReport> MobileComputer::RecoverAfterFailure(
     // The failed recovery attempt constructed (and destroyed) a file system
     // that reserved the superblock — and possibly checkpoint index blocks —
     // in storage_, so rebuild the manager before constructing the fresh FS.
-    storage_ =
-        std::make_unique<StorageManager>(*dram_, *store_, config_.page_bytes);
+    storage_ = std::make_unique<StorageManager>(*dram_, *store_,
+                                                config_.page_bytes,
+                                                config_.residency);
     fs_ = std::make_unique<MemoryFileSystem>(*storage_, config_.fs_options);
     if (config_.obs != nullptr) {
       storage_->AttachObs(config_.obs);

@@ -44,6 +44,11 @@ struct MachineConfig {
   // work (the E8 read-tail ablation).
   IoSchedPolicy io_sched = IoSchedPolicy::kFifo;
   MemoryFsOptions fs_options;
+  // DRAM<->flash migration policy (src/storage/residency.h). The default
+  // kWriteBufferOnly is byte-identical to the pre-residency simulator;
+  // kReadPromote/kAggressive additionally promote hot flash blocks into a
+  // DRAM clean cache (experiment E12).
+  ResidencyOptions residency;
   double primary_battery_mwh = 20000;  // Notebook pack.
   double backup_battery_mwh = 250;     // Lithium backup.
   Duration flush_period = 5 * kSecond;

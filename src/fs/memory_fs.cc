@@ -19,6 +19,9 @@ MemoryFileSystem::MemoryFileSystem(StorageManager& storage,
               }),
       root_(std::make_unique<Node>()) {
   root_->is_dir = true;
+  // The write buffer is the dirty side of the residency map; the manager
+  // resolves kDirty through it.
+  storage_.residency().BindDirtyBackend(&buffer_);
   // Claim the fixed superblock that anchors metadata checkpoints. On a
   // recovery path the fresh storage manager has it free; reservation only
   // fails if two file systems share one manager, which is unsupported.
@@ -28,8 +31,36 @@ MemoryFileSystem::MemoryFileSystem(StorageManager& storage,
 }
 
 MemoryFileSystem::~MemoryFileSystem() {
+  // Clean-cache keys and heat die with the namespace; unbind the buffer
+  // before it is destroyed.
+  storage_.residency().DetachFilesystem();
   if (obs_ != nullptr) {
     obs_->metrics().FlushAndRemoveCollector("fs");
+  }
+}
+
+Residency MemoryFileSystem::OracleResolve(const BlockKey& key,
+                                          int64_t flash_block) const {
+  if (buffer_.Contains(key)) {
+    return Residency::kDirty;
+  }
+  if (flash_block >= 0) {
+    return Residency::kFlash;
+  }
+  return Residency::kHole;
+}
+
+void MemoryFileSystem::CheckResolve(Residency got, const BlockKey& key,
+                                    int64_t flash_block) {
+  if (!options_.validate_residency) {
+    return;
+  }
+  const Residency want = OracleResolve(key, flash_block);
+  const bool ok =
+      got == want || (got == Residency::kClean && want == Residency::kFlash &&
+                      storage_.residency().enabled());
+  if (!ok) {
+    ++residency_validation_failures_;
   }
 }
 
@@ -100,7 +131,10 @@ Status MemoryFileSystem::Mkdir(const std::string& path) {
 }
 
 void MemoryFileSystem::ReleaseBlock(Inode& inode, uint64_t block_index) {
-  buffer_.Drop(BlockKey{inode.id, block_index});
+  const BlockKey key{inode.id, block_index};
+  buffer_.Drop(key);
+  storage_.residency().InvalidateClean(key);
+  storage_.residency().ForgetHeat(key);
   if (block_index < inode.flash_blocks.size() &&
       inode.flash_blocks[block_index] >= 0) {
     (void)storage_.FreeFlashBlock(
@@ -131,7 +165,9 @@ Status MemoryFileSystem::Unlink(const std::string& path) {
   const uint64_t total_blocks =
       (inode.size + block_bytes() - 1) / block_bytes();
   for (uint64_t b = blocks; b < total_blocks; ++b) {
-    buffer_.Drop(BlockKey{inode.id, b});
+    const BlockKey key{inode.id, b};
+    buffer_.Drop(key);
+    storage_.residency().ForgetHeat(key);
   }
   inode_index_.erase(inode.id);
   storage_.ChargeMetadataWrite(kDirEntryBytes + kInodeBytes);
@@ -179,6 +215,7 @@ void MemoryFileSystem::AttachObs(Obs* obs) {
   Counter* written_bytes = m.AddCounter("fs/written_bytes");
   Counter* flash_direct = m.AddCounter("fs/flash_direct_read_bytes");
   Counter* buffered = m.AddCounter("fs/buffered_read_bytes");
+  Counter* clean_cached = m.AddCounter("fs/clean_cached_read_bytes");
   Counter* cow_copies = m.AddCounter("fs/cow_block_copies");
   m.AddCollector("fs", [=, this] {
     auto mirror = [](Counter* dst, const Counter& src) {
@@ -193,6 +230,7 @@ void MemoryFileSystem::AttachObs(Obs* obs) {
     mirror(written_bytes, stats_.written_bytes);
     mirror(flash_direct, stats_.flash_direct_read_bytes);
     mirror(buffered, stats_.buffered_read_bytes);
+    mirror(clean_cached, stats_.clean_cached_read_bytes);
     mirror(cow_copies, stats_.cow_block_copies);
   });
 }
@@ -216,6 +254,7 @@ Result<uint64_t> MemoryFileSystem::Read(const std::string& path,
   const uint64_t n = std::min<uint64_t>(out.size(), inode.size - offset);
   const uint64_t bs = block_bytes();
   std::vector<uint8_t> staging(bs);
+  ResidencyManager& res = storage_.residency();
 
   uint64_t done = 0;
   while (done < n) {
@@ -224,25 +263,48 @@ Result<uint64_t> MemoryFileSystem::Read(const std::string& path,
     const uint64_t in_block = pos % bs;
     const uint64_t chunk = std::min(bs - in_block, n - done);
     const BlockKey key{inode.id, block};
+    const int64_t slot = block < inode.flash_blocks.size()
+                             ? inode.flash_blocks[block]
+                             : -1;
+    const Residency where = res.Resolve(key, slot);
+    CheckResolve(where, key, slot);
+    const SimTime now = storage_.flash_store().device().clock().now();
 
-    if (buffer_.Contains(key)) {
-      // Dirty block: serve from the DRAM buffer.
-      SSMC_RETURN_IF_ERROR(buffer_.Get(key, staging));
-      std::memcpy(out.data() + done, staging.data() + in_block, chunk);
-      stats_.buffered_read_bytes.Add(chunk);
-    } else if (block < inode.flash_blocks.size() &&
-               inode.flash_blocks[block] >= 0) {
-      // Clean block: read directly from flash, byte-granular, no caching.
-      Result<Duration> r = storage_.flash_store().ReadPartial(
-          static_cast<uint64_t>(inode.flash_blocks[block]), in_block,
-          std::span<uint8_t>(out.data() + done, chunk));
-      if (!r.ok()) {
-        return r.status();
+    switch (where) {
+      case Residency::kDirty: {
+        // Dirty block: serve from the DRAM buffer.
+        SSMC_RETURN_IF_ERROR(buffer_.Get(key, staging));
+        std::memcpy(out.data() + done, staging.data() + in_block, chunk);
+        stats_.buffered_read_bytes.Add(chunk);
+        res.TouchRead(key, now);
+        break;
       }
-      stats_.flash_direct_read_bytes.Add(chunk);
-    } else {
-      // Hole: zero fill.
-      std::memset(out.data() + done, 0, chunk);
+      case Residency::kClean: {
+        // Promoted hot block: serve from the clean DRAM cache.
+        SSMC_RETURN_IF_ERROR(res.ReadClean(
+            key, in_block, std::span<uint8_t>(out.data() + done, chunk)));
+        stats_.clean_cached_read_bytes.Add(chunk);
+        res.TouchRead(key, now);
+        break;
+      }
+      case Residency::kFlash: {
+        // Clean block: read directly from flash, byte-granular. The heat
+        // update may promote the block for future reads.
+        Result<Duration> r = storage_.flash_store().ReadPartial(
+            static_cast<uint64_t>(slot), in_block,
+            std::span<uint8_t>(out.data() + done, chunk));
+        if (!r.ok()) {
+          return r.status();
+        }
+        stats_.flash_direct_read_bytes.Add(chunk);
+        res.OnFlashRead(key, static_cast<uint64_t>(slot), now);
+        break;
+      }
+      case Residency::kHole: {
+        // Hole: zero fill.
+        std::memset(out.data() + done, 0, chunk);
+        break;
+      }
     }
     done += chunk;
   }
@@ -262,28 +324,47 @@ Status MemoryFileSystem::StageBlockWrite(Inode& inode, uint64_t block_index,
   const uint64_t bs = block_bytes();
   assert(offset_in_block + data.size() <= bs);
   const BlockKey key{inode.id, block_index};
+  ResidencyManager& res = storage_.residency();
   const SimTime now = storage_.flash_store().device().clock().now();
+  res.TouchWrite(key, now);
 
   if (offset_in_block == 0 && data.size() == bs) {
-    // Whole-block write: no need to know the old contents.
+    // Whole-block write: no need to know the old contents. Any clean-cached
+    // copy is stale the moment the block dirties.
+    res.InvalidateClean(key);
     return buffer_.Put(key, data, now);
   }
 
   std::vector<uint8_t> staging(bs, 0);
-  if (buffer_.Contains(key)) {
-    SSMC_RETURN_IF_ERROR(buffer_.Get(key, staging));
-  } else if (block_index < inode.flash_blocks.size() &&
-             inode.flash_blocks[block_index] >= 0) {
-    // Copy-on-write: "when a write operation occurs, the affected block can
-    // be copied to DRAM, where it is left in a write buffer."
-    Result<Duration> r = storage_.flash_store().Read(
-        static_cast<uint64_t>(inode.flash_blocks[block_index]), staging);
-    if (!r.ok()) {
-      return r.status();
+  const int64_t slot = block_index < inode.flash_blocks.size()
+                           ? inode.flash_blocks[block_index]
+                           : -1;
+  const Residency where = res.Resolve(key, slot);
+  CheckResolve(where, key, slot);
+  switch (where) {
+    case Residency::kDirty:
+      SSMC_RETURN_IF_ERROR(buffer_.Get(key, staging));
+      break;
+    case Residency::kClean:
+      // The promoted copy doubles as a DRAM-speed copy-on-write source.
+      SSMC_RETURN_IF_ERROR(res.ReadClean(key, 0, staging));
+      break;
+    case Residency::kFlash: {
+      // Copy-on-write: "when a write operation occurs, the affected block
+      // can be copied to DRAM, where it is left in a write buffer."
+      Result<Duration> r =
+          storage_.flash_store().Read(static_cast<uint64_t>(slot), staging);
+      if (!r.ok()) {
+        return r.status();
+      }
+      stats_.cow_block_copies.Add();
+      break;
     }
-    stats_.cow_block_copies.Add();
+    case Residency::kHole:
+      break;
   }
   std::memcpy(staging.data() + offset_in_block, data.data(), data.size());
+  res.InvalidateClean(key);
   return buffer_.Put(key, staging, now);
 }
 
@@ -441,10 +522,13 @@ Status MemoryFileSystem::FlushBlock(const BlockKey& key,
   }
   // This is the write buffer draining: flush-class traffic, never cleaner,
   // never foreground (whether it blocks still follows the store's
-  // background_writes mode).
+  // background_writes mode). The residency manager picks the write stream:
+  // kAggressive routes heat-cold blocks onto the relocation (cold-bank)
+  // stream; every other policy flushes kUser exactly as before.
+  const WriteStream stream = storage_.residency().FlushStream(
+      key, storage_.flash_store().device().clock().now());
   Result<Duration> written = storage_.flash_store().Write(
-      static_cast<uint64_t>(slot), data, WriteStream::kUser,
-      IoPriority::kFlush);
+      static_cast<uint64_t>(slot), data, stream, IoPriority::kFlush);
   return written.ok() ? Status::Ok() : written.status();
 }
 
@@ -783,6 +867,9 @@ Result<std::vector<BlockLocation>> MemoryFileSystem::BlockLocations(
   const Inode& inode = node->inode;
   const uint64_t blocks = (inode.size + block_bytes() - 1) / block_bytes();
   std::vector<BlockLocation> locations(blocks);
+  // Clean-cached blocks deliberately report kFlash: the flash copy stays
+  // authoritative and the cache page can be demoted at any moment, so the
+  // VM must never map it.
   for (uint64_t b = 0; b < blocks; ++b) {
     BlockLocation& loc = locations[b];
     if (buffer_.Contains(BlockKey{inode.id, b})) {

@@ -6,8 +6,11 @@
 //  * no block clustering — flash has no seeks, so placement is whatever the
 //    flash store's log gives us;
 //  * no indirect blocks — a file's block map is one flat extent vector;
-//  * no buffer cache — reads are served from the DRAM write buffer if the
-//    block is dirty, otherwise directly from flash at byte granularity;
+//  * no traditional buffer cache — reads resolve through the residency
+//    manager (src/storage/residency.h): dirty blocks come from the DRAM
+//    write buffer, promoted hot blocks from its clean cache (migration
+//    policies only), everything else directly from flash at byte
+//    granularity;
 //  * writes go to the DRAM write buffer (copy-on-write from flash for
 //    partial-block updates) and reach flash only when flushed — short-lived
 //    data is dropped before it ever costs a flash program;
@@ -42,6 +45,13 @@ struct MemoryFsOptions {
   uint64_t write_buffer_pages = 2048;
   // Dirty blocks older than this are flushed by TickFlush().
   Duration flush_age = 30 * kSecond;
+  // Differential oracle mode (PR 1 technique): every placement decision the
+  // residency manager makes is cross-checked against the pre-residency
+  // buffered->flash->hole resolution chain, counting mismatches in
+  // residency_validation_failures(). A clean-cache hit where the oracle
+  // says flash is the one legal divergence (under migration policies the
+  // flash copy stays authoritative).
+  bool validate_residency = false;
 };
 
 // Where a mapped file block currently lives (consumed by the VM layer for
@@ -114,9 +124,14 @@ class MemoryFileSystem : public FileSystem {
   // relocates flash blocks.
   Result<std::vector<BlockLocation>> BlockLocations(const std::string& path);
 
-  // Simulates total battery failure: every dirty buffered block is lost.
-  // Returns the number of lost bytes. Flash contents survive.
-  uint64_t LoseBufferedData() { return buffer_.DropAllUnflushed(); }
+  // Simulates total battery failure: every dirty buffered block is lost,
+  // and the (battery-backed DRAM) clean cache evaporates with it — though
+  // the latter costs nothing, its flash copies being authoritative.
+  // Returns the number of lost dirty bytes. Flash contents survive.
+  uint64_t LoseBufferedData() {
+    storage_.residency().InvalidateAllClean();
+    return buffer_.DropAllUnflushed();
+  }
 
   const WriteBuffer& write_buffer() const { return buffer_; }
   WriteBuffer& write_buffer() { return buffer_; }
@@ -132,9 +147,17 @@ class MemoryFileSystem : public FileSystem {
     Counter written_bytes;
     Counter flash_direct_read_bytes;  // Bytes served straight from flash.
     Counter buffered_read_bytes;      // Bytes served from the write buffer.
+    Counter clean_cached_read_bytes;  // Bytes served from the residency
+                                      // manager's clean DRAM cache.
     Counter cow_block_copies;         // Flash->DRAM copies for partial writes.
   };
   const Stats& stats() const { return stats_; }
+
+  // Mismatches found by MemoryFsOptions::validate_residency (0 = the
+  // residency manager agreed with the legacy resolution on every access).
+  uint64_t residency_validation_failures() const {
+    return residency_validation_failures_;
+  }
 
   // Observability (nullable; null detaches): a "memory-fs" trace track with
   // data-op and checkpoint spans plus a Stats mirror collector. Also attaches
@@ -184,10 +207,18 @@ class MemoryFileSystem : public FileSystem {
   void ReleaseBlock(Inode& inode, uint64_t block_index);
 
   // Stages a block into the write buffer, performing copy-on-write from
-  // flash when the write does not cover the whole block.
+  // flash (or the clean cache, at DRAM speed) when the write does not cover
+  // the whole block.
   Status StageBlockWrite(Inode& inode, uint64_t block_index,
                          uint64_t offset_in_block,
                          std::span<const uint8_t> data);
+
+  // The pre-residency placement chain, kept as the differential oracle for
+  // MemoryFsOptions::validate_residency.
+  Residency OracleResolve(const BlockKey& key, int64_t flash_block) const;
+  // Counts a mismatch between `got` and the oracle (no-op unless
+  // validate_residency is set).
+  void CheckResolve(Residency got, const BlockKey& key, int64_t flash_block);
 
   StorageManager& storage_;
   MemoryFsOptions options_;
@@ -199,6 +230,7 @@ class MemoryFileSystem : public FileSystem {
   std::vector<uint64_t> checkpoint_blocks_;  // Data blocks of the last
                                              // checkpoint (superblock extra).
   SimTime last_checkpoint_at_ = -1;          // -1: never checkpointed.
+  uint64_t residency_validation_failures_ = 0;
   Stats stats_;
   Obs* obs_ = nullptr;
   int obs_track_ = 0;

@@ -378,6 +378,11 @@ Result<Duration> FlashStore::Write(uint64_t block,
 }
 
 Result<Duration> FlashStore::Read(uint64_t block, std::span<uint8_t> out) {
+  return Read(block, out, IoIssue{});
+}
+
+Result<Duration> FlashStore::Read(uint64_t block, std::span<uint8_t> out,
+                                  IoIssue issue) {
   if (block >= num_logical_blocks_) {
     return OutOfRangeError("flash store block out of range");
   }
@@ -388,7 +393,7 @@ Result<Duration> FlashStore::Read(uint64_t block, std::span<uint8_t> out) {
     return NotFoundError("flash store block " + std::to_string(block) +
                          " is not mapped");
   }
-  Result<Duration> r = flash_.Read(PageAddress(map_[block]), out);
+  Result<Duration> r = flash_.Read(PageAddress(map_[block]), out, issue);
   if (r.ok()) {
     stats_.user_reads.Add();
   }

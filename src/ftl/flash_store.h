@@ -149,6 +149,11 @@ class FlashStore {
   // Reads a logical block. Fails NOT_FOUND if the block was never written
   // (or was trimmed).
   Result<Duration> Read(uint64_t block, std::span<uint8_t> out);
+  // As above with an explicit issue mode: the residency manager's promotion
+  // reads run cleaner-class and non-blocking (the bank absorbs the time;
+  // the caller's clock does not advance).
+  Result<Duration> Read(uint64_t block, std::span<uint8_t> out,
+                        IoIssue issue);
 
   // Byte-granular read within a block — flash is byte-addressable and
   // direct-mapped, so a partial read costs only the touched bytes (unlike a

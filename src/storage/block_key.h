@@ -1,0 +1,37 @@
+// BlockKey — the identity of one logical file block, (file id, block index).
+//
+// This is the key space shared by every layer that tracks where a block
+// lives: the write buffer (dirty DRAM), the residency manager (clean DRAM
+// cache + heat), and the file system's flash block map. Lives in its own
+// header so those layers can share it without including each other.
+
+#ifndef SSMC_SRC_STORAGE_BLOCK_KEY_H_
+#define SSMC_SRC_STORAGE_BLOCK_KEY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace ssmc {
+
+// Identifies one file block: (file id, block index within the file).
+struct BlockKey {
+  uint64_t file_id = 0;
+  uint64_t block_index = 0;
+
+  bool operator==(const BlockKey& other) const {
+    return file_id == other.file_id && block_index == other.block_index;
+  }
+};
+
+struct BlockKeyHash {
+  size_t operator()(const BlockKey& k) const {
+    // Simple mix; file ids are small and block indices dense.
+    return std::hash<uint64_t>()(k.file_id * 0x9E3779B97F4A7C15ULL ^
+                                 k.block_index);
+  }
+};
+
+}  // namespace ssmc
+
+#endif  // SSMC_SRC_STORAGE_BLOCK_KEY_H_

@@ -1,0 +1,399 @@
+#include "src/storage/residency.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "src/obs/obs.h"
+#include "src/storage/storage_manager.h"
+#include "src/storage/write_buffer.h"
+
+namespace ssmc {
+
+const char* ResidencyPolicyName(ResidencyPolicy policy) {
+  switch (policy) {
+    case ResidencyPolicy::kWriteBufferOnly:
+      return "write-buffer-only";
+    case ResidencyPolicy::kReadPromote:
+      return "read-promote";
+    case ResidencyPolicy::kAggressive:
+      return "aggressive";
+  }
+  return "unknown";
+}
+
+bool ParseResidencyPolicy(std::string_view name, ResidencyPolicy* out) {
+  if (name == "write-buffer-only" || name == "kWriteBufferOnly") {
+    *out = ResidencyPolicy::kWriteBufferOnly;
+    return true;
+  }
+  if (name == "read-promote" || name == "kReadPromote") {
+    *out = ResidencyPolicy::kReadPromote;
+    return true;
+  }
+  if (name == "aggressive" || name == "kAggressive") {
+    *out = ResidencyPolicy::kAggressive;
+    return true;
+  }
+  return false;
+}
+
+ResidencyManager::ResidencyManager(StorageManager& storage,
+                                   ResidencyOptions options)
+    : storage_(storage), options_(options) {
+  assert(options_.heat_half_life > 0);
+}
+
+ResidencyManager::~ResidencyManager() {
+  InvalidateAllClean();
+  if (obs_ != nullptr) {
+    obs_->metrics().FlushAndRemoveCollector("residency");
+  }
+}
+
+void ResidencyManager::DetachFilesystem() {
+  dirty_backend_ = nullptr;
+  InvalidateAllClean();
+  heat_.clear();
+}
+
+void ResidencyManager::RegisterSource(ReclaimSource* source) {
+  if (std::find(sources_.begin(), sources_.end(), source) == sources_.end()) {
+    sources_.push_back(source);
+  }
+}
+
+void ResidencyManager::DropSource(ReclaimSource* source) {
+  sources_.erase(std::remove(sources_.begin(), sources_.end(), source),
+                 sources_.end());
+}
+
+Residency ResidencyManager::Resolve(const BlockKey& key,
+                                    int64_t flash_block) const {
+  if (dirty_backend_ != nullptr && dirty_backend_->Contains(key)) {
+    return Residency::kDirty;
+  }
+  if (clean_.find(key) != clean_.end()) {
+    return Residency::kClean;
+  }
+  if (flash_block >= 0) {
+    return Residency::kFlash;
+  }
+  return Residency::kHole;
+}
+
+Status ResidencyManager::ReadClean(const BlockKey& key, uint64_t offset,
+                                   std::span<uint8_t> out) {
+  auto it = clean_.find(key);
+  if (it == clean_.end()) {
+    return NotFoundError("block not clean-cached");
+  }
+  if (offset + out.size() > storage_.page_bytes()) {
+    return OutOfRangeError("clean-cache read exceeds block bounds");
+  }
+  // Refresh LRU: splice the entry to the MRU end.
+  clean_lru_.splice(clean_lru_.end(), clean_lru_, it->second.lru_it);
+  Result<Duration> r = storage_.dram().Read(
+      storage_.DramPageAddress(it->second.dram_page) + offset, out);
+  if (!r.ok()) {
+    return r.status();
+  }
+  stats_.clean_hits.Add();
+  stats_.clean_hit_bytes.Add(out.size());
+  return Status::Ok();
+}
+
+void ResidencyManager::EraseCleanEntry(
+    std::unordered_map<BlockKey, CleanEntry, BlockKeyHash>::iterator it) {
+  (void)storage_.FreeDramPage(it->second.dram_page);
+  clean_lru_.erase(it->second.lru_it);
+  clean_.erase(it);
+}
+
+void ResidencyManager::InvalidateClean(const BlockKey& key) {
+  auto it = clean_.find(key);
+  if (it == clean_.end()) {
+    return;
+  }
+  stats_.demotions_invalidated.Add();
+  EraseCleanEntry(it);
+}
+
+void ResidencyManager::InvalidateAllClean() {
+  stats_.demotions_invalidated.Add(clean_.size());
+  for (auto& [key, entry] : clean_) {
+    (void)storage_.FreeDramPage(entry.dram_page);
+  }
+  clean_.clear();
+  clean_lru_.clear();
+}
+
+bool ResidencyManager::DemoteOneClean(bool pressure) {
+  if (clean_lru_.empty()) {
+    return false;
+  }
+  auto it = clean_.find(clean_lru_.front());
+  assert(it != clean_.end());
+  if (pressure) {
+    stats_.demotions_pressure.Add();
+    if (obs_ != nullptr) {
+      obs_->tracer().Instant(obs_track_, "demote-pressure",
+                             storage_.dram().clock().now());
+    }
+  } else {
+    stats_.demotions_invalidated.Add();
+  }
+  EraseCleanEntry(it);
+  return true;
+}
+
+double ResidencyManager::DecayTo(Heat& h, SimTime now) const {
+  if (now > h.last) {
+    const double dt = static_cast<double>(now - h.last);
+    h.decayed *= std::exp2(-dt / static_cast<double>(options_.heat_half_life));
+    h.last = now;
+  }
+  return h.decayed;
+}
+
+double ResidencyManager::Touch(const BlockKey& key, SimTime now) {
+  stats_.touches.Add();
+  Heat& h = heat_[key];
+  DecayTo(h, now);
+  h.decayed += 1.0;
+  h.raw += 1;
+  const double current = h.decayed;
+  if (heat_.size() > options_.max_heat_entries) {
+    // Sweep entries that have gone cold. The result is order-independent
+    // (every entry below the threshold goes), so unordered_map iteration
+    // order cannot affect behavior.
+    for (auto it = heat_.begin(); it != heat_.end();) {
+      if (DecayTo(it->second, now) < 0.25) {
+        it = heat_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return current;
+}
+
+bool ResidencyManager::ShouldPromote(const Heat& h) const {
+  switch (options_.policy) {
+    case ResidencyPolicy::kWriteBufferOnly:
+      return false;
+    case ResidencyPolicy::kReadPromote:
+      return h.decayed >= options_.promote_threshold;
+    case ResidencyPolicy::kAggressive:
+      return h.raw >= options_.aggressive_touches ||
+             h.decayed >= options_.promote_threshold;
+  }
+  return false;
+}
+
+void ResidencyManager::TouchRead(const BlockKey& key, SimTime now) {
+  if (!enabled()) {
+    return;
+  }
+  (void)Touch(key, now);
+}
+
+void ResidencyManager::TouchWrite(const BlockKey& key, SimTime now) {
+  if (!enabled()) {
+    return;
+  }
+  (void)Touch(key, now);
+}
+
+void ResidencyManager::OnFlashRead(const BlockKey& key, uint64_t flash_block,
+                                   SimTime now) {
+  if (!enabled()) {
+    return;
+  }
+  (void)Touch(key, now);
+  auto it = heat_.find(key);
+  assert(it != heat_.end());
+  if (ShouldPromote(it->second) && !CleanCached(key)) {
+    PromoteFromFlash(key, flash_block, now);
+  }
+}
+
+bool ResidencyManager::NoteVmFault(const BlockKey& key, SimTime now) {
+  if (!enabled()) {
+    return false;
+  }
+  (void)Touch(key, now);
+  auto it = heat_.find(key);
+  assert(it != heat_.end());
+  if (ShouldPromote(it->second)) {
+    stats_.vm_promote_faults.Add();
+    return true;
+  }
+  return false;
+}
+
+WriteStream ResidencyManager::FlushStream(const BlockKey& key, SimTime now) {
+  if (options_.policy != ResidencyPolicy::kAggressive) {
+    return WriteStream::kUser;
+  }
+  const double heat = HeatOf(key, now);
+  if (flush_heat_ != nullptr) {
+    flush_heat_->Record(static_cast<uint64_t>(heat * 100.0));
+  }
+  if (heat < options_.cold_hint_threshold) {
+    stats_.cold_stream_hints.Add();
+    return WriteStream::kRelocation;
+  }
+  return WriteStream::kUser;
+}
+
+void ResidencyManager::ForgetHeat(const BlockKey& key) { heat_.erase(key); }
+
+double ResidencyManager::HeatOf(const BlockKey& key, SimTime now) const {
+  auto it = heat_.find(key);
+  if (it == heat_.end()) {
+    return 0.0;
+  }
+  // Read-only decay: do not update the stored entry.
+  const Heat& h = it->second;
+  if (now <= h.last) {
+    return h.decayed;
+  }
+  const double dt = static_cast<double>(now - h.last);
+  return h.decayed *
+         std::exp2(-dt / static_cast<double>(options_.heat_half_life));
+}
+
+uint64_t ResidencyManager::MaxCleanPages() const {
+  return static_cast<uint64_t>(options_.max_clean_fraction *
+                               static_cast<double>(storage_.total_dram_pages()));
+}
+
+void ResidencyManager::PromoteFromFlash(const BlockKey& key,
+                                        uint64_t flash_block, SimTime now) {
+  const uint64_t cap = MaxCleanPages();
+  if (cap == 0) {
+    return;
+  }
+  // Recycle our own LRU tail at the cap — the cache never squeezes dirty
+  // data or VM frames to grow.
+  while (clean_.size() >= cap) {
+    (void)DemoteOneClean(/*pressure=*/true);
+  }
+  Result<uint64_t> page = storage_.AllocateDramPage();
+  while (!page.ok() && DemoteOneClean(/*pressure=*/true)) {
+    page = storage_.AllocateDramPage();
+  }
+  if (!page.ok()) {
+    return;  // No free DRAM and nothing of ours to recycle: skip quietly.
+  }
+  // The promotion read is cleaner-class background I/O: it occupies a flash
+  // bank without advancing the caller's clock, so the foreground read that
+  // triggered promotion is never stalled by it. The DRAM fill is charged
+  // normally (the copy engine writes the page).
+  std::vector<uint8_t> staging(storage_.page_bytes());
+  Result<Duration> read = storage_.flash_store().Read(
+      flash_block, staging, IoIssue{IoPriority::kCleaner, /*blocking=*/false});
+  if (!read.ok()) {
+    (void)storage_.FreeDramPage(page.value());
+    return;
+  }
+  Result<Duration> wrote = storage_.dram().Write(
+      storage_.DramPageAddress(page.value()), staging);
+  if (!wrote.ok()) {
+    (void)storage_.FreeDramPage(page.value());
+    return;
+  }
+  clean_lru_.push_back(key);
+  CleanEntry entry;
+  entry.dram_page = page.value();
+  entry.lru_it = std::prev(clean_lru_.end());
+  clean_.emplace(key, entry);
+  stats_.promotions.Add();
+  stats_.promoted_bytes.Add(storage_.page_bytes());
+  if (promote_heat_ != nullptr) {
+    promote_heat_->Record(static_cast<uint64_t>(HeatOf(key, now) * 100.0));
+  }
+  if (obs_ != nullptr) {
+    const SimTime t1 = storage_.dram().clock().now();
+    obs_->tracer().Span(obs_track_, "promote", now, t1 - now,
+                        {"file", key.file_id}, {"block", key.block_index});
+  }
+}
+
+Result<uint64_t> ResidencyManager::AllocateDramPage(ReclaimSource* requester) {
+  Result<uint64_t> page = storage_.AllocateDramPage();
+  // 1. The clean cache is the cheapest thing in DRAM: demote it first.
+  while (!page.ok() && enabled() && DemoteOneClean(/*pressure=*/true)) {
+    page = storage_.AllocateDramPage();
+  }
+  // 2. The requester's own reclaimable pages — exactly the historical VM
+  // reclaim loop, so kWriteBufferOnly behavior is unchanged.
+  while (!page.ok() && requester != nullptr && requester->TryReclaimOne()) {
+    page = storage_.AllocateDramPage();
+  }
+  // 3. Under migration policies, every address space's clean pages compete
+  // for the same DRAM (single-level store): reclaim from the others too, in
+  // registration order for determinism.
+  if (!page.ok() && enabled()) {
+    for (ReclaimSource* source : sources_) {
+      if (source == requester) {
+        continue;
+      }
+      while (!page.ok() && source->TryReclaimOne()) {
+        page = storage_.AllocateDramPage();
+      }
+      if (page.ok()) {
+        break;
+      }
+    }
+  }
+  return page;
+}
+
+void ResidencyManager::AttachObs(Obs* obs) {
+  if (obs_ != nullptr && obs_ != obs) {
+    obs_->metrics().FlushAndRemoveCollector("residency");
+  }
+  obs_ = obs;
+  if (obs_ == nullptr) {
+    promote_heat_ = nullptr;
+    flush_heat_ = nullptr;
+    return;
+  }
+  obs_track_ = obs_->tracer().RegisterTrack("residency");
+  MetricsRegistry& m = obs_->metrics();
+  promote_heat_ = m.AddHistogram("residency/promote_heat_x100");
+  flush_heat_ = m.AddHistogram("residency/flush_heat_x100");
+  Counter* touches = m.AddCounter("residency/touches");
+  Counter* promotions = m.AddCounter("residency/promotions");
+  Counter* promoted_bytes = m.AddCounter("residency/promoted_bytes");
+  Counter* clean_hits = m.AddCounter("residency/clean_hits");
+  Counter* clean_hit_bytes = m.AddCounter("residency/clean_hit_bytes");
+  Counter* dem_pressure = m.AddCounter("residency/demotions_pressure");
+  Counter* dem_invalid = m.AddCounter("residency/demotions_invalidated");
+  Counter* cold_hints = m.AddCounter("residency/cold_stream_hints");
+  Counter* vm_promotes = m.AddCounter("residency/vm_promote_faults");
+  Gauge* clean_pages = m.AddGauge("residency/clean_pages");
+  Gauge* heat_entries = m.AddGauge("residency/heat_entries");
+  m.AddCollector("residency", [=, this] {
+    auto mirror = [](Counter* dst, const Counter& src) {
+      dst->Reset();
+      dst->Add(src.value());
+    };
+    mirror(touches, stats_.touches);
+    mirror(promotions, stats_.promotions);
+    mirror(promoted_bytes, stats_.promoted_bytes);
+    mirror(clean_hits, stats_.clean_hits);
+    mirror(clean_hit_bytes, stats_.clean_hit_bytes);
+    mirror(dem_pressure, stats_.demotions_pressure);
+    mirror(dem_invalid, stats_.demotions_invalidated);
+    mirror(cold_hints, stats_.cold_stream_hints);
+    mirror(vm_promotes, stats_.vm_promote_faults);
+    clean_pages->Set(static_cast<int64_t>(clean_.size()));
+    heat_entries->Set(static_cast<int64_t>(heat_.size()));
+  });
+}
+
+}  // namespace ssmc

@@ -1,0 +1,257 @@
+// ResidencyManager — the single authority on DRAM↔flash placement
+// (paper Section 3.3: the physical storage manager's core job is "migrating
+// data between DRAM and flash").
+//
+// Before this layer existed, residency state was smeared across the stack:
+// the write buffer demoted dirty blocks, the file system decided
+// buffered-vs-flash per access, the VM ran a private clean-page reclaim
+// FIFO, and nothing could *promote* a hot read-mostly flash block into
+// DRAM. The ResidencyManager centralizes that:
+//
+//  * it answers, for any logical block, where it currently lives
+//    (DRAM-dirty, DRAM-clean-cached, flash, hole) — Resolve();
+//  * it tracks per-block access heat as sim-time-decayed touch counts, fed
+//    by file-system reads/writes and VM faults;
+//  * it owns a clean-block DRAM cache with LRU, pressure-driven demotion;
+//  * it arbitrates the shared DRAM budget: VM page frames, dirty buffer
+//    pages and the clean cache all draw from one pool (the paper's
+//    single-level-store premise), with clean pages demoted first.
+//
+// Migration policies (MachineConfig::residency.policy):
+//  * kWriteBufferOnly — today's behavior, bit-identical: dirty blocks
+//    buffer in DRAM and flush to flash; clean data always reads from
+//    flash. The pre-residency code path is preserved under this policy and
+//    doubles as the differential oracle (MemoryFsOptions::
+//    validate_residency), the same technique PR 1 used for the FTL indexes.
+//  * kReadPromote — flash blocks whose decayed heat crosses
+//    promote_threshold are promoted into the clean cache. Promotion flash
+//    reads are issued cleaner-class and non-blocking (background
+//    IoRequests), so promotion never stalls the foreground read that
+//    triggered it; subsequent reads of the block run at DRAM speed.
+//  * kAggressive — promote on the second raw touch, and additionally
+//    forward cold-data hints to the FlashStore: blocks whose heat has
+//    decayed below cold_hint_threshold flush on the relocation (cold)
+//    stream, pre-segregating write-once data into the cold banks.
+//
+// The clean cache holds only re-fetchable data (the flash copy stays
+// authoritative), so demotion is free: under any DRAM pressure the cache
+// shrinks before dirty data or VM frames are touched.
+
+#ifndef SSMC_SRC_STORAGE_RESIDENCY_H_
+#define SSMC_SRC_STORAGE_RESIDENCY_H_
+
+#include <cstdint>
+#include <list>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ftl/flash_store.h"
+#include "src/sim/stats.h"
+#include "src/storage/block_key.h"
+#include "src/support/status.h"
+#include "src/support/units.h"
+
+namespace ssmc {
+
+class Obs;
+class StorageManager;
+class WriteBuffer;
+
+// Which migration policy the residency manager runs.
+enum class ResidencyPolicy {
+  kWriteBufferOnly = 0,  // Dirty buffering only — byte-identical baseline.
+  kReadPromote = 1,      // Heat-threshold promotion into the clean cache.
+  kAggressive = 2,       // Promote-on-second-touch + cold demotion hints.
+};
+
+const char* ResidencyPolicyName(ResidencyPolicy policy);
+// Parses "write-buffer-only" / "read-promote" / "aggressive" (also accepts
+// the bare enum spellings). Returns false on an unknown name.
+bool ParseResidencyPolicy(std::string_view name, ResidencyPolicy* out);
+
+struct ResidencyOptions {
+  ResidencyPolicy policy = ResidencyPolicy::kWriteBufferOnly;
+  // Half-life of the exponential touch-count decay. A block touched once
+  // counts 0.5 after one half-life; the classic 30 s working-set window.
+  Duration heat_half_life = 30 * kSecond;
+  // kReadPromote: promote when the decayed touch count reaches this.
+  double promote_threshold = 2.0;
+  // kAggressive: promote when the raw (undecayed) touch count reaches this.
+  uint64_t aggressive_touches = 2;
+  // Cap on the clean cache as a fraction of total DRAM pages. The cache
+  // recycles its own LRU tail beyond this; it never squeezes dirty data or
+  // VM frames to grow.
+  double max_clean_fraction = 0.5;
+  // kAggressive: flushes of blocks with decayed heat below this go out on
+  // the relocation (cold) write stream.
+  double cold_hint_threshold = 0.5;
+  // Heat table size bound; crossing it sweeps entries colder than ~0.25.
+  uint64_t max_heat_entries = 65536;
+};
+
+// Where a logical block currently lives.
+enum class Residency : uint8_t {
+  kHole = 0,   // Never written (or released): reads are zero fill.
+  kDirty = 1,  // In the DRAM write buffer, not yet flushed.
+  kClean = 2,  // In the DRAM clean cache; the flash copy is authoritative.
+  kFlash = 3,  // Only in flash.
+};
+
+class ResidencyManager {
+ public:
+  // A consumer of DRAM pages that can give some back under pressure (the VM
+  // address spaces: their clean file-backed copies are re-fetchable).
+  class ReclaimSource {
+   public:
+    virtual ~ReclaimSource() = default;
+    // Frees one DRAM page back to the storage manager if possible.
+    virtual bool TryReclaimOne() = 0;
+  };
+
+  ResidencyManager(StorageManager& storage, ResidencyOptions options);
+  // Frees the clean cache's DRAM pages and detaches any Obs collector.
+  ~ResidencyManager();
+
+  ResidencyManager(const ResidencyManager&) = delete;
+  ResidencyManager& operator=(const ResidencyManager&) = delete;
+
+  const ResidencyOptions& options() const { return options_; }
+  ResidencyPolicy policy() const { return options_.policy; }
+  // True when any migration beyond dirty buffering is active. Everything
+  // the enabled() paths do is skipped under kWriteBufferOnly, which is what
+  // keeps the default byte-identical to the pre-residency simulator.
+  bool enabled() const {
+    return options_.policy != ResidencyPolicy::kWriteBufferOnly;
+  }
+
+  // --- Wiring -------------------------------------------------------------
+  // The dirty side of the residency map is the file system's write buffer;
+  // the file system binds it at construction (null unbinds).
+  void BindDirtyBackend(WriteBuffer* buffer) { dirty_backend_ = buffer; }
+  // Called by the file system's destructor: drops the clean cache and heat
+  // (their keys die with the namespace) and unbinds the dirty backend.
+  void DetachFilesystem();
+
+  // VM address spaces register as reclaim sources so DRAM pressure can be
+  // served from any space's clean pages (single-level-store competition).
+  void RegisterSource(ReclaimSource* source);
+  void DropSource(ReclaimSource* source);
+
+  // --- Placement ----------------------------------------------------------
+  // Where does this block live? `flash_block` is the file system's mapping
+  // for the block (-1 = none). Pure bookkeeping: charges nothing.
+  Residency Resolve(const BlockKey& key, int64_t flash_block) const;
+
+  bool CleanCached(const BlockKey& key) const {
+    return clean_.find(key) != clean_.end();
+  }
+  uint64_t clean_pages() const { return clean_.size(); }
+
+  // Reads bytes from a clean-cached block (DRAM access, charged to the
+  // caller's clock). Refreshes the entry's LRU position. NOT_FOUND if the
+  // block is not cached.
+  Status ReadClean(const BlockKey& key, uint64_t offset,
+                   std::span<uint8_t> out);
+
+  // Drops one / every clean-cached block (content changed, file released,
+  // battery-backed DRAM lost). The flash copy is authoritative, so nothing
+  // is lost.
+  void InvalidateClean(const BlockKey& key);
+  void InvalidateAllClean();
+
+  // --- Heat & migration ---------------------------------------------------
+  // Access notifications from the file system. OnFlashRead may promote the
+  // block into the clean cache (policy-dependent); the promotion flash read
+  // is issued cleaner-class non-blocking.
+  void TouchRead(const BlockKey& key, SimTime now);
+  void TouchWrite(const BlockKey& key, SimTime now);
+  void OnFlashRead(const BlockKey& key, uint64_t flash_block, SimTime now);
+
+  // A VM fault is about to map this flash block in place. Returns true if
+  // the block is hot enough that the VM should copy it to DRAM instead
+  // (promotion through the fault path: later accesses run at DRAM speed).
+  bool NoteVmFault(const BlockKey& key, SimTime now);
+
+  // Which write stream a flush of this block should use. kAggressive routes
+  // heat-cold blocks onto the relocation stream (FlashStore's cold banks);
+  // every other policy returns kUser.
+  WriteStream FlushStream(const BlockKey& key, SimTime now);
+
+  // Drops the heat entry (file block released).
+  void ForgetHeat(const BlockKey& key);
+  // Decayed touch count as of `now` (0 if never touched).
+  double HeatOf(const BlockKey& key, SimTime now) const;
+
+  // --- Shared DRAM budget -------------------------------------------------
+  // Allocates a DRAM page, applying migration pressure when the pool is
+  // dry, in order: (1) demote clean-cache LRU pages [enabled policies],
+  // (2) the requester's own reclaimable pages (exactly the historical VM
+  // reclaim loop), (3) other registered sources' pages [enabled policies].
+  // `requester` may be null (the write buffer has nothing to reclaim).
+  // RESOURCE_EXHAUSTED when every avenue is spent.
+  Result<uint64_t> AllocateDramPage(ReclaimSource* requester);
+
+  struct Stats {
+    Counter touches;                 // Heat updates (reads+writes+faults).
+    Counter promotions;              // Flash blocks promoted to clean cache.
+    Counter promoted_bytes;
+    Counter clean_hits;              // Reads served from the clean cache.
+    Counter clean_hit_bytes;
+    Counter demotions_pressure;      // Clean pages dropped for DRAM space.
+    Counter demotions_invalidated;   // Clean pages dropped by invalidation.
+    Counter cold_stream_hints;       // Flushes routed to the cold stream.
+    Counter vm_promote_faults;       // VM faults told to copy, not map.
+  };
+  const Stats& stats() const { return stats_; }
+
+  // Observability (nullable; null detaches): a "residency" trace track with
+  // promotion spans and demotion instants, a stats mirror collector
+  // (clean-cache size and heat-table size as gauges), and heat histograms
+  // sampled at promotion and flush decisions (x100 fixed point).
+  void AttachObs(Obs* obs);
+
+ private:
+  struct CleanEntry {
+    uint64_t dram_page = 0;
+    std::list<BlockKey>::iterator lru_it;  // Position in clean_lru_.
+  };
+  struct Heat {
+    double decayed = 0;  // Exponentially decayed touch count.
+    uint64_t raw = 0;    // Lifetime touches (kAggressive trigger).
+    SimTime last = 0;    // When `decayed` was last brought current.
+  };
+
+  // Decays `h` to `now` and returns the current count.
+  double DecayTo(Heat& h, SimTime now) const;
+  // Records one touch; returns the decayed count after it.
+  double Touch(const BlockKey& key, SimTime now);
+  bool ShouldPromote(const Heat& h) const;
+  void PromoteFromFlash(const BlockKey& key, uint64_t flash_block,
+                        SimTime now);
+  // Drops the clean-cache LRU entry; false if the cache is empty.
+  bool DemoteOneClean(bool pressure);
+  void EraseCleanEntry(
+      std::unordered_map<BlockKey, CleanEntry, BlockKeyHash>::iterator it);
+  uint64_t MaxCleanPages() const;
+
+  StorageManager& storage_;
+  ResidencyOptions options_;
+  WriteBuffer* dirty_backend_ = nullptr;
+  std::vector<ReclaimSource*> sources_;  // Registration order (determinism).
+
+  std::unordered_map<BlockKey, CleanEntry, BlockKeyHash> clean_;
+  std::list<BlockKey> clean_lru_;  // Front = least recently used.
+  std::unordered_map<BlockKey, Heat, BlockKeyHash> heat_;
+
+  Stats stats_;
+  Obs* obs_ = nullptr;
+  int obs_track_ = 0;
+  Histogram* promote_heat_ = nullptr;  // Owned by the Obs registry.
+  Histogram* flush_heat_ = nullptr;
+};
+
+}  // namespace ssmc
+
+#endif  // SSMC_SRC_STORAGE_RESIDENCY_H_

@@ -8,7 +8,8 @@
 namespace ssmc {
 
 StorageManager::StorageManager(DramDevice& dram, FlashStore& flash_store,
-                               uint64_t page_bytes)
+                               uint64_t page_bytes,
+                               ResidencyOptions residency)
     : dram_(dram), flash_store_(flash_store), page_bytes_(page_bytes) {
   assert(page_bytes_ > 0);
   assert(page_bytes_ == flash_store_.block_bytes() &&
@@ -27,6 +28,10 @@ StorageManager::StorageManager(DramDevice& dram, FlashStore& flash_store,
     free_flash_blocks_.push_back(b - 1);
   }
   flash_block_used_.assign(blocks, false);
+
+  // Built after the allocators so the residency manager can size its clean
+  // cache against total_dram_pages().
+  residency_ = std::make_unique<ResidencyManager>(*this, residency);
 }
 
 StorageManager::~StorageManager() {
@@ -40,6 +45,7 @@ void StorageManager::AttachObs(Obs* obs) {
     obs_->metrics().FlushAndRemoveCollector("storage");
   }
   obs_ = obs;
+  residency_->AttachObs(obs);
   if (obs == nullptr) {
     return;
   }
@@ -58,7 +64,7 @@ void StorageManager::AttachObs(Obs* obs) {
 
 Result<uint64_t> StorageManager::AllocateDramPage() {
   if (free_dram_pages_.empty()) {
-    return NoSpaceError("out of DRAM pages");
+    return ResourceExhaustedError("out of DRAM pages");
   }
   const uint64_t page = free_dram_pages_.back();
   free_dram_pages_.pop_back();

@@ -18,10 +18,12 @@
 #define SSMC_SRC_STORAGE_STORAGE_MANAGER_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/device/dram_device.h"
 #include "src/ftl/flash_store.h"
+#include "src/storage/residency.h"
 #include "src/support/status.h"
 
 namespace ssmc {
@@ -31,9 +33,11 @@ class Obs;
 class StorageManager {
  public:
   // page_bytes is the unit of DRAM allocation; it must equal the flash
-  // store's block size so buffered blocks flush 1:1.
+  // store's block size so buffered blocks flush 1:1. `residency` selects
+  // the DRAM<->flash migration policy (residency.h); the default
+  // kWriteBufferOnly is byte-identical to the pre-residency simulator.
   StorageManager(DramDevice& dram, FlashStore& flash_store,
-                 uint64_t page_bytes);
+                 uint64_t page_bytes, ResidencyOptions residency = {});
   // Flushes and removes the free-pool collector from any attached Obs
   // (which routinely outlives the manager).
   ~StorageManager();
@@ -41,11 +45,18 @@ class StorageManager {
   uint64_t page_bytes() const { return page_bytes_; }
   DramDevice& dram() { return dram_; }
   FlashStore& flash_store() { return flash_store_; }
+  // The single authority on DRAM<->flash placement and migration. Consumers
+  // that want migration pressure applied on allocation failure go through
+  // residency().AllocateDramPage(...) rather than the raw allocator below.
+  ResidencyManager& residency() { return *residency_; }
+  const ResidencyManager& residency() const { return *residency_; }
 
   // --- DRAM page allocation ---------------------------------------------
   uint64_t total_dram_pages() const { return total_dram_pages_; }
   uint64_t free_dram_pages() const { return free_dram_pages_.size(); }
   // Returns the page index; the page's device address is index * page_bytes.
+  // RESOURCE_EXHAUSTED when the pool is dry (a typed out-of-memory: callers
+  // distinguish it from media-level kNoSpace).
   Result<uint64_t> AllocateDramPage();
   Status FreeDramPage(uint64_t page);
   uint64_t DramPageAddress(uint64_t page) const { return page * page_bytes_; }
@@ -86,6 +97,9 @@ class StorageManager {
   std::vector<bool> dram_page_used_;
   std::vector<bool> flash_block_used_;
   Obs* obs_ = nullptr;
+  // Declared last: its destructor returns the clean cache's DRAM pages to
+  // the allocator above, which must still be alive.
+  std::unique_ptr<ResidencyManager> residency_;
 };
 
 }  // namespace ssmc

@@ -99,7 +99,12 @@ Status WriteBuffer::Put(const BlockKey& key, std::span<const uint8_t> data,
     SSMC_RETURN_IF_ERROR(FlushEntry(victim));
   }
 
-  Result<uint64_t> page = storage_.AllocateDramPage();
+  // Dirty data is the buffer's reason to exist: allocate through the
+  // residency manager so the clean cache (and, under migration policies,
+  // other consumers' reclaimable pages) yields before a Put fails. Under
+  // kWriteBufferOnly this is exactly the raw allocator.
+  Result<uint64_t> page =
+      storage_.residency().AllocateDramPage(/*requester=*/nullptr);
   if (!page.ok()) {
     return page.status();
   }

@@ -34,30 +34,13 @@
 #include <unordered_map>
 
 #include "src/sim/stats.h"
+#include "src/storage/block_key.h"
 #include "src/storage/storage_manager.h"
 #include "src/support/status.h"
 
 namespace ssmc {
 
 class Obs;
-
-// Identifies one file block: (file id, block index within the file).
-struct BlockKey {
-  uint64_t file_id = 0;
-  uint64_t block_index = 0;
-
-  bool operator==(const BlockKey& other) const {
-    return file_id == other.file_id && block_index == other.block_index;
-  }
-};
-
-struct BlockKeyHash {
-  size_t operator()(const BlockKey& k) const {
-    // Simple mix; file ids are small and block indices dense.
-    return std::hash<uint64_t>()(k.file_id * 0x9E3779B97F4A7C15ULL ^
-                                 k.block_index);
-  }
-};
 
 class WriteBuffer {
  public:

@@ -16,6 +16,8 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "OUT_OF_RANGE";
     case ErrorCode::kNoSpace:
       return "NO_SPACE";
+    case ErrorCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
     case ErrorCode::kPermissionDenied:
       return "PERMISSION_DENIED";
     case ErrorCode::kFailedPrecondition:
@@ -56,6 +58,9 @@ Status OutOfRangeError(std::string message) {
 }
 Status NoSpaceError(std::string message) {
   return Status(ErrorCode::kNoSpace, std::move(message));
+}
+Status ResourceExhaustedError(std::string message) {
+  return Status(ErrorCode::kResourceExhausted, std::move(message));
 }
 Status PermissionDeniedError(std::string message) {
   return Status(ErrorCode::kPermissionDenied, std::move(message));

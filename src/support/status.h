@@ -23,6 +23,8 @@ enum class ErrorCode {
   kInvalidArgument,   // Malformed request (bad offset, bad flag combination).
   kOutOfRange,        // Address or offset beyond device / file bounds.
   kNoSpace,           // Allocation failed: device or pool exhausted.
+  kResourceExhausted, // A bounded runtime resource (DRAM pages) ran out
+                      // even after reclaim/demotion pressure was applied.
   kPermissionDenied,  // Protection violation (read-only mapping, etc.).
   kFailedPrecondition,// Operation illegal in current state (e.g. write to
                       // un-erased flash, unmounted file system).
@@ -65,6 +67,7 @@ Status AlreadyExistsError(std::string message);
 Status InvalidArgumentError(std::string message);
 Status OutOfRangeError(std::string message);
 Status NoSpaceError(std::string message);
+Status ResourceExhaustedError(std::string message);
 Status PermissionDeniedError(std::string message);
 Status FailedPreconditionError(std::string message);
 Status DataLossError(std::string message);

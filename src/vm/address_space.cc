@@ -6,9 +6,12 @@
 namespace ssmc {
 
 AddressSpace::AddressSpace(StorageManager& storage)
-    : storage_(storage), table_(storage.page_bytes(), &storage) {}
+    : storage_(storage), table_(storage.page_bytes(), &storage) {
+  storage_.residency().RegisterSource(this);
+}
 
 AddressSpace::~AddressSpace() {
+  storage_.residency().DropSource(this);
   while (!regions_.empty()) {
     (void)Unmap(regions_.front().start);
   }
@@ -146,11 +149,7 @@ bool AddressSpace::ReclaimOnePage() {
 }
 
 Result<uint64_t> AddressSpace::AllocateDramPageWithReclaim() {
-  Result<uint64_t> page = storage_.AllocateDramPage();
-  while (!page.ok() && ReclaimOnePage()) {
-    page = storage_.AllocateDramPage();
-  }
-  return page;
+  return storage_.residency().AllocateDramPage(this);
 }
 
 Result<uint64_t> AddressSpace::CopyBlockToDram(const Region& region,
@@ -215,15 +214,30 @@ Status AddressSpace::HandleFault(const Region& region, uint64_t va,
 
   if (location.kind == BlockLocation::Kind::kFlash && !for_write &&
       region.kind != RegionKind::kFileDemandCopy) {
-    // Map the flash block in place: no copy, no DRAM consumed. The PTE holds
-    // the *logical* store block; accesses re-resolve the physical address so
-    // cleaning cannot leave the mapping stale.
-    pte.backing = FrameBacking::kFlash;
-    pte.frame = location.flash_block;
-    pte.writable = false;
-    table_.MarkPresent(pte, true);
-    stats_.flash_map_faults.Add();
-    return Status::Ok();
+    // VM faults feed block heat too (migration policies only — FileId walks
+    // the namespace, and kWriteBufferOnly must stay byte-identical). A block
+    // hot enough to promote is copied into this space's DRAM instead of
+    // being mapped in place, so its accesses run at DRAM speed.
+    ResidencyManager& res = storage_.residency();
+    bool promote_to_dram = false;
+    if (res.enabled()) {
+      Result<uint64_t> file_id = region.fs->FileId(region.path);
+      promote_to_dram =
+          file_id.ok() &&
+          res.NoteVmFault(BlockKey{file_id.value(), block_index},
+                          storage_.flash_store().device().clock().now());
+    }
+    if (!promote_to_dram) {
+      // Map the flash block in place: no copy, no DRAM consumed. The PTE
+      // holds the *logical* store block; accesses re-resolve the physical
+      // address so cleaning cannot leave the mapping stale.
+      pte.backing = FrameBacking::kFlash;
+      pte.frame = location.flash_block;
+      pte.writable = false;
+      table_.MarkPresent(pte, true);
+      stats_.flash_map_faults.Add();
+      return Status::Ok();
+    }
   }
 
   // Copy path: demand-copy regions, buffered or hole blocks, write faults.

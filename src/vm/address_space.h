@@ -23,13 +23,18 @@
 
 #include "src/fs/memory_fs.h"
 #include "src/sim/stats.h"
+#include "src/storage/residency.h"
 #include "src/storage/storage_manager.h"
 #include "src/support/status.h"
 #include "src/vm/page_table.h"
 
 namespace ssmc {
 
-class AddressSpace {
+// Registers with the residency manager as a reclaim source: under DRAM
+// pressure any space's clean file-backed copies can be dropped, so VM pages,
+// dirty buffer pages and the clean cache all compete for one DRAM pool (the
+// paper's single-level-store premise).
+class AddressSpace : public ResidencyManager::ReclaimSource {
  public:
   enum class RegionKind {
     kAnonymous,
@@ -53,7 +58,7 @@ class AddressSpace {
   // Page size must equal the storage manager's page size for file mappings
   // to be block-aligned.
   explicit AddressSpace(StorageManager& storage);
-  ~AddressSpace();
+  ~AddressSpace() override;
 
   AddressSpace(const AddressSpace&) = delete;
   AddressSpace& operator=(const AddressSpace&) = delete;
@@ -98,6 +103,12 @@ class AddressSpace {
   // XIP avoids. Returns the total time spent.
   Result<Duration> Populate(uint64_t va);
 
+  // ReclaimSource: drops one clean, re-fetchable DRAM page back to the
+  // allocator. Called by the residency manager under DRAM pressure — from
+  // this space's own allocations (always) or another consumer's (migration
+  // policies only).
+  bool TryReclaimOne() override { return ReclaimOnePage(); }
+
   const Region* FindRegion(uint64_t va) const;
   StorageManager& storage() { return storage_; }
   uint64_t resident_dram_pages() const { return resident_dram_pages_; }
@@ -124,9 +135,10 @@ class AddressSpace {
   // Copies the file block behind `va` into a fresh DRAM page.
   Result<uint64_t> CopyBlockToDram(const Region& region, uint64_t va);
 
-  // Allocates a DRAM page, reclaiming a clean re-fetchable page from this
-  // space if the allocator is dry (flash is the backing store for clean
-  // file pages, so dropping one loses nothing).
+  // Allocates a DRAM page through the residency manager's shared budget:
+  // clean-cache demotion first (migration policies), then this space's own
+  // reclaimable pages (flash is the backing store for clean file pages, so
+  // dropping one loses nothing), then other spaces'.
   Result<uint64_t> AllocateDramPageWithReclaim();
   // Drops one clean, re-fetchable DRAM page. Returns false if none exists.
   bool ReclaimOnePage();

@@ -286,5 +286,101 @@ TEST_F(AddressSpaceTest, FlashReadsFasterThanNothingButSlowerThanDram) {
   EXPECT_GT(flash_fetch, dram_fetch);
 }
 
+TEST_F(AddressSpaceTest, CowMappingSurvivesCleanerRelocation) {
+  // Regression for the flash-map re-resolution contract: the PTE of an
+  // in-place CoW mapping stores the *logical* store block, and every access
+  // re-resolves the physical flash address through the store's map. If the
+  // PTE cached the physical address instead, the cleaner relocating the
+  // backing page mid-mapping would leave the mapping reading stale (erased
+  // or reused) flash.
+  // A deliberately tiny flash (16 sectors of 8 pages) so cleaning pressure
+  // is easy to produce. /prog's single block shares its sector with /pad's
+  // seven; overwriting /pad leaves that sector 7/8 dead — a prime victim.
+  DramSpec dram_spec;
+  dram_spec.read = {80, 25};
+  dram_spec.write = {80, 25};
+  dram_spec.active_mw_per_mib = 150;
+  dram_spec.standby_mw_per_mib = 1.5;
+  FlashSpec flash_spec;
+  flash_spec.read = {150, 100};
+  flash_spec.program = {2000, 10000};
+  flash_spec.erase_sector_bytes = 4096;
+  flash_spec.erase_ns = 100 * kMillisecond;
+  flash_spec.endurance_cycles = 1000000;
+  SimClock clock;
+  DramDevice dram(dram_spec, 256 * 1024, clock);
+  FlashDevice flash(flash_spec, 64 * 1024, 1, clock);
+  FlashStore store(flash, FlashStoreOptions{});
+  StorageManager manager(dram, store, 512);
+  MemoryFileSystem fs(manager, MemoryFsOptions{});
+  AddressSpace space(manager);
+
+  std::vector<uint8_t> expect(512);
+  for (size_t i = 0; i < expect.size(); ++i) {
+    expect[i] = static_cast<uint8_t>(42 + i * 7);
+  }
+  ASSERT_TRUE(fs.Create("/prog").ok());
+  ASSERT_TRUE(fs.Write("/prog", 0, expect).ok());
+  ASSERT_TRUE(fs.Create("/pad").ok());
+  std::vector<uint8_t> pad(7 * 512, 0x33);
+  ASSERT_TRUE(fs.Write("/pad", 0, pad).ok());
+  ASSERT_TRUE(fs.Sync().ok());
+
+  const uint64_t va = 0x400000;
+  ASSERT_TRUE(space.MapFileCow(va, fs, "/prog", true).ok());
+  std::vector<uint8_t> out(expect.size());
+  ASSERT_TRUE(space.Read(va, out).ok());
+  EXPECT_EQ(out, expect);
+  ASSERT_GE(space.stats().flash_map_faults.value(), 1u);
+
+  // Note where the mapped block physically lives right now.
+  Result<std::vector<BlockLocation>> locations = fs.BlockLocations("/prog");
+  ASSERT_TRUE(locations.ok());
+  ASSERT_EQ(locations.value()[0].kind, BlockLocation::Kind::kFlash);
+  const uint64_t logical = locations.value()[0].flash_block;
+  Result<uint64_t> phys_before = store.PhysicalAddressOf(logical);
+  ASSERT_TRUE(phys_before.ok());
+
+  // Deaden /prog's sector-mates, then churn the log until the cleaner moves
+  // the mapped block to a different physical page.
+  for (auto& b : pad) {
+    b = 0x44;
+  }
+  ASSERT_TRUE(fs.Write("/pad", 0, pad).ok());
+  ASSERT_TRUE(fs.Sync().ok());
+  ASSERT_TRUE(fs.Create("/churn").ok());
+  std::vector<uint8_t> junk(16 * 512);
+  bool relocated = false;
+  for (int round = 0; round < 100 && !relocated; ++round) {
+    for (size_t i = 0; i < junk.size(); ++i) {
+      junk[i] = static_cast<uint8_t>(round + i * 3);
+    }
+    ASSERT_TRUE(fs.Write("/churn", 0, junk).ok());
+    ASSERT_TRUE(fs.Sync().ok());
+    ASSERT_TRUE(store.Clean().ok());
+    Result<uint64_t> phys_now = store.PhysicalAddressOf(logical);
+    ASSERT_TRUE(phys_now.ok());
+    relocated = phys_now.value() != phys_before.value();
+  }
+  ASSERT_TRUE(relocated) << "cleaner never relocated the mapped block";
+  EXPECT_GT(store.stats().gc_relocations.value(), 0u);
+
+  // No new fault: the mapping is still present, and reads re-resolve to the
+  // block's new home with the original content.
+  const uint64_t faults_before = space.stats().faults.value();
+  ASSERT_TRUE(space.Read(va, out).ok());
+  EXPECT_EQ(out, expect);
+  EXPECT_EQ(space.stats().faults.value(), faults_before);
+
+  // A write fault CoW-copies the relocated bytes, not stale ones.
+  const std::vector<uint8_t> patch = {0xDE, 0xAD};
+  ASSERT_TRUE(space.Write(va + 5, patch).ok());
+  EXPECT_GE(space.stats().cow_faults.value(), 1u);
+  expect[5] = 0xDE;
+  expect[6] = 0xAD;
+  ASSERT_TRUE(space.Read(va, out).ok());
+  EXPECT_EQ(out, expect);
+}
+
 }  // namespace
 }  // namespace ssmc

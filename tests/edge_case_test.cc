@@ -91,7 +91,7 @@ TEST(WriteBufferEdgeTest, FlushFailurePropagates) {
 
 TEST(ExhaustionTest, WriteBufferSurvivesDramPressure) {
   // A machine whose write buffer capacity exceeds physical DRAM: the buffer
-  // must hit NO_SPACE on the allocator, not corrupt state.
+  // must hit RESOURCE_EXHAUSTED on the allocator, not corrupt state.
   MachineConfig config = PdaConfig();  // 1 MiB DRAM = 2048 pages.
   config.fs_options.write_buffer_pages = 4096;  // Lies about capacity.
   MobileComputer machine(config);
@@ -103,7 +103,7 @@ TEST(ExhaustionTest, WriteBufferSurvivesDramPressure) {
         machine.fs().Write("/hog", static_cast<uint64_t>(i) * 512, chunk);
     last = wrote.status();
   }
-  EXPECT_EQ(last.code(), ErrorCode::kNoSpace);
+  EXPECT_EQ(last.code(), ErrorCode::kResourceExhausted);
   // The machine still functions: sync drains the buffer, writes resume.
   ASSERT_TRUE(machine.fs().Sync().ok());
   EXPECT_TRUE(machine.fs().Write("/hog", 0, chunk).ok());

@@ -15,6 +15,14 @@ class MemoryFsTest : public ::testing::Test {
   void SetUp() override { Recreate(MemoryFsOptions{}); }
 
   void Recreate(MemoryFsOptions options) {
+    // Tear down in reverse dependency order before rebuilding: the file
+    // system detaches from the storage manager's residency tracker in its
+    // destructor, so it must not outlive the manager it references.
+    fs_.reset();
+    manager_.reset();
+    store_.reset();
+    flash_.reset();
+    dram_.reset();
     DramSpec dram_spec;
     dram_spec.read = {80, 25};
     dram_spec.write = {80, 25};

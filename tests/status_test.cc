@@ -25,6 +25,8 @@ TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
   EXPECT_EQ(InvalidArgumentError("").code(), ErrorCode::kInvalidArgument);
   EXPECT_EQ(OutOfRangeError("").code(), ErrorCode::kOutOfRange);
   EXPECT_EQ(NoSpaceError("").code(), ErrorCode::kNoSpace);
+  EXPECT_EQ(ResourceExhaustedError("").code(),
+            ErrorCode::kResourceExhausted);
   EXPECT_EQ(PermissionDeniedError("").code(), ErrorCode::kPermissionDenied);
   EXPECT_EQ(FailedPreconditionError("").code(),
             ErrorCode::kFailedPrecondition);
@@ -36,6 +38,8 @@ TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
 TEST(StatusTest, ErrorCodeNamesAreDistinct) {
   EXPECT_EQ(ErrorCodeName(ErrorCode::kOk), "OK");
   EXPECT_EQ(ErrorCodeName(ErrorCode::kNoSpace), "NO_SPACE");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kResourceExhausted),
+            "RESOURCE_EXHAUSTED");
   EXPECT_EQ(ErrorCodeName(ErrorCode::kDataLoss), "DATA_LOSS");
 }
 

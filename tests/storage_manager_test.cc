@@ -73,11 +73,23 @@ TEST_F(StorageManagerTest, DoubleFreeDetected) {
   EXPECT_EQ(manager_.FreeDramPage(9999).code(), ErrorCode::kOutOfRange);
 }
 
-TEST_F(StorageManagerTest, ExhaustionReturnsNoSpace) {
+TEST_F(StorageManagerTest, DramExhaustionReturnsTypedOutOfMemory) {
   for (uint64_t i = 0; i < 128; ++i) {
     ASSERT_TRUE(manager_.AllocateDramPage().ok());
   }
-  EXPECT_EQ(manager_.AllocateDramPage().status().code(), ErrorCode::kNoSpace);
+  // A dry DRAM pool is a typed out-of-memory, distinct from media-level
+  // kNoSpace: callers (and tests) can tell "machine out of RAM" apart from
+  // "flash/disk full" without parsing messages.
+  Result<uint64_t> dry = manager_.AllocateDramPage();
+  ASSERT_FALSE(dry.ok());
+  EXPECT_EQ(dry.status().code(), ErrorCode::kResourceExhausted);
+  EXPECT_EQ(ErrorCodeName(dry.status().code()), "RESOURCE_EXHAUSTED");
+  // Flash exhaustion is a different failure domain and keeps kNoSpace.
+  while (manager_.free_flash_blocks() > 0) {
+    ASSERT_TRUE(manager_.AllocateFlashBlock().ok());
+  }
+  EXPECT_EQ(manager_.AllocateFlashBlock().status().code(),
+            ErrorCode::kNoSpace);
 }
 
 TEST_F(StorageManagerTest, FlashBlockAllocateAndFree) {

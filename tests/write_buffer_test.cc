@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <deque>
 #include <map>
 #include <vector>
+
+#include "src/support/rng.h"
 
 namespace ssmc {
 namespace {
@@ -226,6 +230,83 @@ TEST_F(WriteBufferTest, DramPagesReturnedOnDropAndFlush) {
   buffer->Drop(BlockKey{1, 0});
   ASSERT_TRUE(buffer->FlushAll().ok());
   EXPECT_EQ(manager_.free_dram_pages(), free_before);
+}
+
+TEST_F(WriteBufferTest, RandomizedEvictionOrderIsStrictlyOldestFirst) {
+  // Property test for the LRU invariant the flush daemon's early-stop and
+  // the residency layer's FlushStream accounting both rely on: every
+  // capacity eviction flushes exactly the entry whose FIRST dirtying is
+  // oldest, regardless of overwrites, drops, and targeted flushes in
+  // between. A reference model tracks first-put order in a deque; the
+  // buffer's observed flush order must replay it.
+  constexpr uint64_t kCapacity = 8;
+  std::deque<uint64_t> model;  // Blocks in first-dirty order, front = oldest.
+  std::vector<uint64_t> evicted;
+  WriteBuffer buffer(
+      manager_, kCapacity,
+      [this, &evicted](const BlockKey& key,
+                       std::span<const uint8_t> data) -> Status {
+        evicted.push_back(key.block_index);
+        Result<Duration> r = store_.Write(key.block_index, data);
+        return r.ok() ? Status::Ok() : r.status();
+      });
+
+  Rng rng(0xE12);
+  uint64_t model_puts = 0;
+  uint64_t model_drops = 0;
+  std::vector<uint64_t> expected_evictions;
+  for (int op = 0; op < 2000; ++op) {
+    const uint64_t block = rng.NextBelow(32);
+    const uint64_t action = rng.NextBelow(10);
+    const bool buffered =
+        std::find(model.begin(), model.end(), block) != model.end();
+    if (action < 7) {  // Put (possibly an absorbed overwrite).
+      if (!buffered && model.size() == kCapacity) {
+        expected_evictions.push_back(model.front());  // Oldest must go.
+        model.pop_front();
+      }
+      if (!buffered) {
+        model.push_back(block);
+      }
+      // Overwrites must NOT move the entry: first-dirty order is preserved.
+      ASSERT_TRUE(buffer.Put(BlockKey{1, block}, Page(1), clock_.now()).ok());
+      ++model_puts;
+    } else if (action < 9) {  // Drop (write avoidance).
+      if (buffered) {
+        model.erase(std::find(model.begin(), model.end(), block));
+        ++model_drops;
+      }
+      EXPECT_EQ(buffer.Drop(BlockKey{1, block}), buffered);
+    } else {  // Targeted flush of a specific block.
+      if (buffered) {
+        model.erase(std::find(model.begin(), model.end(), block));
+        expected_evictions.push_back(block);
+      }
+      ASSERT_TRUE(buffer.Flush(BlockKey{1, block}).ok());
+    }
+    clock_.Advance(kMillisecond);
+    ASSERT_EQ(buffer.dirty_pages(), model.size());
+  }
+
+  // Flush order matched the model exactly — capacity evictions were always
+  // the strictly oldest-dirtied entry.
+  EXPECT_EQ(evicted, expected_evictions);
+  ASSERT_FALSE(expected_evictions.empty());
+
+  // Drain and check merged-stats parity: every put is accounted for as a
+  // flush, an avoided (dropped) write, or a still-buffered absorbed
+  // overwrite — nothing lost, nothing double-counted.
+  ASSERT_TRUE(buffer.FlushAll().ok());
+  const WriteBuffer::Stats& stats = buffer.stats();
+  EXPECT_EQ(stats.puts.value(), model_puts);
+  EXPECT_EQ(stats.flushes.value() + stats.dropped_writes.value() +
+                stats.absorbed_overwrites.value(),
+            model_puts);
+  EXPECT_EQ(stats.dropped_writes.value(), model_drops);
+  EXPECT_EQ(stats.put_bytes.value(), model_puts * 512);
+  EXPECT_EQ(stats.flushed_bytes.value(), stats.flushes.value() * 512);
+  EXPECT_EQ(stats.dropped_bytes.value(), stats.dropped_writes.value() * 512);
+  EXPECT_EQ(buffer.dirty_pages(), 0u);
 }
 
 TEST_F(WriteBufferTest, WriteTrafficReductionUnderOverwrites) {
