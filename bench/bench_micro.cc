@@ -367,6 +367,31 @@ void BM_TraceReplay(benchmark::State& state) {
 }
 BENCHMARK(BM_TraceReplay)->Unit(benchmark::kMicrosecond);
 
+void BM_SimCoreReplay(benchmark::State& state) {
+  // Macro-benchmark over the whole simulation core: a five-minute office
+  // workload replayed on a fresh machine each iteration — event queue, I/O
+  // pipeline, FTL, file system, and tracer all on the hot path. The
+  // sim_ops_per_s rate (trace records retired per host second) is the
+  // regression-gated figure: CI's bench-smoke leg fails when it drops more
+  // than 15% below the committed BENCH_micro.json baseline
+  // (scripts/bench_gate.py); scripts/regen_experiments.sh refreshes the
+  // baseline after intentional changes.
+  WorkloadOptions options = OfficeWorkload();
+  options.duration = 5 * kMinute;
+  options.max_file_bytes = 64 * 1024;
+  const Trace trace = WorkloadGenerator(options).Generate();
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    MobileComputer machine(NotebookConfig());
+    const ReplayReport report = machine.RunTrace(trace);
+    ops += report.ops;
+    benchmark::DoNotOptimize(report.ops);
+  }
+  state.counters["sim_ops_per_s"] = benchmark::Counter(
+      static_cast<double>(ops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimCoreReplay)->Unit(benchmark::kMillisecond);
+
 void BM_SingleLevelStoreLoad(benchmark::State& state) {
   MobileComputer machine(NotebookConfig());
   (void)machine.fs().Create("/f");

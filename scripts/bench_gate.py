@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Sim-ops/s regression gate over BENCH_micro.json.
+
+Compares a freshly measured BENCH_micro.json against the committed baseline
+and fails (exit 1) if the gated benchmark's sim_ops_per_s dropped more than
+the allowed fraction. Run from CI's bench-smoke leg after bench_micro has
+emitted its JSON next to the binary:
+
+    python3 scripts/bench_gate.py build-release/bench/BENCH_micro.json
+
+The committed baseline (BENCH_micro.json at the repo root) is refreshed by
+scripts/regen_experiments.sh; regenerate it deliberately when a change is
+*supposed* to move the number, so the gate tracks intent rather than drift.
+
+The threshold is deliberately loose (15%) because shared CI runners are
+noisy; the gate exists to catch order-of-magnitude regressions in the
+simulation core (event queue, arena, FTL hot path), not single-digit wobble.
+"""
+
+import json
+import os
+import sys
+
+GATED_OP = "BM_SimCoreReplay"
+COUNTER = "sim_ops_per_s"
+MAX_REGRESSION = 0.15
+
+
+def load_rate(path):
+    with open(path) as f:
+        rows = json.load(f)
+    for row in rows:
+        if row.get("op") == GATED_OP:
+            rate = row.get(COUNTER)
+            if rate is None:
+                raise SystemExit(f"{path}: {GATED_OP} row has no {COUNTER}")
+            return float(rate)
+    raise SystemExit(f"{path}: no {GATED_OP} row")
+
+
+def main():
+    if len(sys.argv) != 2:
+        raise SystemExit(f"usage: {sys.argv[0]} <fresh BENCH_micro.json>")
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    baseline_path = os.path.join(repo_root, "BENCH_micro.json")
+    baseline = load_rate(baseline_path)
+    fresh = load_rate(sys.argv[1])
+    ratio = fresh / baseline
+    print(
+        f"{GATED_OP}: baseline {baseline:,.0f} sim-ops/s, "
+        f"measured {fresh:,.0f} sim-ops/s ({ratio:.2%} of baseline)"
+    )
+    if ratio < 1.0 - MAX_REGRESSION:
+        print(
+            f"FAIL: sim-ops/s regressed more than {MAX_REGRESSION:.0%}. "
+            "If the slowdown is intentional, refresh the baseline with "
+            "scripts/regen_experiments.sh and commit BENCH_micro.json.",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: within regression budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,12 +2,21 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 namespace ssmc {
 
 DramDevice::DramDevice(DramSpec spec, uint64_t capacity_bytes, SimClock& clock)
     : spec_(std::move(spec)), capacity_(capacity_bytes), clock_(clock) {
-  contents_.assign(capacity_, 0);
+  chunks_.resize((capacity_ + kChunkBytes - 1) / kChunkBytes);
+}
+
+uint8_t* DramDevice::MaterializeChunk(uint64_t chunk) {
+  std::unique_ptr<uint8_t[]>& slot = chunks_[chunk];
+  if (!slot) {
+    slot.reset(new uint8_t[kChunkBytes]());
+  }
+  return slot.get();
 }
 
 Result<Duration> DramDevice::Read(uint64_t addr, std::span<uint8_t> out) {
@@ -18,8 +27,21 @@ Result<Duration> DramDevice::Read(uint64_t addr, std::span<uint8_t> out) {
   clock_.Advance(d);
   total_active_ns_ += d;
   energy_.AddActive(active_mw(), d);
-  std::copy_n(contents_.begin() + static_cast<ptrdiff_t>(addr), out.size(),
-              out.begin());
+  uint64_t pos = addr;
+  uint8_t* dst = out.data();
+  uint64_t remaining = out.size();
+  while (remaining > 0) {
+    const uint64_t off = pos % kChunkBytes;
+    const uint64_t n = std::min(remaining, kChunkBytes - off);
+    if (const uint8_t* src = chunks_[pos / kChunkBytes].get()) {
+      std::memcpy(dst, src + off, n);
+    } else {
+      std::memset(dst, 0, n);
+    }
+    dst += n;
+    pos += n;
+    remaining -= n;
+  }
   stats_.reads.Add();
   stats_.read_bytes.Add(out.size());
   return d;
@@ -34,8 +56,17 @@ Result<Duration> DramDevice::Write(uint64_t addr,
   clock_.Advance(d);
   total_active_ns_ += d;
   energy_.AddActive(active_mw(), d);
-  std::copy(data.begin(), data.end(),
-            contents_.begin() + static_cast<ptrdiff_t>(addr));
+  uint64_t pos = addr;
+  const uint8_t* src = data.data();
+  uint64_t remaining = data.size();
+  while (remaining > 0) {
+    const uint64_t off = pos % kChunkBytes;
+    const uint64_t n = std::min(remaining, kChunkBytes - off);
+    std::memcpy(MaterializeChunk(pos / kChunkBytes) + off, src, n);
+    src += n;
+    pos += n;
+    remaining -= n;
+  }
   stats_.writes.Add();
   stats_.written_bytes.Add(data.size());
   return d;
@@ -65,7 +96,10 @@ void DramDevice::OnPowerLoss() {
 }
 
 void DramDevice::ForceContentLoss() {
-  std::fill(contents_.begin(), contents_.end(), 0);
+  // Dropping chunks zeroes the array: unmaterialized regions already read 0.
+  for (std::unique_ptr<uint8_t[]>& chunk : chunks_) {
+    chunk.reset();
+  }
   contents_lost_ = true;
   stats_.content_losses.Add();
 }

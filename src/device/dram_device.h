@@ -11,6 +11,7 @@
 #define SSMC_SRC_DEVICE_DRAM_DEVICE_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -70,10 +71,17 @@ class DramDevice {
   }
 
  private:
+  // Backing storage is materialized in fixed chunks on first write; a null
+  // chunk reads as zeros. Keeps construction (and content loss) O(touched)
+  // instead of O(capacity) — a 16 MiB array costs nothing until used.
+  static constexpr uint64_t kChunkBytes = 64 * 1024;
+
+  uint8_t* MaterializeChunk(uint64_t chunk);
+
   DramSpec spec_;
   uint64_t capacity_;
   SimClock& clock_;
-  std::vector<uint8_t> contents_;
+  std::vector<std::unique_ptr<uint8_t[]>> chunks_;
   Stats stats_;
   EnergyMeter energy_;
   Duration total_active_ns_ = 0;

@@ -1,6 +1,7 @@
 #include "src/device/flash_device.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 #include <cstring>
@@ -26,7 +27,15 @@ FlashDevice::FlashDevice(FlashSpec spec, uint64_t capacity_bytes, int banks,
   assert(capacity_ % spec_.erase_sector_bytes == 0);
   assert((capacity_ / spec_.erase_sector_bytes) % banks == 0 &&
          "sectors must divide evenly into banks");
-  contents_.assign(capacity_, kErasedByte);
+  sector_data_.resize(capacity_ / spec_.erase_sector_bytes);
+  sectors_per_bank_ = (capacity_ / spec_.erase_sector_bytes) /
+                      static_cast<uint64_t>(banks);
+  if (std::has_single_bit(spec_.erase_sector_bytes)) {
+    sector_shift_ = std::countr_zero(spec_.erase_sector_bytes);
+  }
+  if (std::has_single_bit(sectors_per_bank_)) {
+    bank_shift_ = std::countr_zero(sectors_per_bank_);
+  }
   erased_template_.assign(spec_.erase_sector_bytes, kErasedByte);
   sectors_.resize(capacity_ / spec_.erase_sector_bytes);
   // Queued reservations pushed later by a higher-priority request owe their
@@ -118,11 +127,30 @@ void FlashDevice::ObsRetire(int bank, const IoRequest& req) {
 }
 
 int FlashDevice::BankOfAddress(uint64_t addr) const {
-  return BankOfSector(addr / sector_bytes());
+  return BankOfSector(SectorOfAddr(addr));
+}
+
+void FlashDevice::PrefetchPayload(uint64_t addr, uint64_t bytes) const {
+  if (bytes == 0 || addr + bytes > capacity_) {
+    return;
+  }
+  const uint64_t sector = SectorOfAddr(addr);
+  if (sector != SectorOfAddr(addr + bytes - 1)) {
+    return;  // Callers' transfers never span sectors; don't bother.
+  }
+  const uint8_t* base = sector_data_[sector].get();
+  if (base == nullptr) {
+    return;  // Unmaterialized sectors read as 0xFF without touching memory.
+  }
+  const uint8_t* p = base + OffsetInSector(addr);
+  for (uint64_t i = 0; i < bytes; i += 64) {
+    __builtin_prefetch(p + i, 0);
+  }
 }
 
 int FlashDevice::BankOfSector(uint64_t sector) const {
-  return static_cast<int>(sector / sectors_per_bank());
+  return static_cast<int>(bank_shift_ >= 0 ? sector >> bank_shift_
+                                           : sector / sectors_per_bank());
 }
 
 IoScheduler::Dispatch FlashDevice::SubmitOp(IoOp op, int bank, uint64_t addr,
@@ -162,8 +190,8 @@ Result<Duration> FlashDevice::Read(uint64_t addr, std::span<uint8_t> out,
   if (BankOfAddress(addr + out.size() - 1) != bank) {
     return InvalidArgumentError("flash read crosses a bank boundary");
   }
-  for (uint64_t s = addr / sector_bytes();
-       s <= (addr + out.size() - 1) / sector_bytes(); ++s) {
+  for (uint64_t s = SectorOfAddr(addr);
+       s <= SectorOfAddr(addr + out.size() - 1); ++s) {
     if (sectors_[s].bad) {
       return DataLossError("read from worn-out flash sector " +
                            std::to_string(s));
@@ -183,8 +211,22 @@ Result<Duration> FlashDevice::Read(uint64_t addr, std::span<uint8_t> out,
     clock_.AdvanceTo(d.complete);
   }
 
-  std::copy_n(contents_.begin() + static_cast<ptrdiff_t>(addr), out.size(),
-              out.begin());
+  uint64_t pos = addr;
+  uint8_t* dst = out.data();
+  uint64_t remaining = out.size();
+  while (remaining > 0) {
+    const uint64_t s = SectorOfAddr(pos);
+    const uint64_t off = OffsetInSector(pos);
+    const uint64_t n = std::min(remaining, sector_bytes() - off);
+    if (const uint8_t* src = sector_data_[s].get()) {
+      std::memcpy(dst, src + off, n);
+    } else {
+      std::memset(dst, kErasedByte, n);
+    }
+    dst += n;
+    pos += n;
+    remaining -= n;
+  }
   stats_.reads.Add();
   stats_.read_bytes.Add(out.size());
   return d.wait + op_ns;
@@ -199,26 +241,33 @@ Result<Duration> FlashDevice::Program(uint64_t addr,
   if (data.empty()) {
     return Duration{0};
   }
-  const uint64_t sector = addr / sector_bytes();
-  if ((addr + data.size() - 1) / sector_bytes() != sector) {
+  const uint64_t sector = SectorOfAddr(addr);
+  if (SectorOfAddr(addr + data.size() - 1) != sector) {
     return InvalidArgumentError("flash program crosses a sector boundary");
   }
-  if (sectors_[sector].bad) {
+  Sector& meta = sectors_[sector];
+  if (meta.bad) {
     return DataLossError("program to worn-out flash sector " +
                          std::to_string(sector));
   }
-  // Strict NOR semantics: target bytes must be erased. memcmp against the
-  // all-0xFF template vectorizes; the per-byte scan only runs on the error
-  // path to name the offending address.
-  if (std::memcmp(contents_.data() + addr, erased_template_.data(),
-                  data.size()) != 0) {
-    uint64_t i = 0;
-    while (contents_[addr + i] == kErasedByte) {
-      ++i;
+  // Strict NOR semantics: target bytes must be erased. Bytes at or beyond
+  // the programmed watermark are erased by construction (so the FTL's
+  // append-order programs skip the scan); below it, memcmp against the
+  // all-0xFF template vectorizes, and the per-byte scan only runs on the
+  // error path to name the offending address.
+  const uint64_t off = OffsetInSector(addr);
+  if (off < meta.programmed_end) {
+    if (const uint8_t* cur = sector_data_[sector].get();
+        cur != nullptr &&
+        std::memcmp(cur + off, erased_template_.data(), data.size()) != 0) {
+      uint64_t i = 0;
+      while (cur[off + i] == kErasedByte) {
+        ++i;
+      }
+      return FailedPreconditionError(
+          "program to non-erased flash byte at address " +
+          std::to_string(addr + i));
     }
-    return FailedPreconditionError(
-        "program to non-erased flash byte at address " +
-        std::to_string(addr + i));
   }
 
   const Duration op_ns = spec_.program.LatencyFor(data.size());
@@ -228,8 +277,9 @@ Result<Duration> FlashDevice::Program(uint64_t addr,
     clock_.AdvanceTo(d.complete);
   }
 
-  std::copy(data.begin(), data.end(),
-            contents_.begin() + static_cast<ptrdiff_t>(addr));
+  std::memcpy(MaterializeSector(sector) + off, data.data(), data.size());
+  meta.programmed_end =
+      std::max(meta.programmed_end, static_cast<uint32_t>(off + data.size()));
   stats_.programs.Add();
   stats_.programmed_bytes.Add(data.size());
   return d.wait + op_ns;
@@ -278,16 +328,28 @@ Result<Duration> FlashDevice::EraseSector(uint64_t sector, IoIssue issue) {
     erase_observer_(sector, s.erase_count, /*now_bad=*/false);
   }
 
-  const uint64_t base = sector * sector_bytes();
-  std::fill_n(contents_.begin() + static_cast<ptrdiff_t>(base), sector_bytes(),
-              kErasedByte);
+  // Keep an already-materialized buffer and refill it (no allocator churn on
+  // the cleaner's erase/program cycle); a never-programmed sector stays null.
+  if (uint8_t* data_ptr = sector_data_[sector].get()) {
+    std::memset(data_ptr, kErasedByte, sector_bytes());
+  }
+  s.programmed_end = 0;
   return d.wait + op_ns;
 }
 
 bool FlashDevice::IsSectorErased(uint64_t sector) const {
-  const uint64_t base = sector * sector_bytes();
-  return std::memcmp(contents_.data() + base, erased_template_.data(),
-                     sector_bytes()) == 0;
+  const uint8_t* data_ptr = sector_data_[sector].get();
+  return data_ptr == nullptr ||
+         std::memcmp(data_ptr, erased_template_.data(), sector_bytes()) == 0;
+}
+
+uint8_t* FlashDevice::MaterializeSector(uint64_t sector) {
+  std::unique_ptr<uint8_t[]>& slot = sector_data_[sector];
+  if (!slot) {
+    slot.reset(new uint8_t[sector_bytes()]);
+    std::memset(slot.get(), kErasedByte, sector_bytes());
+  }
+  return slot.get();
 }
 
 void FlashDevice::AccountIdleEnergy() {

@@ -35,6 +35,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -66,9 +67,14 @@ class FlashDevice {
   uint64_t sector_bytes() const { return spec_.erase_sector_bytes; }
   uint64_t num_sectors() const { return capacity_ / sector_bytes(); }
   int num_banks() const { return sched_.num_channels(); }
-  uint64_t sectors_per_bank() const { return num_sectors() / num_banks(); }
+  uint64_t sectors_per_bank() const { return sectors_per_bank_; }
   int BankOfAddress(uint64_t addr) const;
   int BankOfSector(uint64_t sector) const;
+
+  // Advisory: start pulling the payload cache lines of [addr, addr + bytes)
+  // toward the core ahead of a Read/Program. No effect on simulated state or
+  // timing; never materializes an untouched sector.
+  void PrefetchPayload(uint64_t addr, uint64_t bytes) const;
   const FlashSpec& spec() const { return spec_; }
   SimClock& clock() { return clock_; }
 
@@ -193,8 +199,24 @@ class FlashDevice {
  private:
   struct Sector {
     uint64_t erase_count = 0;
+    // End offset (exclusive) of the highest byte programmed since the last
+    // erase. Bytes at or beyond it are guaranteed still erased, so
+    // append-order programs (the FTL's only pattern) skip the erased-check
+    // memcmp; programs below it fall back to the full check.
+    uint32_t programmed_end = 0;
     bool bad = false;
   };
+
+  // Sector geometry is almost always a power of two; cache the shift so the
+  // per-operation address decomposition is a shift/mask instead of 64-bit
+  // division. -1 falls back to division for odd geometries.
+  uint64_t SectorOfAddr(uint64_t addr) const {
+    return sector_shift_ >= 0 ? addr >> sector_shift_ : addr / sector_bytes();
+  }
+  uint64_t OffsetInSector(uint64_t addr) const {
+    return sector_shift_ >= 0 ? addr & (sector_bytes() - 1)
+                              : addr % sector_bytes();
+  }
 
   // Builds and submits the request for an operation of duration `op_ns` on
   // `bank`, records attribution, and advances the clock for blocking issues.
@@ -208,11 +230,22 @@ class FlashDevice {
   // Retire-hook body: spans + latency histograms for one finished request.
   void ObsRetire(int bank, const IoRequest& req);
 
+  // Returns the sector's payload buffer, materializing (and 0xFF-filling) it
+  // on first touch.
+  uint8_t* MaterializeSector(uint64_t sector);
+
   FlashSpec spec_;
   uint64_t capacity_;
   SimClock& clock_;
   Rng rng_;
-  std::vector<uint8_t> contents_;
+  // Per-sector payloads, materialized on first program. A null entry means
+  // the sector has never been programmed and reads as all-0xFF. Most of a
+  // card stays in that state for most workloads, so construction costs no
+  // capacity-sized fill (and no page faults re-touching tens of MiB).
+  int sector_shift_ = -1;
+  int bank_shift_ = -1;
+  uint64_t sectors_per_bank_ = 0;
+  std::vector<std::unique_ptr<uint8_t[]>> sector_data_;
   // One sector's worth of 0xFF, compared wholesale (memcmp) by the erased
   // checks in Program() and IsSectorErased().
   std::vector<uint8_t> erased_template_;

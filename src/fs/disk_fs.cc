@@ -1,5 +1,7 @@
 #include "src/fs/disk_fs.h"
 
+#include <array>
+
 #include <algorithm>
 #include <cassert>
 #include <cstring>
@@ -423,7 +425,7 @@ Result<uint64_t> DiskFileSystem::WriteAt(uint32_t ino, DiskInode& inode,
 // --- Directories --------------------------------------------------------------
 
 Result<uint32_t> DiskFileSystem::DirLookup(uint32_t dir_ino,
-                                           const std::string& name) {
+                                           std::string_view name) {
   Result<DiskInode> dir = ReadInode(dir_ino);
   if (!dir.ok()) {
     return dir.status();
@@ -431,8 +433,15 @@ Result<uint32_t> DiskFileSystem::DirLookup(uint32_t dir_ino,
   if (dir.value().mode != kModeDir) {
     return FailedPreconditionError("not a directory");
   }
+  if (name.size() > kNameMax) {
+    return NotFoundError(std::string(name));
+  }
+  // Entries are written zero-padded (DirAdd), so a fixed-width compare
+  // against a zero-padded key matches exactly the names strncmp accepted.
+  std::array<char, kNameMax> key = {};
+  std::memcpy(key.data(), name.data(), name.size());
   const uint64_t entries = dir.value().size / kDirEntryBytes;
-  std::vector<uint8_t> entry(kDirEntryBytes);
+  std::array<uint8_t, kDirEntryBytes> entry;
   for (uint64_t i = 0; i < entries; ++i) {
     Result<uint64_t> n =
         ReadAt(dir_ino, dir.value(), i * kDirEntryBytes, entry);
@@ -443,15 +452,14 @@ Result<uint32_t> DiskFileSystem::DirLookup(uint32_t dir_ino,
     uint32_t ino;
     std::memcpy(&ino, entry.data(), 4);
     if (ino != 0 &&
-        std::strncmp(reinterpret_cast<const char*>(entry.data() + 4),
-                     name.c_str(), kNameMax) == 0) {
+        std::memcmp(entry.data() + 4, key.data(), kNameMax) == 0) {
       return ino;
     }
   }
-  return NotFoundError(name);
+  return NotFoundError(std::string(name));
 }
 
-Status DiskFileSystem::DirAdd(uint32_t dir_ino, const std::string& name,
+Status DiskFileSystem::DirAdd(uint32_t dir_ino, std::string_view name,
                               uint32_t ino) {
   if (name.size() > kNameMax) {
     return InvalidArgumentError("name too long");
@@ -479,7 +487,7 @@ Status DiskFileSystem::DirAdd(uint32_t dir_ino, const std::string& name,
   }
   std::fill(entry.begin(), entry.end(), 0);
   std::memcpy(entry.data(), &ino, 4);
-  std::memcpy(entry.data() + 4, name.c_str(), name.size());
+  std::memcpy(entry.data() + 4, name.data(), name.size());
   Result<uint64_t> wrote = WriteAt(dir_ino, inode, slot * kDirEntryBytes,
                                    entry);
   if (!wrote.ok()) {
@@ -497,14 +505,19 @@ Status DiskFileSystem::DirAdd(uint32_t dir_ino, const std::string& name,
   return Status::Ok();
 }
 
-Status DiskFileSystem::DirRemove(uint32_t dir_ino, const std::string& name) {
+Status DiskFileSystem::DirRemove(uint32_t dir_ino, std::string_view name) {
   Result<DiskInode> dir = ReadInode(dir_ino);
   if (!dir.ok()) {
     return dir.status();
   }
   DiskInode inode = dir.value();
+  if (name.size() > kNameMax) {
+    return NotFoundError(std::string(name));
+  }
+  std::array<char, kNameMax> key = {};
+  std::memcpy(key.data(), name.data(), name.size());
   const uint64_t entries = inode.size / kDirEntryBytes;
-  std::vector<uint8_t> entry(kDirEntryBytes);
+  std::array<uint8_t, kDirEntryBytes> entry;
   for (uint64_t i = 0; i < entries; ++i) {
     Result<uint64_t> n = ReadAt(dir_ino, inode, i * kDirEntryBytes, entry);
     if (!n.ok()) {
@@ -513,8 +526,7 @@ Status DiskFileSystem::DirRemove(uint32_t dir_ino, const std::string& name) {
     uint32_t ino;
     std::memcpy(&ino, entry.data(), 4);
     if (ino != 0 &&
-        std::strncmp(reinterpret_cast<const char*>(entry.data() + 4),
-                     name.c_str(), kNameMax) == 0) {
+        std::memcmp(entry.data() + 4, key.data(), kNameMax) == 0) {
       std::fill(entry.begin(), entry.end(), 0);
       Result<uint64_t> wrote =
           WriteAt(dir_ino, inode, i * kDirEntryBytes, entry);
@@ -524,7 +536,7 @@ Status DiskFileSystem::DirRemove(uint32_t dir_ino, const std::string& name) {
       return WriteInode(dir_ino, inode);
     }
   }
-  return NotFoundError(name);
+  return NotFoundError(std::string(name));
 }
 
 Result<bool> DiskFileSystem::DirEmpty(uint32_t dir_ino) {
@@ -579,12 +591,12 @@ DiskFileSystem::DirEntries(uint32_t dir_ino) {
 
 // --- Path resolution ----------------------------------------------------------
 
-Result<uint32_t> DiskFileSystem::Resolve(const std::string& path) {
+Result<uint32_t> DiskFileSystem::Resolve(std::string_view path) {
   if (!IsValidPath(path)) {
-    return InvalidArgumentError("bad path: " + path);
+    return InvalidArgumentError("bad path: " + std::string(path));
   }
   uint32_t ino = kRootIno;
-  for (const std::string& component : SplitPath(path)) {
+  for (const std::string_view component : PathComponents(path)) {
     Result<uint32_t> next = DirLookup(ino, component);
     if (!next.ok()) {
       return next.status();
@@ -594,11 +606,11 @@ Result<uint32_t> DiskFileSystem::Resolve(const std::string& path) {
   return ino;
 }
 
-Result<uint32_t> DiskFileSystem::ResolveParent(const std::string& path) {
+Result<uint32_t> DiskFileSystem::ResolveParent(std::string_view path) {
   if (!IsValidPath(path) || path == "/") {
-    return InvalidArgumentError("bad path: " + path);
+    return InvalidArgumentError("bad path: " + std::string(path));
   }
-  return Resolve(ParentPath(path));
+  return Resolve(ParentPathView(path));
 }
 
 // --- FileSystem interface -------------------------------------------------------
@@ -608,14 +620,14 @@ Status DiskFileSystem::Create(const std::string& path) {
   if (!parent.ok()) {
     return parent.status();
   }
-  if (DirLookup(parent.value(), BaseName(path)).ok()) {
+  if (DirLookup(parent.value(), BaseNameView(path)).ok()) {
     return AlreadyExistsError(path);
   }
   Result<uint32_t> ino = AllocateInode(kModeFile);
   if (!ino.ok()) {
     return ino.status();
   }
-  SSMC_RETURN_IF_ERROR(DirAdd(parent.value(), BaseName(path), ino.value()));
+  SSMC_RETURN_IF_ERROR(DirAdd(parent.value(), BaseNameView(path), ino.value()));
   stats_.creates.Add();
   return Status::Ok();
 }
@@ -625,14 +637,14 @@ Status DiskFileSystem::Mkdir(const std::string& path) {
   if (!parent.ok()) {
     return parent.status();
   }
-  if (DirLookup(parent.value(), BaseName(path)).ok()) {
+  if (DirLookup(parent.value(), BaseNameView(path)).ok()) {
     return AlreadyExistsError(path);
   }
   Result<uint32_t> ino = AllocateInode(kModeDir);
   if (!ino.ok()) {
     return ino.status();
   }
-  return DirAdd(parent.value(), BaseName(path), ino.value());
+  return DirAdd(parent.value(), BaseNameView(path), ino.value());
 }
 
 Status DiskFileSystem::Unlink(const std::string& path) {
@@ -640,7 +652,7 @@ Status DiskFileSystem::Unlink(const std::string& path) {
   if (!parent.ok()) {
     return parent.status();
   }
-  Result<uint32_t> ino = DirLookup(parent.value(), BaseName(path));
+  Result<uint32_t> ino = DirLookup(parent.value(), BaseNameView(path));
   if (!ino.ok()) {
     return ino.status();
   }
@@ -653,7 +665,7 @@ Status DiskFileSystem::Unlink(const std::string& path) {
   }
   SSMC_RETURN_IF_ERROR(FreeFileBlocks(inode.value(), 0));
   SSMC_RETURN_IF_ERROR(FreeInode(ino.value()));
-  SSMC_RETURN_IF_ERROR(DirRemove(parent.value(), BaseName(path)));
+  SSMC_RETURN_IF_ERROR(DirRemove(parent.value(), BaseNameView(path)));
   stats_.unlinks.Add();
   return Status::Ok();
 }
@@ -663,7 +675,7 @@ Status DiskFileSystem::Rmdir(const std::string& path) {
   if (!parent.ok()) {
     return parent.status();
   }
-  Result<uint32_t> ino = DirLookup(parent.value(), BaseName(path));
+  Result<uint32_t> ino = DirLookup(parent.value(), BaseNameView(path));
   if (!ino.ok()) {
     return ino.status();
   }
@@ -683,7 +695,7 @@ Status DiskFileSystem::Rmdir(const std::string& path) {
   }
   SSMC_RETURN_IF_ERROR(FreeFileBlocks(inode.value(), 0));
   SSMC_RETURN_IF_ERROR(FreeInode(ino.value()));
-  return DirRemove(parent.value(), BaseName(path));
+  return DirRemove(parent.value(), BaseNameView(path));
 }
 
 Result<uint64_t> DiskFileSystem::Read(const std::string& path, uint64_t offset,
@@ -789,7 +801,7 @@ Status DiskFileSystem::Rename(const std::string& from, const std::string& to) {
   if (!from_parent.ok()) {
     return from_parent.status();
   }
-  Result<uint32_t> ino = DirLookup(from_parent.value(), BaseName(from));
+  Result<uint32_t> ino = DirLookup(from_parent.value(), BaseNameView(from));
   if (!ino.ok()) {
     return ino.status();
   }
@@ -797,11 +809,11 @@ Status DiskFileSystem::Rename(const std::string& from, const std::string& to) {
   if (!to_parent.ok()) {
     return to_parent.status();
   }
-  if (DirLookup(to_parent.value(), BaseName(to)).ok()) {
+  if (DirLookup(to_parent.value(), BaseNameView(to)).ok()) {
     return AlreadyExistsError(to);
   }
-  SSMC_RETURN_IF_ERROR(DirAdd(to_parent.value(), BaseName(to), ino.value()));
-  return DirRemove(from_parent.value(), BaseName(from));
+  SSMC_RETURN_IF_ERROR(DirAdd(to_parent.value(), BaseNameView(to), ino.value()));
+  return DirRemove(from_parent.value(), BaseNameView(from));
 }
 
 Result<std::vector<std::string>> DiskFileSystem::List(

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/device/disk_device.h"
@@ -146,17 +147,17 @@ class DiskFileSystem : public FileSystem {
 
   // --- Directories --------------------------------------------------------
   // Scans directory `dir_ino` for `name`; returns the inode or NOT_FOUND.
-  Result<uint32_t> DirLookup(uint32_t dir_ino, const std::string& name);
-  Status DirAdd(uint32_t dir_ino, const std::string& name, uint32_t ino);
-  Status DirRemove(uint32_t dir_ino, const std::string& name);
+  Result<uint32_t> DirLookup(uint32_t dir_ino, std::string_view name);
+  Status DirAdd(uint32_t dir_ino, std::string_view name, uint32_t ino);
+  Status DirRemove(uint32_t dir_ino, std::string_view name);
   Result<bool> DirEmpty(uint32_t dir_ino);
   Result<std::vector<std::pair<std::string, uint32_t>>> DirEntries(
       uint32_t dir_ino);
 
   // Resolves a path to an inode number.
-  Result<uint32_t> Resolve(const std::string& path);
+  Result<uint32_t> Resolve(std::string_view path);
   // Resolves the parent directory of `path`.
-  Result<uint32_t> ResolveParent(const std::string& path);
+  Result<uint32_t> ResolveParent(std::string_view path);
 
   // Metadata write helper honoring sync_metadata.
   Status MetaWrite(uint64_t block, uint64_t offset,

@@ -29,12 +29,12 @@ LogFileSystem::~LogFileSystem() = default;
 
 // --- Namespace (memory-resident, mirroring Sprite LFS's cached metadata) ---
 
-LogFileSystem::Node* LogFileSystem::Lookup(const std::string& path) {
+LogFileSystem::Node* LogFileSystem::Lookup(std::string_view path) {
   if (!IsValidPath(path)) {
     return nullptr;
   }
   Node* node = root_.get();
-  for (const std::string& component : SplitPath(path)) {
+  for (const std::string_view component : PathComponents(path)) {
     if (!node->is_dir) {
       return nullptr;
     }
@@ -47,11 +47,11 @@ LogFileSystem::Node* LogFileSystem::Lookup(const std::string& path) {
   return node;
 }
 
-LogFileSystem::Node* LogFileSystem::LookupParent(const std::string& path) {
+LogFileSystem::Node* LogFileSystem::LookupParent(std::string_view path) {
   if (!IsValidPath(path) || path == "/") {
     return nullptr;
   }
-  Node* parent = Lookup(ParentPath(path));
+  Node* parent = Lookup(ParentPathView(path));
   return parent != nullptr && parent->is_dir ? parent : nullptr;
 }
 
@@ -61,7 +61,7 @@ Status LogFileSystem::Create(const std::string& path) {
     return NotFoundError("no parent directory for " + path);
   }
   const std::string base = BaseName(path);
-  if (parent->children.count(base) != 0) {
+  if (parent->children.find(base) != parent->children.end()) {
     return AlreadyExistsError(path);
   }
   auto node = std::make_unique<Node>();
@@ -77,7 +77,7 @@ Status LogFileSystem::Mkdir(const std::string& path) {
     return NotFoundError("no parent directory for " + path);
   }
   const std::string base = BaseName(path);
-  if (parent->children.count(base) != 0) {
+  if (parent->children.find(base) != parent->children.end()) {
     return AlreadyExistsError(path);
   }
   auto node = std::make_unique<Node>();
@@ -117,7 +117,7 @@ Status LogFileSystem::Unlink(const std::string& path) {
   if (parent == nullptr) {
     return NotFoundError("no parent directory for " + path);
   }
-  auto it = parent->children.find(BaseName(path));
+  auto it = parent->children.find(BaseNameView(path));
   if (it == parent->children.end()) {
     return NotFoundError(path);
   }
@@ -135,7 +135,7 @@ Status LogFileSystem::Rmdir(const std::string& path) {
   if (parent == nullptr) {
     return NotFoundError("no parent directory for " + path);
   }
-  auto it = parent->children.find(BaseName(path));
+  auto it = parent->children.find(BaseNameView(path));
   if (it == parent->children.end()) {
     return NotFoundError(path);
   }
@@ -489,7 +489,7 @@ Status LogFileSystem::Rename(const std::string& from, const std::string& to) {
   if (from_parent == nullptr) {
     return NotFoundError(from);
   }
-  auto it = from_parent->children.find(BaseName(from));
+  auto it = from_parent->children.find(BaseNameView(from));
   if (it == from_parent->children.end()) {
     return NotFoundError(from);
   }
@@ -498,7 +498,7 @@ Status LogFileSystem::Rename(const std::string& from, const std::string& to) {
     return NotFoundError("no parent directory for " + to);
   }
   const std::string to_base = BaseName(to);
-  if (to_parent->children.count(to_base) != 0) {
+  if (to_parent->children.find(to_base) != to_parent->children.end()) {
     return AlreadyExistsError(to);
   }
   to_parent->children.emplace(to_base, std::move(it->second));

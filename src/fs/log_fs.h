@@ -28,6 +28,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -92,7 +93,8 @@ class LogFileSystem : public FileSystem {
 
   struct Node {
     bool is_dir = false;
-    std::map<std::string, std::unique_ptr<Node>> children;
+    // std::less<> enables lookups by string_view without a key copy.
+    std::map<std::string, std::unique_ptr<Node>, std::less<>> children;
     Inode inode;
   };
 
@@ -104,8 +106,8 @@ class LogFileSystem : public FileSystem {
 
   using DirtyKey = std::pair<uint64_t, uint64_t>;  // (ino, block index)
 
-  Node* Lookup(const std::string& path);
-  Node* LookupParent(const std::string& path);
+  Node* Lookup(std::string_view path);
+  Node* LookupParent(std::string_view path);
 
   uint64_t SegmentOfBlock(uint64_t disk_block) const {
     return disk_block / options_.segment_blocks;

@@ -64,12 +64,12 @@ void MemoryFileSystem::CheckResolve(Residency got, const BlockKey& key,
   }
 }
 
-MemoryFileSystem::Node* MemoryFileSystem::Lookup(const std::string& path) {
+MemoryFileSystem::Node* MemoryFileSystem::Lookup(std::string_view path) {
   if (!IsValidPath(path)) {
     return nullptr;
   }
   Node* node = root_.get();
-  for (const std::string& component : SplitPath(path)) {
+  for (const std::string_view component : PathComponents(path)) {
     if (!node->is_dir) {
       return nullptr;
     }
@@ -83,12 +83,11 @@ MemoryFileSystem::Node* MemoryFileSystem::Lookup(const std::string& path) {
   return node;
 }
 
-MemoryFileSystem::Node* MemoryFileSystem::LookupParent(
-    const std::string& path) {
+MemoryFileSystem::Node* MemoryFileSystem::LookupParent(std::string_view path) {
   if (!IsValidPath(path) || path == "/") {
     return nullptr;
   }
-  Node* parent = Lookup(ParentPath(path));
+  Node* parent = Lookup(ParentPathView(path));
   if (parent == nullptr || !parent->is_dir) {
     return nullptr;
   }
@@ -101,7 +100,7 @@ Status MemoryFileSystem::Create(const std::string& path) {
     return NotFoundError("no parent directory for " + path);
   }
   const std::string base = BaseName(path);
-  if (parent->children.count(base) != 0) {
+  if (parent->children.find(base) != parent->children.end()) {
     return AlreadyExistsError(path);
   }
   auto node = std::make_unique<Node>();
@@ -120,7 +119,7 @@ Status MemoryFileSystem::Mkdir(const std::string& path) {
     return NotFoundError("no parent directory for " + path);
   }
   const std::string base = BaseName(path);
-  if (parent->children.count(base) != 0) {
+  if (parent->children.find(base) != parent->children.end()) {
     return AlreadyExistsError(path);
   }
   auto node = std::make_unique<Node>();
@@ -148,8 +147,7 @@ Status MemoryFileSystem::Unlink(const std::string& path) {
   if (parent == nullptr) {
     return NotFoundError("no parent directory for " + path);
   }
-  const std::string base = BaseName(path);
-  auto it = parent->children.find(base);
+  auto it = parent->children.find(BaseNameView(path));
   if (it == parent->children.end()) {
     return NotFoundError(path);
   }
@@ -181,7 +179,7 @@ Status MemoryFileSystem::Rmdir(const std::string& path) {
   if (parent == nullptr) {
     return NotFoundError("no parent directory for " + path);
   }
-  auto it = parent->children.find(BaseName(path));
+  auto it = parent->children.find(BaseNameView(path));
   if (it == parent->children.end()) {
     return NotFoundError(path);
   }
@@ -458,7 +456,7 @@ Status MemoryFileSystem::Rename(const std::string& from,
   if (from_parent == nullptr) {
     return NotFoundError(from);
   }
-  auto it = from_parent->children.find(BaseName(from));
+  auto it = from_parent->children.find(BaseNameView(from));
   if (it == from_parent->children.end()) {
     return NotFoundError(from);
   }
@@ -467,7 +465,7 @@ Status MemoryFileSystem::Rename(const std::string& from,
     return NotFoundError("no parent directory for " + to);
   }
   const std::string to_base = BaseName(to);
-  if (to_parent->children.count(to_base) != 0) {
+  if (to_parent->children.find(to_base) != to_parent->children.end()) {
     return AlreadyExistsError(to);
   }
   storage_.ChargeMetadataWrite(2 * kDirEntryBytes);

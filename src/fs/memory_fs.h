@@ -27,6 +27,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -178,7 +179,8 @@ class MemoryFileSystem : public FileSystem {
 
   struct Node {
     bool is_dir = false;
-    std::map<std::string, std::unique_ptr<Node>> children;  // Dirs only.
+    // std::less<> enables lookups by string_view without a key copy.
+    std::map<std::string, std::unique_ptr<Node>, std::less<>> children;  // Dirs only.
     Inode inode;                                            // Files only.
   };
 
@@ -196,9 +198,9 @@ class MemoryFileSystem : public FileSystem {
 
   // Walks the tree, charging DRAM reads per component. Returns null if any
   // component is missing or a non-directory is traversed.
-  Node* Lookup(const std::string& path);
+  Node* Lookup(std::string_view path);
   // Returns the parent node of `path` (charging lookups) or null.
-  Node* LookupParent(const std::string& path);
+  Node* LookupParent(std::string_view path);
 
   // The write buffer's flush destination.
   Status FlushBlock(const BlockKey& key, std::span<const uint8_t> data);

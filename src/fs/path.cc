@@ -63,6 +63,24 @@ std::string BaseName(std::string_view path) {
   return std::string(path.substr(slash + 1));
 }
 
+std::string_view ParentPathView(std::string_view path) {
+  if (path == "/") {
+    return path;
+  }
+  const size_t slash = path.rfind('/');
+  if (slash == 0) {
+    return path.substr(0, 1);
+  }
+  return path.substr(0, slash);
+}
+
+std::string_view BaseNameView(std::string_view path) {
+  if (path == "/") {
+    return {};
+  }
+  return path.substr(path.rfind('/') + 1);
+}
+
 std::string JoinPath(std::string_view dir, std::string_view name) {
   if (dir == "/") {
     return "/" + std::string(name);

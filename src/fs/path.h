@@ -30,6 +30,60 @@ std::string BaseName(std::string_view path);
 // Joins a directory and a name ("/a" + "b" -> "/a/b"; "/" + "b" -> "/b").
 std::string JoinPath(std::string_view dir, std::string_view name);
 
+// Zero-allocation variants for per-operation lookups: views into `path`,
+// valid as long as the argument's backing storage. Same preconditions as
+// the owning versions above.
+std::string_view ParentPathView(std::string_view path);
+std::string_view BaseNameView(std::string_view path);
+
+// Zero-allocation split: a forward range over the components of a canonical
+// path, each a view into it ("/a/b/c" -> "a", "b", "c"; "/" -> empty range).
+// Pre: IsValidPath(path).
+class PathComponents {
+ public:
+  class iterator {
+   public:
+    std::string_view operator*() const {
+      return path_.substr(start_, end_ - start_);
+    }
+    iterator& operator++() {
+      start_ = end_ + 1;
+      Advance();
+      return *this;
+    }
+    bool operator==(const iterator& o) const { return start_ == o.start_; }
+    bool operator!=(const iterator& o) const { return start_ != o.start_; }
+
+   private:
+    friend class PathComponents;
+    iterator(std::string_view path, size_t start)
+        : path_(path), start_(start) {
+      Advance();
+    }
+    void Advance() {
+      if (start_ >= path_.size()) {
+        start_ = path_.size();
+        end_ = start_;
+        return;
+      }
+      end_ = path_.find('/', start_);
+      if (end_ == std::string_view::npos) {
+        end_ = path_.size();
+      }
+    }
+    std::string_view path_;
+    size_t start_;
+    size_t end_ = 0;
+  };
+
+  explicit PathComponents(std::string_view path) : path_(path) {}
+  iterator begin() const { return iterator(path_, 1); }
+  iterator end() const { return iterator(path_, path_.size()); }
+
+ private:
+  std::string_view path_;
+};
+
 }  // namespace ssmc
 
 #endif  // SSMC_SRC_FS_PATH_H_

@@ -1,6 +1,7 @@
 #include "src/ftl/flash_store.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 
@@ -106,6 +107,7 @@ WearScanResult ScanWearLevelState(const std::vector<SectorMeta>& sectors,
 FlashStore::FlashStore(FlashDevice& flash, FlashStoreOptions options)
     : flash_(flash),
       options_(options),
+      pps_(static_cast<uint32_t>(flash.sector_bytes() / options.block_bytes)),
       victim_index_(options.cleaner,
                     static_cast<uint32_t>(flash.sector_bytes() /
                                           options.block_bytes),
@@ -114,6 +116,9 @@ FlashStore::FlashStore(FlashDevice& flash, FlashStoreOptions options)
   assert(options_.block_bytes > 0);
   assert(flash_.sector_bytes() % options_.block_bytes == 0 &&
          "block size must divide the erase sector size");
+  if (std::has_single_bit(static_cast<uint64_t>(pps_))) {
+    page_shift_ = std::countr_zero(static_cast<uint64_t>(pps_));
+  }
 
   const uint64_t num_sectors = flash_.num_sectors();
   const uint64_t pps = pages_per_sector();
@@ -134,10 +139,13 @@ FlashStore::FlashStore(FlashDevice& flash, FlashStoreOptions options)
 
   map_.assign(num_logical_blocks_, kUnmapped);
   page_owner_.assign(num_sectors * pps, kUnmapped);
-  sectors_.resize(num_sectors);
-  for (auto& m : sectors_) {
-    m.free = true;
+  assert(pps <= UINT16_MAX && "SectorHot packs page counts into 16 bits");
+  hot_.resize(num_sectors);
+  for (SectorHot& h : hot_) {
+    h.flags = kFreeFlag;
   }
+  next_free_page_.assign(num_sectors, 0);
+  reloc_buf_.resize(options_.block_bytes);
   free_pool_.assign(static_cast<size_t>(flash_.num_banks()),
                     FreeSectorPool(options_.wear != WearPolicy::kNone));
   for (uint64_t s = 0; s < num_sectors; ++s) {
@@ -177,14 +185,22 @@ FlashStore::~FlashStore() {
   }
 }
 
+std::vector<SectorMeta> FlashStore::SnapshotSectors() const {
+  std::vector<SectorMeta> out(hot_.size());
+  for (uint64_t s = 0; s < hot_.size(); ++s) {
+    out[s] = sector_meta(s);
+  }
+  return out;
+}
+
 void FlashStore::UpdateSectorIndexes(uint64_t sector) {
-  const SectorMeta& m = sectors_[sector];
-  const bool usable = !m.active && !m.free && !m.bad;
-  victim_index_.Sync(sector, m.valid_pages, m.dead_pages, m.last_write_time,
-                     usable && m.dead_pages > 0);
+  const SectorHot& h = hot_[sector];
+  const bool usable = h.flags == 0;  // Neither active, free, nor bad.
+  victim_index_.Sync(sector, h.valid_pages, h.dead_pages, h.last_write_time,
+                     usable && h.dead_pages > 0);
   if (sector < hot_sector_count_) {
-    cold_index_.Sync(sector, m.last_write_time,
-                     usable && m.dead_pages == 0 && m.valid_pages > 0);
+    cold_index_.Sync(sector, h.last_write_time,
+                     usable && h.dead_pages == 0 && h.valid_pages > 0);
   }
   if (wear_index_ != nullptr) {
     wear_index_->SyncOccupied(sector, flash_.EraseCount(sector), usable);
@@ -211,7 +227,7 @@ int64_t FlashStore::TakeFreeSector(int bank) {
   if (sector < 0) {
     return -1;
   }
-  sectors_[static_cast<size_t>(sector)].free = false;
+  hot_[static_cast<size_t>(sector)].flags &= ~kFreeFlag;
   free_sector_count_ -= 1;
   return sector;
 }
@@ -251,14 +267,15 @@ Result<uint64_t> FlashStore::AllocatePage(WriteStream stream,
   }
   // Tries to take a page from banks [lo, lo+len).
   auto attempt = [&](int lo, int len) -> int64_t {
-    const int start = lo + (next_bank_ % len);
+    // len is tiny (bank count); rotate with compares, not integer division.
+    int rot = len == 1 ? 0 : next_bank_ % len;
     for (int i = 0; i < len; ++i) {
-      const int bank = lo + (start - lo + i) % len;
+      const int bank = lo + rot;
+      rot = rot + 1 == len ? 0 : rot + 1;
       int64_t active = active_[static_cast<size_t>(bank)];
       if (active >= 0 &&
-          sectors_[static_cast<size_t>(active)].next_free_page >=
-              pages_per_sector()) {
-        sectors_[static_cast<size_t>(active)].active = false;
+          next_free_page_[static_cast<size_t>(active)] >= pages_per_sector()) {
+        hot_[static_cast<size_t>(active)].flags &= ~kActiveFlag;
         active_[static_cast<size_t>(bank)] = -1;
         // The filled sector just became eligible for cleaning (if it holds
         // dead pages) or cold eviction (if fully valid).
@@ -270,14 +287,13 @@ Result<uint64_t> FlashStore::AllocatePage(WriteStream stream,
         if (active < 0) {
           continue;  // This bank is out of space; try the next.
         }
-        sectors_[static_cast<size_t>(active)].active = true;
+        hot_[static_cast<size_t>(active)].flags |= kActiveFlag;
         active_[static_cast<size_t>(bank)] = active;
       }
-      SectorMeta& m = sectors_[static_cast<size_t>(active)];
       const uint64_t page =
           static_cast<uint64_t>(active) * pages_per_sector() +
-          m.next_free_page;
-      m.next_free_page += 1;
+          next_free_page_[static_cast<size_t>(active)];
+      next_free_page_[static_cast<size_t>(active)] += 1;
       return static_cast<int64_t>(page);
     }
     return -1;
@@ -324,6 +340,16 @@ Result<Duration> FlashStore::WriteInternal(uint64_t block,
     return InvalidArgumentError("flash store writes are whole blocks");
   }
 
+  // Hint the overwrite bookkeeping below: the allocator and device work in
+  // between gives these random-access lines time to arrive. Advisory only —
+  // cleaning may remap the block meanwhile, so the authoritative map_ read
+  // happens after the program.
+  if (const uint64_t prior = map_[block]; prior != kUnmapped) {
+    __builtin_prefetch(&page_owner_[prior], 1);
+    __builtin_prefetch(&hot_[SectorOfPage(prior)], 1);
+    victim_index_.Prefetch(SectorOfPage(prior));
+  }
+
   Result<uint64_t> page = AllocatePage(stream, allow_clean);
   if (!page.ok()) {
     return page.status();
@@ -341,10 +367,11 @@ Result<Duration> FlashStore::WriteInternal(uint64_t block,
   }
   map_[block] = page.value();
   page_owner_[page.value()] = block;
-  SectorMeta& m = sectors_[SectorOfPage(page.value())];
-  assert(m.active && "programs only target the bank's active sector");
-  m.valid_pages += 1;
-  m.last_write_time = flash_.clock().now();
+  SectorHot& h = hot_[SectorOfPage(page.value())];
+  assert((h.flags & kActiveFlag) != 0 &&
+         "programs only target the bank's active sector");
+  h.valid_pages += 1;
+  h.last_write_time = flash_.clock().now();
   // No index update: active sectors are excluded from every index, and the
   // sector enters them with its final metadata when it is deactivated.
   return programmed.value();
@@ -441,12 +468,14 @@ Result<uint64_t> FlashStore::PhysicalAddressOf(uint64_t block) const {
 
 void FlashStore::MarkPageDead(uint64_t page) {
   const uint64_t sector = SectorOfPage(page);
-  SectorMeta& m = sectors_[sector];
-  assert(m.valid_pages > 0);
-  m.valid_pages -= 1;
-  m.dead_pages += 1;
+  SectorHot& h = hot_[sector];
+  assert(h.valid_pages > 0);
+  h.valid_pages -= 1;
+  h.dead_pages += 1;
   page_owner_[page] = kUnmapped;
-  UpdateSectorIndexes(sector);
+  if (static_cast<int64_t>(sector) != deferred_sync_sector_) {
+    UpdateSectorIndexes(sector);
+  }
 }
 
 void FlashStore::AttachObs(Obs* obs) {
@@ -535,7 +564,8 @@ Result<bool> FlashStore::CleanOne() {
   const int64_t victim = victim_index_.Pick(now);
   if (options_.validate_indexes) {
     const int64_t oracle =
-        PickCleaningVictim(sectors_, pages_per_sector(), options_.cleaner, now);
+        PickCleaningVictim(SnapshotSectors(), pages_per_sector(),
+                           options_.cleaner, now);
     if (oracle != victim) {
       RecordIndexMismatch("cleaning victim", victim, oracle);
     }
@@ -553,8 +583,18 @@ Result<bool> FlashStore::CleanOne() {
   const WriteStream stream = WriteStream::kRelocation;
   const uint64_t pps = pages_per_sector();
   const uint64_t first_page = static_cast<uint64_t>(victim) * pps;
-  std::vector<uint8_t> buf(options_.block_bytes);
+  std::vector<uint8_t>& buf = reloc_buf_;
   const IoIssue issue = CleanerIssue();
+  DeferredSectorSync defer(*this, static_cast<uint64_t>(victim));
+  // The owners' map entries and the victim's payload are scattered or cold;
+  // start pulling them all in before the relocation loop takes its first
+  // dependent miss on each.
+  for (uint64_t p = first_page; p < first_page + pps; ++p) {
+    if (page_owner_[p] != kUnmapped) {
+      __builtin_prefetch(&map_[page_owner_[p]], 1);
+      flash_.PrefetchPayload(PageAddress(p), options_.block_bytes);
+    }
+  }
   for (uint64_t p = first_page; p < first_page + pps; ++p) {
     const uint64_t owner = page_owner_[p];
     if (owner == kUnmapped) {
@@ -590,7 +630,8 @@ Result<bool> FlashStore::EvictColdSectorFromHotRange() {
       cold_index_.PickOlderThan(now, options_.cold_eviction_age);
   if (options_.validate_indexes) {
     const int64_t oracle = ScanPickColdEvictionVictim(
-        sectors_, hot_sector_count_, now, options_.cold_eviction_age);
+        SnapshotSectors(), hot_sector_count_, now,
+        options_.cold_eviction_age);
     if (oracle != victim) {
       RecordIndexMismatch("cold eviction victim", victim, oracle);
     }
@@ -601,8 +642,15 @@ Result<bool> FlashStore::EvictColdSectorFromHotRange() {
   const uint64_t relocations_before = stats_.gc_relocations.value();
   const uint64_t pps = pages_per_sector();
   const uint64_t first_page = static_cast<uint64_t>(victim) * pps;
-  std::vector<uint8_t> buf(options_.block_bytes);
+  std::vector<uint8_t>& buf = reloc_buf_;
   const IoIssue issue = CleanerIssue();
+  DeferredSectorSync defer(*this, static_cast<uint64_t>(victim));
+  for (uint64_t p = first_page; p < first_page + pps; ++p) {
+    if (page_owner_[p] != kUnmapped) {
+      __builtin_prefetch(&map_[page_owner_[p]], 1);
+      flash_.PrefetchPayload(PageAddress(p), options_.block_bytes);
+    }
+  }
   for (uint64_t p = first_page; p < first_page + pps; ++p) {
     const uint64_t owner = page_owner_[p];
     if (owner == kUnmapped) {
@@ -629,9 +677,9 @@ Result<bool> FlashStore::EvictColdSectorFromHotRange() {
 }
 
 Status FlashStore::EraseAndFree(uint64_t sector) {
-  SectorMeta& m = sectors_[sector];
-  assert(!m.active && !m.free);
-  assert(m.valid_pages == 0 && "erasing a sector with live data");
+  SectorHot& h = hot_[sector];
+  assert((h.flags & (kActiveFlag | kFreeFlag)) == 0);
+  assert(h.valid_pages == 0 && "erasing a sector with live data");
   Result<Duration> erased = flash_.EraseSector(sector, CleanerIssue());
   if (!erased.ok()) {
     if (erased.status().code() == ErrorCode::kDataLoss) {
@@ -639,8 +687,8 @@ Status FlashStore::EraseAndFree(uint64_t sector) {
       // spare capacity (graceful capacity degradation). Retirement must
       // remove the sector from every index — it never becomes free,
       // cleanable, or a wear-leveling target again.
-      m.bad = true;
-      m.dead_pages = 0;
+      h.flags |= kBadFlag;
+      h.dead_pages = 0;
       UpdateSectorIndexes(sector);
       if (obs_ != nullptr) {
         obs_->tracer().Instant(obs_cleaner_track_, "sector-retired",
@@ -652,8 +700,9 @@ Status FlashStore::EraseAndFree(uint64_t sector) {
     return erased.status();
   }
   stats_.erases.Add();
-  m = SectorMeta{};
-  m.free = true;
+  h = SectorHot{};
+  h.flags = kFreeFlag;
+  next_free_page_[sector] = 0;
   UpdateSectorIndexes(sector);
   free_pool_[static_cast<size_t>(flash_.BankOfSector(sector))].Add(
       sector, flash_.EraseCount(sector));
@@ -681,7 +730,7 @@ void FlashStore::MaybeStaticWearLevel() {
   }
   const int64_t coldest = wear_index_->ColdestOccupied();
   if (options_.validate_indexes) {
-    const WearScanResult oracle = ScanWearLevelState(sectors_, flash_);
+    const WearScanResult oracle = ScanWearLevelState(SnapshotSectors(), flash_);
     if (oracle.coldest != coldest || oracle.min_erases != min_erases ||
         oracle.max_erases != max_erases) {
       RecordIndexMismatch("wear-level target", coldest, oracle.coldest);
@@ -698,8 +747,9 @@ void FlashStore::MaybeStaticWearLevel() {
   const uint64_t relocations_before = stats_.gc_relocations.value();
   const uint64_t pps = pages_per_sector();
   const uint64_t first_page = static_cast<uint64_t>(coldest) * pps;
-  std::vector<uint8_t> buf(options_.block_bytes);
+  std::vector<uint8_t>& buf = reloc_buf_;
   const IoIssue issue = CleanerIssue();
+  DeferredSectorSync defer(*this, static_cast<uint64_t>(coldest));
   Status migrate = Status::Ok();
   for (uint64_t p = first_page; p < first_page + pps; ++p) {
     const uint64_t owner = page_owner_[p];
@@ -727,7 +777,7 @@ void FlashStore::MaybeStaticWearLevel() {
     stats_.wear_level_failures.Add();
     SSMC_LOG(kWarning) << "static wear leveling: migrating sector " << coldest
                        << " failed: " << migrate.ToString();
-  } else if (sectors_[static_cast<size_t>(coldest)].valid_pages == 0) {
+  } else if (hot_[static_cast<size_t>(coldest)].valid_pages == 0) {
     if (EraseAndFree(static_cast<uint64_t>(coldest)).ok()) {
       stats_.wear_migrations.Add();
     }
@@ -746,8 +796,8 @@ Status FlashStore::CheckIndexConsistency() const {
   uint64_t cold_count = 0;
   uint64_t occupied_count = 0;
   uint64_t non_bad = 0;
-  for (uint64_t s = 0; s < sectors_.size(); ++s) {
-    const SectorMeta& m = sectors_[s];
+  for (uint64_t s = 0; s < hot_.size(); ++s) {
+    const SectorMeta m = sector_meta(s);
     const bool usable = !m.active && !m.free && !m.bad;
     if (m.free) {
       free_count += 1;
@@ -796,7 +846,7 @@ Status FlashStore::CheckIndexConsistency() const {
     if (wear_index_->tracked_sectors() != non_bad) {
       return InternalError("wear erase-count tracker size mismatch");
     }
-    const WearScanResult scan = ScanWearLevelState(sectors_, flash_);
+    const WearScanResult scan = ScanWearLevelState(SnapshotSectors(), flash_);
     if (wear_index_->has_sectors() &&
         (wear_index_->min_erases() != scan.min_erases ||
          wear_index_->max_erases() != scan.max_erases ||

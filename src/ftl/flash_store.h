@@ -86,6 +86,9 @@ struct FlashStoreOptions {
 enum class WriteStream { kUser, kRelocation };
 
 // Per-sector metadata exposed for policy testing and the wear benches.
+// Snapshot of one sector's metadata. The store itself keeps this state in
+// struct-of-arrays columns (see FlashStore); this assembled form is the
+// interchange type for the linear-scan oracles and tests.
 struct SectorMeta {
   uint32_t valid_pages = 0;
   uint32_t dead_pages = 0;
@@ -214,7 +217,19 @@ class FlashStore {
   double WriteAmplification() const;
 
   uint64_t free_sectors() const { return free_sector_count_; }
-  const SectorMeta& sector_meta(uint64_t s) const { return sectors_[s]; }
+  // Assembled from the SoA columns; a snapshot, not a reference into state.
+  SectorMeta sector_meta(uint64_t s) const {
+    const SectorHot& h = hot_[s];
+    SectorMeta m;
+    m.valid_pages = h.valid_pages;
+    m.dead_pages = h.dead_pages;
+    m.next_free_page = next_free_page_[s];
+    m.last_write_time = h.last_write_time;
+    m.active = (h.flags & kActiveFlag) != 0;
+    m.free = (h.flags & kFreeFlag) != 0;
+    m.bad = (h.flags & kBadFlag) != 0;
+    return m;
+  }
 
   // Observability (nullable; null detaches): a "flash cleaner" trace track
   // with one span per cleaner pass / cold eviction / wear-level migration
@@ -236,14 +251,14 @@ class FlashStore {
  private:
   static constexpr uint64_t kUnmapped = ~uint64_t{0};
 
-  uint32_t pages_per_sector() const {
-    return static_cast<uint32_t>(flash_.sector_bytes() / options_.block_bytes);
-  }
+  uint32_t pages_per_sector() const { return pps_; }
   uint64_t PageAddress(uint64_t page) const {
     return page * options_.block_bytes;
   }
   uint64_t SectorOfPage(uint64_t page) const {
-    return page / pages_per_sector();
+    // pages-per-sector is a power of two in every real geometry; the shift
+    // keeps this hot helper off the 64-bit divider.
+    return page_shift_ >= 0 ? page >> page_shift_ : page / pps_;
   }
 
   // Takes a sector from `bank`'s free pool per the wear policy; returns -1
@@ -273,6 +288,34 @@ class FlashStore {
   }
 
   void MarkPageDead(uint64_t page);
+
+  // Scoped suppression of index syncs for one sector. The cleaner kills a
+  // victim's valid pages one relocation at a time, and each MarkPageDead
+  // would re-index the victim under keys nobody can observe — no index is
+  // queried until the relocation loop finishes (allocations inside it run
+  // with allow_clean = false). Deferring collapses those intermediate
+  // Remove/Insert pairs into the single sync the guard issues on scope exit
+  // (by which point EraseAndFree has usually already settled the sector).
+  // Nests by restoring the previous deferred sector.
+  class DeferredSectorSync {
+   public:
+    DeferredSectorSync(FlashStore& store, uint64_t sector)
+        : store_(store), sector_(sector),
+          prev_(store.deferred_sync_sector_) {
+      store_.deferred_sync_sector_ = static_cast<int64_t>(sector);
+    }
+    ~DeferredSectorSync() {
+      store_.deferred_sync_sector_ = prev_;
+      store_.UpdateSectorIndexes(sector_);
+    }
+    DeferredSectorSync(const DeferredSectorSync&) = delete;
+    DeferredSectorSync& operator=(const DeferredSectorSync&) = delete;
+
+   private:
+    FlashStore& store_;
+    uint64_t sector_;
+    int64_t prev_;
+  };
 
   // Cleans one victim sector; returns true if a sector was reclaimed.
   Result<bool> CleanOne();
@@ -308,11 +351,37 @@ class FlashStore {
 
   FlashDevice& flash_;
   FlashStoreOptions options_;
+  uint32_t pps_;        // sector_bytes / block_bytes, cached.
+  int page_shift_ = -1; // log2(pps_) when it is a power of two.
   uint64_t num_logical_blocks_;
+
+  // Per-sector state flag bits (SectorHot::flags).
+  static constexpr uint8_t kActiveFlag = 1;  // Append target of a bank.
+  static constexpr uint8_t kFreeFlag = 2;    // Erased, in the free pool.
+  static constexpr uint8_t kBadFlag = 4;     // Worn out.
+
+  // Hot column of the per-sector metadata: everything victim selection,
+  // index syncs, and the scan oracles read, packed into 16 bytes so a random
+  // sector access touches one cache line and a full-device scan walks a
+  // dense array (64 Ki sectors fit in 1 MiB). The write pointer lives in its
+  // own column below — only the page allocator reads it.
+  struct SectorHot {
+    SimTime last_write_time = 0;
+    uint16_t valid_pages = 0;
+    uint16_t dead_pages = 0;
+    uint8_t flags = 0;
+  };
+  static_assert(sizeof(SectorHot) == 16);
+
+  // AoS snapshot of every sector for the linear-scan oracles (validate mode
+  // and consistency audits only — O(sectors)).
+  std::vector<SectorMeta> SnapshotSectors() const;
 
   std::vector<uint64_t> map_;           // logical block -> physical page.
   std::vector<uint64_t> page_owner_;    // physical page -> logical block.
-  std::vector<SectorMeta> sectors_;
+  std::vector<SectorHot> hot_;          // SoA: hot per-sector metadata.
+  std::vector<uint32_t> next_free_page_;  // SoA: per-sector write pointer.
+  std::vector<uint8_t> reloc_buf_;      // Cleaner/migration page scratch.
   std::vector<FreeSectorPool> free_pool_;  // Per-bank free sectors.
   uint64_t free_sector_count_ = 0;         // == sum of free_pool_ sizes.
   VictimIndex victim_index_;
@@ -323,6 +392,7 @@ class FlashStore {
   // off (hot_bank_count outside (0, num_banks)).
   uint64_t hot_sector_count_ = 0;
   uint64_t index_validation_failures_ = 0;
+  int64_t deferred_sync_sector_ = -1;  // See DeferredSectorSync.
   std::vector<int64_t> active_;                  // Per-bank active sector.
   int next_bank_ = 0;
   uint64_t erases_since_wear_check_ = 0;

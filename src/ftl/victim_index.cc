@@ -82,7 +82,55 @@ VictimIndex::VictimIndex(CleanerPolicy policy, uint32_t pages_per_sector,
     by_dead_.resize(pages_per_sector_ + 1);
   } else {
     // Candidates have dead > 0, so valid ranges over [0, pages_per_sector).
-    by_valid_.resize(pages_per_sector_);
+    by_valid_age_.resize(pages_per_sector_);
+    by_valid_index_.resize(pages_per_sector_);
+  }
+}
+
+const VictimIndex::AgeEntry* VictimIndex::PruneAgeTop(uint32_t valid) const {
+  std::vector<AgeEntry>& h = by_valid_age_[valid].heap;
+  while (!h.empty() && !EntryLive(h.front().sector, h.front().epoch)) {
+    std::pop_heap(h.begin(), h.end(), std::greater<AgeEntry>());
+    h.pop_back();
+  }
+  return h.empty() ? nullptr : &h.front();
+}
+
+const VictimIndex::IndexEntry* VictimIndex::PruneIndexTop(
+    uint32_t bucket) const {
+  std::vector<IndexEntry>& h = (policy_ == CleanerPolicy::kGreedy
+                                    ? by_dead_[bucket]
+                                    : by_valid_index_[bucket])
+                                   .heap;
+  while (!h.empty() && !EntryLive(h.front().sector, h.front().epoch)) {
+    std::pop_heap(h.begin(), h.end(), std::greater<IndexEntry>());
+    h.pop_back();
+  }
+  return h.empty() ? nullptr : &h.front();
+}
+
+void VictimIndex::MaybeCompact(uint32_t bucket) {
+  // Rebuild a heap once stale entries outnumber live ones (plus a floor so
+  // small buckets never bother). Heap order does not care about the order of
+  // the surviving entries, so a filter + make_heap is enough; the epoch
+  // check keeps exactly one entry per live sector, so this always converges.
+  constexpr size_t kFloor = 64;
+  auto compact = [this](auto& bucket_heap) {
+    auto& h = bucket_heap.heap;
+    if (h.size() <= 2 * bucket_heap.live + kFloor) {
+      return;
+    }
+    std::erase_if(h, [this](const auto& e) {
+      return !EntryLive(e.sector, e.epoch);
+    });
+    std::make_heap(h.begin(), h.end(),
+                   std::greater<std::decay_t<decltype(h[0])>>());
+  };
+  if (policy_ == CleanerPolicy::kGreedy) {
+    compact(by_dead_[bucket]);
+  } else {
+    compact(by_valid_age_[bucket]);
+    compact(by_valid_index_[bucket]);
   }
 }
 
@@ -94,13 +142,24 @@ void VictimIndex::Insert(uint64_t sector, uint32_t valid, uint32_t dead,
   node.valid = valid;
   node.dead = dead;
   node.last_write = t;
+  node.epoch += 1;
   node.present = true;
   if (policy_ == CleanerPolicy::kGreedy) {
-    by_dead_[dead].insert(sector);
+    IndexHeap& b = by_dead_[dead];
+    b.heap.push_back(IndexEntry{sector, node.epoch});
+    std::push_heap(b.heap.begin(), b.heap.end(), std::greater<IndexEntry>());
+    b.live += 1;
+    MaybeCompact(dead);
   } else {
-    AgeBucket& bucket = by_valid_[valid];
-    bucket.by_age.emplace(t, sector);
-    bucket.by_index.insert(sector);
+    AgeHeap& a = by_valid_age_[valid];
+    a.heap.push_back(AgeEntry{t, sector, node.epoch});
+    std::push_heap(a.heap.begin(), a.heap.end(), std::greater<AgeEntry>());
+    a.live += 1;
+    IndexHeap& i = by_valid_index_[valid];
+    i.heap.push_back(IndexEntry{sector, node.epoch});
+    std::push_heap(i.heap.begin(), i.heap.end(), std::greater<IndexEntry>());
+    i.live += 1;
+    MaybeCompact(valid);
   }
   size_ += 1;
 }
@@ -108,12 +167,13 @@ void VictimIndex::Insert(uint64_t sector, uint32_t valid, uint32_t dead,
 void VictimIndex::Remove(uint64_t sector) {
   Node& node = nodes_[sector];
   assert(node.present);
+  // Lazy: clearing `present` invalidates the heap entries in place; they are
+  // pruned when they surface or at the next compaction.
   if (policy_ == CleanerPolicy::kGreedy) {
-    by_dead_[node.dead].erase(sector);
+    by_dead_[node.dead].live -= 1;
   } else {
-    AgeBucket& bucket = by_valid_[node.valid];
-    bucket.by_age.erase({node.last_write, sector});
-    bucket.by_index.erase(sector);
+    by_valid_age_[node.valid].live -= 1;
+    by_valid_index_[node.valid].live -= 1;
   }
   node.present = false;
   size_ -= 1;
@@ -140,9 +200,12 @@ int64_t VictimIndex::Pick(SimTime now) const {
     // The scan kept the first sector with the strictly highest dead count:
     // highest non-empty bucket, lowest index within it.
     for (uint32_t dead = pages_per_sector_; dead >= 1; --dead) {
-      if (!by_dead_[dead].empty()) {
-        return static_cast<int64_t>(*by_dead_[dead].begin());
+      if (by_dead_[dead].live == 0) {
+        continue;
       }
+      const IndexEntry* top = PruneIndexTop(dead);
+      assert(top != nullptr);
+      return static_cast<int64_t>(top->sector);
     }
     return -1;
   }
@@ -153,23 +216,25 @@ int64_t VictimIndex::Pick(SimTime now) const {
   int64_t best = -1;
   double best_score = -1;
   for (uint32_t valid = 0; valid < pages_per_sector_; ++valid) {
-    const AgeBucket& bucket = by_valid_[valid];
-    if (bucket.by_age.empty()) {
+    if (by_valid_age_[valid].live == 0) {
       continue;
     }
-    const SimTime oldest = bucket.by_age.begin()->first;
+    const AgeEntry* oldest_entry = PruneAgeTop(valid);
+    assert(oldest_entry != nullptr);
+    const SimTime oldest = oldest_entry->last_write;
     uint64_t candidate;
     SimTime t;
     if (now - oldest <= 1) {
       // Even the oldest candidate's age clamps to max(1, now - t) == 1, so
       // every sector in this bucket scores identically and the scan would
       // keep the lowest index.
-      candidate = *bucket.by_index.begin();
+      candidate = PruneIndexTop(valid)->sector;
       t = nodes_[candidate].last_write;
     } else {
       // Scores are monotone in age within the bucket, so the oldest wins;
-      // the (t, sector) ordering already breaks exact-age ties by index.
-      candidate = bucket.by_age.begin()->second;
+      // the (last_write, sector) heap order already breaks exact-age ties by
+      // index.
+      candidate = oldest_entry->sector;
       t = oldest;
     }
     const double u = static_cast<double>(valid) /

@@ -93,9 +93,18 @@ class FreeSectorPool {
 //    are bucketed by valid count and ordered by (last_write_time, sector)
 //    inside each bucket; the pick reduces to comparing one representative
 //    per bucket with the scan's exact double arithmetic. A per-bucket
-//    by-index set handles the age clamp max(1, now - t): when even the
+//    by-index order handles the age clamp max(1, now - t): when even the
 //    oldest candidate's age clamps to 1, the whole bucket ties and the scan
 //    would keep the lowest sector index.
+//
+// Membership changes on nearly every FTL write (an overwrite moves the old
+// page's sector between buckets), so the buckets are flat binary min-heaps
+// with lazy deletion rather than ordered node-based sets: an update is a
+// contiguous-array sift instead of red-black rebalancing over pointer-chased
+// nodes, and a departed sector's entry is simply left behind to be pruned
+// when it surfaces at the top of its heap (the per-sector Node spots stale
+// entries). Heaps compact once stale entries outnumber live ones, so memory
+// stays proportional to the live candidate set.
 class VictimIndex {
  public:
   VictimIndex(CleanerPolicy policy, uint32_t pages_per_sector,
@@ -112,26 +121,72 @@ class VictimIndex {
   bool Contains(uint64_t sector) const { return nodes_[sector].present; }
   uint64_t size() const { return size_; }
 
+  // Advisory: begin pulling `sector`'s shadow node into cache ahead of a
+  // Sync call (the node array is too large to stay resident).
+  void Prefetch(uint64_t sector) const {
+    __builtin_prefetch(&nodes_[sector], 1);
+  }
+
  private:
   struct Node {
     uint32_t valid = 0;
     uint32_t dead = 0;
     SimTime last_write = 0;
+    // Bumped on every Insert; a heap entry is live only if its stamped epoch
+    // matches, so a sector re-indexed under identical keys cannot leave an
+    // indistinguishable stale twin behind.
+    uint32_t epoch = 0;
     bool present = false;
   };
-  struct AgeBucket {
-    std::set<std::pair<SimTime, uint64_t>> by_age;  // (last_write, sector).
-    std::set<uint64_t> by_index;
+  struct AgeEntry {
+    SimTime last_write;
+    uint64_t sector;
+    uint32_t epoch;
+    // Min-heap order: oldest write first, ties to the lowest sector index
+    // (the ordering the old by_age set provided).
+    bool operator>(const AgeEntry& o) const {
+      return last_write != o.last_write ? last_write > o.last_write
+                                        : sector > o.sector;
+    }
+  };
+  struct IndexEntry {
+    uint64_t sector;
+    uint32_t epoch;
+    bool operator>(const IndexEntry& o) const { return sector > o.sector; }
+  };
+  // Flat min-heaps with lazy deletion; stale entries pruned at the top.
+  // Mutable because pruning inside the logically-const Pick() does not
+  // change the abstract candidate set.
+  struct AgeHeap {
+    mutable std::vector<AgeEntry> heap;
+    uint64_t live = 0;
+  };
+  struct IndexHeap {
+    mutable std::vector<IndexEntry> heap;
+    uint64_t live = 0;
   };
 
   void Remove(uint64_t sector);
   void Insert(uint64_t sector, uint32_t valid, uint32_t dead, SimTime t);
 
+  // True if the heap entry still describes a live candidate.
+  bool EntryLive(uint64_t sector, uint32_t epoch) const {
+    const Node& node = nodes_[sector];
+    return node.present && node.epoch == epoch;
+  }
+
+  // Drop stale entries off the top; return the min live entry or null.
+  const AgeEntry* PruneAgeTop(uint32_t valid) const;
+  const IndexEntry* PruneIndexTop(uint32_t bucket) const;
+
+  void MaybeCompact(uint32_t bucket);
+
   CleanerPolicy policy_;
   uint32_t pages_per_sector_;
   std::vector<Node> nodes_;
-  std::vector<std::set<uint64_t>> by_dead_;   // kGreedy: [dead] -> sectors.
-  std::vector<AgeBucket> by_valid_;           // kCostBenefit: [valid].
+  std::vector<IndexHeap> by_dead_;        // kGreedy: [dead] -> sectors.
+  std::vector<AgeHeap> by_valid_age_;     // kCostBenefit: [valid].
+  std::vector<IndexHeap> by_valid_index_; // kCostBenefit: [valid].
   uint64_t size_ = 0;
 };
 

@@ -7,9 +7,8 @@
 
 namespace ssmc {
 
-SpanTracer::SpanTracer(size_t capacity) : capacity_(std::max<size_t>(1, capacity)) {
-  buffer_.reserve(capacity_);
-}
+SpanTracer::SpanTracer(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {}
 
 int SpanTracer::RegisterTrack(const std::string& name) {
   for (size_t i = 0; i < tracks_.size(); ++i) {
@@ -25,14 +24,21 @@ void SpanTracer::Push(TraceEvent event) {
   if (event.cell < 0) {
     event.cell = default_cell_ >= 0 ? default_cell_ : CurrentLogCell();
   }
-  if (buffer_.size() < capacity_) {
-    buffer_.push_back(event);
+  if (size_ < capacity_) {
+    if ((size_ >> kSlabShift) == slabs_.size()) {
+      slabs_.emplace_back(new TraceEvent[kSlabEvents]);
+    }
+    At(size_) = event;
+    size_ += 1;
     return;
   }
   // Flight-recorder overwrite: the oldest retained event is lost, exactly
   // counted.
-  buffer_[head_] = event;
-  head_ = (head_ + 1) % capacity_;
+  At(head_) = event;
+  head_ += 1;
+  if (head_ == capacity_) {
+    head_ = 0;
+  }
   dropped_ += 1;
 }
 
@@ -65,7 +71,7 @@ void SpanTracer::Instant(int track, const char* name, SimTime at, TraceArg a,
 
 std::vector<TraceEvent> SpanTracer::Events() const {
   std::vector<TraceEvent> out;
-  out.reserve(buffer_.size());
+  out.reserve(size_);
   ForEach([&out](const TraceEvent& e) { out.push_back(e); });
   return out;
 }

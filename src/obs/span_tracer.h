@@ -24,6 +24,7 @@
 #define SSMC_SRC_OBS_SPAN_TRACER_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -73,27 +74,43 @@ class SpanTracer {
 
   size_t capacity() const { return capacity_; }
   // Events currently retained (<= capacity).
-  size_t size() const { return buffer_.size(); }
+  size_t size() const { return size_; }
   // Exact number of events overwritten because the ring was full.
   uint64_t dropped() const { return dropped_; }
-  uint64_t total_recorded() const { return dropped_ + buffer_.size(); }
+  uint64_t total_recorded() const { return dropped_ + size_; }
 
   // Visits retained events oldest-first (the ring unrolled).
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    const size_t n = buffer_.size();
-    for (size_t i = 0; i < n; ++i) {
-      fn(buffer_[(head_ + i) % n]);
+    for (size_t i = 0; i < size_; ++i) {
+      size_t idx = head_ + i;
+      if (idx >= size_) {
+        idx -= size_;  // head_ is nonzero only once the ring is full.
+      }
+      fn(At(idx));
     }
   }
   // Copies the retained events out, oldest-first (tests, exporters).
   std::vector<TraceEvent> Events() const;
 
  private:
+  // The ring's storage is slabs of kSlabEvents, allocated only as events
+  // arrive: an idle tracer costs nothing, a busy one stops allocating for
+  // good once the flight-recorder window is full (the request path then
+  // performs zero heap allocations per event). Event slots never move, so
+  // exporters can hold references across pushes of other slots.
+  static constexpr size_t kSlabShift = 12;
+  static constexpr size_t kSlabEvents = size_t{1} << kSlabShift;
+
+  TraceEvent& At(size_t i) const {
+    return slabs_[i >> kSlabShift][i & (kSlabEvents - 1)];
+  }
+
   void Push(TraceEvent event);
 
   size_t capacity_;
-  std::vector<TraceEvent> buffer_;  // Ring once size reaches capacity_.
+  std::vector<std::unique_ptr<TraceEvent[]>> slabs_;
+  size_t size_ = 0;                 // Events retained so far (<= capacity_).
   size_t head_ = 0;                 // Oldest retained event.
   uint64_t dropped_ = 0;
   int default_cell_ = -1;

@@ -34,10 +34,39 @@ const char* IoPriorityName(IoPriority priority) {
   return "?";
 }
 
+void IoScheduler::TimeRing::push(SimTime t) {
+  if (tail_ - head_ == buf_.size()) {
+    const size_t cap = buf_.empty() ? 16 : buf_.size() * 2;
+    std::vector<SimTime> grown(cap);
+    const size_t count = tail_ - head_;
+    for (size_t i = 0; i < count; ++i) {
+      grown[i] = buf_[(head_ + i) & mask_];
+    }
+    buf_ = std::move(grown);
+    mask_ = cap - 1;
+    head_ = 0;
+    tail_ = count;
+  }
+  buf_[tail_ & mask_] = t;
+  ++tail_;
+}
+
 IoScheduler::IoScheduler(SimClock& clock, int channels, IoSchedPolicy policy)
-    : clock_(clock), policy_(policy) {
+    : clock_(clock), policy_(policy), arena_(sizeof(Reservation)) {
   assert(channels >= 1);
   channels_.resize(static_cast<size_t>(channels));
+}
+
+IoScheduler::~IoScheduler() {
+  // Destroy any still-queued reservations; the arena frees raw chunks only.
+  for (Channel& channel : channels_) {
+    Reservation* node = channel.head;
+    while (node != nullptr) {
+      Reservation* next = node->next;
+      arena_.Delete(node);
+      node = next;
+    }
+  }
 }
 
 void IoScheduler::set_policy(IoSchedPolicy policy) {
@@ -47,33 +76,38 @@ void IoScheduler::set_policy(IoSchedPolicy policy) {
 
 void IoScheduler::Retire(int channel_index, Channel& channel) {
   const SimTime now = clock_.now();
-  while (!channel.timeline.empty() &&
-         channel.timeline.front().req.complete_time <= now) {
-    Reservation done = std::move(channel.timeline.front());
-    channel.timeline.pop_front();
-    channel.last_complete = done.req.complete_time;
+  while (!channel.light.empty() && channel.light.front() <= now) {
+    channel.light.pop();
+  }
+  while (channel.head != nullptr && channel.head->req.complete_time <= now) {
+    Reservation* done = channel.head;
+    channel.head = done->next;
+    if (channel.head == nullptr) {
+      channel.tail = nullptr;
+    }
+    channel.queued -= 1;
     if (retire_hook_) {
-      retire_hook_(channel_index, done.req);
+      retire_hook_(channel_index, done->req);
     }
-    if (done.req.on_complete) {
-      done.req.on_complete(done.req);
+    if (done->req.on_complete) {
+      done->req.on_complete(done->req);
     }
+    arena_.Delete(done);
   }
 }
 
-void IoScheduler::Reflow(Channel& channel, size_t from) {
-  for (size_t i = from; i < channel.timeline.size(); ++i) {
-    Reservation& r = channel.timeline[i];
-    const SimTime new_start = channel.timeline[i - 1].req.complete_time;
-    const Duration delta = new_start - r.req.start_time;
+void IoScheduler::Reflow(Channel& channel, Reservation* from) {
+  for (Reservation* r = from->next; r != nullptr; from = r, r = r->next) {
+    const SimTime new_start = from->req.complete_time;
+    const Duration delta = new_start - r->req.start_time;
     if (delta == 0) {
       break;  // Starts are contiguous; nothing further moves.
     }
     assert(delta > 0 && "reservations only ever shift later");
-    r.req.start_time = new_start;
-    r.req.complete_time = new_start + r.service;
+    r->req.start_time = new_start;
+    r->req.complete_time = new_start + r->service;
     if (shift_observer_) {
-      shift_observer_(r.req, delta);
+      shift_observer_(r->req, delta);
     }
   }
 }
@@ -87,30 +121,51 @@ IoScheduler::Dispatch IoScheduler::Place(int channel_index, IoRequest req,
   req.issue_time = now;
   Retire(channel_index, channel);
 
-  // Insertion point. FIFO: the back. Priority: ahead of queued reservations
-  // of a strictly lower class that have not started (the front may be in
-  // service — start_time <= now — and is never preempted). Equal classes
-  // keep submission order.
-  size_t idx = channel.timeline.size();
-  if (policy_ == IoSchedPolicy::kPriority) {
-    size_t first_movable = 0;
-    while (first_movable < channel.timeline.size() &&
-           channel.timeline[first_movable].req.start_time <= now) {
-      ++first_movable;
-    }
-    for (size_t i = first_movable; i < channel.timeline.size(); ++i) {
-      if (channel.timeline[i].req.priority > req.priority) {
-        idx = i;
-        break;
-      }
-    }
+  // Fast path: under FIFO with no hooks to fire, the request's dispatch is
+  // final at submission and nothing ever needs to revisit it — record only
+  // its completion time.
+  if (policy_ == IoSchedPolicy::kFifo && retire_hook_ == nullptr &&
+      req.on_complete == nullptr) {
+    const SimTime start = std::max(now, channel.busy_until);
+    const Duration service =
+        service_fn != nullptr ? (*service_fn)(start) : service_now;
+    assert(service >= 0);
+    Dispatch dispatch;
+    dispatch.start = start;
+    dispatch.complete = start + service;
+    dispatch.wait = start - now;
+    dispatch.service = service;
+    channel.busy_until = dispatch.complete;
+    channel.light.push(dispatch.complete);
+    return dispatch;
   }
 
-  // Start when the predecessor completes; an idle channel serves at once
-  // (start = max(now, busy_until) of the historical charge-latency model —
-  // every retired reservation completed at or before now).
+  // Insertion point (the node to insert after). FIFO: the tail. Priority:
+  // ahead of queued reservations of a strictly lower class that have not
+  // started (the head may be in service — start_time <= now — and is never
+  // preempted). Equal classes keep submission order.
+  Reservation* prev = channel.tail;
+  if (policy_ == IoSchedPolicy::kPriority) {
+    Reservation* before = nullptr;
+    Reservation* cur = channel.head;
+    while (cur != nullptr && cur->req.start_time <= now) {
+      before = cur;
+      cur = cur->next;
+    }
+    while (cur != nullptr && cur->req.priority <= req.priority) {
+      before = cur;
+      cur = cur->next;
+    }
+    prev = before;  // cur (if any) is the first reservation pushed later.
+  }
+
+  // Start when the predecessor completes; an idle channel serves at once.
+  // Under FIFO the predecessor is whatever the channel last placed — light
+  // requests included — which is exactly busy_until.
   const SimTime start =
-      idx == 0 ? now : channel.timeline[idx - 1].req.complete_time;
+      policy_ == IoSchedPolicy::kFifo
+          ? std::max(now, channel.busy_until)
+          : (prev == nullptr ? now : prev->req.complete_time);
   const Duration service =
       service_fn != nullptr ? (*service_fn)(start) : service_now;
   assert(service >= 0);
@@ -123,11 +178,21 @@ IoScheduler::Dispatch IoScheduler::Place(int channel_index, IoRequest req,
   dispatch.wait = start - now;
   dispatch.service = service;
 
-  Reservation reservation{std::move(req), service, next_seq_++};
-  channel.timeline.insert(
-      channel.timeline.begin() + static_cast<ptrdiff_t>(idx),
-      std::move(reservation));
-  Reflow(channel, idx + 1);
+  Reservation* node =
+      arena_.New<Reservation>(std::move(req), service, next_seq_++, nullptr);
+  node->next = prev == nullptr ? channel.head : prev->next;
+  if (prev == nullptr) {
+    channel.head = node;
+  } else {
+    prev->next = node;
+  }
+  if (node->next == nullptr) {
+    channel.tail = node;
+  }
+  channel.queued += 1;
+  Reflow(channel, node);
+  channel.busy_until =
+      std::max(channel.busy_until, channel.tail->req.complete_time);
   return dispatch;
 }
 
@@ -148,19 +213,18 @@ void IoScheduler::Poll() {
 }
 
 SimTime IoScheduler::ChannelBusyUntil(int channel) const {
-  const Channel& ch = channels_[static_cast<size_t>(channel)];
-  return ch.timeline.empty() ? ch.last_complete
-                             : ch.timeline.back().req.complete_time;
+  return channels_[static_cast<size_t>(channel)].busy_until;
 }
 
 size_t IoScheduler::PendingOn(int channel) const {
-  return channels_[static_cast<size_t>(channel)].timeline.size();
+  const Channel& ch = channels_[static_cast<size_t>(channel)];
+  return ch.queued + ch.light.size();
 }
 
 size_t IoScheduler::pending() const {
   size_t total = 0;
   for (const Channel& channel : channels_) {
-    total += channel.timeline.size();
+    total += channel.queued + channel.light.size();
   }
   return total;
 }

@@ -20,6 +20,17 @@
 //    shift is reported to the wait observer so attribution counters track
 //    true waits.
 //
+// Request-path allocation: a FIFO request with no completion callback and no
+// retire hook attached is fully described by its completion time — under
+// FIFO it can never be reordered and nobody needs its IoRequest back — so it
+// is never materialized as a reservation at all; the channel just advances
+// its busy-until and records the completion time in a small ring (keeping
+// pending() exact). Only requests that must be revisited (a callback to
+// fire, a tracing hook, or priority placement) become Reservation objects,
+// and those live on an intrusive per-channel list allocated from a
+// fixed-chunk RequestArena — steady-state submission touches the heap for
+// neither kind.
+//
 // Determinism: ties (same channel, same priority) dispatch in submission
 // order, mirroring EventQueue's same-timestamp guarantee. The scheduler
 // never advances the clock itself.
@@ -28,12 +39,12 @@
 #define SSMC_SRC_SIM_IO_SCHEDULER_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <vector>
 
 #include "src/sim/clock.h"
 #include "src/sim/io_request.h"
+#include "src/support/arena.h"
 #include "src/support/units.h"
 
 namespace ssmc {
@@ -60,6 +71,10 @@ class IoScheduler {
 
   IoScheduler(SimClock& clock, int channels,
               IoSchedPolicy policy = IoSchedPolicy::kFifo);
+  ~IoScheduler();
+
+  IoScheduler(const IoScheduler&) = delete;
+  IoScheduler& operator=(const IoScheduler&) = delete;
 
   IoSchedPolicy policy() const { return policy_; }
   // Policy changes require an idle pipeline (no pending reservations);
@@ -96,39 +111,68 @@ class IoScheduler {
   // the per-bank busy_until it replaces (it does not reset when idle).
   SimTime ChannelBusyUntil(int channel) const;
 
-  // Reservations not yet retired on `channel` (in service + queued).
+  // Requests not yet retired on `channel` (in service + queued).
   size_t PendingOn(int channel) const;
   size_t pending() const;
 
   int num_channels() const { return static_cast<int>(channels_.size()); }
+
+  // The reservation pool (exposed for allocation-behavior tests).
+  const RequestArena& arena() const { return arena_; }
 
  private:
   struct Reservation {
     IoRequest req;        // Timestamps kept current as the schedule shifts.
     Duration service = 0;
     uint64_t seq = 0;     // Global submission order; breaks priority ties.
+    Reservation* next = nullptr;
+  };
+
+  // Growable power-of-two ring of completion times for callback-free FIFO
+  // requests. Steady state pushes and pops in place; it only allocates while
+  // growing to the channel's high-water depth.
+  class TimeRing {
+   public:
+    void push(SimTime t);
+    SimTime front() const { return buf_[head_ & mask_]; }
+    void pop() { ++head_; }
+    bool empty() const { return head_ == tail_; }
+    size_t size() const { return tail_ - head_; }
+
+   private:
+    std::vector<SimTime> buf_;
+    size_t mask_ = 0;
+    size_t head_ = 0;
+    size_t tail_ = 0;
   };
 
   struct Channel {
-    // Reservations ordered by start time; front may be in service
+    // Reservations ordered by start time; the head may be in service
     // (start <= now < complete). Starts are contiguous: each reservation
     // starts exactly when its predecessor completes (or at its own issue
     // time on an idle channel).
-    std::deque<Reservation> timeline;
-    // busy_until of the last retired reservation (timeline empty).
-    SimTime last_complete = 0;
+    Reservation* head = nullptr;
+    Reservation* tail = nullptr;
+    size_t queued = 0;
+    // Completion times of in-flight callback-free FIFO requests.
+    TimeRing light;
+    // Completion time of the latest-completing request ever placed on the
+    // channel; never decreases.
+    SimTime busy_until = 0;
   };
 
   // Pops front reservations with complete_time <= now, firing callbacks.
   void Retire(int channel_index, Channel& channel);
-  // Recomputes start/complete for timeline[from..], notifying shifts.
-  void Reflow(Channel& channel, size_t from);
+  // Recomputes start/complete for the reservations after `from`, notifying
+  // shifts.
+  void Reflow(Channel& channel, Reservation* from);
 
   Dispatch Place(int channel, IoRequest req, Duration service_now,
                  const ServiceFn* service_fn);
 
   SimClock& clock_;
   IoSchedPolicy policy_;
+  RequestArena arena_;
   std::vector<Channel> channels_;
   ShiftObserver shift_observer_;
   RetireHook retire_hook_;

@@ -1,0 +1,89 @@
+// The pre-calendar event queue: a std::priority_queue over (time, seq) with
+// std::function callbacks keyed by event id. Superseded as the simulation
+// driver by the calendar implementation in event_queue.h, but kept — with its
+// ordering semantics untouched — for two jobs:
+//
+//  * differential oracle: in validate mode (see EventQueue) every
+//    schedule/cancel is mirrored here and PopDue() is consulted before each
+//    retirement, so any divergence in run order between the two
+//    implementations aborts the simulation at the first mismatched event;
+//  * property tests: the determinism suite in event_queue_test.cc replays
+//    randomized schedule/cancel interleavings against both queues and
+//    requires bit-equal run order.
+//
+// Do not "fix" or optimise this class; its value is being the old behavior.
+
+#ifndef SSMC_SRC_SIM_LEGACY_EVENT_QUEUE_H_
+#define SSMC_SRC_SIM_LEGACY_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/sim/clock.h"
+#include "src/support/units.h"
+
+namespace ssmc {
+
+class LegacyEventQueue {
+ public:
+  using Callback = std::function<void()>;
+  using EventId = uint64_t;
+
+  explicit LegacyEventQueue(SimClock& clock) : clock_(clock) {}
+
+  EventId ScheduleAt(SimTime at, Callback fn);
+  EventId ScheduleAfter(Duration delay, Callback fn) {
+    return ScheduleAt(clock_.now() + delay, std::move(fn));
+  }
+
+  bool Cancel(EventId id);
+
+  void RunUntil(SimTime t);
+  void RunAll();
+
+  // Oracle interface: pops the next non-cancelled event due at or before `t`
+  // and reports its (time, id) WITHOUT running its callback or touching the
+  // clock. Returns false when nothing more is due. The popped event is
+  // consumed, exactly as a run would consume it.
+  bool PopDue(SimTime t, SimTime* at, EventId* id);
+
+  size_t pending() const { return heap_.size() - cancelled_.size(); }
+  bool empty() const { return pending() == 0; }
+
+  SimClock& clock() { return clock_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    uint64_t seq;
+    EventId id;
+    // Ordering for a min-heap via std::greater.
+    bool operator>(const Event& other) const {
+      if (at != other.at) {
+        return at > other.at;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  // Pops and runs the top event if it is due at or before `t`. Returns false
+  // when nothing more is due.
+  bool RunOneDue(SimTime t);
+
+  SimClock& clock_;
+  uint64_t next_seq_ = 0;
+  uint64_t next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap_;
+  // Callbacks keyed by event id; erased on run or cancel. A cancelled id stays
+  // in the heap until popped, tracked in `cancelled_` for size accounting.
+  std::vector<std::pair<EventId, Callback>> callbacks_;
+  std::vector<EventId> cancelled_;
+
+  Callback TakeCallback(EventId id);
+};
+
+}  // namespace ssmc
+
+#endif  // SSMC_SRC_SIM_LEGACY_EVENT_QUEUE_H_

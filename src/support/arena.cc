@@ -1,0 +1,73 @@
+#include "src/support/arena.h"
+
+#include <cassert>
+
+namespace ssmc {
+
+namespace {
+
+// Round the chunk size up so every chunk is max-aligned and large enough to
+// hold the free-list link.
+size_t RoundChunk(size_t chunk_bytes) {
+  constexpr size_t kAlign = alignof(std::max_align_t);
+  if (chunk_bytes < sizeof(void*)) {
+    chunk_bytes = sizeof(void*);
+  }
+  return (chunk_bytes + kAlign - 1) / kAlign * kAlign;
+}
+
+}  // namespace
+
+RequestArena::RequestArena(size_t chunk_bytes, size_t chunks_per_slab)
+    : chunk_bytes_(RoundChunk(chunk_bytes)),
+      chunks_per_slab_(chunks_per_slab) {
+  assert(chunks_per_slab_ > 0);
+}
+
+void RequestArena::CarveSlab() {
+  slabs_.push_back(
+      std::make_unique<std::byte[]>(chunk_bytes_ * chunks_per_slab_));
+  std::byte* base = slabs_.back().get();
+  // Thread the fresh chunks onto the free list back-to-front so they are
+  // handed out in address order.
+  for (size_t i = chunks_per_slab_; i-- > 0;) {
+    auto* node = reinterpret_cast<FreeNode*>(base + i * chunk_bytes_);
+    node->next = free_;
+    free_ = node;
+  }
+}
+
+void* RequestArena::Allocate() {
+  if (free_ == nullptr) {
+    CarveSlab();
+  }
+  FreeNode* node = free_;
+  free_ = node->next;
+  live_ += 1;
+  return node;
+}
+
+void RequestArena::Release(void* p) {
+  assert(p != nullptr);
+  assert(live_ > 0);
+  auto* node = static_cast<FreeNode*>(p);
+  node->next = free_;
+  free_ = node;
+  live_ -= 1;
+}
+
+void RequestArena::Reset() {
+  free_ = nullptr;
+  live_ = 0;
+  for (const std::unique_ptr<std::byte[]>& slab : slabs_) {
+    std::byte* base = slab.get();
+    for (size_t i = chunks_per_slab_; i-- > 0;) {
+      auto* node = reinterpret_cast<FreeNode*>(base + i * chunk_bytes_);
+      node->next = free_;
+      free_ = node;
+    }
+  }
+  generation_ += 1;
+}
+
+}  // namespace ssmc

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
+
+#include "src/sim/legacy_event_queue.h"
+#include "src/support/rng.h"
 
 namespace ssmc {
 namespace {
@@ -172,6 +176,147 @@ TEST(EventQueueTest, PendingCountsExcludeCancelled) {
   EXPECT_EQ(q.pending(), 2u);
   q.Cancel(id);
   EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueueTest, StaleIdCannotCancelReusedSlot) {
+  SimClock clock;
+  EventQueue q(clock);
+  int ran = 0;
+  const auto old_id = q.ScheduleAt(10, [&] { ++ran; });
+  q.RunUntil(10);
+  EXPECT_EQ(ran, 1);
+  // The slot is recycled for the next event; the retired id must not be able
+  // to cancel it.
+  q.ScheduleAt(20, [&] { ++ran; });
+  EXPECT_FALSE(q.Cancel(old_id));
+  q.RunUntil(20);
+  EXPECT_EQ(ran, 2);
+}
+
+// Regression for the pending()/memory drift the old implementation had:
+// cancelled events accumulated in the heap until run time. Schedule/cancel
+// 10k events and assert both that pending() stays truthful and that the
+// queue's slot pool stays bounded (compaction reclaims dead slots instead of
+// letting them pile up behind a far-future event).
+TEST(EventQueueTest, CancelChurnKeepsMemoryBounded) {
+  SimClock clock;
+  EventQueue q(clock);
+  // A far-future event keeps the queue non-empty the whole time, so nothing
+  // is reclaimed by draining.
+  q.ScheduleAt(1'000'000, [] {});
+  std::vector<EventQueue::EventId> ids;
+  constexpr int kChurn = 10'000;
+  for (int i = 0; i < kChurn; ++i) {
+    ids.push_back(q.ScheduleAt(500'000 + i, [] {}));
+    if (ids.size() >= 16) {
+      for (EventQueue::EventId id : ids) {
+        EXPECT_TRUE(q.Cancel(id));
+      }
+      ids.clear();
+    }
+  }
+  for (EventQueue::EventId id : ids) {
+    EXPECT_TRUE(q.Cancel(id));
+  }
+  EXPECT_EQ(q.pending(), 1u);
+  // Without compaction the pool would hold ~10k dead slots; with it, the
+  // high-water mark is a small multiple of the live count.
+  EXPECT_LT(q.slot_capacity(), 256u);
+  q.RunUntil(1'000'000);
+  EXPECT_TRUE(q.empty());
+}
+
+// --- Determinism property suite --------------------------------------------
+//
+// Randomized schedule/cancel/run interleavings applied in lockstep to the
+// calendar queue and to the retired priority-queue implementation
+// (LegacyEventQueue). Both record the logical index of every event they
+// fire; the sequences must be bit-equal. The calendar queue additionally
+// runs with its built-in validate-mode oracle enabled, so a divergence is
+// caught both here and by the queue's own lockstep check.
+
+TEST(EventQueueTest, RandomizedInterleavingsMatchLegacyOracle) {
+  constexpr int kRounds = 25;
+  constexpr int kOpsPerRound = 400;
+  for (int round = 0; round < kRounds; ++round) {
+    Rng rng(0x5eed0000 + static_cast<uint64_t>(round));
+    SimClock clock_a;
+    SimClock clock_b;
+    EventQueue calendar(clock_a, /*validate_with_legacy=*/true);
+    LegacyEventQueue legacy(clock_b);
+    std::vector<int> order_a;
+    std::vector<int> order_b;
+    std::vector<char> fired_a;  // Indexed by logical event id.
+    // Live logical events: index -> ids in both queues.
+    struct Live {
+      int logical;
+      EventQueue::EventId a;
+      LegacyEventQueue::EventId b;
+    };
+    std::vector<Live> live;
+    int next_logical = 0;
+    for (int op = 0; op < kOpsPerRound; ++op) {
+      const uint64_t pick = rng.NextBelow(10);
+      if (pick < 6) {
+        // Schedule at a clustered time so same-timestamp collisions are
+        // common (that is where ordering bugs live).
+        const SimTime at =
+            clock_a.now() + static_cast<SimTime>(rng.NextBelow(8)) * 10;
+        const int logical = next_logical++;
+        fired_a.push_back(0);
+        const auto ida = calendar.ScheduleAt(at, [&order_a, &fired_a,
+                                                  logical] {
+          order_a.push_back(logical);
+          fired_a[static_cast<size_t>(logical)] = 1;
+        });
+        const auto idb = legacy.ScheduleAt(
+            at, [&order_b, logical] { order_b.push_back(logical); });
+        live.push_back({logical, ida, idb});
+      } else if (pick < 8) {
+        if (!live.empty()) {
+          const size_t victim = rng.NextBelow(live.size());
+          const bool ca = calendar.Cancel(live[victim].a);
+          const bool cb = legacy.Cancel(live[victim].b);
+          EXPECT_EQ(ca, cb);
+          live.erase(live.begin() + static_cast<ptrdiff_t>(victim));
+        }
+      } else {
+        const SimTime t =
+            clock_a.now() + static_cast<SimTime>(rng.NextBelow(40));
+        calendar.RunUntil(t);
+        legacy.RunUntil(t);
+        ASSERT_EQ(clock_a.now(), clock_b.now());
+        // Drop fired events from the live set.
+        live.erase(
+            std::remove_if(live.begin(), live.end(),
+                           [&](const Live& l) {
+                             return fired_a[static_cast<size_t>(l.logical)];
+                           }),
+            live.end());
+      }
+    }
+    calendar.RunAll();
+    legacy.RunAll();
+    ASSERT_EQ(order_a, order_b) << "round " << round;
+    EXPECT_TRUE(calendar.empty());
+    EXPECT_TRUE(legacy.empty());
+  }
+}
+
+// Same-time cascades under validate mode: the built-in oracle must agree on
+// cascade ordering, not just on pre-scheduled events.
+TEST(EventQueueTest, ValidateModeAcceptsCascades) {
+  SimClock clock;
+  EventQueue q(clock, /*validate_with_legacy=*/true);
+  std::vector<int> order;
+  q.ScheduleAt(100, [&] {
+    order.push_back(1);
+    q.ScheduleAt(100, [&] { order.push_back(3); });
+    q.ScheduleAfter(50, [&] { order.push_back(4); });
+  });
+  q.ScheduleAt(100, [&] { order.push_back(2); });
+  q.RunUntil(200);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
 }
 
 }  // namespace
