@@ -1,17 +1,21 @@
-// E11 — Multi-user scale-out on the parallel harness (experiment M2).
+// E11 — Multi-user scale-out on the parallel harness (experiments M2/M3).
 //
 // The ROADMAP's north star is serving heavy traffic from many users as fast
 // as the hardware allows. The simulator's unit of work — one machine, one
 // trace — is a closed world, so a fleet of M simulated users shards
-// perfectly over K concurrent cells. This bench replays M users (alternating
-// office / write-hot profiles, seeds derived per user via splitmix64 from
-// one base seed) sharded over K cells for K = 1 .. available CPUs, and
-// reports:
-//  * the aggregate simulated throughput (identical for every K — sharding
-//    must never change results; the bench asserts the merged report is
-//    bit-identical to the K=1 run);
-//  * the host wall-clock time and the speedup curve vs K=1.
-// Results also land in BENCH_scaleout.json for machine consumption.
+// perfectly over K concurrent cells. Two sweeps:
+//  * K sweep (M2): a fixed fleet resharded over K = 1 .. available CPUs.
+//    Reports host wall time, the speedup curve vs K=1, and asserts the
+//    merged report is bit-identical to the K=1 run at every K.
+//  * M sweep (M3): the fleet itself grows 8 -> 65536 users in aggregate-only
+//    mode (ScaleoutOptions::keep_per_user = false), charting host throughput
+//    and resident bytes per user as the population scales out.
+// Throughput is reported against both denominators — sim ops per *simulated*
+// second (fleet finishes with its slowest user) and sim ops per *host*
+// second (harness replay rate); the old single "sim ops/s" number conflated
+// the two. Results also land in BENCH_scaleout.json for machine consumption.
+
+#include <sys/resource.h>
 
 #include <chrono>
 #include <vector>
@@ -33,6 +37,21 @@ double HostMillis(const std::chrono::steady_clock::time_point& start) {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - start)
       .count();
+}
+
+// Process peak resident set in bytes (ru_maxrss is KiB on Linux). Monotonic
+// over the process lifetime, so the M sweep runs smallest fleet first: any
+// growth a point shows is growth that fleet size actually caused.
+uint64_t PeakRssBytes() {
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+double OpsPerHostSecond(const ScaleoutReport& report, double host_ms) {
+  return host_ms > 0 ? static_cast<double>(report.aggregate.ops) /
+                           (host_ms / 1000.0)
+                     : 0;
 }
 
 // Bit-level equality of two reports (counts, windows, and every histogram).
@@ -121,7 +140,8 @@ int main(int argc, char** argv) {
   const SweepPoint& serial = points.front();
   bool all_identical = true;
   Table table({"K cells", "jobs", "host time (ms)", "speedup vs K=1",
-               "agg sim ops/s", "total ops", "failures", "identical to K=1"});
+               "ops/sim-s", "ops/host-s", "total ops", "failures",
+               "identical to K=1"});
   for (const SweepPoint& p : points) {
     const bool identical =
         ReportsIdentical(p.report.aggregate, serial.report.aggregate);
@@ -131,7 +151,8 @@ int main(int argc, char** argv) {
     table.AddCell(static_cast<int64_t>(p.report.jobs));
     table.AddCell(p.host_ms, 1);
     table.AddCell(serial.host_ms / p.host_ms, 2);
-    table.AddCell(p.report.SimOpsPerSecond(), 0);
+    table.AddCell(p.report.SimOpsPerSimSecond(), 0);
+    table.AddCell(OpsPerHostSecond(p.report, p.host_ms), 0);
     table.AddCell(p.report.aggregate.ops);
     table.AddCell(p.report.aggregate.failures);
     table.AddCell(identical ? std::string("yes") : std::string("NO"));
@@ -148,20 +169,74 @@ int main(int argc, char** argv) {
                               : "DIVERGED — sharding bug!")
             << "\n";
 
-  // Machine-readable sweep through the shared metrics-snapshot emitter
-  // (same code path as BENCH_micro.json and --metrics).
+  // M sweep (M3): grow the fleet itself in aggregate-only mode. per-user
+  // reports are folded away inside each shard, so the resident footprint
+  // stays flat while the population scales; peak RSS divided by users is the
+  // bytes-per-user curve EXPERIMENTS.md quotes. Ascending order matters:
+  // ru_maxrss never decreases, so each point's reading is an upper bound
+  // set by the fleets up to and including it.
+  std::cout << "\nFleet growth, aggregate-only merge (keep_per_user=false):\n";
+  ScaleoutOptions grow = options;
+  grow.keep_per_user = false;
+  grow.user_obs = nullptr;
   std::vector<MetricsSnapshot> rows;
-  rows.reserve(points.size());
+  Table growth({"users", "K cells", "host time (s)", "ops/sim-s", "ops/host-s",
+                "total ops", "peak RSS (MiB)", "bytes/user"});
+  for (const int users : {8, 64, 512, 4096, 32768, 65536}) {
+    grow.users = users;
+    grow.cells = std::min(users, std::max(hw, 2));
+    grow.jobs = jobs_cap;
+    const auto start = std::chrono::steady_clock::now();
+    const ScaleoutReport report = RunScaleout(grow);
+    const double host_ms = HostMillis(start);
+    const uint64_t rss = PeakRssBytes();
+    const double bytes_per_user =
+        static_cast<double>(rss) / static_cast<double>(users);
+    growth.AddRow();
+    growth.AddCell(static_cast<int64_t>(users));
+    growth.AddCell(static_cast<int64_t>(report.cells));
+    growth.AddCell(host_ms / 1000.0, 1);
+    growth.AddCell(report.SimOpsPerSimSecond(), 0);
+    growth.AddCell(OpsPerHostSecond(report, host_ms), 0);
+    growth.AddCell(report.aggregate.ops);
+    growth.AddCell(static_cast<double>(rss) / (1024.0 * 1024.0), 1);
+    growth.AddCell(bytes_per_user, 0);
+
+    MetricsSnapshot row;
+    row.Set("sweep", MetricValue::MakeString("users"));
+    row.Set("cells", MetricValue::MakeInt(report.cells));
+    row.Set("jobs", MetricValue::MakeInt(report.jobs));
+    row.Set("users", MetricValue::MakeInt(users));
+    row.Set("host_ms", MetricValue::MakeDouble(host_ms));
+    row.Set("sim_ops_per_sim_s",
+            MetricValue::MakeDouble(report.SimOpsPerSimSecond()));
+    row.Set("sim_ops_per_host_s",
+            MetricValue::MakeDouble(OpsPerHostSecond(report, host_ms)));
+    row.Set("ops", MetricValue::MakeInt(
+                       static_cast<int64_t>(report.aggregate.ops)));
+    row.Set("peak_rss_bytes", MetricValue::MakeInt(static_cast<int64_t>(rss)));
+    row.Set("bytes_per_user", MetricValue::MakeDouble(bytes_per_user));
+    rows.push_back(std::move(row));
+  }
+  growth.Print(std::cout);
+
+  // Machine-readable sweeps through the shared metrics-snapshot emitter
+  // (same code path as BENCH_micro.json and --metrics). The K-sweep rows
+  // report throughput against both denominators; the retired
+  // "sim_ops_per_s" key conflated them.
   for (const SweepPoint& p : points) {
     MetricsSnapshot row;
+    row.Set("sweep", MetricValue::MakeString("cells"));
     row.Set("cells", MetricValue::MakeInt(p.cells));
     row.Set("jobs", MetricValue::MakeInt(p.report.jobs));
     row.Set("users", MetricValue::MakeInt(p.report.users));
     row.Set("host_ms", MetricValue::MakeDouble(p.host_ms));
     row.Set("speedup_vs_serial",
             MetricValue::MakeDouble(serial.host_ms / p.host_ms));
-    row.Set("sim_ops_per_s",
-            MetricValue::MakeDouble(p.report.SimOpsPerSecond()));
+    row.Set("sim_ops_per_sim_s",
+            MetricValue::MakeDouble(p.report.SimOpsPerSimSecond()));
+    row.Set("sim_ops_per_host_s",
+            MetricValue::MakeDouble(OpsPerHostSecond(p.report, p.host_ms)));
     row.Set("ops", MetricValue::MakeInt(
                        static_cast<int64_t>(p.report.aggregate.ops)));
     row.Set("identical_to_serial",

@@ -200,6 +200,44 @@ void BM_LargeStoreRandOverwriteGreedyStatic(benchmark::State& state) {
 BENCHMARK(BM_LargeStoreRandOverwriteGreedyStatic)
     ->Arg(4096)->Arg(16384)->Arg(65536)->Unit(benchmark::kNanosecond);
 
+void BM_CleaningRelocation(benchmark::State& state) {
+  // The cleaner's page-relocation path in near-isolation: with only 2%
+  // overprovisioning, uniform random overwrite leaves every victim sector
+  // mostly valid, so nearly all host work per user write is victim selection
+  // plus live-page relocation — since the zero-copy data plane a refcount
+  // bump and map update per page, not a read/program memcpy pair. Arg is the
+  // page size: 8 pages per erase sector on a fixed 64 MiB card, so /512 and
+  // /4096 relocate the same page count per op but 8x different byte counts —
+  // the spread between them is the residual per-byte cost of relocation
+  // (zero for the extent plane, two memcpys per page for the flat plane it
+  // replaced). Both are gated in CI alongside BM_SimCoreReplay and
+  // BM_LargeStoreRandOverwrite/65536 (scripts/bench_gate.py).
+  const uint64_t page_bytes = static_cast<uint64_t>(state.range(0));
+  SimClock clock;
+  FlashSpec spec = LargeFlashSpec();
+  spec.erase_sector_bytes = 8 * page_bytes;
+  FlashDevice flash(spec, 64 * kMiB, /*banks=*/1, clock);
+  FlashStoreOptions options;
+  options.block_bytes = page_bytes;
+  options.cleaner = CleanerPolicy::kCostBenefit;
+  options.wear = WearPolicy::kDynamic;
+  options.overprovision = 0.02;
+  FlashStore store(flash, options);
+  std::vector<uint8_t> block(page_bytes, 1);
+  FillStore(store, block);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.Write(rng.NextBelow(store.num_blocks()), block));
+  }
+  state.counters["write_amp"] = store.WriteAmplification();
+  state.counters["relocations_per_op"] =
+      static_cast<double>(store.stats().gc_relocations.value()) /
+      static_cast<double>(std::max<int64_t>(state.iterations(), 1));
+}
+BENCHMARK(BM_CleaningRelocation)->Arg(512)->Arg(4096)
+    ->Unit(benchmark::kNanosecond);
+
 void BM_LargeStoreSegregatedChurn(benchmark::State& state) {
   // Bank segregation with a hot-range working set: exercises the cold-sector
   // eviction path on top of cleaning.

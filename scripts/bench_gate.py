@@ -1,16 +1,28 @@
 #!/usr/bin/env python3
-"""Sim-ops/s regression gate over BENCH_micro.json.
+"""Benchmark regression gate over BENCH_micro.json.
 
 Compares a freshly measured BENCH_micro.json against the committed baseline
-and fails (exit 1) if the gated benchmark's sim_ops_per_s dropped more than
-the allowed fraction. Run from CI's bench-smoke leg after bench_micro has
-emitted its JSON next to the binary:
+and fails (exit 1) if any gated benchmark regressed more than the allowed
+fraction. Three ops guard the three hot paths a change is most likely to
+break:
+
+  * BM_SimCoreReplay            — whole-machine replay (sim_ops_per_s,
+                                  higher is better);
+  * BM_LargeStoreRandOverwrite/65536 — FTL write + cleaning under steady
+                                  overwrite pressure (ns_per_op, lower is
+                                  better);
+  * BM_CleaningRelocation/{512,4096} — the cleaner's zero-copy relocation
+                                  path in isolation (ns_per_op, lower is
+                                  better).
+
+Run from CI's bench-smoke leg after bench_micro has emitted its JSON next to
+the binary:
 
     python3 scripts/bench_gate.py build-release/bench/BENCH_micro.json
 
 The committed baseline (BENCH_micro.json at the repo root) is refreshed by
 scripts/regen_experiments.sh; regenerate it deliberately when a change is
-*supposed* to move the number, so the gate tracks intent rather than drift.
+*supposed* to move a number, so the gate tracks intent rather than drift.
 
 The threshold is deliberately loose (15%) because shared CI runners are
 noisy; the gate exists to catch order-of-magnitude regressions in the
@@ -21,21 +33,26 @@ import json
 import os
 import sys
 
-GATED_OP = "BM_SimCoreReplay"
-COUNTER = "sim_ops_per_s"
+# (op, key, higher_is_better)
+GATES = [
+    ("BM_SimCoreReplay", "sim_ops_per_s", True),
+    ("BM_LargeStoreRandOverwrite/65536", "ns_per_op", False),
+    ("BM_CleaningRelocation/512", "ns_per_op", False),
+    ("BM_CleaningRelocation/4096", "ns_per_op", False),
+]
 MAX_REGRESSION = 0.15
 
 
-def load_rate(path):
+def load_value(path, op, key):
     with open(path) as f:
         rows = json.load(f)
     for row in rows:
-        if row.get("op") == GATED_OP:
-            rate = row.get(COUNTER)
-            if rate is None:
-                raise SystemExit(f"{path}: {GATED_OP} row has no {COUNTER}")
-            return float(rate)
-    raise SystemExit(f"{path}: no {GATED_OP} row")
+        if row.get("op") == op:
+            value = row.get(key)
+            if value is None:
+                raise SystemExit(f"{path}: {op} row has no {key}")
+            return float(value)
+    raise SystemExit(f"{path}: no {op} row")
 
 
 def main():
@@ -43,22 +60,28 @@ def main():
         raise SystemExit(f"usage: {sys.argv[0]} <fresh BENCH_micro.json>")
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     baseline_path = os.path.join(repo_root, "BENCH_micro.json")
-    baseline = load_rate(baseline_path)
-    fresh = load_rate(sys.argv[1])
-    ratio = fresh / baseline
-    print(
-        f"{GATED_OP}: baseline {baseline:,.0f} sim-ops/s, "
-        f"measured {fresh:,.0f} sim-ops/s ({ratio:.2%} of baseline)"
-    )
-    if ratio < 1.0 - MAX_REGRESSION:
+    failed = False
+    for op, key, higher_is_better in GATES:
+        baseline = load_value(baseline_path, op, key)
+        fresh = load_value(sys.argv[1], op, key)
+        # Normalize so ratio > 1 always means "got better".
+        ratio = fresh / baseline if higher_is_better else baseline / fresh
+        unit = "sim-ops/s" if higher_is_better else "ns/op"
         print(
-            f"FAIL: sim-ops/s regressed more than {MAX_REGRESSION:.0%}. "
-            "If the slowdown is intentional, refresh the baseline with "
-            "scripts/regen_experiments.sh and commit BENCH_micro.json.",
-            file=sys.stderr,
+            f"{op}: baseline {baseline:,.1f} {unit}, "
+            f"measured {fresh:,.1f} {unit} ({ratio:.2%} of baseline speed)"
         )
+        if ratio < 1.0 - MAX_REGRESSION:
+            failed = True
+            print(
+                f"FAIL: {op} regressed more than {MAX_REGRESSION:.0%}. "
+                "If the slowdown is intentional, refresh the baseline with "
+                "scripts/regen_experiments.sh and commit BENCH_micro.json.",
+                file=sys.stderr,
+            )
+    if failed:
         return 1
-    print("OK: within regression budget")
+    print("OK: all gated benchmarks within regression budget")
     return 0
 
 

@@ -3,11 +3,12 @@
 # rebuilds the release preset, runs every experiment bench (E1-E12) plus the
 # microbenchmarks, and refreshes the machine-readable result files
 # (BENCH_micro.json, BENCH_scaleout.json, BENCH_migration.json) at the
-# repository root. BENCH_micro.json doubles as the sim-ops/s regression
-# baseline: CI's bench-smoke leg re-measures BM_SimCoreReplay and fails if it
-# drops >15% below the committed number (scripts/bench_gate.py), so rerun
-# this script and commit the refreshed JSON when a change is meant to move
-# simulator throughput.
+# repository root. BENCH_micro.json doubles as the benchmark regression
+# baseline: CI's bench-smoke leg re-measures BM_SimCoreReplay,
+# BM_LargeStoreRandOverwrite/65536, and BM_CleaningRelocation and fails if
+# any regresses >15% against the committed numbers (scripts/bench_gate.py),
+# so rerun this script and commit the refreshed JSON when a change is meant
+# to move simulator throughput.
 #
 #   scripts/regen_experiments.sh             # everything
 #   scripts/regen_experiments.sh --no-micro  # skip bench_micro/e11 (fast)

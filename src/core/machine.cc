@@ -217,6 +217,8 @@ MobileComputer::CrashReport MobileComputer::InjectBatteryFailure() {
   battery_->InjectFailure();
   report.lost_dirty_bytes = fs_->LoseBufferedData();
   dram_->ForceContentLoss();
+  // The payload table shadows DRAM page contents; it loses them too.
+  storage_->DropAllPagePayloads();
   report.dram_contents_lost = true;
   return report;
 }

@@ -4,15 +4,22 @@
 #include <bit>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "src/obs/obs.h"
+#include "src/support/log.h"
 
 namespace ssmc {
 
 namespace {
 constexpr uint8_t kErasedByte = 0xFF;
+
+bool ValidatePayloadsFromEnv() {
+  const char* v = std::getenv("SSMC_VALIDATE_PAYLOADS");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
 }  // namespace
 
 FlashDevice::FlashDevice(FlashSpec spec, uint64_t capacity_bytes, int banks,
@@ -28,6 +35,7 @@ FlashDevice::FlashDevice(FlashSpec spec, uint64_t capacity_bytes, int banks,
   assert((capacity_ / spec_.erase_sector_bytes) % banks == 0 &&
          "sectors must divide evenly into banks");
   sector_data_.resize(capacity_ / spec_.erase_sector_bytes);
+  sector_extents_.resize(capacity_ / spec_.erase_sector_bytes);
   sectors_per_bank_ = (capacity_ / spec_.erase_sector_bytes) /
                       static_cast<uint64_t>(banks);
   if (std::has_single_bit(spec_.erase_sector_bytes)) {
@@ -45,6 +53,9 @@ FlashDevice::FlashDevice(FlashSpec spec, uint64_t capacity_bytes, int banks,
     stats_.by_class[static_cast<int>(req.priority)].queue_wait_ns.Add(
         static_cast<uint64_t>(delta));
   });
+  if (ValidatePayloadsFromEnv()) {
+    set_validate_payloads(true);
+  }
 }
 
 FlashDevice::~FlashDevice() {
@@ -138,13 +149,43 @@ void FlashDevice::PrefetchPayload(uint64_t addr, uint64_t bytes) const {
   if (sector != SectorOfAddr(addr + bytes - 1)) {
     return;  // Callers' transfers never span sectors; don't bother.
   }
-  const uint8_t* base = sector_data_[sector].get();
-  if (base == nullptr) {
-    return;  // Unmaterialized sectors read as 0xFF without touching memory.
+  const uint64_t off = OffsetInSector(addr);
+  if (const uint8_t* base = sector_data_[sector].get()) {
+    const uint8_t* p = base + off;
+    for (uint64_t i = 0; i < bytes; i += 64) {
+      __builtin_prefetch(p + i, 0);
+    }
   }
-  const uint8_t* p = base + OffsetInSector(addr);
-  for (uint64_t i = 0; i < bytes; i += 64) {
-    __builtin_prefetch(p + i, 0);
+  // Unmaterialized flat storage reads as 0xFF without touching memory; any
+  // extent payloads intersecting the range are worth pulling in though.
+  const std::vector<ExtentEntry>& extents = sector_extents_[sector];
+  if (extents.empty()) {
+    return;
+  }
+  auto it = std::upper_bound(
+      extents.begin(), extents.end(), off,
+      [](uint64_t o, const ExtentEntry& e) { return o < e.offset; });
+  if (it != extents.begin()) {
+    --it;
+  }
+  for (; it != extents.end() && it->offset < off + bytes; ++it) {
+    const uint64_t lo = std::max<uint64_t>(off, it->offset);
+    const uint64_t hi =
+        std::min<uint64_t>(off + bytes, it->offset + it->ref.size());
+    if (lo >= hi) {
+      continue;
+    }
+    const uint8_t* p = it->ref.data() + (lo - it->offset);
+    for (uint64_t i = 0; i < hi - lo; i += 64) {
+      __builtin_prefetch(p + i, 0);
+    }
+  }
+}
+
+void FlashDevice::PrefetchExtentIndex(uint64_t sector) const {
+  const std::vector<ExtentEntry>& extents = sector_extents_[sector];
+  for (const ExtentEntry& e : extents) {
+    e.ref.Prefetch();
   }
 }
 
@@ -218,18 +259,132 @@ Result<Duration> FlashDevice::Read(uint64_t addr, std::span<uint8_t> out,
     const uint64_t s = SectorOfAddr(pos);
     const uint64_t off = OffsetInSector(pos);
     const uint64_t n = std::min(remaining, sector_bytes() - off);
-    if (const uint8_t* src = sector_data_[s].get()) {
-      std::memcpy(dst, src + off, n);
-    } else {
-      std::memset(dst, kErasedByte, n);
-    }
+    CopyOut(s, off, n, dst);
     dst += n;
     pos += n;
     remaining -= n;
   }
+  if (validate_payloads_) {
+    CheckAgainstShadow(addr, out.data(), out.size());
+  }
   stats_.reads.Add();
   stats_.read_bytes.Add(out.size());
   return d.wait + op_ns;
+}
+
+void FlashDevice::CopyOut(uint64_t sector, uint64_t off, uint64_t n,
+                          uint8_t* dst) const {
+  const std::vector<ExtentEntry>& extents = sector_extents_[sector];
+  if (!extents.empty()) {
+    // Fast path: the range is exactly one programmed extent (the FTL's
+    // page-granular reads) — one memcpy, no background fill. Extent content
+    // wins over flat content trivially: erase-before-write keeps the two
+    // representations disjoint, so flat bytes under an extent are 0xFF.
+    auto it = std::lower_bound(
+        extents.begin(), extents.end(), off,
+        [](const ExtentEntry& e, uint64_t o) { return e.offset < o; });
+    if (it != extents.end() && it->offset == off && it->ref.size() == n) {
+      std::memcpy(dst, it->ref.data(), n);
+      return;
+    }
+    // General path: flat (or erased) background, then overlay every
+    // intersecting extent.
+    if (const uint8_t* src = sector_data_[sector].get()) {
+      std::memcpy(dst, src + off, n);
+    } else {
+      std::memset(dst, kErasedByte, n);
+    }
+    if (it != extents.begin()) {
+      --it;  // The previous extent may begin before `off` and reach into it.
+    }
+    for (; it != extents.end() && it->offset < off + n; ++it) {
+      const uint64_t lo = std::max<uint64_t>(off, it->offset);
+      const uint64_t hi =
+          std::min<uint64_t>(off + n, it->offset + it->ref.size());
+      if (lo < hi) {
+        std::memcpy(dst + (lo - off), it->ref.data() + (lo - it->offset),
+                    hi - lo);
+      }
+    }
+    return;
+  }
+  if (const uint8_t* src = sector_data_[sector].get()) {
+    std::memcpy(dst, src + off, n);
+  } else {
+    std::memset(dst, kErasedByte, n);
+  }
+}
+
+Result<PayloadRef> FlashDevice::ReadExtent(uint64_t addr, uint64_t bytes,
+                                           ExtentPool& pool, IoIssue issue) {
+  assert(pool.payload_bytes() == bytes &&
+         "ReadExtent assembles into whole pool extents");
+  if (addr + bytes > capacity_) {
+    return OutOfRangeError("flash read past end of device");
+  }
+  if (bytes == 0) {
+    return PayloadRef{};
+  }
+  const int bank = BankOfAddress(addr);
+  if (BankOfAddress(addr + bytes - 1) != bank) {
+    return InvalidArgumentError("flash read crosses a bank boundary");
+  }
+  for (uint64_t s = SectorOfAddr(addr); s <= SectorOfAddr(addr + bytes - 1);
+       ++s) {
+    if (sectors_[s].bad) {
+      return DataLossError("read from worn-out flash sector " +
+                           std::to_string(s));
+    }
+    if (fault_reads_remaining_ > 0 && s == fault_sector_) {
+      fault_reads_remaining_ -= 1;
+      return InternalError("injected read fault in flash sector " +
+                           std::to_string(s));
+    }
+  }
+
+  const Duration op_ns = spec_.read.LatencyFor(bytes);
+  const IoScheduler::Dispatch d =
+      SubmitOp(IoOp::kRead, bank, addr, bytes, op_ns, issue);
+  if (issue.blocking) {
+    stats_.read_stall_ns.Add(static_cast<uint64_t>(d.wait));
+    clock_.AdvanceTo(d.complete);
+  }
+
+  PayloadRef payload;
+  const uint64_t sector = SectorOfAddr(addr);
+  const uint64_t off = OffsetInSector(addr);
+  if (off + bytes <= sector_bytes()) {
+    const std::vector<ExtentEntry>& extents = sector_extents_[sector];
+    auto it = std::lower_bound(
+        extents.begin(), extents.end(), off,
+        [](const ExtentEntry& e, uint64_t o) { return e.offset < o; });
+    if (it != extents.end() && it->offset == off && it->ref.size() == bytes) {
+      payload = it->ref;  // Zero-copy: share the stored extent.
+    }
+  }
+  if (!payload) {
+    // No exact match (flat-programmed or fragmented range): assemble a copy,
+    // exactly what Read would have produced.
+    payload = pool.Allocate();
+    uint8_t* dst = payload.MutableData();
+    uint64_t pos = addr;
+    uint64_t remaining = bytes;
+    while (remaining > 0) {
+      const uint64_t s = SectorOfAddr(pos);
+      const uint64_t o = OffsetInSector(pos);
+      const uint64_t n = std::min(remaining, sector_bytes() - o);
+      CopyOut(s, o, n, dst);
+      dst += n;
+      pos += n;
+      remaining -= n;
+    }
+  }
+  if (validate_payloads_) {
+    CheckAgainstShadow(addr, payload.data(), bytes);
+  }
+  stats_.reads.Add();
+  stats_.read_bytes.Add(bytes);
+  return payload;
 }
 
 Result<Duration> FlashDevice::Program(uint64_t addr,
@@ -252,21 +407,15 @@ Result<Duration> FlashDevice::Program(uint64_t addr,
   }
   // Strict NOR semantics: target bytes must be erased. Bytes at or beyond
   // the programmed watermark are erased by construction (so the FTL's
-  // append-order programs skip the scan); below it, memcmp against the
-  // all-0xFF template vectorizes, and the per-byte scan only runs on the
-  // error path to name the offending address.
+  // append-order programs skip the scan); below it, RangeErased memcmps both
+  // payload representations against the all-0xFF template.
   const uint64_t off = OffsetInSector(addr);
   if (off < meta.programmed_end) {
-    if (const uint8_t* cur = sector_data_[sector].get();
-        cur != nullptr &&
-        std::memcmp(cur + off, erased_template_.data(), data.size()) != 0) {
-      uint64_t i = 0;
-      while (cur[off + i] == kErasedByte) {
-        ++i;
-      }
+    uint64_t first_programmed = 0;
+    if (!RangeErased(sector, off, data.size(), &first_programmed)) {
       return FailedPreconditionError(
           "program to non-erased flash byte at address " +
-          std::to_string(addr + i));
+          std::to_string(first_programmed));
     }
   }
 
@@ -278,11 +427,116 @@ Result<Duration> FlashDevice::Program(uint64_t addr,
   }
 
   std::memcpy(MaterializeSector(sector) + off, data.data(), data.size());
+  if (validate_payloads_) {
+    std::memcpy(ShadowSector(sector) + off, data.data(), data.size());
+  }
   meta.programmed_end =
       std::max(meta.programmed_end, static_cast<uint32_t>(off + data.size()));
   stats_.programs.Add();
   stats_.programmed_bytes.Add(data.size());
   return d.wait + op_ns;
+}
+
+Result<Duration> FlashDevice::ProgramExtent(uint64_t addr, PayloadRef payload,
+                                            IoIssue issue) {
+  const uint64_t size = payload.size();
+  if (addr + size > capacity_) {
+    return OutOfRangeError("flash program past end of device");
+  }
+  if (size == 0) {
+    return Duration{0};
+  }
+  const uint64_t sector = SectorOfAddr(addr);
+  if (SectorOfAddr(addr + size - 1) != sector) {
+    return InvalidArgumentError("flash program crosses a sector boundary");
+  }
+  Sector& meta = sectors_[sector];
+  if (meta.bad) {
+    return DataLossError("program to worn-out flash sector " +
+                         std::to_string(sector));
+  }
+  const uint64_t off = OffsetInSector(addr);
+  if (off < meta.programmed_end) {
+    uint64_t first_programmed = 0;
+    if (!RangeErased(sector, off, size, &first_programmed)) {
+      return FailedPreconditionError(
+          "program to non-erased flash byte at address " +
+          std::to_string(first_programmed));
+    }
+  }
+
+  const Duration op_ns = spec_.program.LatencyFor(size);
+  const IoScheduler::Dispatch d =
+      SubmitOp(IoOp::kProgram, BankOfAddress(addr), addr, size, op_ns, issue);
+  if (issue.blocking) {
+    clock_.AdvanceTo(d.complete);
+  }
+
+  if (validate_payloads_) {
+    std::memcpy(ShadowSector(sector) + off, payload.data(), size);
+  }
+  // File the ref instead of copying the bytes: the device is now one more
+  // holder of the extent.
+  std::vector<ExtentEntry>& extents = sector_extents_[sector];
+  auto it = std::lower_bound(
+      extents.begin(), extents.end(), off,
+      [](const ExtentEntry& e, uint64_t o) { return e.offset < o; });
+  extents.insert(it,
+                 ExtentEntry{static_cast<uint32_t>(off), std::move(payload)});
+  meta.programmed_end =
+      std::max(meta.programmed_end, static_cast<uint32_t>(off + size));
+  stats_.programs.Add();
+  stats_.programmed_bytes.Add(size);
+  return d.wait + op_ns;
+}
+
+bool FlashDevice::RangeErased(uint64_t sector, uint64_t off, uint64_t n,
+                              uint64_t* first_programmed_addr) const {
+  const uint64_t base_addr = sector * sector_bytes();
+  uint64_t first = ~uint64_t{0};
+  // Flat representation: one vectorized memcmp, per-byte scan only to name
+  // the offending address (identical to the pre-extent check).
+  if (const uint8_t* cur = sector_data_[sector].get();
+      cur != nullptr &&
+      std::memcmp(cur + off, erased_template_.data(), n) != 0) {
+    uint64_t i = 0;
+    while (cur[off + i] == kErasedByte) {
+      ++i;
+    }
+    first = off + i;
+  }
+  // Extent representation: every entry intersecting the range. Disjointness
+  // means an extent's bytes are 0xFF in the flat buffer, so the minimum over
+  // both scans names the true first programmed byte.
+  const std::vector<ExtentEntry>& extents = sector_extents_[sector];
+  auto it = std::upper_bound(
+      extents.begin(), extents.end(), off,
+      [](uint64_t o, const ExtentEntry& e) { return o < e.offset; });
+  if (it != extents.begin()) {
+    --it;
+  }
+  for (; it != extents.end() && it->offset < off + n; ++it) {
+    const uint64_t lo = std::max<uint64_t>(off, it->offset);
+    const uint64_t hi = std::min<uint64_t>(off + n, it->offset + it->ref.size());
+    if (lo >= hi || lo >= first) {
+      continue;
+    }
+    const uint8_t* p = it->ref.data() + (lo - it->offset);
+    if (std::memcmp(p, erased_template_.data(), hi - lo) != 0) {
+      uint64_t i = 0;
+      while (p[i] == kErasedByte) {
+        ++i;
+      }
+      first = std::min(first, lo + i);
+    }
+  }
+  if (first == ~uint64_t{0}) {
+    return true;
+  }
+  if (first_programmed_addr != nullptr) {
+    *first_programmed_addr = base_addr + first;
+  }
+  return false;
 }
 
 Result<Duration> FlashDevice::EraseSector(uint64_t sector, IoIssue issue) {
@@ -328,16 +582,30 @@ Result<Duration> FlashDevice::EraseSector(uint64_t sector, IoIssue issue) {
     erase_observer_(sector, s.erase_count, /*now_bad=*/false);
   }
 
-  // Keep an already-materialized buffer and refill it (no allocator churn on
-  // the cleaner's erase/program cycle); a never-programmed sector stays null.
+  // Extent payloads are simply dropped (a refcount decrement per entry, no
+  // byte traffic — other layers still aliasing an extent keep its bytes
+  // alive). An already-materialized flat buffer is kept and refilled (no
+  // allocator churn); a never-programmed sector stays null.
+  sector_extents_[sector].clear();
   if (uint8_t* data_ptr = sector_data_[sector].get()) {
     std::memset(data_ptr, kErasedByte, sector_bytes());
+  }
+  if (validate_payloads_) {
+    if (uint8_t* shadow = shadow_data_[sector].get()) {
+      std::memset(shadow, kErasedByte, sector_bytes());
+    }
   }
   s.programmed_end = 0;
   return d.wait + op_ns;
 }
 
 bool FlashDevice::IsSectorErased(uint64_t sector) const {
+  for (const ExtentEntry& e : sector_extents_[sector]) {
+    if (std::memcmp(e.ref.data(), erased_template_.data(), e.ref.size()) !=
+        0) {
+      return false;
+    }
+  }
   const uint8_t* data_ptr = sector_data_[sector].get();
   return data_ptr == nullptr ||
          std::memcmp(data_ptr, erased_template_.data(), sector_bytes()) == 0;
@@ -350,6 +618,62 @@ uint8_t* FlashDevice::MaterializeSector(uint64_t sector) {
     std::memset(slot.get(), kErasedByte, sector_bytes());
   }
   return slot.get();
+}
+
+uint8_t* FlashDevice::ShadowSector(uint64_t sector) {
+  std::unique_ptr<uint8_t[]>& slot = shadow_data_[sector];
+  if (!slot) {
+    slot.reset(new uint8_t[sector_bytes()]);
+    std::memset(slot.get(), kErasedByte, sector_bytes());
+  }
+  return slot.get();
+}
+
+void FlashDevice::set_validate_payloads(bool on) {
+  if (on == validate_payloads_) {
+    return;
+  }
+  validate_payloads_ = on;
+  if (!on) {
+    shadow_data_.clear();
+    return;
+  }
+  // Seed the shadow from the current merged contents so the oracle can be
+  // switched on mid-life (tests attach it after setup writes).
+  shadow_data_.resize(num_sectors());
+  for (uint64_t s = 0; s < num_sectors(); ++s) {
+    if (sector_data_[s] != nullptr || !sector_extents_[s].empty()) {
+      CopyOut(s, 0, sector_bytes(), ShadowSector(s));
+    }
+  }
+}
+
+void FlashDevice::CheckAgainstShadow(uint64_t addr, const uint8_t* got,
+                                     uint64_t n) {
+  uint64_t pos = addr;
+  uint64_t remaining = n;
+  while (remaining > 0) {
+    const uint64_t s = SectorOfAddr(pos);
+    const uint64_t off = OffsetInSector(pos);
+    const uint64_t chunk = std::min(remaining, sector_bytes() - off);
+    const uint8_t* shadow = shadow_data_[s].get();
+    bool match;
+    if (shadow != nullptr) {
+      match = std::memcmp(got + (pos - addr), shadow + off, chunk) == 0;
+    } else {
+      // Never-programmed sector: the memcpy path would have produced 0xFF.
+      match = std::memcmp(got + (pos - addr), erased_template_.data(),
+                          chunk) == 0;
+    }
+    if (!match) {
+      payload_validation_failures_ += 1;
+      SSMC_LOG(kError) << "flash payload oracle mismatch: read of "
+                       << chunk << " bytes at address " << pos
+                       << " disagrees with the memcpy shadow";
+    }
+    pos += chunk;
+    remaining -= chunk;
+  }
 }
 
 void FlashDevice::AccountIdleEnergy() {

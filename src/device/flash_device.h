@@ -45,6 +45,7 @@
 #include "src/sim/io_request.h"
 #include "src/sim/io_scheduler.h"
 #include "src/sim/stats.h"
+#include "src/support/extent.h"
 #include "src/support/rng.h"
 #include "src/support/status.h"
 #include "src/support/units.h"
@@ -75,6 +76,12 @@ class FlashDevice {
   // toward the core ahead of a Read/Program. No effect on simulated state or
   // timing; never materializes an untouched sector.
   void PrefetchPayload(uint64_t addr, uint64_t bytes) const;
+
+  // Advisory, for relocation pre-loops: pull `sector`'s extent directory and
+  // each extent's refcount header toward the core. Zero-copy relocation
+  // touches exactly these lines — never the payload bytes — so this is the
+  // extent-plane counterpart of PrefetchPayload (which pulls the bytes).
+  void PrefetchExtentIndex(uint64_t sector) const;
   const FlashSpec& spec() const { return spec_; }
   SimClock& clock() { return clock_; }
 
@@ -97,6 +104,25 @@ class FlashDevice {
   // FAILED_PRECONDITION if any target byte is not 0xFF.
   Result<Duration> Program(uint64_t addr, std::span<const uint8_t> data,
                            IoIssue issue = {});
+
+  // Zero-copy variants for the FTL data plane. Validation, simulated timing,
+  // energy, and stats are identical to Read/Program byte-for-byte; only the
+  // host-side payload representation differs.
+  //
+  // ProgramExtent files the refcounted payload against the sector instead of
+  // memcpying it into a flat buffer: the device becomes one more holder of
+  // the extent (a counter bump), so a cleaner relocation that re-programs an
+  // unchanged page moves zero payload bytes.
+  Result<Duration> ProgramExtent(uint64_t addr, PayloadRef payload,
+                                 IoIssue issue = {});
+
+  // ReadExtent returns a shared ref to the stored payload when the range
+  // exactly matches a previously programmed extent (the FTL's page reads —
+  // no bytes move); otherwise it assembles the range into a fresh extent
+  // from `pool` (whose payload_bytes() must equal `bytes`). Errors exactly
+  // like Read (bounds, bank crossing, DATA_LOSS, injected faults).
+  Result<PayloadRef> ReadExtent(uint64_t addr, uint64_t bytes,
+                                ExtentPool& pool, IoIssue issue = {});
 
   // Erase one sector by index. Increments wear; may permanently fail the
   // sector once past the endurance limit.
@@ -149,6 +175,20 @@ class FlashDevice {
   void InjectReadFaults(uint64_t sector, int count) {
     fault_sector_ = sector;
     fault_reads_remaining_ = count;
+  }
+
+  // Differential payload oracle (also enabled by the SSMC_VALIDATE_PAYLOADS
+  // env var, same pattern as the event queue's SSMC_VALIDATE_EVENTS): every
+  // program additionally memcpys its bytes into a flat shadow copy of the
+  // card — the representation the extent layer replaced — and every
+  // Read/ReadExtent result is memcmp'd against it. Mismatches are logged at
+  // kError and counted. O(bytes) per op — tests only.
+  void set_validate_payloads(bool on);
+  bool validate_payloads() const { return validate_payloads_; }
+  // Oracle disagreements observed (0 when the mode is off or every payload
+  // matched the memcpy path).
+  uint64_t payload_validation_failures() const {
+    return payload_validation_failures_;
   }
 
   // --- Accounting -------------------------------------------------------
@@ -234,6 +274,34 @@ class FlashDevice {
   // on first touch.
   uint8_t* MaterializeSector(uint64_t sector);
 
+  // One programmed extent within a sector: `ref`'s payload covers
+  // [offset, offset + ref.size()). Entries are kept sorted by offset and
+  // disjoint (erase-before-write semantics forbid overlap, enforced by the
+  // erased checks — the same rule that keeps extents disjoint from any
+  // flat-programmed bytes in the same sector).
+  struct ExtentEntry {
+    uint32_t offset;
+    PayloadRef ref;
+  };
+
+  // Assembles [off, off + n) of `sector` into `dst`: flat bytes (or 0xFF for
+  // unmaterialized) overlaid with every intersecting extent. Exact
+  // single-extent matches short-circuit to one memcpy.
+  void CopyOut(uint64_t sector, uint64_t off, uint64_t n, uint8_t* dst) const;
+
+  // Erased check for [off, off + n) across both representations. On failure
+  // returns the absolute address of the first non-erased byte (for the
+  // error message); returns n (i.e. off + n relative) sentinel via bool.
+  bool RangeErased(uint64_t sector, uint64_t off, uint64_t n,
+                   uint64_t* first_programmed_addr) const;
+
+  // Shadow flat card for validate_payloads mode (lazy per sector, 0xFF
+  // before first program like sector_data_).
+  uint8_t* ShadowSector(uint64_t sector);
+  // memcmp `got` against the shadow's [addr, addr + n); logs + counts on
+  // mismatch.
+  void CheckAgainstShadow(uint64_t addr, const uint8_t* got, uint64_t n);
+
   FlashSpec spec_;
   uint64_t capacity_;
   SimClock& clock_;
@@ -246,10 +314,20 @@ class FlashDevice {
   int bank_shift_ = -1;
   uint64_t sectors_per_bank_ = 0;
   std::vector<std::unique_ptr<uint8_t[]>> sector_data_;
+  // Per-sector extent payloads (ProgramExtent). A sector may mix both
+  // representations — flat bytes from raw Program spans, extents from the
+  // FTL — with CopyOut/RangeErased merging the two views; pure-FTL sectors
+  // never materialize a flat buffer at all, so erases drop refs instead of
+  // memsetting.
+  std::vector<std::vector<ExtentEntry>> sector_extents_;
   // One sector's worth of 0xFF, compared wholesale (memcmp) by the erased
   // checks in Program() and IsSectorErased().
   std::vector<uint8_t> erased_template_;
   std::vector<Sector> sectors_;
+  // validate_payloads state (see set_validate_payloads).
+  bool validate_payloads_ = false;
+  uint64_t payload_validation_failures_ = 0;
+  std::vector<std::unique_ptr<uint8_t[]>> shadow_data_;
   IoScheduler sched_;  // One channel per bank.
   Stats stats_;
   EnergyMeter energy_;

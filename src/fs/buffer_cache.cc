@@ -7,7 +7,10 @@ namespace ssmc {
 
 BufferCache::BufferCache(DiskDevice& disk, uint64_t block_bytes,
                          uint64_t capacity_blocks)
-    : disk_(disk), block_bytes_(block_bytes), capacity_blocks_(capacity_blocks) {
+    : disk_(disk),
+      block_bytes_(block_bytes),
+      capacity_blocks_(capacity_blocks),
+      pool_(block_bytes) {
   assert(block_bytes_ > 0 && block_bytes_ % disk_.sector_bytes() == 0);
   assert(capacity_blocks_ > 0);
 }
@@ -16,7 +19,9 @@ Status BufferCache::WriteBack(uint64_t block, Entry& entry) {
   if (!entry.dirty) {
     return Status::Ok();
   }
-  Result<Duration> r = disk_.WriteSectors(SectorOfBlock(block), entry.data);
+  Result<Duration> r = disk_.WriteSectors(
+      SectorOfBlock(block),
+      std::span<const uint8_t>(entry.data.data(), block_bytes_));
   if (!r.ok()) {
     return r.status();
   }
@@ -52,12 +57,16 @@ Result<BufferCache::Entry*> BufferCache::GetEntry(uint64_t block, bool fill) {
     SSMC_RETURN_IF_ERROR(EvictOne());
   }
   Entry entry;
-  entry.data.assign(block_bytes_, 0);
+  entry.data = pool_.Allocate();
   if (fill) {
-    Result<Duration> r = disk_.ReadSectors(SectorOfBlock(block), entry.data);
+    Result<Duration> r = disk_.ReadSectors(
+        SectorOfBlock(block),
+        std::span<uint8_t>(entry.data.MutableData(), block_bytes_));
     if (!r.ok()) {
       return r.status();
     }
+  } else {
+    std::memset(entry.data.MutableData(), 0, block_bytes_);
   }
   lru_.push_back(block);
   entry.lru_it = std::prev(lru_.end());
@@ -88,7 +97,7 @@ Status BufferCache::Write(uint64_t block, std::span<const uint8_t> data) {
   if (!entry.ok()) {
     return entry.status();
   }
-  std::memcpy(entry.value()->data.data(), data.data(), block_bytes_);
+  std::memcpy(entry.value()->data.MutableData(), data.data(), block_bytes_);
   entry.value()->dirty = true;
   return Status::Ok();
 }
@@ -102,7 +111,8 @@ Status BufferCache::WritePartial(uint64_t block, uint64_t offset,
   if (!entry.ok()) {
     return entry.status();
   }
-  std::memcpy(entry.value()->data.data() + offset, data.data(), data.size());
+  std::memcpy(entry.value()->data.MutableData() + offset, data.data(),
+              data.size());
   entry.value()->dirty = true;
   return Status::Ok();
 }

@@ -17,6 +17,7 @@
 
 #include "src/device/disk_device.h"
 #include "src/sim/stats.h"
+#include "src/support/extent.h"
 #include "src/support/status.h"
 
 namespace ssmc {
@@ -67,8 +68,10 @@ class BufferCache {
   const Stats& stats() const { return stats_; }
 
  private:
+  // Block payloads are slab-pooled extents: eviction/refill churn recycles
+  // fixed buffers instead of reallocating a vector per miss.
   struct Entry {
-    std::vector<uint8_t> data;
+    PayloadRef data;
     bool dirty = false;
     std::list<uint64_t>::iterator lru_it;
   };
@@ -86,6 +89,7 @@ class BufferCache {
   DiskDevice& disk_;
   uint64_t block_bytes_;
   uint64_t capacity_blocks_;
+  ExtentPool pool_;
   std::unordered_map<uint64_t, Entry> entries_;
   std::list<uint64_t> lru_;  // Front = least recently used.
   Stats stats_;

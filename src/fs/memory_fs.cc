@@ -14,7 +14,7 @@ MemoryFileSystem::MemoryFileSystem(StorageManager& storage,
     : storage_(storage),
       options_(options),
       buffer_(storage, options.write_buffer_pages,
-              [this](const BlockKey& key, std::span<const uint8_t> data) {
+              [this](const BlockKey& key, const PayloadRef& data) {
                 return FlushBlock(key, data);
               }),
       root_(std::make_unique<Node>()) {
@@ -499,7 +499,7 @@ Status MemoryFileSystem::TickFlush(SimTime now) {
 }
 
 Status MemoryFileSystem::FlushBlock(const BlockKey& key,
-                                    std::span<const uint8_t> data) {
+                                    const PayloadRef& data) {
   auto it = inode_index_.find(key.file_id);
   if (it == inode_index_.end()) {
     // The file vanished with a dirty block still queued; nothing to persist.
@@ -525,7 +525,9 @@ Status MemoryFileSystem::FlushBlock(const BlockKey& key,
   // stream; every other policy flushes kUser exactly as before.
   const WriteStream stream = storage_.residency().FlushStream(
       key, storage_.flash_store().device().clock().now());
-  Result<Duration> written = storage_.flash_store().Write(
+  // Zero-copy drain: the store programs the buffer's own extent into flash
+  // (one more ref on it), so the flush moves no payload bytes.
+  Result<Duration> written = storage_.flash_store().WriteRef(
       static_cast<uint64_t>(slot), data, stream, IoPriority::kFlush);
   return written.ok() ? Status::Ok() : written.status();
 }

@@ -203,7 +203,7 @@ class MemoryFileSystem : public FileSystem {
   Node* LookupParent(std::string_view path);
 
   // The write buffer's flush destination.
-  Status FlushBlock(const BlockKey& key, std::span<const uint8_t> data);
+  Status FlushBlock(const BlockKey& key, const PayloadRef& data);
 
   // Releases one file block everywhere (buffer + flash).
   void ReleaseBlock(Inode& inode, uint64_t block_index);

@@ -108,6 +108,7 @@ FlashStore::FlashStore(FlashDevice& flash, FlashStoreOptions options)
     : flash_(flash),
       options_(options),
       pps_(static_cast<uint32_t>(flash.sector_bytes() / options.block_bytes)),
+      extent_pool_(options.block_bytes),
       victim_index_(options.cleaner,
                     static_cast<uint32_t>(flash.sector_bytes() /
                                           options.block_bytes),
@@ -145,7 +146,6 @@ FlashStore::FlashStore(FlashDevice& flash, FlashStoreOptions options)
     h.flags = kFreeFlag;
   }
   next_free_page_.assign(num_sectors, 0);
-  reloc_buf_.resize(options_.block_bytes);
   free_pool_.assign(static_cast<size_t>(flash_.num_banks()),
                     FreeSectorPool(options_.wear != WearPolicy::kNone));
   for (uint64_t s = 0; s < num_sectors; ++s) {
@@ -339,6 +339,22 @@ Result<Duration> FlashStore::WriteInternal(uint64_t block,
   if (data.size() != options_.block_bytes) {
     return InvalidArgumentError("flash store writes are whole blocks");
   }
+  // The data plane's single copy: the caller's span becomes a pooled extent
+  // here, and from this point on only the ref moves (program, relocation,
+  // cache promotion).
+  return WriteInternalRef(block, extent_pool_.AllocateCopy(data.data()),
+                          stream, allow_clean, issue);
+}
+
+Result<Duration> FlashStore::WriteInternalRef(uint64_t block, PayloadRef data,
+                                              WriteStream stream,
+                                              bool allow_clean, IoIssue issue) {
+  if (block >= num_logical_blocks_) {
+    return OutOfRangeError("flash store block out of range");
+  }
+  if (data.size() != options_.block_bytes) {
+    return InvalidArgumentError("flash store writes are whole blocks");
+  }
 
   // Hint the overwrite bookkeeping below: the allocator and device work in
   // between gives these random-access lines time to arrive. Advisory only —
@@ -357,7 +373,7 @@ Result<Duration> FlashStore::WriteInternal(uint64_t block,
   next_bank_ += 1;
 
   Result<Duration> programmed =
-      flash_.Program(PageAddress(page.value()), data, issue);
+      flash_.ProgramExtent(PageAddress(page.value()), std::move(data), issue);
   if (!programmed.ok()) {
     return programmed.status();
   }
@@ -404,6 +420,17 @@ Result<Duration> FlashStore::Write(uint64_t block,
   return r;
 }
 
+Result<Duration> FlashStore::WriteRef(uint64_t block, PayloadRef data,
+                                      WriteStream hint, IoPriority priority) {
+  Result<Duration> r =
+      WriteInternalRef(block, std::move(data), hint, /*allow_clean=*/true,
+                       UserIssue(priority));
+  if (r.ok()) {
+    stats_.user_writes.Add();
+  }
+  return r;
+}
+
 Result<Duration> FlashStore::Read(uint64_t block, std::span<uint8_t> out) {
   return Read(block, out, IoIssue{});
 }
@@ -421,6 +448,22 @@ Result<Duration> FlashStore::Read(uint64_t block, std::span<uint8_t> out,
                          " is not mapped");
   }
   Result<Duration> r = flash_.Read(PageAddress(map_[block]), out, issue);
+  if (r.ok()) {
+    stats_.user_reads.Add();
+  }
+  return r;
+}
+
+Result<PayloadRef> FlashStore::ReadRef(uint64_t block, IoIssue issue) {
+  if (block >= num_logical_blocks_) {
+    return OutOfRangeError("flash store block out of range");
+  }
+  if (map_[block] == kUnmapped) {
+    return NotFoundError("flash store block " + std::to_string(block) +
+                         " is not mapped");
+  }
+  Result<PayloadRef> r = flash_.ReadExtent(
+      PageAddress(map_[block]), options_.block_bytes, extent_pool_, issue);
   if (r.ok()) {
     stats_.user_reads.Add();
   }
@@ -583,29 +626,32 @@ Result<bool> FlashStore::CleanOne() {
   const WriteStream stream = WriteStream::kRelocation;
   const uint64_t pps = pages_per_sector();
   const uint64_t first_page = static_cast<uint64_t>(victim) * pps;
-  std::vector<uint8_t>& buf = reloc_buf_;
   const IoIssue issue = CleanerIssue();
   DeferredSectorSync defer(*this, static_cast<uint64_t>(victim));
-  // The owners' map entries and the victim's payload are scattered or cold;
-  // start pulling them all in before the relocation loop takes its first
-  // dependent miss on each.
+  // The owners' map entries are scattered or cold; start pulling them in
+  // before the relocation loop takes its first dependent miss on each. (The
+  // payloads themselves are untouched: ReadExtent + WriteInternalRef move
+  // refs, not bytes.)
   for (uint64_t p = first_page; p < first_page + pps; ++p) {
     if (page_owner_[p] != kUnmapped) {
       __builtin_prefetch(&map_[page_owner_[p]], 1);
-      flash_.PrefetchPayload(PageAddress(p), options_.block_bytes);
     }
   }
+  flash_.PrefetchExtentIndex(static_cast<uint64_t>(victim));
   for (uint64_t p = first_page; p < first_page + pps; ++p) {
     const uint64_t owner = page_owner_[p];
     if (owner == kUnmapped) {
       continue;
     }
-    Result<Duration> read = flash_.Read(PageAddress(p), buf, issue);
+    Result<PayloadRef> read =
+        flash_.ReadExtent(PageAddress(p), options_.block_bytes, extent_pool_,
+                          issue);
     if (!read.ok()) {
       return read.status();
     }
     Result<Duration> moved =
-        WriteInternal(owner, buf, stream, /*allow_clean=*/false, issue);
+        WriteInternalRef(owner, std::move(read.value()), stream,
+                         /*allow_clean=*/false, issue);
     if (!moved.ok()) {
       return moved.status();
     }
@@ -642,27 +688,29 @@ Result<bool> FlashStore::EvictColdSectorFromHotRange() {
   const uint64_t relocations_before = stats_.gc_relocations.value();
   const uint64_t pps = pages_per_sector();
   const uint64_t first_page = static_cast<uint64_t>(victim) * pps;
-  std::vector<uint8_t>& buf = reloc_buf_;
   const IoIssue issue = CleanerIssue();
   DeferredSectorSync defer(*this, static_cast<uint64_t>(victim));
   for (uint64_t p = first_page; p < first_page + pps; ++p) {
     if (page_owner_[p] != kUnmapped) {
       __builtin_prefetch(&map_[page_owner_[p]], 1);
-      flash_.PrefetchPayload(PageAddress(p), options_.block_bytes);
     }
   }
+  flash_.PrefetchExtentIndex(static_cast<uint64_t>(victim));
   for (uint64_t p = first_page; p < first_page + pps; ++p) {
     const uint64_t owner = page_owner_[p];
     if (owner == kUnmapped) {
       continue;
     }
-    Result<Duration> read = flash_.Read(PageAddress(p), buf, issue);
+    Result<PayloadRef> read =
+        flash_.ReadExtent(PageAddress(p), options_.block_bytes, extent_pool_,
+                          issue);
     if (!read.ok()) {
       return read.status();
     }
     Result<Duration> moved =
-        WriteInternal(owner, buf, WriteStream::kRelocation,
-                      /*allow_clean=*/false, issue);
+        WriteInternalRef(owner, std::move(read.value()),
+                         WriteStream::kRelocation,
+                         /*allow_clean=*/false, issue);
     if (!moved.ok()) {
       return moved.status();
     }
@@ -747,20 +795,28 @@ void FlashStore::MaybeStaticWearLevel() {
   const uint64_t relocations_before = stats_.gc_relocations.value();
   const uint64_t pps = pages_per_sector();
   const uint64_t first_page = static_cast<uint64_t>(coldest) * pps;
-  std::vector<uint8_t>& buf = reloc_buf_;
   const IoIssue issue = CleanerIssue();
   DeferredSectorSync defer(*this, static_cast<uint64_t>(coldest));
+  for (uint64_t p = first_page; p < first_page + pps; ++p) {
+    if (page_owner_[p] != kUnmapped) {
+      __builtin_prefetch(&map_[page_owner_[p]], 1);
+    }
+  }
+  flash_.PrefetchExtentIndex(static_cast<uint64_t>(coldest));
   Status migrate = Status::Ok();
   for (uint64_t p = first_page; p < first_page + pps; ++p) {
     const uint64_t owner = page_owner_[p];
     if (owner == kUnmapped) {
       continue;
     }
-    Result<Duration> read = flash_.Read(PageAddress(p), buf, issue);
+    Result<PayloadRef> read =
+        flash_.ReadExtent(PageAddress(p), options_.block_bytes, extent_pool_,
+                          issue);
     if (read.ok()) {
       Result<Duration> moved =
-          WriteInternal(owner, buf, WriteStream::kRelocation,
-                        /*allow_clean=*/false, issue);
+          WriteInternalRef(owner, std::move(read.value()),
+                           WriteStream::kRelocation,
+                           /*allow_clean=*/false, issue);
       migrate = moved.ok() ? Status::Ok() : moved.status();
     } else {
       migrate = read.status();

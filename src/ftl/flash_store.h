@@ -165,6 +165,12 @@ class FlashStore {
   Result<Duration> ReadPartial(uint64_t block, uint64_t offset,
                                std::span<uint8_t> out);
 
+  // Zero-copy block read: returns a shared ref to the block's stored payload
+  // (a refcount bump for store-written blocks — no bytes move). Device
+  // timing, energy, and stats are identical to Read. The residency manager's
+  // clean-cache promotion and the write path of DRAM consumers use this.
+  Result<PayloadRef> ReadRef(uint64_t block, IoIssue issue = {});
+
   // Writes a logical block (out of place). data.size() must equal
   // block_bytes. May trigger cleaning. Honors options_.background_writes.
   Result<Duration> Write(uint64_t block, std::span<const uint8_t> data);
@@ -183,6 +189,17 @@ class FlashStore {
   // dispatch order under IoSchedPolicy::kPriority, and attribution always.
   Result<Duration> Write(uint64_t block, std::span<const uint8_t> data,
                          WriteStream hint, IoPriority priority);
+
+  // Zero-copy block write: the store becomes a holder of the ref and
+  // programs it without copying (the write-buffer flush path hands its entry
+  // straight down). data.size() must equal block_bytes.
+  Result<Duration> WriteRef(uint64_t block, PayloadRef data, WriteStream hint,
+                            IoPriority priority);
+
+  // The store's page-sized payload pool. Upper layers (write buffer, clean
+  // cache, FS staging) draw from it so their blocks flow to/from flash as
+  // refcount bumps.
+  ExtentPool& extent_pool() { return extent_pool_; }
 
   // Drops a logical block's contents (marks its page dead).
   Status Trim(uint64_t block);
@@ -276,6 +293,13 @@ class FlashStore {
   Result<Duration> WriteInternal(uint64_t block, std::span<const uint8_t> data,
                                  WriteStream stream, bool allow_clean,
                                  IoIssue issue);
+
+  // Ref-taking core of every write: allocates a page and files the extent
+  // with the device (no payload copy). WriteInternal wraps it by converting
+  // the span into a pooled extent (the data plane's single copy).
+  Result<Duration> WriteInternalRef(uint64_t block, PayloadRef data,
+                                    WriteStream stream, bool allow_clean,
+                                    IoIssue issue);
 
   // How this store issues device requests for the paper's three streams,
   // given options_.background_writes: user/flush writes and cleaner traffic
@@ -377,11 +401,16 @@ class FlashStore {
   // and consistency audits only — O(sectors)).
   std::vector<SectorMeta> SnapshotSectors() const;
 
+  // Page-sized payload extents for the whole data plane (user writes,
+  // cleaner relocation, upper-layer caches). Replaces the cleaner's
+  // read-into-scratch-then-program copies: a relocation is now a refcount
+  // bump plus a mapping update.
+  ExtentPool extent_pool_;
+
   std::vector<uint64_t> map_;           // logical block -> physical page.
   std::vector<uint64_t> page_owner_;    // physical page -> logical block.
   std::vector<SectorHot> hot_;          // SoA: hot per-sector metadata.
   std::vector<uint32_t> next_free_page_;  // SoA: per-sector write pointer.
-  std::vector<uint8_t> reloc_buf_;      // Cleaner/migration page scratch.
   std::vector<FreeSectorPool> free_pool_;  // Per-bank free sectors.
   uint64_t free_sector_count_ = 0;         // == sum of free_pool_ sizes.
   VictimIndex victim_index_;

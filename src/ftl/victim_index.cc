@@ -10,7 +10,8 @@ namespace ssmc {
 void FreeSectorPool::Add(uint64_t sector, uint64_t erase_count) {
   const uint64_t seq = next_seq_++;
   if (wear_ordered_) {
-    by_wear_.emplace(erase_count, seq, sector);
+    by_wear_[erase_count].q.emplace_back(sector, seq);
+    ++wear_size_;
   } else {
     lifo_.emplace_back(sector, erase_count, seq);
   }
@@ -18,10 +19,11 @@ void FreeSectorPool::Add(uint64_t sector, uint64_t erase_count) {
 
 int64_t FreeSectorPool::Peek() const {
   if (wear_ordered_) {
-    if (by_wear_.empty()) {
+    if (wear_size_ == 0) {
       return -1;
     }
-    return static_cast<int64_t>(std::get<2>(*by_wear_.begin()));
+    const WearBucket& b = by_wear_.begin()->second;
+    return static_cast<int64_t>(b.q[b.head].first);
   }
   if (lifo_.empty()) {
     return -1;
@@ -31,11 +33,16 @@ int64_t FreeSectorPool::Peek() const {
 
 int64_t FreeSectorPool::Take() {
   if (wear_ordered_) {
-    if (by_wear_.empty()) {
+    if (wear_size_ == 0) {
       return -1;
     }
-    const int64_t sector = static_cast<int64_t>(std::get<2>(*by_wear_.begin()));
-    by_wear_.erase(by_wear_.begin());
+    const auto it = by_wear_.begin();
+    WearBucket& b = it->second;
+    const int64_t sector = static_cast<int64_t>(b.q[b.head].first);
+    if (++b.head == b.q.size()) {
+      by_wear_.erase(it);
+    }
+    --wear_size_;
     return sector;
   }
   if (lifo_.empty()) {
@@ -50,9 +57,11 @@ std::vector<std::pair<uint64_t, uint64_t>>
 FreeSectorPool::SnapshotInsertionOrder() const {
   std::vector<std::tuple<uint64_t, uint64_t, uint64_t>> entries;  // (seq, sector, count)
   if (wear_ordered_) {
-    entries.reserve(by_wear_.size());
-    for (const auto& [count, seq, sector] : by_wear_) {
-      entries.emplace_back(seq, sector, count);
+    entries.reserve(wear_size_);
+    for (const auto& [count, bucket] : by_wear_) {
+      for (size_t i = bucket.head; i < bucket.q.size(); ++i) {
+        entries.emplace_back(bucket.q[i].second, bucket.q[i].first, count);
+      }
     }
     std::sort(entries.begin(), entries.end());
   } else {

@@ -31,6 +31,7 @@
 #define SSMC_SRC_FTL_VICTIM_INDEX_H_
 
 #include <cstdint>
+#include <map>
 #include <set>
 #include <tuple>
 #include <utility>
@@ -62,9 +63,7 @@ class FreeSectorPool {
   int64_t Take();
 
   bool empty() const { return size() == 0; }
-  uint64_t size() const {
-    return wear_ordered_ ? by_wear_.size() : lifo_.size();
-  }
+  uint64_t size() const { return wear_ordered_ ? wear_size_ : lifo_.size(); }
 
   // (sector, erase_count) pairs in insertion order — the exact sequence the
   // retired linear-scan allocator iterated. Used by the differential oracle
@@ -72,11 +71,27 @@ class FreeSectorPool {
   std::vector<std::pair<uint64_t, uint64_t>> SnapshotInsertionOrder() const;
 
  private:
+  // FIFO of (sector, seq) entries awaiting allocation at one erase count.
+  // Drained from the front via a head cursor (amortized O(1), storage
+  // reclaimed when the bucket empties and its map node is erased).
+  struct WearBucket {
+    std::vector<std::pair<uint64_t, uint64_t>> q;
+    size_t head = 0;
+    bool empty() const { return head == q.size(); }
+  };
+
   bool wear_ordered_;
   uint64_t next_seq_ = 0;
-  // wear_ordered_: (erase_count, insertion_seq, sector); begin() is the
-  // least-worn, earliest-freed sector.
-  std::set<std::tuple<uint64_t, uint64_t, uint64_t>> by_wear_;
+  // wear_ordered_: per-erase-count FIFO buckets, keyed by erase count. The
+  // retired flat set ordered entries by (erase_count, seq, sector); seq is
+  // unique and assigned in insertion order, so within one erase count the
+  // set's order was exactly FIFO and the sector tie-break was unreachable.
+  // begin()->front is therefore the same pick, but an Add/Take touches a
+  // handful of map nodes (one per *distinct* live erase count — wear
+  // leveling keeps that band narrow) instead of rebalancing a tree node per
+  // pooled sector.
+  std::map<uint64_t, WearBucket> by_wear_;
+  uint64_t wear_size_ = 0;
   // !wear_ordered_: (sector, erase_count, insertion_seq), back() next out.
   std::vector<std::tuple<uint64_t, uint64_t, uint64_t>> lifo_;
 };

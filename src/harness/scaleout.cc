@@ -33,14 +33,20 @@ ReplayReport RunUser(const ScaleoutOptions& options, int user) {
   return machine.RunTrace(trace);
 }
 
+// What a shard hands back to the merge: its users' partial aggregate (always
+// maintained — merging is associative, so folding per shard and then across
+// shards in shard order equals the flat user-order fold) plus, in keep mode,
+// the individual reports.
+struct ShardResult {
+  std::vector<ReplayReport> per_user;  // Empty when !keep_per_user.
+  ReplayReport merged;
+  Duration longest_elapsed = 0;
+};
+
 }  // namespace
 
-double ScaleoutReport::SimOpsPerSecond() const {
-  Duration longest = 0;
-  for (const ReplayReport& r : per_user) {
-    longest = std::max(longest, r.elapsed());
-  }
-  const double s = static_cast<double>(longest) / kSecond;
+double ScaleoutReport::SimOpsPerSimSecond() const {
+  const double s = static_cast<double>(longest_elapsed) / kSecond;
   return s > 0 ? static_cast<double>(aggregate.ops) / s : 0;
 }
 
@@ -49,7 +55,7 @@ ScaleoutReport RunScaleout(const ScaleoutOptions& options) {
   const int cells = std::clamp(options.cells, 1, options.users);
 
   // Shard s serially runs the contiguous balanced user range [lo, hi).
-  std::vector<std::function<std::vector<ReplayReport>()>> shards;
+  std::vector<std::function<ShardResult()>> shards;
   shards.reserve(static_cast<size_t>(cells));
   for (int s = 0; s < cells; ++s) {
     const int lo = static_cast<int>(
@@ -57,29 +63,40 @@ ScaleoutReport RunScaleout(const ScaleoutOptions& options) {
     const int hi = static_cast<int>(
         static_cast<int64_t>(s + 1) * options.users / cells);
     shards.push_back([&options, lo, hi] {
-      std::vector<ReplayReport> reports;
-      reports.reserve(static_cast<size_t>(hi - lo));
-      for (int user = lo; user < hi; ++user) {
-        reports.push_back(RunUser(options, user));
+      ShardResult result;
+      if (options.keep_per_user) {
+        result.per_user.reserve(static_cast<size_t>(hi - lo));
       }
-      return reports;
+      for (int user = lo; user < hi; ++user) {
+        ReplayReport report = RunUser(options, user);
+        result.longest_elapsed =
+            std::max(result.longest_elapsed, report.elapsed());
+        result.merged.Merge(report);
+        if (options.keep_per_user) {
+          result.per_user.push_back(std::move(report));
+        }
+      }
+      return result;
     });
   }
 
   ParallelRunner runner(options.jobs);
-  std::vector<std::vector<ReplayReport>> shard_reports =
-      runner.RunOrdered(std::move(shards));
+  std::vector<ShardResult> shard_results = runner.RunOrdered(std::move(shards));
 
   ScaleoutReport report;
   report.users = options.users;
   report.cells = cells;
   report.jobs = runner.jobs();
-  report.per_user.reserve(static_cast<size_t>(options.users));
+  if (options.keep_per_user) {
+    report.per_user.reserve(static_cast<size_t>(options.users));
+  }
   // Shards are contiguous ranges in shard order, so concatenation restores
   // user order; merging in that order makes the aggregate K-independent.
-  for (std::vector<ReplayReport>& shard : shard_reports) {
-    for (ReplayReport& user_report : shard) {
-      report.aggregate.Merge(user_report);
+  for (ShardResult& shard : shard_results) {
+    report.longest_elapsed =
+        std::max(report.longest_elapsed, shard.longest_elapsed);
+    report.aggregate.Merge(shard.merged);
+    for (ReplayReport& user_report : shard.per_user) {
       report.per_user.push_back(std::move(user_report));
     }
   }

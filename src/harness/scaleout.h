@@ -37,19 +37,31 @@ struct ScaleoutOptions {
   // must make the callback thread-safe (shards run concurrently); give each
   // user its own Obs so no two threads ever share one.
   std::function<Obs*(int user)> user_obs;
+  // When false, each shard folds its users into one partial aggregate as it
+  // goes and drops the individual reports; ScaleoutReport::per_user stays
+  // empty and host memory is O(cells) instead of O(users). Merging is
+  // associative (sums, min/max, bucket adds), so the aggregate is
+  // bit-identical either way. The 64k-user footprint curve runs this mode.
+  bool keep_per_user = true;
 };
 
 struct ScaleoutReport {
-  std::vector<ReplayReport> per_user;  // In user order; shard-independent.
-  ReplayReport aggregate;              // Merge of per_user, in user order.
+  // In user order; shard-independent. Empty when !keep_per_user.
+  std::vector<ReplayReport> per_user;
+  ReplayReport aggregate;  // Merge of every user's report, in user order.
+  // Max over users of that user's simulated elapsed time (tracked during the
+  // merge, so it is available in both per-user and aggregate-only modes).
+  Duration longest_elapsed = 0;
   int users = 0;
   int cells = 0;
   int jobs = 0;
 
-  // Aggregate simulated throughput: users run concurrently in simulated
-  // terms (each owns a clock starting at 0), so the fleet finishes when its
-  // slowest user does.
-  double SimOpsPerSecond() const;
+  // Aggregate throughput per *simulated* second: users run concurrently in
+  // simulated terms (each owns a clock starting at 0), so the fleet finishes
+  // when its slowest user does. Divide total ops by host seconds instead for
+  // the harness-throughput view (sim ops per host second); the two answer
+  // different questions and BENCH_scaleout.json reports both.
+  double SimOpsPerSimSecond() const;
 };
 
 // Runs the sharded experiment. Host wall time is the caller's to measure

@@ -94,11 +94,7 @@ Status ResidencyManager::ReadClean(const BlockKey& key, uint64_t offset,
   }
   // Refresh LRU: splice the entry to the MRU end.
   clean_lru_.splice(clean_lru_.end(), clean_lru_, it->second.lru_it);
-  Result<Duration> r = storage_.dram().Read(
-      storage_.DramPageAddress(it->second.dram_page) + offset, out);
-  if (!r.ok()) {
-    return r.status();
-  }
+  storage_.ReadPagePayload(it->second.dram_page, offset, out);
   stats_.clean_hits.Add();
   stats_.clean_hit_bytes.Add(out.size());
   return Status::Ok();
@@ -291,20 +287,16 @@ void ResidencyManager::PromoteFromFlash(const BlockKey& key,
   // The promotion read is cleaner-class background I/O: it occupies a flash
   // bank without advancing the caller's clock, so the foreground read that
   // triggered promotion is never stalled by it. The DRAM fill is charged
-  // normally (the copy engine writes the page).
-  std::vector<uint8_t> staging(storage_.page_bytes());
-  Result<Duration> read = storage_.flash_store().Read(
-      flash_block, staging, IoIssue{IoPriority::kCleaner, /*blocking=*/false});
+  // normally (the copy engine writes the page) — but the promoted page
+  // *shares* the flash extent rather than copying it: the clean cache and
+  // the flash sector alias one refcounted payload.
+  Result<PayloadRef> read = storage_.flash_store().ReadRef(
+      flash_block, IoIssue{IoPriority::kCleaner, /*blocking=*/false});
   if (!read.ok()) {
     (void)storage_.FreeDramPage(page.value());
     return;
   }
-  Result<Duration> wrote = storage_.dram().Write(
-      storage_.DramPageAddress(page.value()), staging);
-  if (!wrote.ok()) {
-    (void)storage_.FreeDramPage(page.value());
-    return;
-  }
+  storage_.InstallPagePayload(page.value(), std::move(read.value()));
   clean_lru_.push_back(key);
   CleanEntry entry;
   entry.dram_page = page.value();

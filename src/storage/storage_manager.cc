@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 #include "src/obs/obs.h"
 
@@ -21,6 +22,7 @@ StorageManager::StorageManager(DramDevice& dram, FlashStore& flash_store,
     free_dram_pages_.push_back(p - 1);
   }
   dram_page_used_.assign(total_dram_pages_, false);
+  page_payloads_.resize(total_dram_pages_);
 
   const uint64_t blocks = flash_store_.num_blocks();
   free_flash_blocks_.reserve(blocks);
@@ -81,8 +83,81 @@ Status StorageManager::FreeDramPage(uint64_t page) {
                                    std::to_string(page));
   }
   dram_page_used_[page] = false;
+  page_payloads_[page].Reset();
   free_dram_pages_.push_back(page);
   return Status::Ok();
+}
+
+Duration StorageManager::ReadPagePayload(uint64_t page, uint64_t offset,
+                                         std::span<uint8_t> out) {
+  assert(page < total_dram_pages_ && offset + out.size() <= page_bytes_);
+  const Duration d = dram_.ChargeAccess(out.size(), /*is_write=*/false);
+  const PayloadRef& ref = page_payloads_[page];
+  if (ref) {
+    std::memcpy(out.data(), ref.data() + offset, out.size());
+  } else {
+    std::memset(out.data(), 0, out.size());
+  }
+  return d;
+}
+
+Duration StorageManager::WritePagePayload(uint64_t page, uint64_t offset,
+                                          std::span<const uint8_t> data) {
+  assert(page < total_dram_pages_ && offset + data.size() <= page_bytes_);
+  const Duration d = dram_.ChargeAccess(data.size(), /*is_write=*/true);
+  PayloadRef& ref = page_payloads_[page];
+  if (!ref) {
+    if (offset == 0 && data.size() == page_bytes_) {
+      ref = extent_pool().AllocateCopy(data.data());
+      return d;
+    }
+    ref = extent_pool().Allocate();
+    std::memset(ref.MutableData(), 0, page_bytes_);
+  }
+  // MutableData clones the extent first when it is aliased (a flushed copy
+  // programmed into flash, a shared zero page), so writers never disturb
+  // other holders.
+  std::memcpy(ref.MutableData() + offset, data.data(), data.size());
+  return d;
+}
+
+Duration StorageManager::InstallPagePayload(uint64_t page, PayloadRef payload) {
+  assert(page < total_dram_pages_ && payload.size() == page_bytes_);
+  const Duration d = dram_.ChargeAccess(page_bytes_, /*is_write=*/true);
+  page_payloads_[page] = std::move(payload);
+  return d;
+}
+
+Duration StorageManager::ZeroFillPagePayload(uint64_t page) {
+  assert(page < total_dram_pages_);
+  const Duration d = dram_.ChargeAccess(page_bytes_, /*is_write=*/true);
+  if (!zero_extent_) {
+    zero_extent_ = extent_pool().Allocate();
+    std::memset(zero_extent_.MutableData(), 0, page_bytes_);
+  }
+  page_payloads_[page] = zero_extent_;
+  return d;
+}
+
+PayloadRef StorageManager::ReadPagePayloadRef(uint64_t page) {
+  assert(page < total_dram_pages_);
+  dram_.ChargeAccess(page_bytes_, /*is_write=*/false);
+  PayloadRef& ref = page_payloads_[page];
+  if (!ref) {
+    if (!zero_extent_) {
+      zero_extent_ = extent_pool().Allocate();
+      std::memset(zero_extent_.MutableData(), 0, page_bytes_);
+    }
+    ref = zero_extent_;
+  }
+  return ref;
+}
+
+void StorageManager::DropAllPagePayloads() {
+  for (PayloadRef& ref : page_payloads_) {
+    ref.Reset();
+  }
+  zero_extent_.Reset();
 }
 
 Status StorageManager::ReserveFlashBlock(uint64_t block) {

@@ -19,11 +19,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "src/device/dram_device.h"
 #include "src/ftl/flash_store.h"
 #include "src/storage/residency.h"
+#include "src/support/extent.h"
 #include "src/support/status.h"
 
 namespace ssmc {
@@ -77,6 +79,40 @@ class StorageManager {
   // snapshot time.
   void AttachObs(Obs* obs);
 
+  // --- Page payloads ------------------------------------------------------
+  // Every allocated DRAM page carries its contents as a refcounted payload
+  // extent instead of bytes in the DramDevice backing store. The accessors
+  // below charge exactly what a DramDevice::Read/Write of the same size
+  // would (ChargeAccess runs the identical clock/energy/stats arithmetic),
+  // so simulated timing is unchanged — but aliased pages (a flushed block
+  // that also sits programmed in flash, a promoted clean copy, an anonymous
+  // zero page) share one extent, and writes to shared extents copy-on-write.
+  // The pool is the flash store's: refs flow between DRAM pages and flash
+  // sectors without ever copying payload bytes.
+  ExtentPool& extent_pool() { return flash_store_.extent_pool(); }
+
+  // Reads/writes within one page's payload. offset + size must stay inside
+  // the page; reads of never-written pages are zero fill (what the DRAM
+  // device returns for unmaterialized chunks).
+  Duration ReadPagePayload(uint64_t page, uint64_t offset,
+                           std::span<uint8_t> out);
+  Duration WritePagePayload(uint64_t page, uint64_t offset,
+                            std::span<const uint8_t> data);
+  // Installs a whole-page payload by reference (zero-copy promotion/fill);
+  // charges one full-page DRAM write. payload.size() must equal page_bytes.
+  Duration InstallPagePayload(uint64_t page, PayloadRef payload);
+  // Zero-fills a page: charges a full-page DRAM write and aliases the shared
+  // all-zeros extent (every anonymous VM page starts as one refcount bump).
+  Duration ZeroFillPagePayload(uint64_t page);
+  // Borrows the page's payload as a ref (refcount bump), charging one
+  // full-page DRAM read — the flush path's "read the buffer" step. A
+  // never-written page materializes as the shared zero extent.
+  PayloadRef ReadPagePayloadRef(uint64_t page);
+  // Battery failure: volatile contents are gone. Mirrors
+  // DramDevice::ForceContentLoss for the payload table — subsequent reads
+  // see zero fill, matching the device's dropped-chunk behavior.
+  void DropAllPagePayloads();
+
   // --- Metadata accounting ------------------------------------------------
   // Memory-resident metadata (directories, inodes, page tables) lives in
   // DRAM; operations on it cost DRAM access time.
@@ -96,6 +132,8 @@ class StorageManager {
   std::vector<uint64_t> free_flash_blocks_;
   std::vector<bool> dram_page_used_;
   std::vector<bool> flash_block_used_;
+  std::vector<PayloadRef> page_payloads_;  // Indexed by DRAM page.
+  PayloadRef zero_extent_;                 // Lazily built, shared by aliasing.
   Obs* obs_ = nullptr;
   // Declared last: its destructor returns the clean cache's DRAM pages to
   // the allocator above, which must still be alive.

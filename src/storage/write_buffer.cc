@@ -69,7 +69,7 @@ Status WriteBuffer::Put(const BlockKey& key, std::span<const uint8_t> data,
     // Unbuffered baseline: write straight through to flash.
     stats_.flushes.Add();
     stats_.flushed_bytes.Add(data.size());
-    return flush_fn_(key, data);
+    return flush_fn_(key, storage_.extent_pool().AllocateCopy(data.data()));
   }
 
   auto it = entries_.find(key);
@@ -79,11 +79,8 @@ Status WriteBuffer::Put(const BlockKey& key, std::span<const uint8_t> data,
     // from first dirtying), so even hot blocks reach stable storage within
     // one age window.
     stats_.absorbed_overwrites.Add();
-    return storage_.dram()
-        .Write(storage_.DramPageAddress(it->second.dram_page), data)
-        .ok()
-        ? Status::Ok()
-        : InternalError("DRAM write failed");
+    storage_.WritePagePayload(it->second.dram_page, 0, data);
+    return Status::Ok();
   }
 
   // Make room if needed by flushing the oldest dirty block.
@@ -108,12 +105,7 @@ Status WriteBuffer::Put(const BlockKey& key, std::span<const uint8_t> data,
   if (!page.ok()) {
     return page.status();
   }
-  Result<Duration> wrote =
-      storage_.dram().Write(storage_.DramPageAddress(page.value()), data);
-  if (!wrote.ok()) {
-    (void)storage_.FreeDramPage(page.value());
-    return wrote.status();
-  }
+  storage_.WritePagePayload(page.value(), 0, data);
   lru_.push_back(key);
   Entry entry;
   entry.dram_page = page.value();
@@ -131,9 +123,8 @@ Status WriteBuffer::Get(const BlockKey& key, std::span<uint8_t> out) {
   if (it == entries_.end()) {
     return NotFoundError("block not buffered");
   }
-  Result<Duration> r =
-      storage_.dram().Read(storage_.DramPageAddress(it->second.dram_page), out);
-  return r.ok() ? Status::Ok() : r.status();
+  storage_.ReadPagePayload(it->second.dram_page, 0, out);
+  return Status::Ok();
 }
 
 bool WriteBuffer::Drop(const BlockKey& key) {
@@ -151,13 +142,9 @@ bool WriteBuffer::Drop(const BlockKey& key) {
 
 Status WriteBuffer::FlushEntry(
     std::unordered_map<BlockKey, Entry, BlockKeyHash>::iterator it) {
-  std::vector<uint8_t> data(page_bytes());
-  Result<Duration> read =
-      storage_.dram().Read(storage_.DramPageAddress(it->second.dram_page),
-                           data);
-  if (!read.ok()) {
-    return read.status();
-  }
+  // Reading the buffered page costs DRAM time as before, but hands the
+  // flush destination the page's own extent: no staging copy.
+  PayloadRef data = storage_.ReadPagePayloadRef(it->second.dram_page);
   SSMC_RETURN_IF_ERROR(flush_fn_(it->first, data));
   stats_.flushes.Add();
   stats_.flushed_bytes.Add(data.size());

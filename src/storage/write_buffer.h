@@ -45,9 +45,10 @@ class Obs;
 class WriteBuffer {
  public:
   // Destination for flushed blocks; supplied by the file system, which knows
-  // the flash placement of each file block.
-  using FlushFn =
-      std::function<Status(const BlockKey&, std::span<const uint8_t>)>;
+  // the flash placement of each file block. The block travels as a payload
+  // ref: a flush that lands in the flash store programs the very extent the
+  // buffer holds (refcount bump), never copying the bytes.
+  using FlushFn = std::function<Status(const BlockKey&, const PayloadRef&)>;
 
   // capacity_pages = 0 disables buffering entirely: every Put flushes
   // straight through (the "no NVRAM buffer" baseline of experiment E6).
@@ -110,6 +111,9 @@ class WriteBuffer {
   void AttachObs(Obs* obs);
 
  private:
+  // The entry's bytes live in the storage manager's page-payload table,
+  // keyed by dram_page — the page allocation is the DRAM budget token, the
+  // payload extent is the content.
   struct Entry {
     uint64_t dram_page;
     SimTime dirty_since;  // First dirtying; NOT refreshed by overwrites.

@@ -1,0 +1,133 @@
+#include "src/support/extent.h"
+
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace ssmc {
+
+// Shared between the pool object and every outstanding extent. Deleted by
+// whichever side drops last: ~ExtentPool when no refs remain, or the final
+// PayloadRef release after the pool object is gone.
+struct ExtentPool::State {
+  size_t payload_bytes;
+  size_t extents_per_slab;
+  size_t chunk_bytes;  // sizeof(Extent) header + payload, 16-byte aligned
+  std::vector<std::unique_ptr<std::byte[]>> slabs;
+  PayloadRef::Extent* free_list = nullptr;
+  size_t live = 0;
+  uint64_t slab_allocations = 0;
+  uint64_t extents_allocated = 0;
+  bool pool_alive = true;
+
+  PayloadRef::Extent* ExtentAt(size_t slab, size_t index) {
+    return reinterpret_cast<PayloadRef::Extent*>(slabs[slab].get() +
+                                                 index * chunk_bytes);
+  }
+
+  void CarveSlab() {
+    slabs.push_back(std::make_unique<std::byte[]>(
+        chunk_bytes * extents_per_slab));
+    ++slab_allocations;
+    // Thread the new chunks onto the free list in reverse so allocation
+    // hands them out in slab order.
+    const size_t slab = slabs.size() - 1;
+    for (size_t i = extents_per_slab; i-- > 0;) {
+      PayloadRef::Extent* e = ExtentAt(slab, i);
+      e->state = this;
+      e->payload_bytes = static_cast<uint32_t>(payload_bytes);
+      e->next_free = free_list;
+      free_list = e;
+    }
+  }
+
+  PayloadRef::Extent* Pop() {
+    if (free_list == nullptr) CarveSlab();
+    PayloadRef::Extent* e = free_list;
+    free_list = e->next_free;
+    e->refs = 1;
+    ++live;
+    ++extents_allocated;
+    return e;
+  }
+};
+
+void PayloadRef::Recycle(Extent* e) {
+  auto* state = static_cast<ExtentPool::State*>(e->state);
+  e->next_free = state->free_list;
+  state->free_list = e;
+  --state->live;
+  if (!state->pool_alive && state->live == 0) delete state;
+}
+
+void PayloadRef::CloneForWrite() {
+  auto* state = static_cast<ExtentPool::State*>(e_->state);
+  assert(state->pool_alive && "CoW after the owning ExtentPool died");
+  Extent* clone = state->Pop();
+  std::memcpy(Payload(clone), Payload(e_), state->payload_bytes);
+  if (--e_->refs == 0) {
+    Recycle(e_);
+  }
+  e_ = clone;
+}
+
+namespace {
+
+size_t AlignUp16(size_t n) { return (n + 15) & ~size_t{15}; }
+
+}  // namespace
+
+ExtentPool::ExtentPool(size_t payload_bytes, size_t extents_per_slab)
+    : state_(new State{}) {
+  assert(payload_bytes > 0 && extents_per_slab > 0);
+  assert(payload_bytes <= ~uint32_t{0} && "extent size field is 32-bit");
+  state_->payload_bytes = payload_bytes;
+  state_->extents_per_slab = extents_per_slab;
+  static_assert(sizeof(PayloadRef::Extent) % 16 == 0,
+                "payload alignment depends on a 16-byte-multiple header");
+  state_->chunk_bytes = sizeof(PayloadRef::Extent) + AlignUp16(payload_bytes);
+}
+
+ExtentPool::~ExtentPool() {
+  if (state_->live == 0) {
+    delete state_;
+  } else {
+    state_->pool_alive = false;  // last PayloadRef release frees the slabs
+  }
+}
+
+PayloadRef ExtentPool::Allocate() { return PayloadRef(state_->Pop()); }
+
+PayloadRef ExtentPool::AllocateCopy(const uint8_t* src) {
+  PayloadRef::Extent* e = state_->Pop();
+  std::memcpy(PayloadRef::Payload(e), src, state_->payload_bytes);
+  return PayloadRef(e);
+}
+
+void ExtentPool::Reset() {
+  assert(state_->live == 0 && "Reset with outstanding PayloadRefs");
+  state_->free_list = nullptr;
+  for (size_t slab = state_->slabs.size(); slab-- > 0;) {
+    for (size_t i = state_->extents_per_slab; i-- > 0;) {
+      PayloadRef::Extent* e = state_->ExtentAt(slab, i);
+      e->state = state_;
+      e->next_free = state_->free_list;
+      state_->free_list = e;
+    }
+  }
+  // Rebuilt in reverse above so Pop() hands out slab 0, entry 0 first again.
+}
+
+size_t ExtentPool::payload_bytes() const { return state_->payload_bytes; }
+size_t ExtentPool::live() const { return state_->live; }
+size_t ExtentPool::capacity() const {
+  return state_->slabs.size() * state_->extents_per_slab;
+}
+uint64_t ExtentPool::slab_allocations() const {
+  return state_->slab_allocations;
+}
+uint64_t ExtentPool::extents_allocated() const {
+  return state_->extents_allocated;
+}
+
+}  // namespace ssmc

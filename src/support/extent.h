@@ -1,0 +1,187 @@
+// Reference-counted payload extents for the zero-copy data plane.
+//
+// Every layer of the simulator used to move sector payloads by value:
+// FlashStore's cleaner read each relocated page into a scratch buffer and
+// programmed the copy back, WriteBuffer flushes materialized a fresh
+// std::vector per page, and clean-cache promotion copied flash payloads into
+// DRAM chunks. The bytes never change on these paths — only *where the
+// simulator files them* changes — so the copies were pure host-side overhead.
+//
+// An ExtentPool hands out fixed-size payload extents (one per FTL page)
+// carved from slabs, recycled through an intrusive free list exactly like
+// RequestArena. A PayloadRef is a refcounted handle to one extent: copying a
+// ref is a counter bump, so cleaner relocation, buffer-cache aliasing, and
+// clean-cache promotion all share one physical buffer. Writes go through
+// MutableData(), which clones the extent first when it is shared
+// (copy-on-write), preserving value semantics for every holder.
+//
+// Lifetime: extents may legitimately outlive the ExtentPool object — a
+// FlashDevice holding programmed payloads is destroyed *after* the
+// FlashStore that owns the pool. The pool therefore keeps its slabs in a
+// detachable State block that self-destructs only when the pool is gone AND
+// the last extent ref drops, so destruction order between layers is a
+// non-issue.
+//
+// Not thread-safe; the simulator is single-threaded by design (each
+// parallel-harness cell owns its own machine and pools).
+
+#ifndef SSMC_SRC_SUPPORT_EXTENT_H_
+#define SSMC_SRC_SUPPORT_EXTENT_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace ssmc {
+
+class ExtentPool;
+
+// Refcounted handle to one pool-allocated payload extent. Default-constructed
+// refs are empty (operator bool == false). Copy bumps the refcount; the last
+// ref recycles the extent into its pool's free list.
+class PayloadRef {
+ public:
+  PayloadRef() = default;
+  ~PayloadRef() { Reset(); }
+
+  PayloadRef(const PayloadRef& other) : e_(other.e_) {
+    if (e_ != nullptr) ++e_->refs;
+  }
+  PayloadRef& operator=(const PayloadRef& other) {
+    if (other.e_ != nullptr) ++other.e_->refs;
+    Reset();
+    e_ = other.e_;
+    return *this;
+  }
+  PayloadRef(PayloadRef&& other) noexcept : e_(other.e_) { other.e_ = nullptr; }
+  PayloadRef& operator=(PayloadRef&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      e_ = other.e_;
+      other.e_ = nullptr;
+    }
+    return *this;
+  }
+
+  explicit operator bool() const { return e_ != nullptr; }
+
+  // Read-only view of the payload. Valid while this ref is live.
+  const uint8_t* data() const { return Payload(e_); }
+  size_t size() const { return e_ != nullptr ? e_->payload_bytes : 0; }
+
+  // Writable view, copy-on-write: when the extent is shared with other refs,
+  // this ref is repointed at a fresh clone first so the other holders keep
+  // the old bytes. Sole owners write in place.
+  uint8_t* MutableData() {
+    assert(e_ != nullptr);
+    if (e_->refs > 1) {
+      CloneForWrite();
+    }
+    return Payload(e_);
+  }
+
+  // Advisory: start pulling this extent's header line (the refcount word)
+  // toward the core ahead of a copy/Reset. The zero-copy data plane bumps
+  // counters on extents scattered across the slab heap; issuing these
+  // prefetches in a batch before a relocation loop hides the misses.
+  void Prefetch() const {
+    if (e_ != nullptr) {
+      __builtin_prefetch(e_, 1);
+    }
+  }
+
+  // Number of refs sharing this extent (0 for an empty ref).
+  uint32_t use_count() const { return e_ != nullptr ? e_->refs : 0; }
+
+  bool SharesStorageWith(const PayloadRef& other) const {
+    return e_ != nullptr && e_ == other.e_;
+  }
+
+  // Drops this ref. The dec-and-test stays inline (the data plane churns
+  // refs on every write and relocation); only the last-ref recycle leaves
+  // the header.
+  void Reset() {
+    if (e_ == nullptr) {
+      return;
+    }
+    if (--e_->refs == 0) {
+      Recycle(e_);
+    }
+    e_ = nullptr;
+  }
+
+ private:
+  friend class ExtentPool;
+
+  // Header preceding each payload in the pool's slab storage. alignas keeps
+  // payload bytes at a 16-byte boundary for memcpy/memcmp. payload_bytes
+  // duplicates the pool's extent size so size() needs no State chase; it
+  // lives in what was padding anyway (24 -> 32 bytes either way).
+  struct alignas(16) Extent {
+    void* state;      // ExtentPool::State, typed in extent.cc
+    Extent* next_free;
+    uint32_t refs;
+    uint32_t payload_bytes;
+  };
+
+  static uint8_t* Payload(Extent* e) {
+    return reinterpret_cast<uint8_t*>(e) + sizeof(Extent);
+  }
+
+  // Returns a zero-ref extent to its pool's free list (and reaps the pool's
+  // State if the pool object is already gone).
+  static void Recycle(Extent* e);
+
+  // Repoints this ref at a fresh clone of its shared extent (the CoW slow
+  // path of MutableData).
+  void CloneForWrite();
+
+  explicit PayloadRef(Extent* e) : e_(e) {}
+
+  Extent* e_ = nullptr;
+};
+
+// Slab pool of fixed-size payload extents. `payload_bytes` is the extent
+// payload size (an FTL page / FS block); `extents_per_slab` tunes the growth
+// quantum. Steady-state Allocate/release cycles touch no allocator —
+// slab_allocations() counts the heap events so tests can assert zero growth.
+class ExtentPool {
+ public:
+  explicit ExtentPool(size_t payload_bytes, size_t extents_per_slab = 64);
+  ~ExtentPool();
+
+  ExtentPool(const ExtentPool&) = delete;
+  ExtentPool& operator=(const ExtentPool&) = delete;
+
+  // O(1). Pops the free list (carving a new slab only when empty) and returns
+  // a sole-owner ref. Payload bytes are uninitialized.
+  PayloadRef Allocate();
+
+  // Allocate + memcpy of exactly payload_bytes() from `src`.
+  PayloadRef AllocateCopy(const uint8_t* src);
+
+  // Rebuilds the free list in slab order. Requires every ref to have been
+  // dropped (live() == 0); slab memory is retained, so a pool reused after
+  // Reset() serves its previous high-water mark without touching the heap.
+  void Reset();
+
+  size_t payload_bytes() const;
+  // Extents currently referenced / total extents ever carved.
+  size_t live() const;
+  size_t capacity() const;
+  // Heap slab allocations performed (monotonic) — the zero-alloc probe.
+  uint64_t slab_allocations() const;
+  // Total Allocate()/AllocateCopy() calls served (monotonic).
+  uint64_t extents_allocated() const;
+
+ private:
+  friend class PayloadRef;
+  struct State;
+
+  State* state_;
+};
+
+}  // namespace ssmc
+
+#endif  // SSMC_SRC_SUPPORT_EXTENT_H_

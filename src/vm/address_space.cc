@@ -166,12 +166,7 @@ Result<uint64_t> AddressSpace::CopyBlockToDram(const Region& region,
   if (!page.ok()) {
     return page.status();
   }
-  Result<Duration> wrote =
-      storage_.dram().Write(storage_.DramPageAddress(page.value()), staging);
-  if (!wrote.ok()) {
-    (void)storage_.FreeDramPage(page.value());
-    return wrote.status();
-  }
+  storage_.WritePagePayload(page.value(), 0, staging);
   return page.value();
 }
 
@@ -185,13 +180,9 @@ Status AddressSpace::HandleFault(const Region& region, uint64_t va,
     if (!page.ok()) {
       return page.status();
     }
-    // Zero-fill costs one DRAM page write.
-    std::vector<uint8_t> zeros(page_bytes(), 0);
-    Result<Duration> wrote =
-        storage_.dram().Write(storage_.DramPageAddress(page.value()), zeros);
-    if (!wrote.ok()) {
-      return wrote.status();
-    }
+    // Zero-fill costs one DRAM page write; the frame aliases the shared
+    // all-zeros extent until its first real write copies it.
+    storage_.ZeroFillPagePayload(page.value());
     pte.backing = FrameBacking::kDram;
     pte.frame = page.value();
     pte.writable = true;
@@ -302,8 +293,7 @@ Result<Duration> AddressSpace::FrameRead(const PageTableEntry& pte,
                                          uint64_t offset,
                                          std::span<uint8_t> out) {
   if (pte.backing == FrameBacking::kDram) {
-    return storage_.dram().Read(storage_.DramPageAddress(pte.frame) + offset,
-                                out);
+    return storage_.ReadPagePayload(pte.frame, offset, out);
   }
   return storage_.flash_store().ReadPartial(pte.frame, offset, out);
 }
@@ -311,8 +301,7 @@ Result<Duration> AddressSpace::FrameRead(const PageTableEntry& pte,
 Result<Duration> AddressSpace::FrameWrite(PageTableEntry& pte, uint64_t offset,
                                           std::span<const uint8_t> data) {
   assert(pte.backing == FrameBacking::kDram && "writes always land in DRAM");
-  return storage_.dram().Write(storage_.DramPageAddress(pte.frame) + offset,
-                               data);
+  return storage_.WritePagePayload(pte.frame, offset, data);
 }
 
 Result<Duration> AddressSpace::Read(uint64_t va, std::span<uint8_t> out) {

@@ -1,0 +1,157 @@
+#include "src/support/extent.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace ssmc {
+namespace {
+
+void Fill(PayloadRef& ref, uint8_t byte) {
+  std::memset(ref.MutableData(), byte, ref.size());
+}
+
+bool AllBytesAre(const PayloadRef& ref, uint8_t byte) {
+  for (size_t i = 0; i < ref.size(); ++i) {
+    if (ref.data()[i] != byte) return false;
+  }
+  return true;
+}
+
+TEST(ExtentPoolTest, RefcountRoundTrip) {
+  ExtentPool pool(512, /*extents_per_slab=*/4);
+  EXPECT_EQ(pool.payload_bytes(), 512u);
+  EXPECT_EQ(pool.live(), 0u);
+
+  PayloadRef a = pool.Allocate();
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a.size(), 512u);
+  EXPECT_EQ(a.use_count(), 1u);
+  EXPECT_EQ(pool.live(), 1u);
+
+  PayloadRef b = a;  // Copy: same extent, bumped count.
+  EXPECT_EQ(a.use_count(), 2u);
+  EXPECT_EQ(b.use_count(), 2u);
+  EXPECT_TRUE(a.SharesStorageWith(b));
+  EXPECT_EQ(pool.live(), 1u);
+
+  PayloadRef c = std::move(b);  // Move: no bump, b empties.
+  EXPECT_FALSE(b);
+  EXPECT_EQ(b.use_count(), 0u);
+  EXPECT_EQ(c.use_count(), 2u);
+  EXPECT_TRUE(a.SharesStorageWith(c));
+
+  c.Reset();
+  EXPECT_EQ(a.use_count(), 1u);
+  a.Reset();
+  EXPECT_EQ(pool.live(), 0u);
+}
+
+TEST(ExtentPoolTest, CopyOnWritePreservesAliasedBytes) {
+  ExtentPool pool(64);
+  PayloadRef original = pool.Allocate();
+  Fill(original, 0xAA);
+
+  PayloadRef alias = original;
+  ASSERT_TRUE(alias.SharesStorageWith(original));
+
+  // Writing through a shared ref must clone, not scribble on the alias.
+  Fill(alias, 0xBB);
+  EXPECT_FALSE(alias.SharesStorageWith(original));
+  EXPECT_EQ(original.use_count(), 1u);
+  EXPECT_EQ(alias.use_count(), 1u);
+  EXPECT_TRUE(AllBytesAre(original, 0xAA));
+  EXPECT_TRUE(AllBytesAre(alias, 0xBB));
+
+  // A sole owner writes in place: same extent before and after.
+  const uint8_t* before = alias.data();
+  Fill(alias, 0xCC);
+  EXPECT_EQ(alias.data(), before);
+}
+
+TEST(ExtentPoolTest, CloneSeesSharedBytesAtCowTime) {
+  ExtentPool pool(32);
+  PayloadRef a = pool.Allocate();
+  Fill(a, 0x11);
+  PayloadRef b = a;
+  // The CoW clone starts from the shared contents, then diverges.
+  uint8_t* p = b.MutableData();
+  EXPECT_EQ(p[0], 0x11);
+  p[0] = 0x22;
+  EXPECT_EQ(a.data()[0], 0x11);
+  EXPECT_EQ(b.data()[0], 0x22);
+}
+
+TEST(ExtentPoolTest, AllocateCopyDuplicatesSource) {
+  ExtentPool pool(16);
+  std::vector<uint8_t> src(16);
+  for (size_t i = 0; i < src.size(); ++i) src[i] = static_cast<uint8_t>(i);
+  PayloadRef ref = pool.AllocateCopy(src.data());
+  EXPECT_EQ(std::memcmp(ref.data(), src.data(), src.size()), 0);
+  src[0] = 0xFF;  // The extent owns its bytes; mutating the source is benign.
+  EXPECT_EQ(ref.data()[0], 0);
+}
+
+TEST(ExtentPoolTest, ResetReusesHighWaterWithoutHeapGrowth) {
+  ExtentPool pool(128, /*extents_per_slab=*/8);
+  constexpr size_t kHighWater = 20;  // 3 slabs.
+  {
+    std::vector<PayloadRef> held;
+    for (size_t i = 0; i < kHighWater; ++i) held.push_back(pool.Allocate());
+    EXPECT_EQ(pool.live(), kHighWater);
+  }
+  const uint64_t slabs_after_rampup = pool.slab_allocations();
+  EXPECT_GE(pool.capacity(), kHighWater);
+
+  pool.Reset();
+  // A second ramp to the same high-water mark is served entirely from the
+  // retained slabs.
+  std::vector<PayloadRef> held;
+  for (size_t i = 0; i < kHighWater; ++i) held.push_back(pool.Allocate());
+  EXPECT_EQ(pool.slab_allocations(), slabs_after_rampup);
+  EXPECT_EQ(pool.live(), kHighWater);
+}
+
+TEST(ExtentPoolTest, SteadyStateChurnTouchesNoAllocator) {
+  ExtentPool pool(256, /*extents_per_slab=*/4);
+  PayloadRef warm = pool.Allocate();
+  const uint64_t slabs = pool.slab_allocations();
+  for (int i = 0; i < 10000; ++i) {
+    PayloadRef r = pool.Allocate();
+    Fill(r, static_cast<uint8_t>(i));
+    // r released here, recycled by the next iteration.
+  }
+  EXPECT_EQ(pool.slab_allocations(), slabs);
+  EXPECT_EQ(pool.extents_allocated(), 1u + 10000u);
+  EXPECT_EQ(pool.live(), 1u);
+}
+
+TEST(ExtentPoolTest, ExtentsMayOutliveThePool) {
+  // FlashDevice payload refs outlive the FlashStore that owns the pool; the
+  // detached State must keep the bytes valid until the last ref drops.
+  PayloadRef survivor;
+  {
+    ExtentPool pool(64);
+    survivor = pool.Allocate();
+    Fill(survivor, 0x5A);
+  }
+  EXPECT_TRUE(AllBytesAre(survivor, 0x5A));
+  EXPECT_EQ(survivor.size(), 64u);
+  survivor.Reset();  // Reaps the orphaned State (leak-checked under ASan).
+}
+
+TEST(ExtentPoolTest, RecycledExtentsComeBackInSlabOrder) {
+  ExtentPool pool(32, /*extents_per_slab=*/4);
+  PayloadRef a = pool.Allocate();
+  const uint8_t* first = a.data();
+  a.Reset();
+  PayloadRef b = pool.Allocate();
+  EXPECT_EQ(b.data(), first);
+}
+
+}  // namespace
+}  // namespace ssmc

@@ -170,7 +170,7 @@ TEST(ScaleoutTest, ShardedRunByteIdenticalToSerial) {
     ExpectReportsIdentical(serial.aggregate, sharded.aggregate);
     EXPECT_EQ(FormatMatrixTable(serial.per_user),
               FormatMatrixTable(sharded.per_user));
-    EXPECT_DOUBLE_EQ(serial.SimOpsPerSecond(), sharded.SimOpsPerSecond());
+    EXPECT_DOUBLE_EQ(serial.SimOpsPerSimSecond(), sharded.SimOpsPerSimSecond());
   }
   // The fleet did real work and the merge saw every user.
   EXPECT_GT(serial.aggregate.ops, 100u);

@@ -97,7 +97,7 @@ TEST(ResidencyPolicyNames, RoundTripAndParse) {
 
 TEST_F(ResidencyTest, ResolveCoversAllFourStates) {
   WriteBuffer buffer(manager_, 16,
-                     [](const BlockKey&, std::span<const uint8_t>) {
+                     [](const BlockKey&, const PayloadRef&) {
                        return Status::Ok();
                      });
   res().BindDirtyBackend(&buffer);

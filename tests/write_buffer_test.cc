@@ -44,9 +44,11 @@ class WriteBufferTest : public ::testing::Test {
   std::unique_ptr<WriteBuffer> MakeBuffer(uint64_t capacity_pages) {
     return std::make_unique<WriteBuffer>(
         manager_, capacity_pages,
-        [this](const BlockKey& key, std::span<const uint8_t> data) -> Status {
+        [this](const BlockKey& key, const PayloadRef& data) -> Status {
           flushed_[key.block_index] += 1;
-          Result<Duration> r = store_.Write(key.block_index, data);
+          Result<Duration> r = store_.WriteRef(key.block_index, data,
+                                               WriteStream::kUser,
+                                               IoPriority::kForeground);
           return r.ok() ? Status::Ok() : r.status();
         });
   }
@@ -244,10 +246,11 @@ TEST_F(WriteBufferTest, RandomizedEvictionOrderIsStrictlyOldestFirst) {
   std::vector<uint64_t> evicted;
   WriteBuffer buffer(
       manager_, kCapacity,
-      [this, &evicted](const BlockKey& key,
-                       std::span<const uint8_t> data) -> Status {
+      [this, &evicted](const BlockKey& key, const PayloadRef& data) -> Status {
         evicted.push_back(key.block_index);
-        Result<Duration> r = store_.Write(key.block_index, data);
+        Result<Duration> r = store_.WriteRef(key.block_index, data,
+                                             WriteStream::kUser,
+                                             IoPriority::kForeground);
         return r.ok() ? Status::Ok() : r.status();
       });
 
