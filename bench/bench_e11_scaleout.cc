@@ -7,18 +7,25 @@
 //  * K sweep (M2): a fixed fleet resharded over K = 1 .. available CPUs.
 //    Reports host wall time, the speedup curve vs K=1, and asserts the
 //    merged report is bit-identical to the K=1 run at every K.
-//  * M sweep (M3): the fleet itself grows 8 -> 65536 users in aggregate-only
-//    mode (ScaleoutOptions::keep_per_user = false), charting host throughput
-//    and resident bytes per user as the population scales out.
+//  * M sweep (M3): the fleet itself grows 8 -> 1,000,000 users in
+//    aggregate-only mode (ScaleoutOptions::keep_per_user = false), charting
+//    host throughput and resident bytes per user as the population scales
+//    out. The fleet runs a two-class tenant mix (office = tenant 1,
+//    write-hot = tenant 2) — trace-for-trace the legacy even/odd
+//    alternation, just tagged — so the aggregate report also demonstrates
+//    fleet-wide per-tenant latency lanes streamed through the O(1)-per-user
+//    merge. The largest points shorten the per-user simulated duration to
+//    keep host time bounded; marginal bytes/user is the flat quantity.
 // Throughput is reported against both denominators — sim ops per *simulated*
 // second (fleet finishes with its slowest user) and sim ops per *host*
 // second (harness replay rate); the old single "sim ops/s" number conflated
 // the two. Results also land in BENCH_scaleout.json for machine consumption.
 
-#include <sys/resource.h>
-
 #include <chrono>
+#include <fstream>
 #include <vector>
+
+#include <unistd.h>
 
 #include "bench/bench_common.h"
 #include "src/harness/scaleout.h"
@@ -39,13 +46,20 @@ double HostMillis(const std::chrono::steady_clock::time_point& start) {
       .count();
 }
 
-// Process peak resident set in bytes (ru_maxrss is KiB on Linux). Monotonic
-// over the process lifetime, so the M sweep runs smallest fleet first: any
-// growth a point shows is growth that fleet size actually caused.
-uint64_t PeakRssBytes() {
-  struct rusage usage{};
-  getrusage(RUSAGE_SELF, &usage);
-  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;
+// Process resident set *right now*, in bytes (/proc/self/statm field 2 is
+// resident pages). The old ru_maxrss reading was the process-lifetime peak —
+// monotonic, so every M-sweep point after the first reported whatever
+// high-water mark earlier fleets had set, not its own footprint. Current RSS
+// measured after each fleet finishes is the per-point quantity the
+// bytes/user curve actually claims.
+uint64_t CurrentRssBytes() {
+  std::ifstream statm("/proc/self/statm");
+  uint64_t size_pages = 0;
+  uint64_t resident_pages = 0;
+  if (!(statm >> size_pages >> resident_pages)) {
+    return 0;
+  }
+  return resident_pages * static_cast<uint64_t>(sysconf(_SC_PAGESIZE));
 }
 
 double OpsPerHostSecond(const ScaleoutReport& report, double host_ms) {
@@ -169,44 +183,75 @@ int main(int argc, char** argv) {
                               : "DIVERGED — sharding bug!")
             << "\n";
 
-  // M sweep (M3): grow the fleet itself in aggregate-only mode. per-user
+  // M sweep (M3): grow the fleet itself in aggregate-only mode. Per-user
   // reports are folded away inside each shard, so the resident footprint
-  // stays flat while the population scales; peak RSS divided by users is the
-  // bytes-per-user curve EXPERIMENTS.md quotes. Ascending order matters:
-  // ru_maxrss never decreases, so each point's reading is an upper bound
-  // set by the fleets up to and including it.
-  std::cout << "\nFleet growth, aggregate-only merge (keep_per_user=false):\n";
+  // stays flat while the population scales; current RSS after each fleet,
+  // divided by its users, is the bytes-per-user curve EXPERIMENTS.md quotes.
+  // The fleet is a two-class tenant mix — trace-identical to the legacy
+  // even/odd office/write-hot alternation under FIFO, but every record is
+  // tagged, so the streamed aggregate carries per-tenant read latencies all
+  // the way to the million-user point. The two largest fleets shorten each
+  // user's simulated duration (ops/sim-s is not comparable across duration
+  // changes; ops/host-s and bytes/user are).
+  std::cout << "\nFleet growth, aggregate-only merge (keep_per_user=false),\n"
+            << "tenant mix office=t1 / write-hot=t2:\n";
   ScaleoutOptions grow = options;
   grow.keep_per_user = false;
   grow.user_obs = nullptr;
+  grow.tenant_mix = {{1, /*write_hot=*/false, 1, 0, 0},
+                     {2, /*write_hot=*/true, 1, 0, 0}};
+  struct GrowthPoint {
+    int users;
+    Duration user_duration;
+  };
+  const std::vector<GrowthPoint> fleet_sizes = {
+      {8, 30 * kSecond},     {64, 30 * kSecond},   {512, 30 * kSecond},
+      {4096, 30 * kSecond},  {32768, 30 * kSecond}, {65536, 30 * kSecond},
+      {262144, 8 * kSecond}, {1000000, 2 * kSecond}};
   std::vector<MetricsSnapshot> rows;
-  Table growth({"users", "K cells", "host time (s)", "ops/sim-s", "ops/host-s",
-                "total ops", "peak RSS (MiB)", "bytes/user"});
-  for (const int users : {8, 64, 512, 4096, 32768, 65536}) {
-    grow.users = users;
-    grow.cells = std::min(users, std::max(hw, 2));
+  Table growth({"users", "K cells", "sim s/user", "host time (s)", "ops/sim-s",
+                "ops/host-s", "total ops", "t1 read p99 (us)",
+                "t2 read p99 (us)", "RSS (MiB)", "bytes/user"});
+  for (const GrowthPoint& fleet : fleet_sizes) {
+    grow.users = fleet.users;
+    grow.user_duration = fleet.user_duration;
+    grow.cells = std::min(fleet.users, std::max(hw, 2));
     grow.jobs = jobs_cap;
     const auto start = std::chrono::steady_clock::now();
     const ScaleoutReport report = RunScaleout(grow);
     const double host_ms = HostMillis(start);
-    const uint64_t rss = PeakRssBytes();
+    const uint64_t rss = CurrentRssBytes();
     const double bytes_per_user =
-        static_cast<double>(rss) / static_cast<double>(users);
+        static_cast<double>(rss) / static_cast<double>(fleet.users);
+    const TenantLatency* t1 = report.aggregate.by_tenant.Find(1);
+    const TenantLatency* t2 = report.aggregate.by_tenant.Find(2);
     growth.AddRow();
-    growth.AddCell(static_cast<int64_t>(users));
+    growth.AddCell(static_cast<int64_t>(fleet.users));
     growth.AddCell(static_cast<int64_t>(report.cells));
+    growth.AddCell(static_cast<double>(fleet.user_duration) / kSecond, 0);
     growth.AddCell(host_ms / 1000.0, 1);
     growth.AddCell(report.SimOpsPerSimSecond(), 0);
     growth.AddCell(OpsPerHostSecond(report, host_ms), 0);
     growth.AddCell(report.aggregate.ops);
+    growth.AddCell(t1 ? static_cast<double>(t1->reads.p99_ns()) / kMicrosecond
+                      : 0.0,
+                   1);
+    growth.AddCell(t2 ? static_cast<double>(t2->reads.p99_ns()) / kMicrosecond
+                      : 0.0,
+                   1);
     growth.AddCell(static_cast<double>(rss) / (1024.0 * 1024.0), 1);
-    growth.AddCell(bytes_per_user, 0);
+    growth.AddCell(bytes_per_user, 1);
 
     MetricsSnapshot row;
+    row.Set("op", MetricValue::MakeString("scaleout/users/" +
+                                          std::to_string(fleet.users)));
     row.Set("sweep", MetricValue::MakeString("users"));
     row.Set("cells", MetricValue::MakeInt(report.cells));
     row.Set("jobs", MetricValue::MakeInt(report.jobs));
-    row.Set("users", MetricValue::MakeInt(users));
+    row.Set("users", MetricValue::MakeInt(fleet.users));
+    row.Set("sim_s_per_user",
+            MetricValue::MakeDouble(
+                static_cast<double>(fleet.user_duration) / kSecond));
     row.Set("host_ms", MetricValue::MakeDouble(host_ms));
     row.Set("sim_ops_per_sim_s",
             MetricValue::MakeDouble(report.SimOpsPerSimSecond()));
@@ -214,7 +259,13 @@ int main(int argc, char** argv) {
             MetricValue::MakeDouble(OpsPerHostSecond(report, host_ms)));
     row.Set("ops", MetricValue::MakeInt(
                        static_cast<int64_t>(report.aggregate.ops)));
-    row.Set("peak_rss_bytes", MetricValue::MakeInt(static_cast<int64_t>(rss)));
+    row.Set("tenant1_read_p99_ns",
+            MetricValue::MakeInt(
+                t1 ? static_cast<int64_t>(t1->reads.p99_ns()) : 0));
+    row.Set("tenant2_read_p99_ns",
+            MetricValue::MakeInt(
+                t2 ? static_cast<int64_t>(t2->reads.p99_ns()) : 0));
+    row.Set("rss_bytes", MetricValue::MakeInt(static_cast<int64_t>(rss)));
     row.Set("bytes_per_user", MetricValue::MakeDouble(bytes_per_user));
     rows.push_back(std::move(row));
   }
@@ -226,6 +277,8 @@ int main(int argc, char** argv) {
   // "sim_ops_per_s" key conflated them.
   for (const SweepPoint& p : points) {
     MetricsSnapshot row;
+    row.Set("op", MetricValue::MakeString("scaleout/cells/" +
+                                          std::to_string(p.cells)));
     row.Set("sweep", MetricValue::MakeString("cells"));
     row.Set("cells", MetricValue::MakeInt(p.cells));
     row.Set("jobs", MetricValue::MakeInt(p.report.jobs));

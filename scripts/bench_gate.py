@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
-"""Benchmark regression gate over BENCH_micro.json.
+"""Benchmark regression gate over the committed BENCH_*.json baselines.
 
-Compares a freshly measured BENCH_micro.json against the committed baseline
-and fails (exit 1) if any gated benchmark regressed more than the allowed
-fraction. Three ops guard the three hot paths a change is most likely to
-break:
+Compares freshly measured result files against the committed baselines at
+the repo root and fails (exit 1) if any gated number regressed more than the
+allowed fraction. Which gates apply is decided by the fresh file's basename:
+
+BENCH_micro.json — three ops guard the three hot paths a change is most
+likely to break:
 
   * BM_SimCoreReplay            — whole-machine replay (sim_ops_per_s,
                                   higher is better);
@@ -15,31 +17,50 @@ break:
                                   path in isolation (ns_per_op, lower is
                                   better).
 
-Run from CI's bench-smoke leg after bench_micro has emitted its JSON next to
-the binary:
+BENCH_scaleout.json — the million-user fleet row guards the scale-out
+harness's two scaling claims:
 
-    python3 scripts/bench_gate.py build-release/bench/BENCH_micro.json
+  * scaleout/users/1000000 sim_ops_per_host_s — streaming replay rate at
+                                  fleet scale (higher is better);
+  * scaleout/users/1000000 bytes_per_user — resident footprint per user
+                                  under the O(1)-per-user aggregate fold
+                                  (lower is better).
 
-The committed baseline (BENCH_micro.json at the repo root) is refreshed by
-scripts/regen_experiments.sh; regenerate it deliberately when a change is
+Run from CI's bench-smoke leg after the benches have emitted their JSON
+next to the binaries; pass one or more fresh files:
+
+    python3 scripts/bench_gate.py build-release/bench/BENCH_micro.json \
+        build-release/bench/BENCH_scaleout.json
+
+The committed baselines (BENCH_*.json at the repo root) are refreshed by
+scripts/regen_experiments.sh; regenerate them deliberately when a change is
 *supposed* to move a number, so the gate tracks intent rather than drift.
 
 The threshold is deliberately loose (15%) because shared CI runners are
 noisy; the gate exists to catch order-of-magnitude regressions in the
-simulation core (event queue, arena, FTL hot path), not single-digit wobble.
+simulation core (event queue, arena, FTL hot path) and in the scale-out
+memory discipline, not single-digit wobble.
 """
 
 import json
 import os
 import sys
 
-# (op, key, higher_is_better)
-GATES = [
-    ("BM_SimCoreReplay", "sim_ops_per_s", True),
-    ("BM_LargeStoreRandOverwrite/65536", "ns_per_op", False),
-    ("BM_CleaningRelocation/512", "ns_per_op", False),
-    ("BM_CleaningRelocation/4096", "ns_per_op", False),
-]
+# basename -> [(op, key, higher_is_better)], matched against row["op"].
+GATES = {
+    "BENCH_micro.json": [
+        ("BM_SimCoreReplay", "sim_ops_per_s", True),
+        ("BM_LargeStoreRandOverwrite/65536", "ns_per_op", False),
+        ("BM_CleaningRelocation/512", "ns_per_op", False),
+        ("BM_CleaningRelocation/4096", "ns_per_op", False),
+    ],
+    "BENCH_scaleout.json": [
+        ("scaleout/users/1000000", "sim_ops_per_host_s", True),
+        ("scaleout/users/1000000", "bytes_per_user", False),
+    ],
+}
+
+
 MAX_REGRESSION = 0.15
 
 
@@ -55,30 +76,46 @@ def load_value(path, op, key):
     raise SystemExit(f"{path}: no {op} row")
 
 
-def main():
-    if len(sys.argv) != 2:
-        raise SystemExit(f"usage: {sys.argv[0]} <fresh BENCH_micro.json>")
-    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-    baseline_path = os.path.join(repo_root, "BENCH_micro.json")
+def gate_file(fresh_path, baseline_path, gates):
     failed = False
-    for op, key, higher_is_better in GATES:
+    for op, key, higher_is_better in gates:
         baseline = load_value(baseline_path, op, key)
-        fresh = load_value(sys.argv[1], op, key)
+        fresh = load_value(fresh_path, op, key)
         # Normalize so ratio > 1 always means "got better".
         ratio = fresh / baseline if higher_is_better else baseline / fresh
-        unit = "sim-ops/s" if higher_is_better else "ns/op"
         print(
-            f"{op}: baseline {baseline:,.1f} {unit}, "
-            f"measured {fresh:,.1f} {unit} ({ratio:.2%} of baseline speed)"
+            f"{op} [{key}]: baseline {baseline:,.1f}, "
+            f"measured {fresh:,.1f} ({ratio:.2%} of baseline)"
         )
         if ratio < 1.0 - MAX_REGRESSION:
             failed = True
             print(
-                f"FAIL: {op} regressed more than {MAX_REGRESSION:.0%}. "
-                "If the slowdown is intentional, refresh the baseline with "
-                "scripts/regen_experiments.sh and commit BENCH_micro.json.",
+                f"FAIL: {op} [{key}] regressed more than "
+                f"{MAX_REGRESSION:.0%}. If the change is intentional, "
+                "refresh the baseline with scripts/regen_experiments.sh and "
+                f"commit {os.path.basename(baseline_path)}.",
                 file=sys.stderr,
             )
+    return failed
+
+
+def main():
+    if len(sys.argv) < 2:
+        raise SystemExit(
+            f"usage: {sys.argv[0]} <fresh BENCH_*.json> [<more fresh files>]"
+        )
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    failed = False
+    for fresh_path in sys.argv[1:]:
+        name = os.path.basename(fresh_path)
+        gates = GATES.get(name)
+        if gates is None:
+            raise SystemExit(
+                f"{fresh_path}: no gates defined for {name} "
+                f"(known: {', '.join(sorted(GATES))})"
+            )
+        baseline_path = os.path.join(repo_root, name)
+        failed = gate_file(fresh_path, baseline_path, gates) or failed
     if failed:
         return 1
     print("OK: all gated benchmarks within regression budget")

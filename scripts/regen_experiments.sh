@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
 # Regenerates the experiment artifacts after a change that may move numbers:
-# rebuilds the release preset, runs every experiment bench (E1-E12) plus the
-# microbenchmarks, and refreshes the machine-readable result files
-# (BENCH_micro.json, BENCH_scaleout.json, BENCH_migration.json) at the
-# repository root. BENCH_micro.json doubles as the benchmark regression
-# baseline: CI's bench-smoke leg re-measures BM_SimCoreReplay,
-# BM_LargeStoreRandOverwrite/65536, and BM_CleaningRelocation and fails if
-# any regresses >15% against the committed numbers (scripts/bench_gate.py),
-# so rerun this script and commit the refreshed JSON when a change is meant
-# to move simulator throughput.
+# rebuilds the release preset, runs every experiment bench (E1-E12, E14)
+# plus the microbenchmarks, and refreshes the machine-readable result files
+# (BENCH_micro.json, BENCH_scaleout.json, BENCH_migration.json,
+# BENCH_qos.json) at the repository root. BENCH_micro.json and
+# BENCH_scaleout.json double as the benchmark regression baselines: CI's
+# bench-smoke leg re-measures BM_SimCoreReplay,
+# BM_LargeStoreRandOverwrite/65536, BM_CleaningRelocation, and the
+# million-user scale-out row (sim_ops_per_host_s, bytes_per_user) and fails
+# if any regresses >15% against the committed numbers
+# (scripts/bench_gate.py), so rerun this script and commit the refreshed
+# JSON when a change is meant to move simulator throughput or fleet
+# footprint.
 #
 #   scripts/regen_experiments.sh             # everything
 #   scripts/regen_experiments.sh --no-micro  # skip bench_micro/e11 (fast)
@@ -41,9 +44,11 @@ for bench in "${bindir}"/bench_e[0-9]*; do
   echo "=== ${name} ==="
   "${bench}" | tee "${outdir}/${name}.txt"
 done
-# bench_e12_migration (in the loop above, run from the repo root) also
-# refreshes BENCH_migration.json in place; fail loudly if it did not.
+# bench_e12_migration and bench_e14_qos (in the loop above, run from the
+# repo root) also refresh BENCH_migration.json / BENCH_qos.json in place;
+# fail loudly if they did not.
 test -s BENCH_migration.json
+test -s BENCH_qos.json
 
 echo "=== bench_e8_banks --tail (scheduling ablation) ==="
 "${bindir}/bench_e8_banks" --tail | tee "${outdir}/bench_e8_banks_tail.txt"

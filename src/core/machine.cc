@@ -56,6 +56,13 @@ MobileComputer::MobileComputer(MachineConfig config)
                                          config_.flash_banks, clock_,
                                          config_.seed);
   flash_->set_sched_policy(config_.io_sched);
+  for (const MachineConfig::TenantQos& qos : config_.tenant_qos) {
+    flash_->set_tenant_weight(qos.tenant, qos.weight);
+    if (qos.rate_bytes_per_s > 0) {
+      flash_->set_tenant_rate(qos.tenant, qos.rate_bytes_per_s,
+                              qos.burst_bytes);
+    }
+  }
   battery_ = std::make_unique<Battery>(config_.primary_battery_mwh,
                                        config_.backup_battery_mwh, clock_);
   // The storage manager's flush path runs in the background: writes occupy
@@ -160,30 +167,31 @@ AddressSpace& MobileComputer::CreateAddressSpace() {
 }
 
 ReplayReport MobileComputer::RunTrace(const Trace& trace) {
-  // Snapshot per-class device attribution so the report covers exactly the
-  // replay window (machines are reused across traces).
+  // Snapshot per-class and per-tenant device attribution so the report
+  // covers exactly the replay window (machines are reused across traces).
   struct Snap {
     uint64_t requests, wait, service;
   };
   std::array<Snap, kNumIoPriorities> before;
   for (int i = 0; i < kNumIoPriorities; ++i) {
-    const FlashDevice::IoClassStats& c = flash_->stats().by_class[i];
+    const IoLaneStats& c = flash_->stats().by_class[i];
     before[static_cast<size_t>(i)] = {c.requests.value(),
                                       c.queue_wait_ns.value(),
                                       c.service_ns.value()};
   }
+  const TenantLaneTable before_tenants = flash_->stats().by_tenant;
   TraceReplayer replayer(*fs_, clock_, &events_);
   replayer.AttachObs(config_.obs);
   ReplayReport report = replayer.Replay(trace);
   for (int i = 0; i < kNumIoPriorities; ++i) {
-    const FlashDevice::IoClassStats& c = flash_->stats().by_class[i];
+    const IoLaneStats& c = flash_->stats().by_class[i];
     const Snap& b = before[static_cast<size_t>(i)];
-    ReplayReport::IoClassBreakdown& out =
-        report.io_by_class[static_cast<size_t>(i)];
-    out.requests = c.requests.value() - b.requests;
-    out.queue_wait_ns = c.queue_wait_ns.value() - b.wait;
-    out.service_ns = c.service_ns.value() - b.service;
+    IoLaneStats& out = report.io_by_class[static_cast<size_t>(i)];
+    out.requests.Add(c.requests.value() - b.requests);
+    out.queue_wait_ns.Add(c.queue_wait_ns.value() - b.wait);
+    out.service_ns.Add(c.service_ns.value() - b.service);
   }
+  report.io_by_tenant.AddDelta(flash_->stats().by_tenant, before_tenants);
   return report;
 }
 

@@ -41,8 +41,21 @@ struct MachineConfig {
   // How each flash bank orders contending requests. kFifo (default) is the
   // paper-faithful charge-latency model, byte-identical to the pre-pipeline
   // simulator; kPriority lets foreground reads jump queued flush/cleaner
-  // work (the E8 read-tail ablation).
+  // work (the E8 read-tail ablation); kWeightedFair / kTokenBucket add
+  // per-tenant QoS (the E14 noisy-neighbor ablation), configured via
+  // `tenant_qos` below.
   IoSchedPolicy io_sched = IoSchedPolicy::kFifo;
+  // Per-tenant QoS spec applied to the flash scheduler at construction:
+  // kWeightedFair consumes `weight`, kTokenBucket consumes `rate_bytes_per_s`
+  // / `burst_bytes` (rate 0 = unlimited). Unlisted tenants get weight 1 and
+  // no rate cap. Empty (the default) configures nothing.
+  struct TenantQos {
+    TenantId tenant = kDefaultTenant;
+    uint32_t weight = 1;
+    uint64_t rate_bytes_per_s = 0;
+    uint64_t burst_bytes = 0;
+  };
+  std::vector<TenantQos> tenant_qos;
   MemoryFsOptions fs_options;
   // DRAM<->flash migration policy (src/storage/residency.h). The default
   // kWriteBufferOnly is byte-identical to the pre-residency simulator;

@@ -46,11 +46,13 @@ FlashDevice::FlashDevice(FlashSpec spec, uint64_t capacity_bytes, int banks,
   }
   erased_template_.assign(spec_.erase_sector_bytes, kErasedByte);
   sectors_.resize(capacity_ / spec_.erase_sector_bytes);
-  // Queued reservations pushed later by a higher-priority request owe their
-  // class the extra wait; add it as the shift happens so by_class stays
-  // exact without draining the pipeline.
+  // Queued reservations pushed later by a higher-priority (or fairer)
+  // request owe their lanes the extra wait; add it as the shift happens so
+  // by_class/by_tenant stay exact without draining the pipeline.
   sched_.set_shift_observer([this](const IoRequest& req, Duration delta) {
     stats_.by_class[static_cast<int>(req.priority)].queue_wait_ns.Add(
+        static_cast<uint64_t>(delta));
+    stats_.by_tenant.For(req.tenant).queue_wait_ns.Add(
         static_cast<uint64_t>(delta));
   });
   if (ValidatePayloadsFromEnv()) {
@@ -88,6 +90,7 @@ void FlashDevice::AttachObs(Obs* obs) {
     obs_wait_hist_[c] = m.AddHistogram("flash/" + cls + "/wait_ns");
     obs_service_hist_[c] = m.AddHistogram("flash/" + cls + "/service_ns");
   }
+  obs_tenant_hist_.clear();
   sched_.set_retire_hook(
       [this](int bank, const IoRequest& req) { ObsRetire(bank, req); });
 
@@ -114,6 +117,21 @@ void FlashDevice::AttachObs(Obs* obs) {
     bad->Set(static_cast<int64_t>(stats_.bad_sectors.value()));
     const WearSummary w = SummarizeWear();
     wear_max->Set(static_cast<int64_t>(w.max_erases));
+    // Per-tenant SLO lanes, registered on first sight of each tenant
+    // (AddCounter is idempotent per name, and handles live in a deque, so
+    // snapshot-time registration is safe).
+    for (const TenantLaneTable::Entry& e : stats_.by_tenant.entries()) {
+      const std::string base =
+          "flash/tenant" + std::to_string(e.tenant) + "/";
+      auto mirror_lane = [&](const char* key, const Counter& src) {
+        Counter* dst = obs_->metrics().AddCounter(base + key);
+        dst->Reset();
+        dst->Add(src.value());
+      };
+      mirror_lane("requests", e.value.requests);
+      mirror_lane("queue_wait_ns", e.value.queue_wait_ns);
+      mirror_lane("service_ns", e.value.service_ns);
+    }
   });
 }
 
@@ -124,6 +142,26 @@ void FlashDevice::ObsRetire(int bank, const IoRequest& req) {
       std::max<Duration>(0, req.complete_time - req.start_time);
   obs_wait_hist_[cls]->Record(static_cast<uint64_t>(wait));
   obs_service_hist_[cls]->Record(static_cast<uint64_t>(service));
+  // Per-tenant wait/service histograms, one lane per tenant seen (linear
+  // scan: a machine serves a handful of tenant ids).
+  ObsTenantLane* tenant_lane = nullptr;
+  for (ObsTenantLane& lane : obs_tenant_hist_) {
+    if (lane.tenant == req.tenant) {
+      tenant_lane = &lane;
+      break;
+    }
+  }
+  if (tenant_lane == nullptr) {
+    const std::string base =
+        "flash/tenant" + std::to_string(req.tenant) + "/";
+    obs_tenant_hist_.push_back(
+        ObsTenantLane{req.tenant,
+                      obs_->metrics().AddHistogram(base + "wait_ns"),
+                      obs_->metrics().AddHistogram(base + "service_ns")});
+    tenant_lane = &obs_tenant_hist_.back();
+  }
+  tenant_lane->wait->Record(static_cast<uint64_t>(wait));
+  tenant_lane->service->Record(static_cast<uint64_t>(service));
   SpanTracer& tracer = obs_->tracer();
   // Bank track: the service window on the medium. Class track: the request's
   // full latency including its queue wait — on a per-class track a long span
@@ -134,7 +172,8 @@ void FlashDevice::ObsRetire(int bank, const IoRequest& req) {
               {"prio", static_cast<uint64_t>(cls)});
   tracer.Span(obs_class_tracks_[cls], IoOpName(req.op), req.issue_time,
               wait + service, {"bytes", req.bytes},
-              {"bank", static_cast<uint64_t>(bank)});
+              {"bank", static_cast<uint64_t>(bank)},
+              {"tenant", static_cast<uint64_t>(req.tenant)});
 }
 
 int FlashDevice::BankOfAddress(uint64_t addr) const {
@@ -203,12 +242,17 @@ IoScheduler::Dispatch FlashDevice::SubmitOp(IoOp op, int bank, uint64_t addr,
   req.bytes = bytes;
   req.priority = issue.priority;
   req.blocking = issue.blocking;
+  req.tenant = issue.tenant;
   const IoScheduler::Dispatch d = sched_.Submit(bank, std::move(req), op_ns);
   total_active_ns_ += op_ns;
-  IoClassStats& cls = stats_.by_class[static_cast<int>(issue.priority)];
+  IoLaneStats& cls = stats_.by_class[static_cast<int>(issue.priority)];
   cls.requests.Add();
   cls.queue_wait_ns.Add(static_cast<uint64_t>(d.wait));
   cls.service_ns.Add(static_cast<uint64_t>(d.service));
+  IoLaneStats& lane = stats_.by_tenant.For(issue.tenant);
+  lane.requests.Add();
+  lane.queue_wait_ns.Add(static_cast<uint64_t>(d.wait));
+  lane.service_ns.Add(static_cast<uint64_t>(d.service));
   AddActiveEnergy(op_ns);
   return d;
 }

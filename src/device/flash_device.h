@@ -44,6 +44,7 @@
 #include "src/sim/energy.h"
 #include "src/sim/io_request.h"
 #include "src/sim/io_scheduler.h"
+#include "src/sim/io_stats.h"
 #include "src/sim/stats.h"
 #include "src/support/extent.h"
 #include "src/support/rng.h"
@@ -148,6 +149,16 @@ class FlashDevice {
   // The underlying per-bank scheduler (tests, pipeline introspection).
   IoScheduler& scheduler() { return sched_; }
 
+  // Per-tenant QoS knobs, forwarded to the scheduler: a kWeightedFair share
+  // weight and a kTokenBucket byte-rate cap (see io_scheduler.h).
+  void set_tenant_weight(TenantId tenant, uint32_t weight) {
+    sched_.set_tenant_weight(tenant, weight);
+  }
+  void set_tenant_rate(TenantId tenant, uint64_t bytes_per_s,
+                       uint64_t burst_bytes) {
+    sched_.set_tenant_rate(tenant, bytes_per_s, burst_bytes);
+  }
+
   // Erase-count change notification. Called after every EraseSector attempt
   // that bumps a sector's wear (i.e. on success AND on a wear-out failure —
   // the cycle is consumed either way), with the new count and whether the
@@ -192,15 +203,12 @@ class FlashDevice {
   }
 
   // --- Accounting -------------------------------------------------------
-  // Per-priority-class request attribution: how much of each stream's
-  // latency was queueing behind other work vs time on the medium. Queue
-  // waits are kept exact under kPriority via the scheduler's shift observer
+  // Keyed request attribution (io_stats.h): how much of each stream's
+  // latency was queueing behind other work vs time on the medium, by
+  // priority class (dense array) and by tenant (sparse table — only
+  // tenants that actually issued requests appear). Queue waits are kept
+  // exact under reordering policies via the scheduler's shift observer
   // (pushed-back reservations add their extra wait as it happens).
-  struct IoClassStats {
-    Counter requests;
-    Counter queue_wait_ns;  // start - issue, summed.
-    Counter service_ns;     // complete - start, summed.
-  };
   struct Stats {
     Counter reads;            // Read operations.
     Counter read_bytes;
@@ -209,7 +217,8 @@ class FlashDevice {
     Counter erases;           // Sector erases (includes failed attempts).
     Counter read_stall_ns;    // Time blocking reads spent waiting on banks.
     Counter bad_sectors;      // Sectors permanently failed.
-    IoClassStats by_class[kNumIoPriorities];  // Indexed by IoPriority.
+    IoLaneStats by_class[kNumIoPriorities];  // Indexed by IoPriority.
+    TenantLaneTable by_tenant;               // Keyed by issuing tenant.
   };
   const Stats& stats() const { return stats_; }
   const EnergyMeter& energy() const { return energy_; }
@@ -342,6 +351,13 @@ class FlashDevice {
   int obs_class_tracks_[kNumIoPriorities] = {};
   Histogram* obs_wait_hist_[kNumIoPriorities] = {};
   Histogram* obs_service_hist_[kNumIoPriorities] = {};
+  // Per-tenant wait/service histogram lanes, grown as tenants appear.
+  struct ObsTenantLane {
+    TenantId tenant = kDefaultTenant;
+    Histogram* wait = nullptr;
+    Histogram* service = nullptr;
+  };
+  std::vector<ObsTenantLane> obs_tenant_hist_;
 };
 
 }  // namespace ssmc

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "src/sim/io_request.h"
 #include "src/support/status.h"
 #include "src/support/units.h"
 
@@ -29,6 +30,14 @@ class FileSystem {
   virtual ~FileSystem() = default;
 
   virtual std::string name() const = 0;
+
+  // The tenant on whose behalf subsequent operations are issued. The
+  // replayer sets this per trace record; implementations stamp it onto the
+  // device I/O they generate (and onto buffered dirty data, so the eventual
+  // flush is billed to the dirtier). Default implementation ignores it —
+  // a file system with no tenant-aware accounting stays valid.
+  virtual void set_current_tenant(TenantId tenant) { (void)tenant; }
+  virtual TenantId current_tenant() const { return kDefaultTenant; }
 
   // Creates an empty regular file. Parent directory must exist.
   virtual Status Create(const std::string& path) = 0;

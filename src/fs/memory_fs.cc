@@ -14,8 +14,9 @@ MemoryFileSystem::MemoryFileSystem(StorageManager& storage,
     : storage_(storage),
       options_(options),
       buffer_(storage, options.write_buffer_pages,
-              [this](const BlockKey& key, const PayloadRef& data) {
-                return FlushBlock(key, data);
+              [this](const BlockKey& key, const PayloadRef& data,
+                     TenantId tenant) {
+                return FlushBlock(key, data, tenant);
               }),
       root_(std::make_unique<Node>()) {
   root_->is_dir = true;
@@ -28,6 +29,12 @@ MemoryFileSystem::MemoryFileSystem(StorageManager& storage,
   Status reserved = storage_.ReserveFlashBlock(kSuperblock);
   assert(reserved.ok() && "superblock unavailable");
   (void)reserved;
+}
+
+void MemoryFileSystem::set_current_tenant(TenantId tenant) {
+  tenant_ = tenant;
+  // Promotions triggered by this tenant's reads are billed to it.
+  storage_.residency().set_current_tenant(tenant);
 }
 
 MemoryFileSystem::~MemoryFileSystem() {
@@ -230,6 +237,20 @@ void MemoryFileSystem::AttachObs(Obs* obs) {
     mirror(buffered, stats_.buffered_read_bytes);
     mirror(clean_cached, stats_.clean_cached_read_bytes);
     mirror(cow_copies, stats_.cow_block_copies);
+    // Per-tenant fs-boundary traffic, registered lazily as tenants appear
+    // (AddCounter is idempotent per name).
+    for (const auto& e : stats_.by_tenant.entries()) {
+      const std::string base = "fs/tenant" + std::to_string(e.tenant) + "/";
+      auto mirror_lane = [&](const char* key, const Counter& src) {
+        Counter* dst = obs_->metrics().AddCounter(base + key);
+        dst->Reset();
+        dst->Add(src.value());
+      };
+      mirror_lane("reads", e.value.reads);
+      mirror_lane("read_bytes", e.value.read_bytes);
+      mirror_lane("writes", e.value.writes);
+      mirror_lane("written_bytes", e.value.written_bytes);
+    }
   });
 }
 
@@ -290,7 +311,8 @@ Result<uint64_t> MemoryFileSystem::Read(const std::string& path,
         // update may promote the block for future reads.
         Result<Duration> r = storage_.flash_store().ReadPartial(
             static_cast<uint64_t>(slot), in_block,
-            std::span<uint8_t>(out.data() + done, chunk));
+            std::span<uint8_t>(out.data() + done, chunk),
+            ForTenant(kForegroundIo, tenant_));
         if (!r.ok()) {
           return r.status();
         }
@@ -308,6 +330,9 @@ Result<uint64_t> MemoryFileSystem::Read(const std::string& path,
   }
   stats_.reads.Add();
   stats_.read_bytes.Add(n);
+  TenantIoStats& lane = stats_.by_tenant.For(tenant_);
+  lane.reads.Add();
+  lane.read_bytes.Add(n);
   if (obs_ != nullptr) {
     const SimTime t1 = storage_.flash_store().device().clock().now();
     obs_->tracer().Span(obs_track_, "fs-read", obs_t0, t1 - obs_t0,
@@ -330,7 +355,7 @@ Status MemoryFileSystem::StageBlockWrite(Inode& inode, uint64_t block_index,
     // Whole-block write: no need to know the old contents. Any clean-cached
     // copy is stale the moment the block dirties.
     res.InvalidateClean(key);
-    return buffer_.Put(key, data, now);
+    return buffer_.Put(key, data, now, tenant_);
   }
 
   std::vector<uint8_t> staging(bs, 0);
@@ -350,8 +375,9 @@ Status MemoryFileSystem::StageBlockWrite(Inode& inode, uint64_t block_index,
     case Residency::kFlash: {
       // Copy-on-write: "when a write operation occurs, the affected block
       // can be copied to DRAM, where it is left in a write buffer."
-      Result<Duration> r =
-          storage_.flash_store().Read(static_cast<uint64_t>(slot), staging);
+      Result<Duration> r = storage_.flash_store().Read(
+          static_cast<uint64_t>(slot), staging,
+          ForTenant(kForegroundIo, tenant_));
       if (!r.ok()) {
         return r.status();
       }
@@ -363,7 +389,7 @@ Status MemoryFileSystem::StageBlockWrite(Inode& inode, uint64_t block_index,
   }
   std::memcpy(staging.data() + offset_in_block, data.data(), data.size());
   res.InvalidateClean(key);
-  return buffer_.Put(key, staging, now);
+  return buffer_.Put(key, staging, now, tenant_);
 }
 
 Result<uint64_t> MemoryFileSystem::Write(const std::string& path,
@@ -398,6 +424,9 @@ Result<uint64_t> MemoryFileSystem::Write(const std::string& path,
   storage_.ChargeMetadataWrite(kInodeBytes);
   stats_.writes.Add();
   stats_.written_bytes.Add(data.size());
+  TenantIoStats& lane = stats_.by_tenant.For(tenant_);
+  lane.writes.Add();
+  lane.written_bytes.Add(data.size());
   if (obs_ != nullptr) {
     const SimTime t1 = storage_.flash_store().device().clock().now();
     obs_->tracer().Span(obs_track_, "fs-write", obs_t0, t1 - obs_t0,
@@ -499,7 +528,7 @@ Status MemoryFileSystem::TickFlush(SimTime now) {
 }
 
 Status MemoryFileSystem::FlushBlock(const BlockKey& key,
-                                    const PayloadRef& data) {
+                                    const PayloadRef& data, TenantId tenant) {
   auto it = inode_index_.find(key.file_id);
   if (it == inode_index_.end()) {
     // The file vanished with a dirty block still queued; nothing to persist.
@@ -528,7 +557,7 @@ Status MemoryFileSystem::FlushBlock(const BlockKey& key,
   // Zero-copy drain: the store programs the buffer's own extent into flash
   // (one more ref on it), so the flush moves no payload bytes.
   Result<Duration> written = storage_.flash_store().WriteRef(
-      static_cast<uint64_t>(slot), data, stream, IoPriority::kFlush);
+      static_cast<uint64_t>(slot), data, stream, IoPriority::kFlush, tenant);
   return written.ok() ? Status::Ok() : written.status();
 }
 

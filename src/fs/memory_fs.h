@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "src/fs/file_system.h"
+#include "src/sim/io_stats.h"
 #include "src/sim/stats.h"
 #include "src/storage/storage_manager.h"
 #include "src/storage/write_buffer.h"
@@ -99,6 +100,14 @@ class MemoryFileSystem : public FileSystem {
 
   std::string name() const override { return "memory-fs"; }
 
+  // The issuing tenant for subsequent operations: stamped onto every flash
+  // read this fs issues, onto buffered dirty blocks (the eventual flush is
+  // billed to the last writer), and onto per-tenant fs stats. Checkpoint
+  // metadata I/O stays on the default (system) tenant. Also steers the
+  // residency manager's promotion attribution.
+  void set_current_tenant(TenantId tenant) override;
+  TenantId current_tenant() const override { return tenant_; }
+
   Status Create(const std::string& path) override;
   Status Unlink(const std::string& path) override;
   Status Mkdir(const std::string& path) override;
@@ -151,6 +160,9 @@ class MemoryFileSystem : public FileSystem {
     Counter clean_cached_read_bytes;  // Bytes served from the residency
                                       // manager's clean DRAM cache.
     Counter cow_block_copies;         // Flash->DRAM copies for partial writes.
+    // Per-tenant op/byte attribution at the fs boundary (reads include
+    // bytes served from DRAM; the flash-only split lives in FlashStore).
+    TenantIoTable by_tenant;
   };
   const Stats& stats() const { return stats_; }
 
@@ -202,8 +214,10 @@ class MemoryFileSystem : public FileSystem {
   // Returns the parent node of `path` (charging lookups) or null.
   Node* LookupParent(std::string_view path);
 
-  // The write buffer's flush destination.
-  Status FlushBlock(const BlockKey& key, const PayloadRef& data);
+  // The write buffer's flush destination. `tenant` is whoever last dirtied
+  // the block (recorded by the buffer), not whoever triggered the drain.
+  Status FlushBlock(const BlockKey& key, const PayloadRef& data,
+                    TenantId tenant);
 
   // Releases one file block everywhere (buffer + flash).
   void ReleaseBlock(Inode& inode, uint64_t block_index);
@@ -233,6 +247,7 @@ class MemoryFileSystem : public FileSystem {
                                              // checkpoint (superblock extra).
   SimTime last_checkpoint_at_ = -1;          // -1: never checkpointed.
   uint64_t residency_validation_failures_ = 0;
+  TenantId tenant_ = kDefaultTenant;
   Stats stats_;
   Obs* obs_ = nullptr;
   int obs_track_ = 0;

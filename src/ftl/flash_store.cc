@@ -140,6 +140,7 @@ FlashStore::FlashStore(FlashDevice& flash, FlashStoreOptions options)
 
   map_.assign(num_logical_blocks_, kUnmapped);
   page_owner_.assign(num_sectors * pps, kUnmapped);
+  page_tenant_.assign(num_sectors * pps, kDefaultTenant);
   assert(pps <= UINT16_MAX && "SectorHot packs page counts into 16 bits");
   hot_.resize(num_sectors);
   for (SectorHot& h : hot_) {
@@ -383,6 +384,7 @@ Result<Duration> FlashStore::WriteInternalRef(uint64_t block, PayloadRef data,
   }
   map_[block] = page.value();
   page_owner_[page.value()] = block;
+  page_tenant_[page.value()] = issue.tenant;
   SectorHot& h = hot_[SectorOfPage(page.value())];
   assert((h.flags & kActiveFlag) != 0 &&
          "programs only target the bank's active sector");
@@ -410,23 +412,32 @@ Result<Duration> FlashStore::Write(uint64_t block,
 
 Result<Duration> FlashStore::Write(uint64_t block,
                                    std::span<const uint8_t> data,
-                                   WriteStream hint, IoPriority priority) {
+                                   WriteStream hint, IoPriority priority,
+                                   TenantId tenant) {
   Result<Duration> r =
       WriteInternal(block, data, hint, /*allow_clean=*/true,
-                    UserIssue(priority));
+                    UserIssue(priority, tenant));
   if (r.ok()) {
     stats_.user_writes.Add();
+    TenantIoStats& lane = stats_.by_tenant.For(tenant);
+    lane.writes.Add();
+    lane.written_bytes.Add(data.size());
   }
   return r;
 }
 
 Result<Duration> FlashStore::WriteRef(uint64_t block, PayloadRef data,
-                                      WriteStream hint, IoPriority priority) {
+                                      WriteStream hint, IoPriority priority,
+                                      TenantId tenant) {
+  const uint64_t bytes = data.size();
   Result<Duration> r =
       WriteInternalRef(block, std::move(data), hint, /*allow_clean=*/true,
-                       UserIssue(priority));
+                       UserIssue(priority, tenant));
   if (r.ok()) {
     stats_.user_writes.Add();
+    TenantIoStats& lane = stats_.by_tenant.For(tenant);
+    lane.writes.Add();
+    lane.written_bytes.Add(bytes);
   }
   return r;
 }
@@ -450,6 +461,9 @@ Result<Duration> FlashStore::Read(uint64_t block, std::span<uint8_t> out,
   Result<Duration> r = flash_.Read(PageAddress(map_[block]), out, issue);
   if (r.ok()) {
     stats_.user_reads.Add();
+    TenantIoStats& lane = stats_.by_tenant.For(issue.tenant);
+    lane.reads.Add();
+    lane.read_bytes.Add(out.size());
   }
   return r;
 }
@@ -466,12 +480,16 @@ Result<PayloadRef> FlashStore::ReadRef(uint64_t block, IoIssue issue) {
       PageAddress(map_[block]), options_.block_bytes, extent_pool_, issue);
   if (r.ok()) {
     stats_.user_reads.Add();
+    TenantIoStats& lane = stats_.by_tenant.For(issue.tenant);
+    lane.reads.Add();
+    lane.read_bytes.Add(options_.block_bytes);
   }
   return r;
 }
 
 Result<Duration> FlashStore::ReadPartial(uint64_t block, uint64_t offset,
-                                         std::span<uint8_t> out) {
+                                         std::span<uint8_t> out,
+                                         IoIssue issue) {
   if (block >= num_logical_blocks_) {
     return OutOfRangeError("flash store block out of range");
   }
@@ -482,9 +500,13 @@ Result<Duration> FlashStore::ReadPartial(uint64_t block, uint64_t offset,
     return NotFoundError("flash store block " + std::to_string(block) +
                          " is not mapped");
   }
-  Result<Duration> r = flash_.Read(PageAddress(map_[block]) + offset, out);
+  Result<Duration> r =
+      flash_.Read(PageAddress(map_[block]) + offset, out, issue);
   if (r.ok()) {
     stats_.user_reads.Add();
+    TenantIoStats& lane = stats_.by_tenant.For(issue.tenant);
+    lane.reads.Add();
+    lane.read_bytes.Add(out.size());
   }
   return r;
 }
@@ -554,6 +576,23 @@ void FlashStore::AttachObs(Obs* obs) {
     mirror(trims, stats_.trims);
     free_sectors_g->Set(static_cast<int64_t>(free_sector_count_));
     wa_milli->Set(static_cast<int64_t>(WriteAmplification() * 1000.0));
+    // Per-tenant write-amplification share, registered lazily as tenants
+    // appear (AddGauge/AddCounter are idempotent per name).
+    for (const auto& e : stats_.by_tenant.entries()) {
+      const std::string base = "ftl/tenant" + std::to_string(e.tenant) + "/";
+      auto mirror_lane = [&](const char* key, const Counter& src) {
+        Counter* dst = obs_->metrics().AddCounter(base + key);
+        dst->Reset();
+        dst->Add(src.value());
+      };
+      mirror_lane("writes", e.value.writes);
+      mirror_lane("reads", e.value.reads);
+      mirror_lane("relocations", e.value.relocations);
+      obs_->metrics()
+          .AddGauge(base + "write_amp_milli")
+          ->Set(static_cast<int64_t>(TenantWriteAmplification(e.tenant) *
+                                     1000.0));
+    }
   });
 }
 
@@ -626,7 +665,6 @@ Result<bool> FlashStore::CleanOne() {
   const WriteStream stream = WriteStream::kRelocation;
   const uint64_t pps = pages_per_sector();
   const uint64_t first_page = static_cast<uint64_t>(victim) * pps;
-  const IoIssue issue = CleanerIssue();
   DeferredSectorSync defer(*this, static_cast<uint64_t>(victim));
   // The owners' map entries are scattered or cold; start pulling them in
   // before the relocation loop takes its first dependent miss on each. (The
@@ -643,6 +681,9 @@ Result<bool> FlashStore::CleanOne() {
     if (owner == kUnmapped) {
       continue;
     }
+    // The move is billed to the tenant whose data survives, not to whoever
+    // triggered this cleaning pass.
+    const IoIssue issue = CleanerIssue(page_tenant_[p]);
     Result<PayloadRef> read =
         flash_.ReadExtent(PageAddress(p), options_.block_bytes, extent_pool_,
                           issue);
@@ -656,6 +697,7 @@ Result<bool> FlashStore::CleanOne() {
       return moved.status();
     }
     stats_.gc_relocations.Add();
+    stats_.by_tenant.For(issue.tenant).relocations.Add();
   }
 
   SSMC_RETURN_IF_ERROR(EraseAndFree(static_cast<uint64_t>(victim)));
@@ -688,7 +730,6 @@ Result<bool> FlashStore::EvictColdSectorFromHotRange() {
   const uint64_t relocations_before = stats_.gc_relocations.value();
   const uint64_t pps = pages_per_sector();
   const uint64_t first_page = static_cast<uint64_t>(victim) * pps;
-  const IoIssue issue = CleanerIssue();
   DeferredSectorSync defer(*this, static_cast<uint64_t>(victim));
   for (uint64_t p = first_page; p < first_page + pps; ++p) {
     if (page_owner_[p] != kUnmapped) {
@@ -701,6 +742,7 @@ Result<bool> FlashStore::EvictColdSectorFromHotRange() {
     if (owner == kUnmapped) {
       continue;
     }
+    const IoIssue issue = CleanerIssue(page_tenant_[p]);
     Result<PayloadRef> read =
         flash_.ReadExtent(PageAddress(p), options_.block_bytes, extent_pool_,
                           issue);
@@ -715,6 +757,7 @@ Result<bool> FlashStore::EvictColdSectorFromHotRange() {
       return moved.status();
     }
     stats_.gc_relocations.Add();
+    stats_.by_tenant.For(issue.tenant).relocations.Add();
   }
   SSMC_RETURN_IF_ERROR(EraseAndFree(static_cast<uint64_t>(victim)));
   if (obs_ != nullptr) {
@@ -795,7 +838,6 @@ void FlashStore::MaybeStaticWearLevel() {
   const uint64_t relocations_before = stats_.gc_relocations.value();
   const uint64_t pps = pages_per_sector();
   const uint64_t first_page = static_cast<uint64_t>(coldest) * pps;
-  const IoIssue issue = CleanerIssue();
   DeferredSectorSync defer(*this, static_cast<uint64_t>(coldest));
   for (uint64_t p = first_page; p < first_page + pps; ++p) {
     if (page_owner_[p] != kUnmapped) {
@@ -809,6 +851,7 @@ void FlashStore::MaybeStaticWearLevel() {
     if (owner == kUnmapped) {
       continue;
     }
+    const IoIssue issue = CleanerIssue(page_tenant_[p]);
     Result<PayloadRef> read =
         flash_.ReadExtent(PageAddress(p), options_.block_bytes, extent_pool_,
                           issue);
@@ -825,6 +868,7 @@ void FlashStore::MaybeStaticWearLevel() {
       break;
     }
     stats_.gc_relocations.Add();
+    stats_.by_tenant.For(issue.tenant).relocations.Add();
   }
   if (!migrate.ok()) {
     // A failed migration is survivable — the cold data simply stays where it
@@ -920,6 +964,16 @@ double FlashStore::WriteAmplification() const {
   return static_cast<double>(stats_.user_writes.value() +
                              stats_.gc_relocations.value()) /
          static_cast<double>(stats_.user_writes.value());
+}
+
+double FlashStore::TenantWriteAmplification(TenantId tenant) const {
+  const TenantIoStats* lane = stats_.by_tenant.Find(tenant);
+  if (lane == nullptr || lane->writes.value() == 0) {
+    return 1.0;
+  }
+  return static_cast<double>(lane->writes.value() +
+                             lane->relocations.value()) /
+         static_cast<double>(lane->writes.value());
 }
 
 }  // namespace ssmc

@@ -36,6 +36,7 @@
 
 #include "src/device/flash_device.h"
 #include "src/ftl/victim_index.h"
+#include "src/sim/io_stats.h"
 #include "src/sim/stats.h"
 #include "src/support/status.h"
 #include "src/support/units.h"
@@ -161,9 +162,11 @@ class FlashStore {
   // Byte-granular read within a block — flash is byte-addressable and
   // direct-mapped, so a partial read costs only the touched bytes (unlike a
   // disk, which always transfers whole sectors). offset + out.size() must
-  // stay within the block.
+  // stay within the block. The issue carries the scheduling class, blocking
+  // mode, and billing tenant (defaults to a blocking foreground read by the
+  // default tenant, the pre-tenancy behavior).
   Result<Duration> ReadPartial(uint64_t block, uint64_t offset,
-                               std::span<uint8_t> out);
+                               std::span<uint8_t> out, IoIssue issue = {});
 
   // Zero-copy block read: returns a shared ref to the block's stored payload
   // (a refcount bump for store-written blocks — no bytes move). Device
@@ -184,17 +187,20 @@ class FlashStore {
                          WriteStream hint);
 
   // Write with an explicit scheduling class (the storage manager's flush
-  // path passes IoPriority::kFlush). Whether the write blocks the caller is
-  // still governed by options_.background_writes; the class only affects
-  // dispatch order under IoSchedPolicy::kPriority, and attribution always.
+  // path passes IoPriority::kFlush) and billing tenant. Whether the write
+  // blocks the caller is still governed by options_.background_writes; the
+  // class only affects dispatch order under IoSchedPolicy::kPriority, and
+  // attribution always.
   Result<Duration> Write(uint64_t block, std::span<const uint8_t> data,
-                         WriteStream hint, IoPriority priority);
+                         WriteStream hint, IoPriority priority,
+                         TenantId tenant = kDefaultTenant);
 
   // Zero-copy block write: the store becomes a holder of the ref and
   // programs it without copying (the write-buffer flush path hands its entry
   // straight down). data.size() must equal block_bytes.
   Result<Duration> WriteRef(uint64_t block, PayloadRef data, WriteStream hint,
-                            IoPriority priority);
+                            IoPriority priority,
+                            TenantId tenant = kDefaultTenant);
 
   // The store's page-sized payload pool. Upper layers (write buffer, clean
   // cache, FS staging) draw from it so their blocks flow to/from flash as
@@ -226,12 +232,19 @@ class FlashStore {
     Counter wear_migrations;    // Sectors migrated by static leveling.
     Counter wear_level_failures;  // Static-leveling migrations that failed.
     Counter trims;
+    // Per-tenant ops/bytes; relocations are billed to the tenant whose data
+    // the cleaner moved (the page_tenant_ column remembers who programmed
+    // each live page), not to whoever triggered the cleaning pass.
+    TenantIoTable by_tenant;
   };
   const Stats& stats() const { return stats_; }
 
   // Total pages programmed / user pages written; 1.0 means no cleaning
   // overhead. The canonical flash write-amplification metric.
   double WriteAmplification() const;
+  // The same ratio restricted to one tenant's writes and the relocations of
+  // that tenant's data (its share of the cleaning bill).
+  double TenantWriteAmplification(TenantId tenant) const;
 
   uint64_t free_sectors() const { return free_sector_count_; }
   // Assembled from the SoA columns; a snapshot, not a reference into state.
@@ -303,12 +316,15 @@ class FlashStore {
 
   // How this store issues device requests for the paper's three streams,
   // given options_.background_writes: user/flush writes and cleaner traffic
-  // block the caller only when background mode is off.
-  IoIssue UserIssue(IoPriority priority) const {
-    return IoIssue{priority, !options_.background_writes};
+  // block the caller only when background mode is off. Cleaner requests are
+  // billed to the tenant owning the page being moved, never to the tenant
+  // whose allocation happened to trigger the pass.
+  IoIssue UserIssue(IoPriority priority,
+                    TenantId tenant = kDefaultTenant) const {
+    return IoIssue{priority, !options_.background_writes, tenant};
   }
-  IoIssue CleanerIssue() const {
-    return IoIssue{IoPriority::kCleaner, !options_.background_writes};
+  IoIssue CleanerIssue(TenantId owner = kDefaultTenant) const {
+    return IoIssue{IoPriority::kCleaner, !options_.background_writes, owner};
   }
 
   void MarkPageDead(uint64_t page);
@@ -409,6 +425,7 @@ class FlashStore {
 
   std::vector<uint64_t> map_;           // logical block -> physical page.
   std::vector<uint64_t> page_owner_;    // physical page -> logical block.
+  std::vector<TenantId> page_tenant_;   // physical page -> billing tenant.
   std::vector<SectorHot> hot_;          // SoA: hot per-sector metadata.
   std::vector<uint32_t> next_free_page_;  // SoA: per-sector write pointer.
   std::vector<FreeSectorPool> free_pool_;  // Per-bank free sectors.

@@ -15,17 +15,36 @@ namespace {
 // build a fresh machine, replay. Everything (workload seed, machine seed,
 // file sizes, rng streams) is a pure function of (base_seed, user_index).
 ReplayReport RunUser(const ScaleoutOptions& options, int user) {
-  WorkloadOptions workload =
-      (user % 2 == 0) ? OfficeWorkload() : WriteHotWorkload();
+  // With a tenant mix, the user's class decides its profile and tenant tag;
+  // without one, the legacy even/odd office/write-hot alternation applies
+  // (which a two-class {office, write-hot} mix reproduces seed-for-seed).
+  const TenantClassSpec* cls =
+      options.tenant_mix.empty()
+          ? nullptr
+          : &options.tenant_mix[static_cast<size_t>(user) %
+                                options.tenant_mix.size()];
+  const bool write_hot = cls != nullptr ? cls->write_hot : (user % 2 != 0);
+  WorkloadOptions workload = write_hot ? WriteHotWorkload() : OfficeWorkload();
   workload.seed = DeriveCellSeed(options.base_seed, 2 * static_cast<uint64_t>(user));
   workload.duration = options.user_duration;
   workload.max_file_bytes = options.max_file_bytes;
-  const Trace trace = WorkloadGenerator(workload).Generate();
+  Trace trace = WorkloadGenerator(workload).Generate();
+  if (cls != nullptr && cls->tenant != kDefaultTenant) {
+    trace = trace.WithTenant(cls->tenant);
+  }
 
   MachineConfig config = NotebookConfig();
   config.name = "scaleout-user-" + std::to_string(user);
   config.seed =
       DeriveCellSeed(options.base_seed, 2 * static_cast<uint64_t>(user) + 1);
+  if (!options.tenant_mix.empty()) {
+    config.io_sched = options.io_sched;
+    config.tenant_qos.reserve(options.tenant_mix.size());
+    for (const TenantClassSpec& spec : options.tenant_mix) {
+      config.tenant_qos.push_back({spec.tenant, spec.weight,
+                                   spec.rate_bytes_per_s, spec.burst_bytes});
+    }
+  }
   if (options.user_obs) {
     config.obs = options.user_obs(user);
   }

@@ -14,12 +14,26 @@
 #include <functional>
 #include <vector>
 
+#include "src/core/machine.h"
 #include "src/harness/parallel_runner.h"
 #include "src/trace/replayer.h"
 
 namespace ssmc {
 
 class Obs;
+
+// One tenant class in a fleet mix: which workload profile its users replay
+// and what QoS the flash scheduler grants them. Users map onto classes
+// round-robin (user u runs class u % mix.size()), so a mix of
+// {office tenant 1, write-hot tenant 2} reproduces the legacy even/odd
+// alternation exactly — same seeds, same traces — just tagged.
+struct TenantClassSpec {
+  TenantId tenant = kDefaultTenant;
+  bool write_hot = false;         // Workload profile for this class's users.
+  uint32_t weight = 1;            // kWeightedFair share.
+  uint64_t rate_bytes_per_s = 0;  // kTokenBucket cap; 0 = unlimited.
+  uint64_t burst_bytes = 0;
+};
 
 struct ScaleoutOptions {
   int users = 8;   // M: total simulated users.
@@ -30,6 +44,16 @@ struct ScaleoutOptions {
   // write-hot profile, over this simulated duration.
   Duration user_duration = 30 * kSecond;
   uint64_t max_file_bytes = 64 * 1024;
+  // Tenant mix. Empty (the default) is the pre-tenancy fleet: even users
+  // office, odd users write-hot, every record the default tenant, and
+  // `io_sched`/QoS left at the machine default. Non-empty stamps every
+  // user's trace with its class tenant (Trace::WithTenant) and applies
+  // `io_sched` plus each class's QoS row to every machine; the aggregate
+  // report then carries fleet-wide per-tenant latency and I/O-time lanes
+  // (ReplayReport::by_tenant / io_by_tenant), streamed through the same
+  // O(1)-per-user shard fold as every other counter.
+  std::vector<TenantClassSpec> tenant_mix;
+  IoSchedPolicy io_sched = IoSchedPolicy::kFifo;
   // Optional per-user observability: called once per user (from the shard's
   // worker thread, in that shard's serial user order) before the user's
   // machine is built; the returned bundle — null to skip that user — is

@@ -19,6 +19,22 @@
 //    completion); queued background reservations may shift later, and the
 //    shift is reported to the wait observer so attribution counters track
 //    true waits.
+//  * kWeightedFair: start-time fair queuing (SFQ, Goyal et al.) over
+//    tenants. Each request gets a virtual start tag
+//        vstart = max(channel.V, tenant.vfinish)
+//    and advances its tenant's finish tag by service/weight; queued (not
+//    yet started) reservations are ordered by (vstart, submission seq),
+//    and the channel's virtual clock V tracks the start tag of the most
+//    recently started reservation (jumping to the max assigned finish tag
+//    when the channel idles). Backlogged tenants therefore share channel
+//    time in proportion to their weights, while a lone tenant's monotone
+//    tags reproduce FIFO placement exactly.
+//  * kTokenBucket: per-tenant (rate bytes/s, burst bytes) buckets gate
+//    admission. Queue order is FIFO, but a request's start is clamped to
+//    its bucket's deterministic eligible time, so a tenant's admitted
+//    bytes never exceed burst + rate * elapsed. Not work-conserving: a
+//    gated request leaves its channel idle rather than letting later work
+//    overtake it.
 //
 // Request-path allocation: a FIFO request with no completion callback and no
 // retire hook attached is fully described by its completion time — under
@@ -85,6 +101,18 @@ class IoScheduler {
     shift_observer_ = std::move(observer);
   }
 
+  // kWeightedFair: the tenant's relative share of channel time while
+  // backlogged. Defaults to 1; 0 is clamped to 1. Applies to tags assigned
+  // after the call.
+  void set_tenant_weight(TenantId tenant, uint32_t weight);
+  uint32_t tenant_weight(TenantId tenant) const;
+
+  // kTokenBucket: cap the tenant's admitted bytes per second, with up to
+  // `burst_bytes` of credit accumulating while idle. rate 0 (the default)
+  // means unlimited. Erases and other zero-byte ops charge one byte.
+  void set_tenant_rate(TenantId tenant, uint64_t bytes_per_s,
+                       uint64_t burst_bytes);
+
   // Called as each reservation retires, with its channel and the request
   // carrying FINAL timestamps (queued reservations may shift later under
   // kPriority until they start, so retirement is the only point where the
@@ -126,6 +154,7 @@ class IoScheduler {
     Duration service = 0;
     uint64_t seq = 0;     // Global submission order; breaks priority ties.
     Reservation* next = nullptr;
+    uint64_t vstart = 0;  // kWeightedFair virtual start tag; else 0.
   };
 
   // Growable power-of-two ring of completion times for callback-free FIFO
@@ -159,6 +188,23 @@ class IoScheduler {
     // Completion time of the latest-completing request ever placed on the
     // channel; never decreases.
     SimTime busy_until = 0;
+    // kWeightedFair virtual clock: the start tag of the most recently
+    // started reservation, and the largest finish tag ever assigned (the
+    // clock jumps there when the channel idles).
+    uint64_t vtime = 0;
+    uint64_t max_vfinish = 0;
+    // Per-tenant virtual finish tags, indexed by tenant id (grown on
+    // demand; tenants are small dense ids).
+    std::vector<uint64_t> tenant_vfinish;
+  };
+
+  // Per-tenant token bucket. The level is held in byte-nanoseconds
+  // (1 byte == kSecond units) so refill math is exact integer arithmetic.
+  struct TokenBucket {
+    uint64_t rate = 0;  // Bytes per second; 0 = unlimited.
+    uint64_t cap = 0;   // burst_bytes scaled.
+    uint64_t level = 0;
+    SimTime refilled_to = 0;
   };
 
   // Pops front reservations with complete_time <= now, firing callbacks.
@@ -170,6 +216,12 @@ class IoScheduler {
   Dispatch Place(int channel, IoRequest req, Duration service_now,
                  const ServiceFn* service_fn);
 
+  // Charges `bytes` against the tenant's bucket and returns the earliest
+  // admission time (>= now). Unlimited tenants are admitted at `now`.
+  SimTime AdmitAt(TenantId tenant, uint64_t bytes, SimTime now);
+
+  uint64_t& TenantVfinish(Channel& channel, TenantId tenant);
+
   SimClock& clock_;
   IoSchedPolicy policy_;
   RequestArena arena_;
@@ -177,6 +229,8 @@ class IoScheduler {
   ShiftObserver shift_observer_;
   RetireHook retire_hook_;
   uint64_t next_seq_ = 0;
+  std::vector<uint32_t> weights_;     // Indexed by tenant; 0 slots mean 1.
+  std::vector<TokenBucket> buckets_;  // Indexed by tenant.
 };
 
 }  // namespace ssmc

@@ -97,6 +97,9 @@ Status ResidencyManager::ReadClean(const BlockKey& key, uint64_t offset,
   storage_.ReadPagePayload(it->second.dram_page, offset, out);
   stats_.clean_hits.Add();
   stats_.clean_hit_bytes.Add(out.size());
+  TenantResidency& lane = stats_.by_tenant.For(tenant_);
+  lane.clean_hits.Add();
+  lane.clean_hit_bytes.Add(out.size());
   return Status::Ok();
 }
 
@@ -291,7 +294,7 @@ void ResidencyManager::PromoteFromFlash(const BlockKey& key,
   // *shares* the flash extent rather than copying it: the clean cache and
   // the flash sector alias one refcounted payload.
   Result<PayloadRef> read = storage_.flash_store().ReadRef(
-      flash_block, IoIssue{IoPriority::kCleaner, /*blocking=*/false});
+      flash_block, ForTenant(kCleanerIo, tenant_));
   if (!read.ok()) {
     (void)storage_.FreeDramPage(page.value());
     return;
@@ -300,10 +303,14 @@ void ResidencyManager::PromoteFromFlash(const BlockKey& key,
   clean_lru_.push_back(key);
   CleanEntry entry;
   entry.dram_page = page.value();
+  entry.tenant = tenant_;
   entry.lru_it = std::prev(clean_lru_.end());
   clean_.emplace(key, entry);
   stats_.promotions.Add();
   stats_.promoted_bytes.Add(storage_.page_bytes());
+  TenantResidency& lane = stats_.by_tenant.For(tenant_);
+  lane.promotions.Add();
+  lane.promoted_bytes.Add(storage_.page_bytes());
   if (promote_heat_ != nullptr) {
     promote_heat_->Record(static_cast<uint64_t>(HeatOf(key, now) * 100.0));
   }
@@ -385,6 +392,33 @@ void ResidencyManager::AttachObs(Obs* obs) {
     mirror(vm_promotes, stats_.vm_promote_faults);
     clean_pages->Set(static_cast<int64_t>(clean_.size()));
     heat_entries->Set(static_cast<int64_t>(heat_.size()));
+    // Per-tenant DRAM share and promotion counters, registered lazily as
+    // tenants appear (AddCounter/AddGauge are idempotent per name). The
+    // clean-page split is recomputed at snapshot time: one scan of the
+    // cache beats keeping counters consistent across every demote path.
+    if (!stats_.by_tenant.empty()) {
+      TenantTable<uint64_t> pages;
+      for (const auto& [key, entry] : clean_) {
+        pages.For(entry.tenant) += 1;
+      }
+      for (const auto& e : stats_.by_tenant.entries()) {
+        const std::string base =
+            "residency/tenant" + std::to_string(e.tenant) + "/";
+        auto mirror_lane = [&](const char* key, const Counter& src) {
+          Counter* dst = obs_->metrics().AddCounter(base + key);
+          dst->Reset();
+          dst->Add(src.value());
+        };
+        mirror_lane("promotions", e.value.promotions);
+        mirror_lane("promoted_bytes", e.value.promoted_bytes);
+        mirror_lane("clean_hits", e.value.clean_hits);
+        mirror_lane("clean_hit_bytes", e.value.clean_hit_bytes);
+        const uint64_t* share = pages.Find(e.tenant);
+        obs_->metrics()
+            .AddGauge(base + "clean_pages")
+            ->Set(static_cast<int64_t>(share != nullptr ? *share : 0));
+      }
+    }
   });
 }
 

@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "src/ftl/flash_store.h"
+#include "src/sim/io_stats.h"
 #include "src/sim/stats.h"
 #include "src/storage/block_key.h"
 #include "src/support/status.h"
@@ -139,6 +140,12 @@ class ResidencyManager {
   void RegisterSource(ReclaimSource* source);
   void DropSource(ReclaimSource* source);
 
+  // The tenant whose access is currently driving the manager (set by the
+  // file system alongside its own current tenant). Promotions it triggers —
+  // and the DRAM the promoted pages occupy — are billed to this tenant.
+  void set_current_tenant(TenantId tenant) { tenant_ = tenant; }
+  TenantId current_tenant() const { return tenant_; }
+
   // --- Placement ----------------------------------------------------------
   // Where does this block live? `flash_block` is the file system's mapping
   // for the block (-1 = none). Pure bookkeeping: charges nothing.
@@ -193,6 +200,22 @@ class ResidencyManager {
   // RESOURCE_EXHAUSTED when every avenue is spent.
   Result<uint64_t> AllocateDramPage(ReclaimSource* requester);
 
+  // Per-tenant residency attribution: a promotion is billed to the tenant
+  // whose read crossed the heat threshold, a clean hit to the reader.
+  struct TenantResidency {
+    Counter promotions;
+    Counter promoted_bytes;
+    Counter clean_hits;
+    Counter clean_hit_bytes;
+
+    void Merge(const TenantResidency& other) {
+      promotions.Merge(other.promotions);
+      promoted_bytes.Merge(other.promoted_bytes);
+      clean_hits.Merge(other.clean_hits);
+      clean_hit_bytes.Merge(other.clean_hit_bytes);
+    }
+  };
+
   struct Stats {
     Counter touches;                 // Heat updates (reads+writes+faults).
     Counter promotions;              // Flash blocks promoted to clean cache.
@@ -203,6 +226,7 @@ class ResidencyManager {
     Counter demotions_invalidated;   // Clean pages dropped by invalidation.
     Counter cold_stream_hints;       // Flushes routed to the cold stream.
     Counter vm_promote_faults;       // VM faults told to copy, not map.
+    TenantTable<TenantResidency> by_tenant;
   };
   const Stats& stats() const { return stats_; }
 
@@ -215,6 +239,8 @@ class ResidencyManager {
  private:
   struct CleanEntry {
     uint64_t dram_page = 0;
+    TenantId tenant = kDefaultTenant;  // Who the promotion was billed to;
+                                       // this page is their DRAM share.
     std::list<BlockKey>::iterator lru_it;  // Position in clean_lru_.
   };
   struct Heat {
@@ -238,6 +264,7 @@ class ResidencyManager {
 
   StorageManager& storage_;
   ResidencyOptions options_;
+  TenantId tenant_ = kDefaultTenant;
   WriteBuffer* dirty_backend_ = nullptr;
   std::vector<ReclaimSource*> sources_;  // Registration order (determinism).
 

@@ -58,18 +58,22 @@ void WriteBuffer::AttachObs(Obs* obs) {
 }
 
 Status WriteBuffer::Put(const BlockKey& key, std::span<const uint8_t> data,
-                        SimTime now) {
+                        SimTime now, TenantId tenant) {
   if (data.size() != page_bytes()) {
     return InvalidArgumentError("write buffer stores whole blocks");
   }
   stats_.puts.Add();
   stats_.put_bytes.Add(data.size());
+  TenantIoStats& lane = stats_.by_tenant.For(tenant);
+  lane.writes.Add();
+  lane.written_bytes.Add(data.size());
 
   if (capacity_pages_ == 0) {
     // Unbuffered baseline: write straight through to flash.
     stats_.flushes.Add();
     stats_.flushed_bytes.Add(data.size());
-    return flush_fn_(key, storage_.extent_pool().AllocateCopy(data.data()));
+    return flush_fn_(key, storage_.extent_pool().AllocateCopy(data.data()),
+                     tenant);
   }
 
   auto it = entries_.find(key);
@@ -77,8 +81,10 @@ Status WriteBuffer::Put(const BlockKey& key, std::span<const uint8_t> data,
     // Overwrite absorbed in DRAM — this flash write never happens. The
     // block keeps its original dirty_since (the BSD 30-second rule ages
     // from first dirtying), so even hot blocks reach stable storage within
-    // one age window.
+    // one age window. The billing tenant does refresh: last writer owns
+    // the eventual flush.
     stats_.absorbed_overwrites.Add();
+    it->second.tenant = tenant;
     storage_.WritePagePayload(it->second.dram_page, 0, data);
     return Status::Ok();
   }
@@ -110,6 +116,7 @@ Status WriteBuffer::Put(const BlockKey& key, std::span<const uint8_t> data,
   Entry entry;
   entry.dram_page = page.value();
   entry.dirty_since = now;
+  entry.tenant = tenant;
   entry.lru_it = std::prev(lru_.end());
   entries_.emplace(key, entry);
   return Status::Ok();
@@ -145,7 +152,7 @@ Status WriteBuffer::FlushEntry(
   // Reading the buffered page costs DRAM time as before, but hands the
   // flush destination the page's own extent: no staging copy.
   PayloadRef data = storage_.ReadPagePayloadRef(it->second.dram_page);
-  SSMC_RETURN_IF_ERROR(flush_fn_(it->first, data));
+  SSMC_RETURN_IF_ERROR(flush_fn_(it->first, data, it->second.tenant));
   stats_.flushes.Add();
   stats_.flushed_bytes.Add(data.size());
   (void)storage_.FreeDramPage(it->second.dram_page);

@@ -33,6 +33,7 @@
 #include <span>
 #include <unordered_map>
 
+#include "src/sim/io_stats.h"
 #include "src/sim/stats.h"
 #include "src/storage/block_key.h"
 #include "src/storage/storage_manager.h"
@@ -47,8 +48,11 @@ class WriteBuffer {
   // Destination for flushed blocks; supplied by the file system, which knows
   // the flash placement of each file block. The block travels as a payload
   // ref: a flush that lands in the flash store programs the very extent the
-  // buffer holds (refcount bump), never copying the bytes.
-  using FlushFn = std::function<Status(const BlockKey&, const PayloadRef&)>;
+  // buffer holds (refcount bump), never copying the bytes. The tenant is
+  // whoever last dirtied the block — the flush daemon drains on everyone's
+  // behalf, but the flash program is billed to the writer.
+  using FlushFn =
+      std::function<Status(const BlockKey&, const PayloadRef&, TenantId)>;
 
   // capacity_pages = 0 disables buffering entirely: every Put flushes
   // straight through (the "no NVRAM buffer" baseline of experiment E6).
@@ -64,9 +68,10 @@ class WriteBuffer {
   uint64_t page_bytes() const { return storage_.page_bytes(); }
 
   // Stores a whole dirty block. data.size() must equal page_bytes().
-  // Overwriting an already-buffered block is absorbed in DRAM.
-  Status Put(const BlockKey& key, std::span<const uint8_t> data,
-             SimTime now);
+  // Overwriting an already-buffered block is absorbed in DRAM (and re-bills
+  // the block to the overwriting tenant: the last writer owns the flush).
+  Status Put(const BlockKey& key, std::span<const uint8_t> data, SimTime now,
+             TenantId tenant = kDefaultTenant);
 
   // Reads a buffered block; NOT_FOUND if not buffered.
   Status Get(const BlockKey& key, std::span<uint8_t> out);
@@ -101,6 +106,10 @@ class WriteBuffer {
     Counter capacity_evictions; // Flushes forced by a full buffer.
     Counter dropped_writes;     // Dirty blocks discarded before flush.
     Counter dropped_bytes;
+    // Per-tenant buffering: `writes`/`written_bytes` count the tenant's
+    // puts (what it pushed into shared DRAM); other fields stay zero — the
+    // flush side is attributed downstream by the flash store and device.
+    TenantIoTable by_tenant;
   };
   const Stats& stats() const { return stats_; }
 
@@ -117,6 +126,7 @@ class WriteBuffer {
   struct Entry {
     uint64_t dram_page;
     SimTime dirty_since;  // First dirtying; NOT refreshed by overwrites.
+    TenantId tenant;      // Last writer; the flush is billed to them.
     std::list<BlockKey>::iterator lru_it;  // Position in lru_ (front = oldest).
   };
 

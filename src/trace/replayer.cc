@@ -29,10 +29,10 @@ void ReplayReport::Merge(const ReplayReport& other) {
     per_op[i].Merge(other.per_op[i]);
   }
   for (size_t i = 0; i < io_by_class.size(); ++i) {
-    io_by_class[i].requests += other.io_by_class[i].requests;
-    io_by_class[i].queue_wait_ns += other.io_by_class[i].queue_wait_ns;
-    io_by_class[i].service_ns += other.io_by_class[i].service_ns;
+    io_by_class[i].Merge(other.io_by_class[i]);
   }
+  io_by_tenant.Merge(other.io_by_tenant);
+  by_tenant.Merge(other.by_tenant);
 }
 
 TraceReplayer::TraceReplayer(FileSystem& fs, SimClock& clock,
@@ -73,7 +73,17 @@ ReplayReport TraceReplayer::Replay(const Trace& trace) {
   }
   buffer.reserve(max_length);
 
+  // Per-record tenant propagation: the file system stamps the current
+  // tenant onto every device I/O it issues. Only transitions pay the
+  // virtual call, so a single-tenant trace replays with one (the reset).
+  TenantId current_tenant = kDefaultTenant;
+  fs_.set_current_tenant(current_tenant);
+
   for (const TraceRecord& r : trace.records()) {
+    if (r.tenant != current_tenant) {
+      current_tenant = r.tenant;
+      fs_.set_current_tenant(current_tenant);
+    }
     // Advance to the issue time (unless we are already running behind).
     const SimTime issue_at = std::max(clock_.now(), report.started + r.at);
     if (events_ != nullptr) {
@@ -141,6 +151,11 @@ ReplayReport TraceReplayer::Replay(const Trace& trace) {
     }
     report.all_ops.Record(latency);
     report.per_op[static_cast<size_t>(r.op)].Record(latency);
+    if (r.op == TraceOp::kRead) {
+      report.by_tenant.For(r.tenant).reads.Record(latency);
+    } else if (r.op == TraceOp::kWrite) {
+      report.by_tenant.For(r.tenant).writes.Record(latency);
+    }
   }
   report.finished = clock_.now();
   return report;

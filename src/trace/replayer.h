@@ -14,6 +14,7 @@
 #include "src/sim/clock.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/io_request.h"
+#include "src/sim/io_stats.h"
 #include "src/sim/stats.h"
 #include "src/trace/trace.h"
 
@@ -46,20 +47,23 @@ struct ReplayReport {
     return per_op[static_cast<size_t>(op)];
   }
 
-  // Device-level request attribution over the replay window: for each
-  // scheduling class, how much time its requests spent queued behind other
-  // work vs being served by the medium. Filled by drivers that own the
-  // device (MobileComputer::RunTrace); zero when the replayer is used
-  // standalone.
-  struct IoClassBreakdown {
-    uint64_t requests = 0;
-    uint64_t queue_wait_ns = 0;
-    uint64_t service_ns = 0;
-  };
-  std::array<IoClassBreakdown, kNumIoPriorities> io_by_class;
-  const IoClassBreakdown& ForClass(IoPriority p) const {
+  // Device-level request attribution over the replay window (io_stats.h —
+  // the same keyed lane struct FlashDevice::Stats uses): for each
+  // scheduling class and each tenant, how much time its requests spent
+  // queued behind other work vs being served by the medium. Filled by
+  // drivers that own the device (MobileComputer::RunTrace); zero when the
+  // replayer is used standalone.
+  std::array<IoLaneStats, kNumIoPriorities> io_by_class;
+  TenantLaneTable io_by_tenant;
+  const IoLaneStats& ForClass(IoPriority p) const {
     return io_by_class[static_cast<size_t>(p)];
   }
+
+  // Replay-level per-tenant operation latencies (read p50/p99 per tenant is
+  // the E14 victim metric). Recorded by the replayer from each record's
+  // tenant; a trace that never names one lands entirely in the
+  // kDefaultTenant lane.
+  TenantLatencyTable by_tenant;
 
   // Folds another report in (a shard of the same sharded experiment). The
   // merged window spans both reports, so OpsPerSecond() over the merge of

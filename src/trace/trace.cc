@@ -1,5 +1,6 @@
 #include "src/trace/trace.h"
 
+#include <cstdlib>
 #include <sstream>
 
 namespace ssmc {
@@ -86,6 +87,15 @@ Trace Trace::WithPathPrefix(const std::string& prefix) const {
   return out;
 }
 
+Trace Trace::WithTenant(TenantId tenant) const {
+  Trace out;
+  for (TraceRecord r : records_) {
+    r.tenant = tenant;
+    out.Add(std::move(r));
+  }
+  return out;
+}
+
 std::string Trace::ToText() const {
   std::ostringstream oss;
   for (const TraceRecord& r : records_) {
@@ -93,6 +103,9 @@ std::string Trace::ToText() const {
         << r.offset << ' ' << r.length;
     if (!r.path2.empty()) {
       oss << ' ' << r.path2;
+    }
+    if (r.tenant != kDefaultTenant) {
+      oss << " t=" << r.tenant;
     }
     oss << '\n';
   }
@@ -121,7 +134,17 @@ Result<Trace> Trace::FromText(const std::string& text) {
       return op.status();
     }
     r.op = op.value();
-    ls >> r.path2;  // Optional.
+    // Optional trailing tokens: a rename destination and/or a "t=<n>"
+    // tenant tag, in either order (writers emit path2 first).
+    std::string token;
+    while (ls >> token) {
+      if (token.rfind("t=", 0) == 0) {
+        r.tenant = static_cast<TenantId>(
+            std::strtoul(token.c_str() + 2, nullptr, 10));
+      } else {
+        r.path2 = std::move(token);
+      }
+    }
     trace.Add(std::move(r));
   }
   return trace;

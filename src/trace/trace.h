@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/sim/io_request.h"
 #include "src/support/status.h"
 #include "src/support/units.h"
 
@@ -40,6 +41,10 @@ struct TraceRecord {
   uint64_t offset = 0;
   uint64_t length = 0;
   std::string path2;  // Rename destination.
+  // Tenant issuing the operation. Serialized only when nonzero (as a
+  // trailing "t=<n>" token), so single-tenant traces round-trip through the
+  // text format unchanged from the pre-tenancy simulator.
+  TenantId tenant = kDefaultTenant;
 
   bool operator==(const TraceRecord& other) const = default;
 };
@@ -63,7 +68,12 @@ class Trace {
   // prefix must be a valid absolute directory path, and callers mkdir it).
   Trace WithPathPrefix(const std::string& prefix) const;
 
-  // One line per record: "<at> <op> <path> <offset> <length> [<path2>]".
+  // A copy with every record attributed to `tenant` (tenant-mix
+  // composition: per-user workloads stamped with the user's tenant class).
+  Trace WithTenant(TenantId tenant) const;
+
+  // One line per record:
+  // "<at> <op> <path> <offset> <length> [<path2>] [t=<tenant>]".
   std::string ToText() const;
   static Result<Trace> FromText(const std::string& text);
 

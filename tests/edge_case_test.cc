@@ -71,7 +71,7 @@ TEST(WriteBufferEdgeTest, FlushFailurePropagates) {
 
   int failures_injected = 0;
   WriteBuffer buffer(manager, 4,
-                     [&](const BlockKey&, const PayloadRef&) -> Status {
+                     [&](const BlockKey&, const PayloadRef&, TenantId) -> Status {
                        ++failures_injected;
                        return NoSpaceError("injected");
                      });

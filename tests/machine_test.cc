@@ -144,21 +144,18 @@ TEST(MachineTest, RunTraceAttributesIoByClass) {
   const ReplayReport report = machine.RunTrace(trace);
 
   // Foreground reads and flush-daemon writes both ran during the minute.
-  const ReplayReport::IoClassBreakdown& fg =
-      report.ForClass(IoPriority::kForeground);
-  const ReplayReport::IoClassBreakdown& flush =
-      report.ForClass(IoPriority::kFlush);
-  EXPECT_GT(fg.requests, 0u);
-  EXPECT_GT(fg.service_ns, 0u);
-  EXPECT_GT(flush.requests, 0u);
-  EXPECT_GT(flush.service_ns, 0u);
+  const IoLaneStats& fg = report.ForClass(IoPriority::kForeground);
+  const IoLaneStats& flush = report.ForClass(IoPriority::kFlush);
+  EXPECT_GT(fg.requests.value(), 0u);
+  EXPECT_GT(fg.service_ns.value(), 0u);
+  EXPECT_GT(flush.requests.value(), 0u);
+  EXPECT_GT(flush.service_ns.value(), 0u);
 
   // The breakdown covers only the replay window: a second replay on the
   // same (reused) machine reports its own deltas, not cumulative totals.
   const ReplayReport second = machine.RunTrace(trace);
-  const ReplayReport::IoClassBreakdown& fg2 =
-      second.ForClass(IoPriority::kForeground);
-  EXPECT_GT(fg2.requests, 0u);
+  const IoLaneStats& fg2 = second.ForClass(IoPriority::kForeground);
+  EXPECT_GT(fg2.requests.value(), 0u);
   // Device-level cumulative counters span both windows (plus inter-replay
   // daemon work), so each window's delta is strictly below them.
   const uint64_t device_fg_requests =
@@ -166,8 +163,8 @@ TEST(MachineTest, RunTraceAttributesIoByClass) {
           .stats()
           .by_class[static_cast<int>(IoPriority::kForeground)]
           .requests.value();
-  EXPECT_LT(fg2.requests, device_fg_requests);
-  EXPECT_GE(device_fg_requests, fg.requests + fg2.requests);
+  EXPECT_LT(fg2.requests.value(), device_fg_requests);
+  EXPECT_GE(device_fg_requests, fg.requests.value() + fg2.requests.value());
 }
 
 TEST(MachineTest, PrioritySchedulingConfigIsAppliedToFlash) {
@@ -183,6 +180,53 @@ TEST(MachineTest, PrioritySchedulingConfigIsAppliedToFlash) {
   const ReplayReport report = machine.RunTrace(trace);
   EXPECT_EQ(report.failures, 0u);
   EXPECT_GT(report.ops, 0u);
+}
+
+TEST(MachineTest, RunTraceAttributesIoAndLatencyByTenant) {
+  MachineConfig config = NotebookConfig();
+  config.io_sched = IoSchedPolicy::kWeightedFair;
+  config.tenant_qos = {{1, 9, 0, 0}, {2, 1, 0, 0}};
+  MobileComputer machine(config);
+  EXPECT_EQ(machine.flash().sched_policy(), IoSchedPolicy::kWeightedFair);
+
+  // Alternate the issuing tenant record-by-record: both tenants touch the
+  // same files, so attribution follows the issuer, not the data.
+  WorkloadOptions options = OfficeWorkload();
+  options.duration = kMinute;
+  options.max_file_bytes = 64 * 1024;
+  Trace trace;
+  size_t i = 0;
+  const Trace generated = WorkloadGenerator(options).Generate();
+  for (TraceRecord r : generated.records()) {
+    r.tenant = static_cast<TenantId>(1 + (i++ % 2));
+    trace.Add(std::move(r));
+  }
+  const ReplayReport report = machine.RunTrace(trace);
+  EXPECT_EQ(report.failures, 0u);
+
+  // Replay-level latency lanes exist for exactly the tenants that issued
+  // operations.
+  EXPECT_EQ(report.by_tenant.Find(kDefaultTenant), nullptr);
+  for (TenantId t : {TenantId{1}, TenantId{2}}) {
+    const TenantLatency* lane = report.by_tenant.Find(t);
+    ASSERT_NE(lane, nullptr) << "tenant " << t;
+    EXPECT_GT(lane->reads.count() + lane->writes.count(), 0u);
+  }
+
+  // Device-level attribution: every flash request in the replay window is
+  // billed to some tenant, and the per-tenant lanes sum to the per-class
+  // lanes (two partitions of the same window).
+  uint64_t class_requests = 0;
+  for (int p = 0; p < kNumIoPriorities; ++p) {
+    class_requests +=
+        report.io_by_class[static_cast<size_t>(p)].requests.value();
+  }
+  uint64_t tenant_requests = 0;
+  for (const auto& e : report.io_by_tenant.entries()) {
+    tenant_requests += e.value.requests.value();
+  }
+  EXPECT_GT(class_requests, 0u);
+  EXPECT_EQ(tenant_requests, class_requests);
 }
 
 TEST(MachineTest, SimulationIsFullyDeterministic) {

@@ -181,6 +181,37 @@ TEST(ScaleoutTest, ShardedRunByteIdenticalToSerial) {
   EXPECT_EQ(serial.aggregate.ops, sum);
 }
 
+TEST(ScaleoutTest, TenantMixTagsFleetWithoutPerturbingFifoTiming) {
+  ScaleoutOptions options;
+  options.users = 4;
+  options.cells = 2;
+  options.jobs = 2;
+  options.user_duration = 5 * kSecond;
+  const ScaleoutReport legacy = RunScaleout(options);
+
+  // A two-class {office, write-hot} mix reproduces the legacy even/odd
+  // alternation seed-for-seed; under FIFO the tenant tags are bookkeeping
+  // only, so every timing-derived number in the aggregate is identical.
+  options.tenant_mix = {{1, /*write_hot=*/false, 1, 0, 0},
+                        {2, /*write_hot=*/true, 1, 0, 0}};
+  options.io_sched = IoSchedPolicy::kFifo;
+  const ScaleoutReport mixed = RunScaleout(options);
+  ExpectReportsIdentical(legacy.aggregate, mixed.aggregate);
+
+  // But the tagged fleet's aggregate carries per-tenant lanes, streamed
+  // through the same shard fold as every other counter: the untagged fleet
+  // lands entirely in the default-tenant lane, the mix entirely in its
+  // named classes.
+  ASSERT_EQ(legacy.aggregate.by_tenant.entries().size(), 1u);
+  EXPECT_EQ(legacy.aggregate.by_tenant.entries()[0].tenant, kDefaultTenant);
+  EXPECT_EQ(mixed.aggregate.by_tenant.Find(kDefaultTenant), nullptr);
+  for (TenantId t : {TenantId{1}, TenantId{2}}) {
+    const TenantLatency* lane = mixed.aggregate.by_tenant.Find(t);
+    ASSERT_NE(lane, nullptr) << "tenant " << t;
+    EXPECT_GT(lane->reads.count() + lane->writes.count(), 0u);
+  }
+}
+
 TEST(ScaleoutTest, CellCountClampedToUsers) {
   ScaleoutOptions options;
   options.users = 2;

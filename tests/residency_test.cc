@@ -97,7 +97,7 @@ TEST(ResidencyPolicyNames, RoundTripAndParse) {
 
 TEST_F(ResidencyTest, ResolveCoversAllFourStates) {
   WriteBuffer buffer(manager_, 16,
-                     [](const BlockKey&, const PayloadRef&) {
+                     [](const BlockKey&, const PayloadRef&, TenantId) {
                        return Status::Ok();
                      });
   res().BindDirtyBackend(&buffer);

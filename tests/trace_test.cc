@@ -80,5 +80,41 @@ TEST(TraceTest, ParserRejectsGarbage) {
   EXPECT_FALSE(Trace::FromText("5 explode /f 0 0\n").ok());
 }
 
+TEST(TraceTest, TenantTagRoundTripsThroughText) {
+  Trace trace;
+  trace.Add({100, TraceOp::kCreate, "/f", 0, 0, ""});
+  trace.Add({200, TraceOp::kWrite, "/f", 0, 64, ""});
+  trace.Add({300, TraceOp::kRename, "/f", 0, 0, "/g"});  // Optional path2.
+  const Trace tagged = trace.WithTenant(5);
+  ASSERT_EQ(tagged.size(), 3u);
+  for (const TraceRecord& r : tagged.records()) {
+    EXPECT_EQ(r.tenant, 5);
+  }
+  // The original is untouched.
+  EXPECT_EQ(trace.records()[0].tenant, kDefaultTenant);
+
+  Result<Trace> parsed = Trace::FromText(tagged.ToText());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().size(), tagged.size());
+  for (size_t i = 0; i < tagged.size(); ++i) {
+    EXPECT_EQ(parsed.value().records()[i], tagged.records()[i])
+        << "record " << i;
+  }
+}
+
+TEST(TraceTest, DefaultTenantSerializesWithoutTenantToken) {
+  // Single-tenant traces must round-trip through the exact pre-tenancy text
+  // format: no "t=" token on output, and pre-tenancy lines parse to the
+  // default tenant.
+  Trace trace;
+  trace.Add({100, TraceOp::kWrite, "/f", 0, 64, ""});
+  EXPECT_EQ(trace.ToText().find("t="), std::string::npos);
+
+  Result<Trace> parsed = Trace::FromText("100 write /f 0 64\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().size(), 1u);
+  EXPECT_EQ(parsed.value().records()[0].tenant, kDefaultTenant);
+}
+
 }  // namespace
 }  // namespace ssmc

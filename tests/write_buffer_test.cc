@@ -44,7 +44,7 @@ class WriteBufferTest : public ::testing::Test {
   std::unique_ptr<WriteBuffer> MakeBuffer(uint64_t capacity_pages) {
     return std::make_unique<WriteBuffer>(
         manager_, capacity_pages,
-        [this](const BlockKey& key, const PayloadRef& data) -> Status {
+        [this](const BlockKey& key, const PayloadRef& data, TenantId) -> Status {
           flushed_[key.block_index] += 1;
           Result<Duration> r = store_.WriteRef(key.block_index, data,
                                                WriteStream::kUser,
@@ -246,7 +246,7 @@ TEST_F(WriteBufferTest, RandomizedEvictionOrderIsStrictlyOldestFirst) {
   std::vector<uint64_t> evicted;
   WriteBuffer buffer(
       manager_, kCapacity,
-      [this, &evicted](const BlockKey& key, const PayloadRef& data) -> Status {
+      [this, &evicted](const BlockKey& key, const PayloadRef& data, TenantId) -> Status {
         evicted.push_back(key.block_index);
         Result<Duration> r = store_.WriteRef(key.block_index, data,
                                              WriteStream::kUser,
