@@ -26,6 +26,15 @@ harness's two scaling claims:
                                   under the O(1)-per-user aggregate fold
                                   (lower is better).
 
+BENCH_recovery.json — the 256k-inode row guards the E13 journal's two
+promises:
+
+  * recovery/inodes/262144 journal_mount_ns — crash-recovery mount time at
+                                  the largest namespace (lower is better);
+  * recovery/inodes/262144 journal_write_overhead_pct — flash write traffic
+                                  the journal adds over everything else
+                                  (lower is better).
+
 Run from CI's bench-smoke leg after the benches have emitted their JSON
 next to the binaries; pass one or more fresh files:
 
@@ -57,6 +66,10 @@ GATES = {
     "BENCH_scaleout.json": [
         ("scaleout/users/1000000", "sim_ops_per_host_s", True),
         ("scaleout/users/1000000", "bytes_per_user", False),
+    ],
+    "BENCH_recovery.json": [
+        ("recovery/inodes/262144", "journal_mount_ns", False),
+        ("recovery/inodes/262144", "journal_write_overhead_pct", False),
     ],
 }
 

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build and run the full test suite in Release, then
-# again under AddressSanitizer + UndefinedBehaviorSanitizer, then run the
+# again under AddressSanitizer + UndefinedBehaviorSanitizer (including the
+# E13 journal crash-injection sweep — torn programs + remount is exactly
+# where a stale-pointer or double-free would hide), then run the
 # parallel-harness tests (thread pool, parallel runner, sharded scale-out,
 # log sink) under ThreadSanitizer. Run from the repository root:
 #

@@ -44,10 +44,13 @@ for bench in "${bindir}"/bench_e[0-9]*; do
   echo "=== ${name} ==="
   "${bench}" | tee "${outdir}/${name}.txt"
 done
-# bench_e12_migration and bench_e14_qos (in the loop above, run from the
-# repo root) also refresh BENCH_migration.json / BENCH_qos.json in place;
-# fail loudly if they did not.
+# bench_e12_migration, bench_e13_recovery, and bench_e14_qos (in the loop
+# above, run from the repo root) also refresh BENCH_migration.json /
+# BENCH_recovery.json / BENCH_qos.json in place; fail loudly if they did
+# not. BENCH_recovery.json doubles as the E13 mount-time regression
+# baseline (scripts/bench_gate.py).
 test -s BENCH_migration.json
+test -s BENCH_recovery.json
 test -s BENCH_qos.json
 
 echo "=== bench_e8_banks --tail (scheduling ablation) ==="

@@ -74,12 +74,29 @@ MobileComputer::MobileComputer(MachineConfig config)
   storage_ = std::make_unique<StorageManager>(*dram_, *store_,
                                               config_.page_bytes,
                                               config_.residency);
-  fs_ = std::make_unique<MemoryFileSystem>(*storage_, config_.fs_options);
+  MemoryFsOptions fs_options = config_.fs_options;
+  if (config_.journal) {
+    journal_ = std::make_unique<MetadataJournal>(*storage_,
+                                                 config_.journal_options);
+    Status formatted = journal_->Format();
+    if (!formatted.ok()) {
+      SSMC_LOG(kWarning) << "journal format failed, running unjournaled: "
+                         << formatted.ToString();
+      journal_.reset();
+    } else {
+      fs_options.journal = journal_.get();
+      fs_options.journal_oracle = config_.journal_oracle;
+    }
+  }
+  fs_ = std::make_unique<MemoryFileSystem>(*storage_, fs_options);
   if (config_.obs != nullptr) {
     obs_track_ = config_.obs->tracer().RegisterTrack("machine");
     flash_->AttachObs(config_.obs);
     store_->AttachObs(config_.obs);
     storage_->AttachObs(config_.obs);
+    if (journal_ != nullptr) {
+      journal_->AttachObs(config_.obs);
+    }
     fs_->AttachObs(config_.obs);
   }
   ScheduleFlushDaemon();
@@ -124,10 +141,61 @@ Result<RecoveryReport> MobileComputer::RecoverAfterFailure(
   // Tear down in dependency order, then rebuild the DRAM-resident state
   // (allocators, namespace) from flash.
   fs_.reset();
+  journal_.reset();
   storage_ = std::make_unique<StorageManager>(*dram_, *store_,
                                               config_.page_bytes,
                                               config_.residency);
   RecoveryReport report;
+  if (config_.journal) {
+    journal_ = std::make_unique<MetadataJournal>(*storage_,
+                                                 config_.journal_options);
+    MemoryFsOptions fs_options = config_.fs_options;
+    fs_options.journal_oracle = config_.journal_oracle;
+    Result<std::unique_ptr<MemoryFileSystem>> remounted =
+        MemoryFileSystem::RecoverFromJournal(*journal_, *storage_, fs_options,
+                                             &report);
+    if (!remounted.ok()) {
+      // No (or unreadable) journal: factory-reset to an empty, freshly
+      // formatted journaled fs. The failed mount left reservations behind,
+      // so rebuild the manager first.
+      journal_.reset();
+      storage_ = std::make_unique<StorageManager>(*dram_, *store_,
+                                                  config_.page_bytes,
+                                                  config_.residency);
+      journal_ = std::make_unique<MetadataJournal>(*storage_,
+                                                   config_.journal_options);
+      MemoryFsOptions fresh = config_.fs_options;
+      Status formatted = journal_->Format();
+      if (!formatted.ok()) {
+        SSMC_LOG(kWarning) << "journal reformat failed, running unjournaled: "
+                           << formatted.ToString();
+        journal_.reset();
+      } else {
+        fresh.journal = journal_.get();
+        fresh.journal_oracle = config_.journal_oracle;
+      }
+      fs_ = std::make_unique<MemoryFileSystem>(*storage_, fresh);
+      if (config_.obs != nullptr) {
+        storage_->AttachObs(config_.obs);
+        if (journal_ != nullptr) {
+          journal_->AttachObs(config_.obs);
+        }
+        fs_->AttachObs(config_.obs);
+      }
+      return remounted.status();
+    }
+    fs_ = std::move(remounted).value();
+    if (config_.obs != nullptr) {
+      storage_->AttachObs(config_.obs);
+      journal_->AttachObs(config_.obs);
+      fs_->AttachObs(config_.obs);
+      config_.obs->tracer().Span(obs_track_, "journal-mount", recovery_start,
+                                 clock_.now() - recovery_start,
+                                 {"files", report.files_recovered},
+                                 {"records", report.journal_records_replayed});
+    }
+    return report;
+  }
   Result<std::unique_ptr<MemoryFileSystem>> recovered =
       MemoryFileSystem::RecoverFromCheckpoint(*storage_, config_.fs_options,
                                               &report);

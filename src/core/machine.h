@@ -19,6 +19,7 @@
 #include "src/device/specs.h"
 #include "src/fs/memory_fs.h"
 #include "src/ftl/flash_store.h"
+#include "src/journal/journal.h"
 #include "src/sim/clock.h"
 #include "src/sim/event_queue.h"
 #include "src/storage/storage_manager.h"
@@ -68,6 +69,17 @@ struct MachineConfig {
   // Period of the metadata-checkpoint daemon; 0 disables checkpointing.
   // With it off, a total battery failure loses the whole namespace.
   Duration checkpoint_period = 0;
+  // Durable metadata journal (ROADMAP E13). Off by default — byte-identical
+  // legacy behavior. When on, every namespace mutation is appended to the
+  // journal before it is acked, CheckpointMetadata() compacts through the
+  // journal, and RecoverAfterFailure() remounts from checkpoint + log tail,
+  // restoring every acked mutation — not just state as of the last
+  // checkpoint.
+  bool journal = false;
+  MetadataJournalOptions journal_options;
+  // With the journal on, also maintain the legacy block-0 checkpoint so the
+  // two recovery paths can be compared differentially (tests, E13 bench).
+  bool journal_oracle = false;
   uint64_t page_bytes = 512;
   uint64_t seed = 1;
   // Observability bundle (metrics registry + span tracer), not owned. Null
@@ -103,6 +115,8 @@ class MobileComputer {
   FlashStore& flash_store() { return *store_; }
   StorageManager& storage() { return *storage_; }
   MemoryFileSystem& fs() { return *fs_; }
+  // Null unless MachineConfig::journal is set.
+  MetadataJournal* journal() { return journal_.get(); }
 
   // Creates a process address space owned by the machine.
   AddressSpace& CreateAddressSpace();
@@ -155,6 +169,9 @@ class MobileComputer {
   std::unique_ptr<Battery> battery_;
   std::unique_ptr<FlashStore> store_;
   std::unique_ptr<StorageManager> storage_;
+  // Declared before fs_: the fs holds a raw pointer into the journal, so it
+  // must be destroyed first.
+  std::unique_ptr<MetadataJournal> journal_;
   std::unique_ptr<MemoryFileSystem> fs_;
   std::vector<std::unique_ptr<AddressSpace>> spaces_;
   double drained_nj_ = 0;  // Energy already taken from the battery.

@@ -463,6 +463,27 @@ Result<Duration> FlashDevice::Program(uint64_t addr,
     }
   }
 
+  if (torn_program_armed_) {
+    if (torn_program_skip_ > 0) {
+      --torn_program_skip_;
+    } else {
+      torn_program_armed_ = false;
+      const uint64_t applied =
+          std::min<uint64_t>(torn_program_bytes_, data.size());
+      if (applied > 0) {
+        std::memcpy(MaterializeSector(sector) + off, data.data(), applied);
+        if (validate_payloads_) {
+          std::memcpy(ShadowSector(sector) + off, data.data(), applied);
+        }
+        meta.programmed_end = std::max(meta.programmed_end,
+                                       static_cast<uint32_t>(off + applied));
+      }
+      stats_.torn_programs.Add();
+      return InternalError("injected torn program at flash address " +
+                           std::to_string(addr));
+    }
+  }
+
   const Duration op_ns = spec_.program.LatencyFor(data.size());
   const IoScheduler::Dispatch d = SubmitOp(
       IoOp::kProgram, BankOfAddress(addr), addr, data.size(), op_ns, issue);
@@ -506,6 +527,29 @@ Result<Duration> FlashDevice::ProgramExtent(uint64_t addr, PayloadRef payload,
       return FailedPreconditionError(
           "program to non-erased flash byte at address " +
           std::to_string(first_programmed));
+    }
+  }
+
+  if (torn_program_armed_) {
+    if (torn_program_skip_ > 0) {
+      --torn_program_skip_;
+    } else {
+      torn_program_armed_ = false;
+      // The surviving prefix lands in the flat representation: a torn extent
+      // is no longer the extent the writer handed over, so filing the ref
+      // would misrepresent the medium.
+      const uint64_t applied = std::min<uint64_t>(torn_program_bytes_, size);
+      if (applied > 0) {
+        std::memcpy(MaterializeSector(sector) + off, payload.data(), applied);
+        if (validate_payloads_) {
+          std::memcpy(ShadowSector(sector) + off, payload.data(), applied);
+        }
+        meta.programmed_end = std::max(meta.programmed_end,
+                                       static_cast<uint32_t>(off + applied));
+      }
+      stats_.torn_programs.Add();
+      return InternalError("injected torn program at flash address " +
+                           std::to_string(addr));
     }
   }
 
@@ -590,6 +634,20 @@ Result<Duration> FlashDevice::EraseSector(uint64_t sector, IoIssue issue) {
   Sector& s = sectors_[sector];
   if (s.bad) {
     return DataLossError("erase of worn-out flash sector " +
+                         std::to_string(sector));
+  }
+
+  if (erase_interrupt_armed_) {
+    erase_interrupt_armed_ = false;
+    // An interrupted erase still consumes the wear cycle but leaves the
+    // sector's contents as they were — callers must re-erase before reuse.
+    s.erase_count += 1;
+    stats_.erases.Add();
+    stats_.interrupted_erases.Add();
+    if (erase_observer_) {
+      erase_observer_(sector, s.erase_count, /*now_bad=*/false);
+    }
+    return InternalError("injected interrupted erase of flash sector " +
                          std::to_string(sector));
   }
 

@@ -188,6 +188,25 @@ class FlashDevice {
     fault_reads_remaining_ = count;
   }
 
+  // Test hook (crash injection): after `after_programs` further successful
+  // programs, the next program is torn by a simulated power failure — only
+  // its first `bytes` bytes reach the medium, the op fails with INTERNAL,
+  // and stats().torn_programs is bumped. Like InjectReadFaults the failure
+  // fires before the request is scheduled (no timing or energy side
+  // effects), and the hook is one-shot: it disarms after firing, so every
+  // later program is genuine.
+  void FailNextProgramAfterBytes(uint64_t bytes, uint64_t after_programs = 0) {
+    torn_program_armed_ = true;
+    torn_program_bytes_ = bytes;
+    torn_program_skip_ = after_programs;
+  }
+
+  // Test hook (crash injection): the next EraseSector is interrupted by a
+  // simulated power failure — the wear cycle is consumed (observer notified)
+  // but the sector's contents stay untouched and the op fails with INTERNAL.
+  // One-shot, like FailNextProgramAfterBytes.
+  void InterruptNextErase() { erase_interrupt_armed_ = true; }
+
   // Differential payload oracle (also enabled by the SSMC_VALIDATE_PAYLOADS
   // env var, same pattern as the event queue's SSMC_VALIDATE_EVENTS): every
   // program additionally memcpys its bytes into a flat shadow copy of the
@@ -217,6 +236,8 @@ class FlashDevice {
     Counter erases;           // Sector erases (includes failed attempts).
     Counter read_stall_ns;    // Time blocking reads spent waiting on banks.
     Counter bad_sectors;      // Sectors permanently failed.
+    Counter torn_programs;    // Injected power-fail torn writes (tests).
+    Counter interrupted_erases;  // Injected power-fail erases (tests).
     IoLaneStats by_class[kNumIoPriorities];  // Indexed by IoPriority.
     TenantLaneTable by_tenant;               // Keyed by issuing tenant.
   };
@@ -343,6 +364,10 @@ class FlashDevice {
   EraseObserver erase_observer_;
   uint64_t fault_sector_ = 0;
   int fault_reads_remaining_ = 0;
+  bool torn_program_armed_ = false;
+  uint64_t torn_program_bytes_ = 0;
+  uint64_t torn_program_skip_ = 0;
+  bool erase_interrupt_armed_ = false;
   Duration total_active_ns_ = 0;
   Duration idle_accounted_until_ = 0;
 

@@ -40,6 +40,9 @@
 
 namespace ssmc {
 
+class MetadataJournal;
+struct JournalRecord;
+
 struct MemoryFsOptions {
   // Write buffer capacity in pages (pages are storage.page_bytes() each).
   // 2048 pages of 512 B = 1 MiB, the size Baker et al. showed absorbs
@@ -54,6 +57,16 @@ struct MemoryFsOptions {
   // says flash is the one legal divergence (under migration policies the
   // flash copy stays authoritative).
   bool validate_residency = false;
+  // Durable metadata journal (ROADMAP E13). When set, every namespace
+  // mutation appends a record to the journal before the operation is acked,
+  // CheckpointMetadata() compacts through the journal's dense snapshot, and
+  // the log is bounded by the journal's compaction advisory. Null = legacy
+  // behavior, byte-identical to the pre-journal file system.
+  MetadataJournal* journal = nullptr;
+  // With the journal enabled, ALSO maintain the legacy block-0 checkpoint on
+  // every CheckpointMetadata() so the two recovery paths can be compared
+  // differentially (tests and the E13 bench).
+  bool journal_oracle = false;
 };
 
 // Where a mapped file block currently lives (consumed by the VM layer for
@@ -71,6 +84,8 @@ struct RecoveryReport {
   uint64_t files_recovered = 0;
   uint64_t bytes_recovered = 0;  // File bytes whose blocks are in flash.
   SimTime checkpoint_age = 0;    // How stale the recovered state is.
+  uint64_t journal_records_replayed = 0;  // Log-tail records applied on top
+                                          // of the checkpoint (journal path).
 };
 
 class MemoryFileSystem : public FileSystem {
@@ -97,6 +112,17 @@ class MemoryFileSystem : public FileSystem {
   static Result<std::unique_ptr<MemoryFileSystem>> RecoverFromCheckpoint(
       StorageManager& storage, MemoryFsOptions options,
       RecoveryReport* report);
+
+  // Journal-based remount (ROADMAP E13): mounts `journal` from flash (the
+  // newest valid superblock), installs its dense namespace checkpoint, and
+  // replays the log tail so every mutation the journal acked before the
+  // crash is restored — not just state as of the last checkpoint. Mount
+  // work scales with checkpoint size + log-tail length, never with a
+  // per-path walk of the namespace. `options.journal` is overwritten to
+  // point at `journal`; the returned fs keeps journaling.
+  static Result<std::unique_ptr<MemoryFileSystem>> RecoverFromJournal(
+      MetadataJournal& journal, StorageManager& storage,
+      MemoryFsOptions options, RecoveryReport* report);
 
   std::string name() const override { return "memory-fs"; }
 
@@ -187,6 +213,9 @@ class MemoryFileSystem : public FileSystem {
     // Deliberately a flat vector: "the complexity of multiple levels of
     // indirect blocks may also be eliminated."
     std::vector<int64_t> flash_blocks;
+    // Last tenant to write this file; journaled (kTenantStamp) so post-crash
+    // flush attribution survives remount.
+    TenantId last_writer = kDefaultTenant;
   };
 
   struct Node {
@@ -207,6 +236,29 @@ class MemoryFileSystem : public FileSystem {
                      std::vector<uint8_t>& out) const;
   // Releases the flash blocks of the previous checkpoint.
   void ReleaseOldCheckpoint();
+  // Frees a detached checkpoint-block list, skipping blocks this manager no
+  // longer holds (safe across recovery replacing the manager mid-release).
+  void ReleaseCheckpointBlocks(std::vector<uint64_t> blocks);
+
+  // Dense snapshot for the journal's checkpoint chain: parent-index +
+  // basename per node instead of one full path per record, preorder, so
+  // deserialization is straight array indexing with no path walks.
+  void SerializeDense(std::vector<uint8_t>& out) const;
+  uint32_t SerializeDenseChildren(const Node& dir, uint32_t dir_index,
+                                  uint32_t next_index, uint64_t* count,
+                                  std::vector<uint8_t>& out) const;
+
+  // Appends `record` durably when journaling is on (no-op otherwise or
+  // during replay). The caller must not have applied the mutation yet: a
+  // failed append fails the operation with the namespace unchanged.
+  Status JournalAppend(JournalRecord record);
+  // Compacts the journal (through CheckpointMetadata) once its log passes
+  // the configured bound. Advisory: failures are swallowed, the log just
+  // stays long until the next opportunity.
+  void MaybeCompact();
+  // Applies one recovered log record to the in-memory state. Never touches
+  // the block allocator (extents are reserved in one pass after replay).
+  Status ReplayRecord(const JournalRecord& record);
 
   // Walks the tree, charging DRAM reads per component. Returns null if any
   // component is missing or a non-directory is traversed.
@@ -247,6 +299,9 @@ class MemoryFileSystem : public FileSystem {
                                              // checkpoint (superblock extra).
   SimTime last_checkpoint_at_ = -1;          // -1: never checkpointed.
   uint64_t residency_validation_failures_ = 0;
+  // True while RecoverFromJournal replays records: suppresses journal
+  // emission from the mutation paths replay reuses.
+  bool replaying_ = false;
   TenantId tenant_ = kDefaultTenant;
   Stats stats_;
   Obs* obs_ = nullptr;

@@ -1,0 +1,132 @@
+// On-flash format of the metadata journal (ssmc_journal).
+//
+// Three kinds of flash blocks, all sized to the flash store's logical block:
+//
+//  * Superblock — two fixed logical blocks (A/B) written alternately, each
+//    carrying a generation number and a CRC. The valid superblock with the
+//    highest generation is the mount anchor; a torn superblock program
+//    leaves the sibling valid, so the superblock write IS the commit point
+//    of every journal state change.
+//  * Checkpoint chain — a dense snapshot of the namespace at some LSN,
+//    split across a chain of blocks (each block's header names its
+//    successor). Immutable once the superblock that references it lands.
+//  * Log blocks — an append-only chain of mutation records. Each log block
+//    header names the previously sealed block, so sealed blocks are never
+//    rewritten; only the unsealed tail block is replaced (out of place via
+//    the FTL) as records accumulate, and the replacement is published by
+//    the next superblock generation.
+//
+// Records carry a monotonic LSN and a per-record CRC32 over type + LSN +
+// payload. Recovery replays the checkpoint, then the log chain in LSN
+// order; the first record whose CRC fails ends replay (a half-written tail
+// from a power failure mid-program).
+
+#ifndef SSMC_SRC_JOURNAL_JOURNAL_FORMAT_H_
+#define SSMC_SRC_JOURNAL_JOURNAL_FORMAT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/io_request.h"
+
+namespace ssmc {
+
+// CRC-32 (IEEE 802.3 polynomial, bit-reflected), the checksum on every
+// journal record and superblock.
+uint32_t Crc32(std::span<const uint8_t> data);
+uint32_t Crc32(uint32_t seed, std::span<const uint8_t> data);
+
+// Metadata mutations the log records. Values are on-media — never renumber.
+enum class JournalRecordType : uint8_t {
+  kMkdir = 1,        // path
+  kCreate = 2,       // file_id, tenant, path
+  kUnlink = 3,       // path
+  kRmdir = 4,        // path
+  kRename = 5,       // path (from), path2 (to)
+  kSetSize = 6,      // file_id, size
+  kExtent = 7,       // file_id, block_index, flash_block (kNoFlashBlock = hole)
+  kTenantStamp = 8,  // file_id, tenant (last writer changed)
+  kCheckpoint = 9,   // lsn of the checkpoint this record announces
+};
+const char* JournalRecordTypeName(JournalRecordType type);
+
+inline constexpr uint64_t kNoFlashBlock = ~uint64_t{0};
+
+// One decoded log record. Which fields are meaningful depends on `type`
+// (see the enum); unused fields stay zero/empty.
+struct JournalRecord {
+  JournalRecordType type = JournalRecordType::kMkdir;
+  uint64_t lsn = 0;
+  uint64_t file_id = 0;
+  uint64_t size = 0;         // kSetSize; block_index for kExtent.
+  uint64_t flash_block = 0;  // kExtent target; lsn payload for kCheckpoint.
+  TenantId tenant = kDefaultTenant;
+  std::string path;
+  std::string path2;  // Rename destination.
+};
+
+// Appends the record's wire encoding (header + CRC + payload) to `out`.
+// Returns the encoded size in bytes.
+uint64_t EncodeJournalRecord(const JournalRecord& record,
+                             std::vector<uint8_t>& out);
+
+// Size EncodeJournalRecord would append, without encoding.
+uint64_t EncodedJournalRecordSize(const JournalRecord& record);
+
+// Decodes one record starting at `data[pos]`. On success advances *pos past
+// the record and returns true. Returns false — leaving *pos untouched — on
+// a truncated header, a CRC mismatch, or an unknown type: the caller treats
+// the remainder of the block as the torn tail of the log.
+bool DecodeJournalRecord(std::span<const uint8_t> data, uint64_t* pos,
+                         JournalRecord* record);
+
+// --- Block headers ---------------------------------------------------------
+
+// Superblock payload (one per superblock slot). CRC covers every field
+// after it, so a torn superblock program is detected and the sibling slot
+// (previous generation) wins.
+struct JournalSuperblock {
+  uint64_t generation = 0;   // Monotonic; highest valid generation mounts.
+  uint64_t next_lsn = 1;     // First unassigned LSN.
+  uint64_t checkpoint_lsn = 0;       // State below this LSN is checkpointed.
+  uint64_t checkpoint_time = 0;      // SimTime the checkpoint was taken.
+  uint64_t checkpoint_head = kNoFlashBlock;  // First checkpoint-chain block.
+  uint64_t checkpoint_bytes = 0;             // Snapshot payload size.
+  uint64_t log_tail = kNoFlashBlock;         // Newest log block (chain head).
+  uint64_t log_blocks = 0;                   // Chain length (tail included).
+};
+
+// Encodes into exactly `block_bytes` (zero padded); requires block_bytes >=
+// kJournalSuperblockBytes.
+inline constexpr uint64_t kJournalSuperblockBytes = 80;
+void EncodeJournalSuperblock(const JournalSuperblock& sb, uint64_t block_bytes,
+                             std::vector<uint8_t>& out);
+// False if magic/version/CRC do not validate.
+bool DecodeJournalSuperblock(std::span<const uint8_t> raw,
+                             JournalSuperblock* sb);
+
+// Checkpoint-chain block header: [magic, next_block]; the rest of the block
+// is snapshot payload bytes. The payload's total length and CRC live in the
+// superblock (checkpoint_bytes) and the chain is immutable, so per-block
+// CRCs are unnecessary — the snapshot is validated as one stream.
+inline constexpr uint64_t kCheckpointBlockHeaderBytes = 16;
+void EncodeCheckpointBlockHeader(uint64_t next_block, std::vector<uint8_t>& out);
+// Returns false on bad magic; else sets *next_block.
+bool DecodeCheckpointBlockHeader(std::span<const uint8_t> raw,
+                                 uint64_t* next_block);
+
+// Log block header: [magic, prev_block, base_lsn]. Records follow
+// back-to-back; the unused remainder of the block is zero, which record
+// decoding rejects (a zero length field), ending the block.
+inline constexpr uint64_t kLogBlockHeaderBytes = 24;
+void EncodeLogBlockHeader(uint64_t prev_block, uint64_t base_lsn,
+                          std::vector<uint8_t>& out);
+bool DecodeLogBlockHeader(std::span<const uint8_t> raw, uint64_t* prev_block,
+                          uint64_t* base_lsn);
+
+}  // namespace ssmc
+
+#endif  // SSMC_SRC_JOURNAL_JOURNAL_FORMAT_H_

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 #include <vector>
 
@@ -223,6 +224,88 @@ TEST_F(FlashDeviceTest, IdleEnergyAccountedOnDemand) {
   clock_.Advance(kSecond);
   flash.AccountIdleEnergy();
   EXPECT_GT(flash.energy().idle_nanojoules(), 0.0);
+}
+
+TEST_F(FlashDeviceTest, TornProgramAppliesPrefixAndFails) {
+  FlashDevice flash(spec_, 16 * 1024, 1, clock_);
+  std::vector<uint8_t> data(64);
+  std::iota(data.begin(), data.end(), 1);
+  flash.FailNextProgramAfterBytes(24);
+  const SimTime before = clock_.now();
+  Result<Duration> r = flash.Program(128, data);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kInternal);
+  // Injected before scheduling: no time passed, no program counted.
+  EXPECT_EQ(clock_.now(), before);
+  EXPECT_EQ(flash.stats().programs.value(), 0u);
+  EXPECT_EQ(flash.stats().torn_programs.value(), 1u);
+  // The first 24 bytes survived; the rest of the range is still erased.
+  std::vector<uint8_t> out(64);
+  ASSERT_TRUE(flash.Read(128, out).ok());
+  EXPECT_TRUE(std::equal(out.begin(), out.begin() + 24, data.begin()));
+  for (size_t i = 24; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], 0xFF) << "byte " << i;
+  }
+}
+
+TEST_F(FlashDeviceTest, TornProgramSkipCountArmsLaterWrite) {
+  FlashDevice flash(spec_, 16 * 1024, 1, clock_);
+  std::vector<uint8_t> data(16, 0x5A);
+  flash.FailNextProgramAfterBytes(0, /*after_programs=*/2);
+  ASSERT_TRUE(flash.Program(0, data).ok());
+  ASSERT_TRUE(flash.Program(64, data).ok());
+  Result<Duration> r = flash.Program(256, data);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kInternal);
+  EXPECT_EQ(flash.stats().torn_programs.value(), 1u);
+  // bytes=0: the torn write left nothing behind and the hook disarmed, so
+  // the retry succeeds and round-trips.
+  ASSERT_TRUE(flash.Program(256, data).ok());
+  std::vector<uint8_t> out(16);
+  ASSERT_TRUE(flash.Read(256, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(FlashDeviceTest, TornProgramExtentAppliesPrefix) {
+  FlashDevice flash(spec_, 16 * 1024, 1, clock_);
+  ExtentPool pool(64);
+  PayloadRef payload = pool.Allocate();
+  for (size_t i = 0; i < 64; ++i) {
+    payload.MutableData()[i] = static_cast<uint8_t>(i + 1);
+  }
+  flash.FailNextProgramAfterBytes(10);
+  Result<Duration> r = flash.ProgramExtent(512, payload, kForegroundIo);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kInternal);
+  EXPECT_EQ(flash.stats().torn_programs.value(), 1u);
+  std::vector<uint8_t> out(64);
+  ASSERT_TRUE(flash.Read(512, out).ok());
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(out[i], static_cast<uint8_t>(i + 1)) << "byte " << i;
+  }
+  for (size_t i = 10; i < 64; ++i) {
+    EXPECT_EQ(out[i], 0xFF) << "byte " << i;
+  }
+}
+
+TEST_F(FlashDeviceTest, InterruptedEraseConsumesWearKeepsContents) {
+  FlashDevice flash(spec_, 16 * 1024, 1, clock_);
+  std::vector<uint8_t> data(16, 0x77);
+  ASSERT_TRUE(flash.Program(0, data).ok());
+  flash.InterruptNextErase();
+  Result<Duration> r = flash.EraseSector(0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kInternal);
+  // Wear cycle consumed, contents untouched, hook disarmed.
+  EXPECT_EQ(flash.EraseCount(0), 1u);
+  EXPECT_EQ(flash.stats().interrupted_erases.value(), 1u);
+  EXPECT_FALSE(flash.IsSectorErased(0));
+  std::vector<uint8_t> out(16);
+  ASSERT_TRUE(flash.Read(0, out).ok());
+  EXPECT_EQ(out, data);
+  ASSERT_TRUE(flash.EraseSector(0).ok());
+  EXPECT_TRUE(flash.IsSectorErased(0));
+  EXPECT_EQ(flash.EraseCount(0), 2u);
 }
 
 TEST_F(FlashDeviceTest, EmptyReadAndProgramAreFree) {
