@@ -35,6 +35,17 @@ promises:
                                   the journal adds over everything else
                                   (lower is better).
 
+BENCH_nvm.json — the two headline E16 rows guard the NVM tier's reason to
+exist (both are deterministic simulated counters, so any movement is a
+behavior change, not runner noise):
+
+  * e16/os-nvm/1024kib flash_read_reduction_x — how much flash read traffic
+                                  the OS-managed 1 MiB NVM tier removes vs
+                                  the no-NVM baseline (higher is better);
+  * e16/hw-nvm/1024kib flash_read_reduction_x — the same cut from the
+                                  hardware access-counter migration path
+                                  (higher is better).
+
 Run from CI's bench-smoke leg after the benches have emitted their JSON
 next to the binaries; pass one or more fresh files:
 
@@ -70,6 +81,10 @@ GATES = {
     "BENCH_recovery.json": [
         ("recovery/inodes/262144", "journal_mount_ns", False),
         ("recovery/inodes/262144", "journal_write_overhead_pct", False),
+    ],
+    "BENCH_nvm.json": [
+        ("e16/os-nvm/1024kib", "flash_read_reduction_x", True),
+        ("e16/hw-nvm/1024kib", "flash_read_reduction_x", True),
     ],
 }
 

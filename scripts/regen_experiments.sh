@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Regenerates the experiment artifacts after a change that may move numbers:
-# rebuilds the release preset, runs every experiment bench (E1-E12, E14)
-# plus the microbenchmarks, and refreshes the machine-readable result files
-# (BENCH_micro.json, BENCH_scaleout.json, BENCH_migration.json,
-# BENCH_qos.json) at the repository root. BENCH_micro.json and
+# rebuilds the release preset, runs every experiment bench (E1-E12, E14,
+# E16) plus the microbenchmarks, and refreshes the machine-readable result
+# files (BENCH_micro.json, BENCH_scaleout.json, BENCH_migration.json,
+# BENCH_qos.json, BENCH_nvm.json) at the repository root. BENCH_micro.json and
 # BENCH_scaleout.json double as the benchmark regression baselines: CI's
 # bench-smoke leg re-measures BM_SimCoreReplay,
 # BM_LargeStoreRandOverwrite/65536, BM_CleaningRelocation, and the
@@ -44,14 +44,16 @@ for bench in "${bindir}"/bench_e[0-9]*; do
   echo "=== ${name} ==="
   "${bench}" | tee "${outdir}/${name}.txt"
 done
-# bench_e12_migration, bench_e13_recovery, and bench_e14_qos (in the loop
-# above, run from the repo root) also refresh BENCH_migration.json /
-# BENCH_recovery.json / BENCH_qos.json in place; fail loudly if they did
-# not. BENCH_recovery.json doubles as the E13 mount-time regression
-# baseline (scripts/bench_gate.py).
+# bench_e12_migration, bench_e13_recovery, bench_e14_qos, and bench_e16_nvm
+# (in the loop above, run from the repo root) also refresh
+# BENCH_migration.json / BENCH_recovery.json / BENCH_qos.json /
+# BENCH_nvm.json in place; fail loudly if they did not. BENCH_recovery.json
+# doubles as the E13 mount-time regression baseline, and BENCH_nvm.json as
+# the E16 flash-read-reduction baseline (scripts/bench_gate.py).
 test -s BENCH_migration.json
 test -s BENCH_recovery.json
 test -s BENCH_qos.json
+test -s BENCH_nvm.json
 
 echo "=== bench_e8_banks --tail (scheduling ablation) ==="
 "${bindir}/bench_e8_banks" --tail | tee "${outdir}/bench_e8_banks_tail.txt"

@@ -63,6 +63,10 @@ MobileComputer::MobileComputer(MachineConfig config)
                               qos.burst_bytes);
     }
   }
+  if (config_.nvm_bytes > 0) {
+    nvm_ = std::make_unique<NvmDevice>(config_.nvm_spec, config_.nvm_bytes,
+                                       config_.nvm_banks, clock_);
+  }
   battery_ = std::make_unique<Battery>(config_.primary_battery_mwh,
                                        config_.backup_battery_mwh, clock_);
   // The storage manager's flush path runs in the background: writes occupy
@@ -73,7 +77,7 @@ MobileComputer::MobileComputer(MachineConfig config)
   store_ = std::make_unique<FlashStore>(*flash_, store_options);
   storage_ = std::make_unique<StorageManager>(*dram_, *store_,
                                               config_.page_bytes,
-                                              config_.residency);
+                                              config_.residency, nvm_.get());
   MemoryFsOptions fs_options = config_.fs_options;
   if (config_.journal) {
     journal_ = std::make_unique<MetadataJournal>(*storage_,
@@ -92,6 +96,9 @@ MobileComputer::MobileComputer(MachineConfig config)
   if (config_.obs != nullptr) {
     obs_track_ = config_.obs->tracer().RegisterTrack("machine");
     flash_->AttachObs(config_.obs);
+    if (nvm_ != nullptr) {
+      nvm_->AttachObs(config_.obs);
+    }
     store_->AttachObs(config_.obs);
     storage_->AttachObs(config_.obs);
     if (journal_ != nullptr) {
@@ -144,7 +151,7 @@ Result<RecoveryReport> MobileComputer::RecoverAfterFailure(
   journal_.reset();
   storage_ = std::make_unique<StorageManager>(*dram_, *store_,
                                               config_.page_bytes,
-                                              config_.residency);
+                                              config_.residency, nvm_.get());
   RecoveryReport report;
   if (config_.journal) {
     journal_ = std::make_unique<MetadataJournal>(*storage_,
@@ -161,7 +168,8 @@ Result<RecoveryReport> MobileComputer::RecoverAfterFailure(
       journal_.reset();
       storage_ = std::make_unique<StorageManager>(*dram_, *store_,
                                                   config_.page_bytes,
-                                                  config_.residency);
+                                                  config_.residency,
+                                                  nvm_.get());
       journal_ = std::make_unique<MetadataJournal>(*storage_,
                                                    config_.journal_options);
       MemoryFsOptions fresh = config_.fs_options;
@@ -206,7 +214,7 @@ Result<RecoveryReport> MobileComputer::RecoverAfterFailure(
     // in storage_, so rebuild the manager before constructing the fresh FS.
     storage_ = std::make_unique<StorageManager>(*dram_, *store_,
                                                 config_.page_bytes,
-                                                config_.residency);
+                                                config_.residency, nvm_.get());
     fs_ = std::make_unique<MemoryFileSystem>(*storage_, config_.fs_options);
     if (config_.obs != nullptr) {
       storage_->AttachObs(config_.obs);
@@ -231,6 +239,7 @@ Result<RecoveryReport> MobileComputer::RecoverAfterFailure(
 
 AddressSpace& MobileComputer::CreateAddressSpace() {
   spaces_.push_back(std::make_unique<AddressSpace>(*storage_));
+  spaces_.back()->set_hw_migration(config_.hw_migration);
   return *spaces_.back();
 }
 
@@ -248,9 +257,21 @@ ReplayReport MobileComputer::RunTrace(const Trace& trace) {
                                       c.service_ns.value()};
   }
   const TenantLaneTable before_tenants = flash_->stats().by_tenant;
+  const MemoryFileSystem::Stats& fstats = fs_->stats();
+  const uint64_t dram_before = fstats.buffered_read_bytes.value() +
+                               fstats.clean_cached_read_bytes.value();
+  const uint64_t nvm_before = fstats.nvm_cached_read_bytes.value();
+  const uint64_t flash_before = fstats.flash_direct_read_bytes.value();
   TraceReplayer replayer(*fs_, clock_, &events_);
   replayer.AttachObs(config_.obs);
   ReplayReport report = replayer.Replay(trace);
+  report.tier_dram_read_bytes = fstats.buffered_read_bytes.value() +
+                                fstats.clean_cached_read_bytes.value() -
+                                dram_before;
+  report.tier_nvm_read_bytes = fstats.nvm_cached_read_bytes.value() -
+                               nvm_before;
+  report.tier_flash_read_bytes =
+      fstats.flash_direct_read_bytes.value() - flash_before;
   for (int i = 0; i < kNumIoPriorities; ++i) {
     const IoLaneStats& c = flash_->stats().by_class[i];
     const Snap& b = before[static_cast<size_t>(i)];
@@ -264,12 +285,16 @@ ReplayReport MobileComputer::RunTrace(const Trace& trace) {
 }
 
 double MobileComputer::CurrentStandbyMw() const {
-  return dram_->standby_mw() + flash_->standby_mw();
+  return dram_->standby_mw() + flash_->standby_mw() +
+         (nvm_ != nullptr ? nvm_->standby_mw() : 0.0);
 }
 
 bool MobileComputer::SettleEnergy() {
   dram_->AccountIdleEnergy();
   flash_->AccountIdleEnergy();
+  if (nvm_ != nullptr) {
+    nvm_->AccountIdleEnergy();
+  }
   const double total = TotalEnergyNj();
   const double delta = total - drained_nj_;
   drained_nj_ = total;
@@ -281,7 +306,8 @@ bool MobileComputer::SettleEnergy() {
 
 double MobileComputer::TotalEnergyNj() const {
   return dram_->energy().total_nanojoules() +
-         flash_->energy().total_nanojoules();
+         flash_->energy().total_nanojoules() +
+         (nvm_ != nullptr ? nvm_->energy().total_nanojoules() : 0.0);
 }
 
 MobileComputer::CrashReport MobileComputer::InjectBatteryFailure() {

@@ -16,6 +16,7 @@
 #include "src/device/battery.h"
 #include "src/device/dram_device.h"
 #include "src/device/flash_device.h"
+#include "src/device/nvm_device.h"
 #include "src/device/specs.h"
 #include "src/fs/memory_fs.h"
 #include "src/ftl/flash_store.h"
@@ -38,6 +39,16 @@ struct MachineConfig {
   FlashSpec flash_spec = IntelFlash1993();
   uint64_t flash_bytes = 16 * kMiB;
   int flash_banks = 2;
+  // Optional byte-addressable NVM tier between DRAM and flash (E16). 0 bytes
+  // (the default) builds no NVM device and keeps the two-tier hierarchy
+  // bit-identical. Sized in page_bytes units; must divide evenly by banks.
+  NvmSpec nvm_spec = PcmNvm();
+  uint64_t nvm_bytes = 0;
+  int nvm_banks = 1;
+  // Hardware-managed page migration applied to every address space the
+  // machine creates (OS-managed migration is `residency` below; the two are
+  // the E16 comparison). Off by default.
+  HwMigrationOptions hw_migration;
   FlashStoreOptions store_options;   // background_writes forced on below.
   // How each flash bank orders contending requests. kFifo (default) is the
   // paper-faithful charge-latency model, byte-identical to the pre-pipeline
@@ -111,6 +122,8 @@ class MobileComputer {
   EventQueue& events() { return events_; }
   DramDevice& dram() { return *dram_; }
   FlashDevice& flash() { return *flash_; }
+  // Null unless MachineConfig::nvm_bytes > 0.
+  NvmDevice* nvm() { return nvm_.get(); }
   Battery& battery() { return *battery_; }
   FlashStore& flash_store() { return *store_; }
   StorageManager& storage() { return *storage_; }
@@ -166,6 +179,8 @@ class MobileComputer {
   EventQueue events_;
   std::unique_ptr<DramDevice> dram_;
   std::unique_ptr<FlashDevice> flash_;
+  // Declared before storage_ (which holds a raw pointer into it).
+  std::unique_ptr<NvmDevice> nvm_;
   std::unique_ptr<Battery> battery_;
   std::unique_ptr<FlashStore> store_;
   std::unique_ptr<StorageManager> storage_;

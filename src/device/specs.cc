@@ -66,6 +66,25 @@ FlashSpec GenericPaperFlash() {
   return spec;
 }
 
+NvmSpec PcmNvm() {
+  NvmSpec spec;
+  spec.name = "PCM NVM";
+  // Reads: ~3x the DRAM access latency, ~2x its streaming cost
+  // (MigrantStore, arXiv 1504.04297, Table 1 ratios applied to the NEC
+  // DRAM baseline). Still well under flash at block granularity: a 512 B
+  // read costs 25.9 us here vs 51.4 us on the Intel card.
+  spec.read = {250, 50};
+  // Writes: the phase-change programming pulse makes array writes ~4x
+  // slower than reads (arXiv 2004.05518 quotes 3-8x).
+  spec.write = {500, 200};
+  spec.endurance_writes = 100000000;  // ~1e8 (arXiv 1805.09127).
+  spec.active_mw_per_mib = 60;    // Write pulses draw more than DRAM reads.
+  spec.standby_mw_per_mib = 0.05;  // Non-volatile: no refresh, interface only.
+  spec.dollars_per_mib = 40;       // Between DRAM ($30) and flash ($50).
+  spec.mib_per_cubic_inch = 15;
+  return spec;
+}
+
 DiskSpec KittyHawkDisk1993() {
   DiskSpec spec;
   spec.name = "HP KittyHawk 1.3\"";

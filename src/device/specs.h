@@ -44,6 +44,23 @@ struct DramSpec {
   bool battery_backed = true;     // Mobile systems back DRAM with batteries.
 };
 
+// Byte-addressable non-volatile memory (PCM class). Sits between DRAM and
+// flash in the hierarchy the paper sketches in Section 5: random byte reads
+// a small multiple of DRAM latency, writes asymmetrically slower (the
+// phase-change SET/RESET pulse), no erase constraint, data retained at zero
+// power. Per-cell write endurance is finite but orders of magnitude above
+// flash sector endurance.
+struct NvmSpec {
+  std::string name;
+  MemoryTiming read;
+  MemoryTiming write;              // Asymmetric: slower than read.
+  uint64_t endurance_writes = 0;   // Guaranteed writes per line.
+  double active_mw_per_mib = 0;
+  double standby_mw_per_mib = 0;   // Non-volatile: interface standby only.
+  double dollars_per_mib = 0;
+  double mib_per_cubic_inch = 0;
+};
+
 struct FlashSpec {
   std::string name;
   MemoryTiming read;
@@ -99,6 +116,16 @@ FlashSpec SunDiskFlash1993();
 // Generic direct-mapped flash with exactly the paper's round numbers:
 // 100 ns/B read, 10 us/B write, 512 B sectors, 100k cycles, $50/MB.
 FlashSpec GenericPaperFlash();
+
+// Phase-change memory, the byte-addressable NVM tier the paper's Section 5
+// hierarchy anticipates. Constants follow the PCM literature in PAPERS.md:
+// MigrantStore (arXiv 1504.04297) models PCM at a small multiple of DRAM
+// read latency with ~2-4x slower array writes; the hybrid DRAM-PCM surveys
+// (arXiv 2004.05518, 1805.09127) quote the same read/write asymmetry and
+// ~1e8 write endurance. Scaled onto this catalog's 1993 timing baseline so
+// the ordering DRAM < PCM < flash (reads) and PCM read < PCM write holds at
+// block granularity.
+NvmSpec PcmNvm();
 
 // HP KittyHawk C3013A 1.3" 20 MB microdisk [paper ref 5]. Paper quotes
 // 19 MiB/in^3.

@@ -66,8 +66,9 @@ void MemoryFileSystem::CheckResolve(Residency got, const BlockKey& key,
   }
   const Residency want = OracleResolve(key, flash_block);
   const bool ok =
-      got == want || (got == Residency::kClean && want == Residency::kFlash &&
-                      storage_.residency().enabled());
+      got == want ||
+      ((got == Residency::kClean || got == Residency::kNvm) &&
+       want == Residency::kFlash && storage_.residency().enabled());
   if (!ok) {
     ++residency_validation_failures_;
   }
@@ -270,6 +271,7 @@ void MemoryFileSystem::AttachObs(Obs* obs) {
   Counter* flash_direct = m.AddCounter("fs/flash_direct_read_bytes");
   Counter* buffered = m.AddCounter("fs/buffered_read_bytes");
   Counter* clean_cached = m.AddCounter("fs/clean_cached_read_bytes");
+  Counter* nvm_cached = m.AddCounter("fs/nvm_cached_read_bytes");
   Counter* cow_copies = m.AddCounter("fs/cow_block_copies");
   m.AddCollector("fs", [=, this] {
     auto mirror = [](Counter* dst, const Counter& src) {
@@ -285,6 +287,7 @@ void MemoryFileSystem::AttachObs(Obs* obs) {
     mirror(flash_direct, stats_.flash_direct_read_bytes);
     mirror(buffered, stats_.buffered_read_bytes);
     mirror(clean_cached, stats_.clean_cached_read_bytes);
+    mirror(nvm_cached, stats_.nvm_cached_read_bytes);
     mirror(cow_copies, stats_.cow_block_copies);
     // Per-tenant fs-boundary traffic, registered lazily as tenants appear
     // (AddCounter is idempotent per name).
@@ -355,6 +358,15 @@ Result<uint64_t> MemoryFileSystem::Read(const std::string& path,
         res.TouchRead(key, now);
         break;
       }
+      case Residency::kNvm: {
+        // Warm block: serve from the byte-addressable NVM tier. The touch
+        // may climb it one tier up into the DRAM clean cache.
+        SSMC_RETURN_IF_ERROR(res.ReadNvm(
+            key, in_block, std::span<uint8_t>(out.data() + done, chunk)));
+        stats_.nvm_cached_read_bytes.Add(chunk);
+        res.OnNvmRead(key, now);
+        break;
+      }
       case Residency::kFlash: {
         // Clean block: read directly from flash, byte-granular. The heat
         // update may promote the block for future reads.
@@ -420,6 +432,10 @@ Status MemoryFileSystem::StageBlockWrite(Inode& inode, uint64_t block_index,
     case Residency::kClean:
       // The promoted copy doubles as a DRAM-speed copy-on-write source.
       SSMC_RETURN_IF_ERROR(res.ReadClean(key, 0, staging));
+      break;
+    case Residency::kNvm:
+      // NVM-speed copy-on-write source; still cheaper than a flash read.
+      SSMC_RETURN_IF_ERROR(res.ReadNvm(key, 0, staging));
       break;
     case Residency::kFlash: {
       // Copy-on-write: "when a write operation occurs, the affected block

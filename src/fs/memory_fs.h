@@ -185,6 +185,7 @@ class MemoryFileSystem : public FileSystem {
     Counter buffered_read_bytes;      // Bytes served from the write buffer.
     Counter clean_cached_read_bytes;  // Bytes served from the residency
                                       // manager's clean DRAM cache.
+    Counter nvm_cached_read_bytes;    // Bytes served from the NVM tier.
     Counter cow_block_copies;         // Flash->DRAM copies for partial writes.
     // Per-tenant op/byte attribution at the fs boundary (reads include
     // bytes served from DRAM; the flash-only split lives in FlashStore).

@@ -1,6 +1,7 @@
-// ResidencyManager — the single authority on DRAM↔flash placement
-// (paper Section 3.3: the physical storage manager's core job is "migrating
-// data between DRAM and flash").
+// ResidencyManager — the single authority on tier placement across the
+// machine's memory hierarchy (paper Section 3.3: the physical storage
+// manager's core job is "migrating data between DRAM and flash"; Section 5
+// anticipates additional byte-addressable non-volatile tiers between them).
 //
 // Before this layer existed, residency state was smeared across the stack:
 // the write buffer demoted dirty blocks, the file system decided
@@ -9,10 +10,16 @@
 // DRAM. The ResidencyManager centralizes that:
 //
 //  * it answers, for any logical block, where it currently lives
-//    (DRAM-dirty, DRAM-clean-cached, flash, hole) — Resolve();
+//    (DRAM-dirty, DRAM-clean-cached, NVM-cached, flash, hole) — Resolve();
 //  * it tracks per-block access heat as sim-time-decayed touch counts, fed
 //    by file-system reads/writes and VM faults;
-//  * it owns a clean-block DRAM cache with LRU, pressure-driven demotion;
+//  * it owns a table of clean cache tiers — tier 0 the DRAM clean cache,
+//    tier 1 the optional NVM cache — each with its own page budget and LRU,
+//    with heat-driven promotion/demotion between adjacent tiers: blocks
+//    enter the hierarchy from flash into the bottom cache tier, climb one
+//    tier at a time as their heat crosses that tier's threshold, and fall
+//    one tier at a time under capacity pressure (DRAM tail demotes into
+//    NVM; the NVM tail drops — the flash copy stays authoritative);
 //  * it arbitrates the shared DRAM budget: VM page frames, dirty buffer
 //    pages and the clean cache all draw from one pool (the paper's
 //    single-level-store premise), with clean pages demoted first.
@@ -90,6 +97,13 @@ struct ResidencyOptions {
   double cold_hint_threshold = 0.5;
   // Heat table size bound; crossing it sweeps entries colder than ~0.25.
   uint64_t max_heat_entries = 65536;
+  // --- NVM tier (active only when the machine has NVM capacity) -----------
+  // Cap on the NVM cache as a fraction of total NVM pages.
+  double max_nvm_fraction = 1.0;
+  // Heat needed to enter the NVM tier from flash. The default (1.0) admits
+  // on first touch, so the combined DRAM+NVM ladder approximates a big LRU
+  // — what the Ju et al. analytical oracle (tier_model.h) models.
+  double nvm_promote_threshold = 1.0;
 };
 
 // Where a logical block currently lives.
@@ -98,6 +112,7 @@ enum class Residency : uint8_t {
   kDirty = 1,  // In the DRAM write buffer, not yet flushed.
   kClean = 2,  // In the DRAM clean cache; the flash copy is authoritative.
   kFlash = 3,  // Only in flash.
+  kNvm = 4,    // In the NVM cache tier; the flash copy is authoritative.
 };
 
 class ResidencyManager {
@@ -148,13 +163,34 @@ class ResidencyManager {
 
   // --- Placement ----------------------------------------------------------
   // Where does this block live? `flash_block` is the file system's mapping
-  // for the block (-1 = none). Pure bookkeeping: charges nothing.
+  // for the block (-1 = none). Precedence over the generalized tier table:
+  // dirty buffer, then each cache tier top-down (DRAM, then NVM), then
+  // flash, then hole. Pure bookkeeping: charges nothing.
   Residency Resolve(const BlockKey& key, int64_t flash_block) const;
 
   bool CleanCached(const BlockKey& key) const {
-    return clean_.find(key) != clean_.end();
+    return tiers_[kDramTier].entries.find(key) !=
+           tiers_[kDramTier].entries.end();
   }
-  uint64_t clean_pages() const { return clean_.size(); }
+  uint64_t clean_pages() const { return tiers_[kDramTier].entries.size(); }
+  bool NvmCached(const BlockKey& key) const {
+    return has_nvm_tier() && tiers_[kNvmTier].entries.find(key) !=
+                                 tiers_[kNvmTier].entries.end();
+  }
+  uint64_t nvm_pages() const {
+    return has_nvm_tier() ? tiers_[kNvmTier].entries.size() : 0;
+  }
+  // True when the machine has NVM capacity behind this manager (the tier
+  // exists; whether it fills depends on the policy being enabled).
+  bool has_nvm_tier() const { return tiers_.size() > kNvmTier; }
+
+  // Per-tier occupancy snapshot (benches, tests).
+  struct TierStatus {
+    Residency residency = Residency::kClean;  // kClean or kNvm.
+    uint64_t capacity_pages = 0;
+    uint64_t cached_pages = 0;
+  };
+  std::vector<TierStatus> Tiers() const;
 
   // Reads bytes from a clean-cached block (DRAM access, charged to the
   // caller's clock). Refreshes the entry's LRU position. NOT_FOUND if the
@@ -162,19 +198,29 @@ class ResidencyManager {
   Status ReadClean(const BlockKey& key, uint64_t offset,
                    std::span<uint8_t> out);
 
-  // Drops one / every clean-cached block (content changed, file released,
-  // battery-backed DRAM lost). The flash copy is authoritative, so nothing
-  // is lost.
+  // Reads bytes from an NVM-cached block: a foreground blocking read through
+  // the NVM device's bank scheduler, billed to the current tenant. Refreshes
+  // the entry's LRU position. NOT_FOUND if the block is not in the NVM tier.
+  Status ReadNvm(const BlockKey& key, uint64_t offset, std::span<uint8_t> out);
+
+  // Drops one / every cached block from every tier (content changed, file
+  // released, battery-backed DRAM lost). The flash copy is authoritative,
+  // so nothing is lost.
   void InvalidateClean(const BlockKey& key);
   void InvalidateAllClean();
 
   // --- Heat & migration ---------------------------------------------------
   // Access notifications from the file system. OnFlashRead may promote the
-  // block into the clean cache (policy-dependent); the promotion flash read
-  // is issued cleaner-class non-blocking.
+  // block into the bottom cache tier (policy-dependent): the NVM tier when
+  // one exists, else straight into the DRAM clean cache. The promotion
+  // flash read is issued cleaner-class non-blocking.
   void TouchRead(const BlockKey& key, SimTime now);
   void TouchWrite(const BlockKey& key, SimTime now);
   void OnFlashRead(const BlockKey& key, uint64_t flash_block, SimTime now);
+  // After a read served from the NVM tier: touches the block and, when its
+  // heat crosses the DRAM tier's threshold, promotes it one tier up (the
+  // payload moves by reference; the NVM page returns to the pool).
+  void OnNvmRead(const BlockKey& key, SimTime now);
 
   // A VM fault is about to map this flash block in place. Returns true if
   // the block is hot enough that the VM should copy it to DRAM instead
@@ -207,12 +253,16 @@ class ResidencyManager {
     Counter promoted_bytes;
     Counter clean_hits;
     Counter clean_hit_bytes;
+    Counter nvm_hits;
+    Counter nvm_hit_bytes;
 
     void Merge(const TenantResidency& other) {
       promotions.Merge(other.promotions);
       promoted_bytes.Merge(other.promoted_bytes);
       clean_hits.Merge(other.clean_hits);
       clean_hit_bytes.Merge(other.clean_hit_bytes);
+      nvm_hits.Merge(other.nvm_hits);
+      nvm_hit_bytes.Merge(other.nvm_hit_bytes);
     }
   };
 
@@ -223,9 +273,16 @@ class ResidencyManager {
     Counter clean_hits;              // Reads served from the clean cache.
     Counter clean_hit_bytes;
     Counter demotions_pressure;      // Clean pages dropped for DRAM space.
-    Counter demotions_invalidated;   // Clean pages dropped by invalidation.
+    Counter demotions_invalidated;   // Cached pages dropped by invalidation.
     Counter cold_stream_hints;       // Flushes routed to the cold stream.
     Counter vm_promote_faults;       // VM faults told to copy, not map.
+    // NVM tier traffic (all zero without NVM).
+    Counter nvm_promotions;          // Flash blocks admitted into the NVM tier.
+    Counter nvm_promoted_bytes;
+    Counter nvm_hits;                // Reads served from the NVM tier.
+    Counter nvm_hit_bytes;
+    Counter nvm_to_dram_promotions;  // Blocks climbing NVM -> DRAM.
+    Counter demotions_to_nvm;        // DRAM tail pages demoted into NVM.
     TenantTable<TenantResidency> by_tenant;
   };
   const Stats& stats() const { return stats_; }
@@ -237,12 +294,26 @@ class ResidencyManager {
   void AttachObs(Obs* obs);
 
  private:
-  struct CleanEntry {
-    uint64_t dram_page = 0;
+  // Indexes into tiers_: adjacent tiers differ by one. Tier 0 is the
+  // fastest; the last cache tier borders flash.
+  static constexpr size_t kDramTier = 0;
+  static constexpr size_t kNvmTier = 1;
+
+  struct CacheEntry {
+    uint64_t page = 0;  // DRAM page index (tier 0) or NVM page (tier 1).
     TenantId tenant = kDefaultTenant;  // Who the promotion was billed to;
-                                       // this page is their DRAM share.
-    std::list<BlockKey>::iterator lru_it;  // Position in clean_lru_.
+                                       // this page is their share.
+    std::list<BlockKey>::iterator lru_it;  // Position in the tier's LRU.
   };
+  // One clean cache tier. Entries are exclusive across tiers: a block lives
+  // in at most one, moving between adjacent tiers as its heat changes.
+  struct CacheTier {
+    Residency residency = Residency::kClean;  // What Resolve reports.
+    uint64_t capacity_pages = 0;              // Per-tier budget.
+    std::unordered_map<BlockKey, CacheEntry, BlockKeyHash> entries;
+    std::list<BlockKey> lru;  // Front = least recently used.
+  };
+
   struct Heat {
     double decayed = 0;  // Exponentially decayed touch count.
     uint64_t raw = 0;    // Lifetime touches (kAggressive trigger).
@@ -253,13 +324,28 @@ class ResidencyManager {
   double DecayTo(Heat& h, SimTime now) const;
   // Records one touch; returns the decayed count after it.
   double Touch(const BlockKey& key, SimTime now);
+  // Admission test for the DRAM tier (the historical promote rule).
   bool ShouldPromote(const Heat& h) const;
+  // Admission test for the bottom cache tier from flash: the NVM tier's
+  // (lower) threshold when the tier exists, else the DRAM rule.
+  bool ShouldAdmitFromFlash(const Heat& h) const;
+  // Promotes a flash block into the bottom cache tier.
   void PromoteFromFlash(const BlockKey& key, uint64_t flash_block,
                         SimTime now);
-  // Drops the clean-cache LRU entry; false if the cache is empty.
-  bool DemoteOneClean(bool pressure);
-  void EraseCleanEntry(
-      std::unordered_map<BlockKey, CleanEntry, BlockKeyHash>::iterator it);
+  // Moves an NVM-tier entry one tier up into the DRAM clean cache.
+  void PromoteNvmToDram(const BlockKey& key, SimTime now);
+  // Drops (or, for the DRAM tier with an NVM tier below, demotes) the
+  // tier's LRU entry; false if the tier is empty.
+  bool DemoteOne(size_t tier, bool pressure);
+  bool DemoteOneClean(bool pressure) { return DemoteOne(kDramTier, pressure); }
+  void EraseCacheEntry(
+      CacheTier& tier,
+      std::unordered_map<BlockKey, CacheEntry, BlockKeyHash>::iterator it);
+  // Frees `entry.page` back to the allocator owning `tier`'s pages.
+  void FreeTierPage(const CacheTier& tier, uint64_t page);
+  // Allocates a page for `tier`, recycling the tier's own LRU tail at its
+  // budget. Failure (pool and tail both dry) returns !ok.
+  Result<uint64_t> AllocateTierPage(size_t tier);
   uint64_t MaxCleanPages() const;
 
   StorageManager& storage_;
@@ -268,8 +354,9 @@ class ResidencyManager {
   WriteBuffer* dirty_backend_ = nullptr;
   std::vector<ReclaimSource*> sources_;  // Registration order (determinism).
 
-  std::unordered_map<BlockKey, CleanEntry, BlockKeyHash> clean_;
-  std::list<BlockKey> clean_lru_;  // Front = least recently used.
+  // Tier table: [0] the DRAM clean cache, [1] the NVM cache when the
+  // machine has NVM capacity. Sized at construction.
+  std::vector<CacheTier> tiers_;
   std::unordered_map<BlockKey, Heat, BlockKeyHash> heat_;
 
   Stats stats_;

@@ -10,8 +10,9 @@ namespace ssmc {
 
 StorageManager::StorageManager(DramDevice& dram, FlashStore& flash_store,
                                uint64_t page_bytes,
-                               ResidencyOptions residency)
-    : dram_(dram), flash_store_(flash_store), page_bytes_(page_bytes) {
+                               ResidencyOptions residency, NvmDevice* nvm)
+    : dram_(dram), flash_store_(flash_store), nvm_(nvm),
+      page_bytes_(page_bytes) {
   assert(page_bytes_ > 0);
   assert(page_bytes_ == flash_store_.block_bytes() &&
          "DRAM page size must match the flash store block size");
@@ -23,6 +24,16 @@ StorageManager::StorageManager(DramDevice& dram, FlashStore& flash_store,
   }
   dram_page_used_.assign(total_dram_pages_, false);
   page_payloads_.resize(total_dram_pages_);
+
+  if (nvm_ != nullptr) {
+    total_nvm_pages_ = nvm_->capacity_bytes() / page_bytes_;
+    free_nvm_pages_.reserve(total_nvm_pages_);
+    for (uint64_t p = total_nvm_pages_; p > 0; --p) {
+      free_nvm_pages_.push_back(p - 1);
+    }
+    nvm_page_used_.assign(total_nvm_pages_, false);
+    nvm_page_payloads_.resize(total_nvm_pages_);
+  }
 
   const uint64_t blocks = flash_store_.num_blocks();
   free_flash_blocks_.reserve(blocks);
@@ -56,11 +67,21 @@ void StorageManager::AttachObs(Obs* obs) {
   Gauge* total_dram = m.AddGauge("storage/total_dram_pages");
   Gauge* free_flash = m.AddGauge("storage/free_flash_blocks");
   Gauge* total_flash = m.AddGauge("storage/total_flash_blocks");
+  Gauge* free_nvm = nullptr;
+  Gauge* total_nvm = nullptr;
+  if (nvm_ != nullptr) {
+    free_nvm = m.AddGauge("storage/free_nvm_pages");
+    total_nvm = m.AddGauge("storage/total_nvm_pages");
+  }
   m.AddCollector("storage", [=, this] {
     free_dram->Set(static_cast<int64_t>(free_dram_pages()));
     total_dram->Set(static_cast<int64_t>(total_dram_pages()));
     free_flash->Set(static_cast<int64_t>(free_flash_blocks()));
     total_flash->Set(static_cast<int64_t>(total_flash_blocks()));
+    if (free_nvm != nullptr) {
+      free_nvm->Set(static_cast<int64_t>(free_nvm_pages()));
+      total_nvm->Set(static_cast<int64_t>(total_nvm_pages()));
+    }
   });
 }
 
@@ -86,6 +107,73 @@ Status StorageManager::FreeDramPage(uint64_t page) {
   page_payloads_[page].Reset();
   free_dram_pages_.push_back(page);
   return Status::Ok();
+}
+
+Result<uint64_t> StorageManager::AllocateNvmPage() {
+  if (free_nvm_pages_.empty()) {
+    return ResourceExhaustedError("out of NVM pages");
+  }
+  const uint64_t page = free_nvm_pages_.back();
+  free_nvm_pages_.pop_back();
+  nvm_page_used_[page] = true;
+  return page;
+}
+
+Status StorageManager::FreeNvmPage(uint64_t page) {
+  if (page >= total_nvm_pages_) {
+    return OutOfRangeError("no such NVM page");
+  }
+  if (!nvm_page_used_[page]) {
+    return FailedPreconditionError("double free of NVM page " +
+                                   std::to_string(page));
+  }
+  nvm_page_used_[page] = false;
+  nvm_page_payloads_[page].Reset();
+  free_nvm_pages_.push_back(page);
+  return Status::Ok();
+}
+
+Duration StorageManager::ReadNvmPagePayload(uint64_t page, uint64_t offset,
+                                            std::span<uint8_t> out,
+                                            IoIssue issue) {
+  assert(nvm_ != nullptr);
+  assert(page < total_nvm_pages_ && offset + out.size() <= page_bytes_);
+  const Result<Duration> d =
+      nvm_->Read(NvmPageAddress(page) + offset, out.size(), issue);
+  const PayloadRef& ref = nvm_page_payloads_[page];
+  if (ref) {
+    std::memcpy(out.data(), ref.data() + offset, out.size());
+  } else {
+    std::memset(out.data(), 0, out.size());
+  }
+  return d.value_or(0);
+}
+
+Duration StorageManager::InstallNvmPagePayload(uint64_t page,
+                                               PayloadRef payload,
+                                               IoIssue issue) {
+  assert(nvm_ != nullptr);
+  assert(page < total_nvm_pages_ && payload.size() == page_bytes_);
+  const Result<Duration> d =
+      nvm_->Write(NvmPageAddress(page), page_bytes_, issue);
+  nvm_page_payloads_[page] = std::move(payload);
+  return d.value_or(0);
+}
+
+PayloadRef StorageManager::ReadNvmPagePayloadRef(uint64_t page,
+                                                 IoIssue issue) {
+  assert(nvm_ != nullptr);
+  assert(page < total_nvm_pages_);
+  (void)nvm_->Read(NvmPageAddress(page), page_bytes_, issue);
+  PayloadRef& ref = nvm_page_payloads_[page];
+  if (!ref) {
+    if (!zero_extent_) {
+      zero_extent_ = extent_pool().Allocate();
+      std::memset(zero_extent_.MutableData(), 0, page_bytes_);
+    }
+    ref = zero_extent_;
+  }
+  return ref;
 }
 
 Duration StorageManager::ReadPagePayload(uint64_t page, uint64_t offset,

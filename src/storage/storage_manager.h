@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/device/dram_device.h"
+#include "src/device/nvm_device.h"
 #include "src/ftl/flash_store.h"
 #include "src/storage/residency.h"
 #include "src/support/extent.h"
@@ -36,10 +37,13 @@ class StorageManager {
  public:
   // page_bytes is the unit of DRAM allocation; it must equal the flash
   // store's block size so buffered blocks flush 1:1. `residency` selects
-  // the DRAM<->flash migration policy (residency.h); the default
-  // kWriteBufferOnly is byte-identical to the pre-residency simulator.
+  // the tier migration policy (residency.h); the default kWriteBufferOnly
+  // is byte-identical to the pre-residency simulator. `nvm` adds the
+  // byte-addressable NVM tier between DRAM and flash; null (the default)
+  // keeps the two-tier hierarchy bit-for-bit.
   StorageManager(DramDevice& dram, FlashStore& flash_store,
-                 uint64_t page_bytes, ResidencyOptions residency = {});
+                 uint64_t page_bytes, ResidencyOptions residency = {},
+                 NvmDevice* nvm = nullptr);
   // Flushes and removes the free-pool collector from any attached Obs
   // (which routinely outlives the manager).
   ~StorageManager();
@@ -62,6 +66,17 @@ class StorageManager {
   Result<uint64_t> AllocateDramPage();
   Status FreeDramPage(uint64_t page);
   uint64_t DramPageAddress(uint64_t page) const { return page * page_bytes_; }
+
+  // --- NVM page allocation ------------------------------------------------
+  // The optional byte-addressable NVM tier, allocated in the same page unit
+  // as DRAM. Null / zero-sized when the machine has no NVM.
+  NvmDevice* nvm() { return nvm_; }
+  const NvmDevice* nvm() const { return nvm_; }
+  uint64_t total_nvm_pages() const { return total_nvm_pages_; }
+  uint64_t free_nvm_pages() const { return free_nvm_pages_.size(); }
+  Result<uint64_t> AllocateNvmPage();
+  Status FreeNvmPage(uint64_t page);
+  uint64_t NvmPageAddress(uint64_t page) const { return page * page_bytes_; }
 
   // --- Flash logical-block allocation -------------------------------------
   uint64_t total_flash_blocks() const { return flash_store_.num_blocks(); }
@@ -110,8 +125,23 @@ class StorageManager {
   PayloadRef ReadPagePayloadRef(uint64_t page);
   // Battery failure: volatile contents are gone. Mirrors
   // DramDevice::ForceContentLoss for the payload table — subsequent reads
-  // see zero fill, matching the device's dropped-chunk behavior.
+  // see zero fill, matching the device's dropped-chunk behavior. NVM page
+  // payloads are left intact: the tier is non-volatile.
   void DropAllPagePayloads();
+
+  // --- NVM page payloads --------------------------------------------------
+  // Same refcounted-extent representation as DRAM pages, charged against the
+  // NVM device's asymmetric read/write timing through its bank scheduler.
+  // Valid only when nvm() is non-null.
+  Duration ReadNvmPagePayload(uint64_t page, uint64_t offset,
+                              std::span<uint8_t> out, IoIssue issue = {});
+  // Installs a whole-page payload by reference (zero-copy promotion);
+  // charges one full-page NVM write. payload.size() must equal page_bytes.
+  Duration InstallNvmPagePayload(uint64_t page, PayloadRef payload,
+                                 IoIssue issue = kCleanerIo);
+  // Borrows the page's payload as a ref (refcount bump), charging one
+  // full-page NVM read.
+  PayloadRef ReadNvmPagePayloadRef(uint64_t page, IoIssue issue = {});
 
   // --- Metadata accounting ------------------------------------------------
   // Memory-resident metadata (directories, inodes, page tables) lives in
@@ -126,13 +156,18 @@ class StorageManager {
  private:
   DramDevice& dram_;
   FlashStore& flash_store_;
+  NvmDevice* nvm_;
   uint64_t page_bytes_;
   uint64_t total_dram_pages_;
+  uint64_t total_nvm_pages_ = 0;
   std::vector<uint64_t> free_dram_pages_;
+  std::vector<uint64_t> free_nvm_pages_;
   std::vector<uint64_t> free_flash_blocks_;
   std::vector<bool> dram_page_used_;
+  std::vector<bool> nvm_page_used_;
   std::vector<bool> flash_block_used_;
-  std::vector<PayloadRef> page_payloads_;  // Indexed by DRAM page.
+  std::vector<PayloadRef> page_payloads_;      // Indexed by DRAM page.
+  std::vector<PayloadRef> nvm_page_payloads_;  // Indexed by NVM page.
   PayloadRef zero_extent_;                 // Lazily built, shared by aliasing.
   Obs* obs_ = nullptr;
   // Declared last: its destructor returns the clean cache's DRAM pages to

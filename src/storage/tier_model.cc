@@ -1,0 +1,81 @@
+#include "src/storage/tier_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ssmc {
+
+std::vector<double> ZipfPopularity(uint64_t n, double s) {
+  std::vector<double> p(n);
+  double norm = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    p[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+    norm += p[i];
+  }
+  for (double& v : p) {
+    v /= norm;
+  }
+  return p;
+}
+
+namespace {
+double ExpectedOccupancy(const std::vector<double>& popularity, double t) {
+  double occ = 0;
+  for (const double p : popularity) {
+    occ += 1.0 - std::exp(-p * t);
+  }
+  return occ;
+}
+}  // namespace
+
+double CheCharacteristicTime(const std::vector<double>& popularity,
+                             double cache_slots) {
+  if (cache_slots <= 0) {
+    return 0;
+  }
+  assert(cache_slots < static_cast<double>(popularity.size()));
+  // ExpectedOccupancy is monotone in t, 0 at t=0, -> n as t -> inf:
+  // bracket then bisect.
+  double lo = 0;
+  double hi = 1;
+  while (ExpectedOccupancy(popularity, hi) < cache_slots) {
+    hi *= 2;
+    assert(hi < 1e30);
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (ExpectedOccupancy(popularity, mid) < cache_slots) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double LruHitRate(const std::vector<double>& popularity, double cache_slots) {
+  if (cache_slots <= 0) {
+    return 0;
+  }
+  if (cache_slots >= static_cast<double>(popularity.size())) {
+    return 1.0;
+  }
+  const double t = CheCharacteristicTime(popularity, cache_slots);
+  double hit = 0;
+  for (const double p : popularity) {
+    hit += p * (1.0 - std::exp(-p * t));
+  }
+  return std::min(hit, 1.0);
+}
+
+TieredHitRates TieredLruHitRates(const std::vector<double>& popularity,
+                                 double dram_slots, double nvm_slots) {
+  TieredHitRates rates;
+  rates.dram = LruHitRate(popularity, dram_slots);
+  rates.combined = LruHitRate(popularity, dram_slots + nvm_slots);
+  rates.nvm = rates.combined - rates.dram;
+  return rates;
+}
+
+}  // namespace ssmc

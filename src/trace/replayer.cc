@@ -33,6 +33,9 @@ void ReplayReport::Merge(const ReplayReport& other) {
   }
   io_by_tenant.Merge(other.io_by_tenant);
   by_tenant.Merge(other.by_tenant);
+  tier_dram_read_bytes += other.tier_dram_read_bytes;
+  tier_nvm_read_bytes += other.tier_nvm_read_bytes;
+  tier_flash_read_bytes += other.tier_flash_read_bytes;
 }
 
 TraceReplayer::TraceReplayer(FileSystem& fs, SimClock& clock,

@@ -59,6 +59,13 @@ struct ReplayReport {
     return io_by_class[static_cast<size_t>(p)];
   }
 
+  // Per-tier read attribution over the replay window (deltas of the file
+  // system's read-source counters): which memory tier served the bytes.
+  // Filled by drivers that own the machine (MobileComputer::RunTrace).
+  uint64_t tier_dram_read_bytes = 0;   // Write buffer + clean DRAM cache.
+  uint64_t tier_nvm_read_bytes = 0;    // NVM cache tier.
+  uint64_t tier_flash_read_bytes = 0;  // Straight from flash.
+
   // Replay-level per-tenant operation latencies (read p50/p99 per tenant is
   // the E14 victim metric). Recorded by the replayer from each record's
   // tenant; a trace that never names one lands entirely in the

@@ -110,16 +110,25 @@ Status AddressSpace::Unmap(uint64_t va) {
        page_va += page_bytes()) {
     PageTableEntry* pte = table_.Find(page_va);
     if (pte != nullptr && pte->present) {
-      if (pte->backing == FrameBacking::kDram) {
-        (void)storage_.FreeDramPage(pte->frame);
-        assert(resident_dram_pages_ > 0);
-        --resident_dram_pages_;
-      }
+      ReleaseFrame(*pte);
       table_.Remove(page_va);
     }
   }
   regions_.erase(it);
   return Status::Ok();
+}
+
+void AddressSpace::ReleaseFrame(const PageTableEntry& pte) {
+  if (pte.backing == FrameBacking::kDram) {
+    (void)storage_.FreeDramPage(pte.frame);
+    assert(resident_dram_pages_ > 0);
+    --resident_dram_pages_;
+  } else if (pte.backing == FrameBacking::kNvm) {
+    (void)storage_.FreeNvmPage(pte.frame);
+    assert(resident_nvm_pages_ > 0);
+    --resident_nvm_pages_;
+  }
+  // kFlash: the frame is a mapping into the store, not an allocation.
 }
 
 bool AddressSpace::ReclaimOnePage() {
@@ -269,13 +278,19 @@ Result<PageTableEntry*> AddressSpace::EnsurePresent(uint64_t va,
     SSMC_RETURN_IF_ERROR(HandleFault(*region, va, for_write, pte));
   }
   if (for_write && !pte.writable) {
-    // Copy-on-write: the page is mapped read-only into flash; the first
-    // write copies the affected block to DRAM (Section 3.1).
+    // Copy-on-write: the page is mapped read-only into flash (or was
+    // hardware-migrated into NVM); the first write copies the affected
+    // block to DRAM (Section 3.1).
     stats_.faults.Add();
     stats_.cow_faults.Add();
     Result<uint64_t> page = CopyBlockToDram(*region, va);
     if (!page.ok()) {
       return page.status();
+    }
+    if (pte.backing == FrameBacking::kNvm) {
+      (void)storage_.FreeNvmPage(pte.frame);
+      assert(resident_nvm_pages_ > 0);
+      --resident_nvm_pages_;
     }
     pte.backing = FrameBacking::kDram;
     pte.frame = page.value();
@@ -295,6 +310,11 @@ Result<Duration> AddressSpace::FrameRead(const PageTableEntry& pte,
   if (pte.backing == FrameBacking::kDram) {
     return storage_.ReadPagePayload(pte.frame, offset, out);
   }
+  if (pte.backing == FrameBacking::kNvm) {
+    // A hardware-migrated page: byte-addressable NVM access, the caller
+    // blocks at NVM (not flash) latency.
+    return storage_.ReadNvmPagePayload(pte.frame, offset, out);
+  }
   return storage_.flash_store().ReadPartial(pte.frame, offset, out);
 }
 
@@ -302,6 +322,68 @@ Result<Duration> AddressSpace::FrameWrite(PageTableEntry& pte, uint64_t offset,
                                           std::span<const uint8_t> data) {
   assert(pte.backing == FrameBacking::kDram && "writes always land in DRAM");
   return storage_.WritePagePayload(pte.frame, offset, data);
+}
+
+void AddressSpace::NoteHwAccess(uint64_t page_va) {
+  auto [it, inserted] = hw_access_counts_.emplace(page_va, 0);
+  if (inserted) {
+    hw_access_order_.push_back(page_va);
+  }
+  ++it->second;
+  if (++hw_epoch_spent_ >= hw_migration_.epoch_accesses) {
+    RunHwEpoch();
+  }
+}
+
+void AddressSpace::RunHwEpoch() {
+  stats_.hw_epochs.Add();
+  const bool to_nvm =
+      hw_migration_.use_nvm && storage_.total_nvm_pages() > 0;
+  for (const uint64_t page_va : hw_access_order_) {
+    if (hw_access_counts_[page_va] < hw_migration_.promote_threshold) {
+      continue;
+    }
+    PageTableEntry* pte = table_.Find(page_va);
+    if (pte == nullptr || !pte->present ||
+        pte->backing != FrameBacking::kFlash) {
+      continue;  // Unmapped or already moved since it was counted.
+    }
+    // Hardware cannot ask the OS to reclaim: a plain allocation, and a hot
+    // page simply stays flash-mapped when the pool is dry.
+    Result<uint64_t> page =
+        to_nvm ? storage_.AllocateNvmPage() : storage_.AllocateDramPage();
+    if (!page.ok()) {
+      continue;
+    }
+    // The migration engine copies the block in the background (the CPU is
+    // not blocked on it) and remaps the PTE. The PTE held the *logical*
+    // store block, so the copy source re-resolves through the FTL — a
+    // concurrent cleaner relocation cannot leave this stale.
+    Result<PayloadRef> payload =
+        storage_.flash_store().ReadRef(pte->frame, kCleanerIo);
+    if (!payload.ok()) {
+      to_nvm ? (void)storage_.FreeNvmPage(page.value())
+             : (void)storage_.FreeDramPage(page.value());
+      continue;
+    }
+    if (to_nvm) {
+      storage_.InstallNvmPagePayload(page.value(), std::move(payload.value()));
+      pte->backing = FrameBacking::kNvm;
+      ++resident_nvm_pages_;
+    } else {
+      storage_.InstallPagePayload(page.value(), std::move(payload.value()));
+      pte->backing = FrameBacking::kDram;
+      ++resident_dram_pages_;
+    }
+    pte->frame = page.value();
+    // Migrated pages stay read-only: the first write still takes the normal
+    // copy-on-write fault into DRAM.
+    stats_.hw_migrations.Add();
+    stats_.hw_migrated_bytes.Add(page_bytes());
+  }
+  hw_access_counts_.clear();
+  hw_access_order_.clear();
+  hw_epoch_spent_ = 0;
 }
 
 Result<Duration> AddressSpace::Read(uint64_t va, std::span<uint8_t> out) {
@@ -315,6 +397,13 @@ Result<Duration> AddressSpace::Read(uint64_t va, std::span<uint8_t> out) {
     Result<PageTableEntry*> pte = EnsurePresent(pos, /*for_write=*/false);
     if (!pte.ok()) {
       return pte.status();
+    }
+    if (hw_migration_.enabled &&
+        pte.value()->backing == FrameBacking::kFlash) {
+      // The memory controller counts this access; the scan it may trigger
+      // can migrate the page before the read below (which then runs at the
+      // new tier's speed — exactly what transparent remap means).
+      NoteHwAccess(pos / page_bytes() * page_bytes());
     }
     Result<Duration> r = FrameRead(
         *pte.value(), in_page, std::span<uint8_t>(out.data() + done, chunk));

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <deque>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/fs/memory_fs.h"
@@ -29,6 +30,24 @@
 #include "src/vm/page_table.h"
 
 namespace ssmc {
+
+// Hardware-managed page migration (the OS-vs-hardware comparison of E16).
+// A memory controller counts accesses to flash-mapped pages and, each epoch,
+// transparently remaps the hot ones into byte-addressable NVM (or DRAM on a
+// machine without NVM). The OS sees nothing: no file-system calls, no
+// residency-manager heat, just a PTE whose frame moved. Contrast with the
+// OS-managed path, where the ResidencyManager promotes file blocks using
+// global sim-time heat.
+struct HwMigrationOptions {
+  bool enabled = false;
+  // Run a migration scan after this many counted flash-frame accesses.
+  uint64_t epoch_accesses = 256;
+  // Pages with at least this many accesses within the epoch migrate.
+  uint64_t promote_threshold = 4;
+  // Migrate into NVM pages when the machine has NVM; otherwise fall back to
+  // plain DRAM frames (no reclaim pressure — hardware cannot ask the OS).
+  bool use_nvm = true;
+};
 
 // Registers with the residency manager as a reclaim source: under DRAM
 // pressure any space's clean file-backed copies can be dropped, so VM pages,
@@ -112,7 +131,16 @@ class AddressSpace : public ResidencyManager::ReclaimSource {
   const Region* FindRegion(uint64_t va) const;
   StorageManager& storage() { return storage_; }
   uint64_t resident_dram_pages() const { return resident_dram_pages_; }
+  uint64_t resident_nvm_pages() const { return resident_nvm_pages_; }
   const PageTable& page_table() const { return table_; }
+
+  // Hardware-managed migration policy (off by default — identical behavior
+  // to the pre-E16 simulator). Set before mapping; the counters it keeps
+  // are per-space, like a per-process memory controller context.
+  void set_hw_migration(const HwMigrationOptions& options) {
+    hw_migration_ = options;
+  }
+  const HwMigrationOptions& hw_migration() const { return hw_migration_; }
 
   struct Stats {
     Counter faults;            // All demand faults.
@@ -124,6 +152,9 @@ class AddressSpace : public ResidencyManager::ReclaimSource {
     Counter reads;
     Counter writes;
     Counter protection_errors;
+    Counter hw_epochs;          // Hardware migration scans run.
+    Counter hw_migrations;      // Pages remapped flash -> NVM/DRAM.
+    Counter hw_migrated_bytes;
   };
   const Stats& stats() const { return stats_; }
 
@@ -146,6 +177,14 @@ class AddressSpace : public ResidencyManager::ReclaimSource {
   Status HandleFault(const Region& region, uint64_t va, bool for_write,
                      PageTableEntry& pte);
 
+  // Hardware migration: counts one access to a flash-mapped page; runs an
+  // epoch scan when the access budget is spent.
+  void NoteHwAccess(uint64_t page_va);
+  void RunHwEpoch();
+  // Releases the frame a present PTE holds (DRAM or NVM; flash frames are
+  // mappings, not allocations).
+  void ReleaseFrame(const PageTableEntry& pte);
+
   // Device access to the resolved frame.
   Result<Duration> FrameRead(const PageTableEntry& pte, uint64_t offset,
                              std::span<uint8_t> out);
@@ -159,7 +198,16 @@ class AddressSpace : public ResidencyManager::ReclaimSource {
   // validated at reclaim time.
   std::deque<uint64_t> reclaim_candidates_;
   uint64_t resident_dram_pages_ = 0;
+  uint64_t resident_nvm_pages_ = 0;
   Stats stats_;
+
+  HwMigrationOptions hw_migration_;
+  // Per-epoch access counts for flash-mapped pages, with insertion order
+  // kept separately so the epoch scan is deterministic (unordered_map
+  // iteration order is not).
+  std::unordered_map<uint64_t, uint64_t> hw_access_counts_;
+  std::vector<uint64_t> hw_access_order_;
+  uint64_t hw_epoch_spent_ = 0;
 };
 
 }  // namespace ssmc

@@ -23,7 +23,7 @@
 
 namespace ssmc {
 
-enum class FrameBacking { kDram, kFlash };
+enum class FrameBacking { kDram, kFlash, kNvm };
 
 struct PageTableEntry {
   bool present = false;
@@ -31,7 +31,8 @@ struct PageTableEntry {
   bool accessed = false;
   bool dirty = false;
   FrameBacking backing = FrameBacking::kDram;
-  // DRAM page index (kDram) or physical flash byte address (kFlash).
+  // DRAM page index (kDram), physical flash byte address (kFlash), or NVM
+  // page index (kNvm — hardware-migrated hot pages, address_space.h).
   uint64_t frame = 0;
 };
 

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
 #include <memory>
 #include <string>
@@ -142,6 +143,73 @@ TEST_F(ResidencyTest, HeatDecaysWithConfiguredHalfLife) {
 
   res().ForgetHeat(key);
   EXPECT_DOUBLE_EQ(res().HeatOf(key, clock_.now()), 0.0);
+}
+
+// Randomized property test for the sim-time heat decay. The manager keeps
+// the decayed touch count incrementally (one exp2 factor per update); the
+// reference recomputes it from the full touch history as
+// sum_i 2^-((now - t_i) / half_life). The two must agree for random
+// half-lives, touch spacings, and observation points — and touches sharing
+// a timestamp must take the decay-free fast path bit-exactly.
+TEST(ResidencyHeatProperty, DecayMatchesClosedFormReference) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(0xDECA1 * seed);
+    SimClock clock;
+    DramDevice dram(TestDramSpec(), 64 * 1024, clock);
+    FlashDevice flash(TestFlashSpec(), 256 * 1024, 1, clock);
+    FlashStore store(flash, {});
+    ResidencyOptions options = ReadPromoteOptions();
+    options.heat_half_life = (1 + rng.NextBelow(100000)) * kMillisecond;
+    StorageManager manager(dram, store, 512, options);
+    ResidencyManager& res = manager.residency();
+
+    constexpr uint64_t kBlocks = 8;
+    std::vector<std::vector<SimTime>> touches(kBlocks);
+    const double half_life = static_cast<double>(options.heat_half_life);
+    auto reference = [&](uint64_t b, SimTime now) {
+      double h = 0;
+      for (SimTime t : touches[b]) {
+        h += std::exp2(-static_cast<double>(now - t) / half_life);
+      }
+      return h;
+    };
+
+    for (int step = 0; step < 400; ++step) {
+      const uint64_t b = rng.NextBelow(kBlocks);
+      const BlockKey key{1, b};
+      switch (rng.NextBelow(4)) {
+        case 0:  // Idle a random fraction (0..3x) of the half-life.
+          clock.Advance(1 + rng.NextBelow(options.heat_half_life * 3));
+          break;
+        case 1:  // Touch (read and write feed the same bookkeeping).
+          if (rng.NextBelow(2) == 0) {
+            res.TouchRead(key, clock.now());
+          } else {
+            res.TouchWrite(key, clock.now());
+          }
+          touches[b].push_back(clock.now());
+          break;
+        case 2: {  // Same-timestamp touches: the decay-on-touch fast path
+                   // must add exactly 1.0 with no decay factor applied.
+          const double before = res.HeatOf(key, clock.now());
+          res.TouchRead(key, clock.now());
+          const double mid = res.HeatOf(key, clock.now());
+          EXPECT_DOUBLE_EQ(mid, before + 1.0);
+          res.TouchRead(key, clock.now());
+          EXPECT_DOUBLE_EQ(res.HeatOf(key, clock.now()), mid + 1.0);
+          touches[b].push_back(clock.now());
+          touches[b].push_back(clock.now());
+          break;
+        }
+        default: {  // Observe: HeatOf is pure and matches the closed form.
+          const double want = reference(b, clock.now());
+          EXPECT_NEAR(res.HeatOf(key, clock.now()), want, 1e-9 + 1e-9 * want)
+              << "seed " << seed << " step " << step << " block " << b;
+          break;
+        }
+      }
+    }
+  }
 }
 
 TEST_F(ResidencyTest, SecondHotReadPromotesAndServesFromDram) {

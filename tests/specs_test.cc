@@ -53,6 +53,41 @@ TEST(SpecsTest, FlashWritesTwoOrdersSlowerThanReads) {
   EXPECT_LE(ratio, 500.0);
 }
 
+TEST(SpecsTest, NvmReadsNoSlowerThanWrites) {
+  // PCM writes are the asymmetric side (the SET/RESET programming pulse,
+  // arXiv 2004.05518 quotes 3-8x): reads must cost no more than writes at
+  // any granularity the simulator uses.
+  const NvmSpec nvm = PcmNvm();
+  EXPECT_LE(nvm.read.LatencyFor(1), nvm.write.LatencyFor(1));
+  EXPECT_LE(nvm.read.LatencyFor(512), nvm.write.LatencyFor(512));
+}
+
+TEST(SpecsTest, NvmSitsBetweenDramAndFlash) {
+  // The Section 5 hierarchy ordering at block granularity: DRAM < NVM <
+  // every flash product's read path (MigrantStore, arXiv 1504.04297, puts
+  // PCM reads a small multiple of DRAM).
+  const NvmSpec nvm = PcmNvm();
+  EXPECT_LT(NecDram1993().read.LatencyFor(512), nvm.read.LatencyFor(512));
+  EXPECT_LT(nvm.read.LatencyFor(512), GenericPaperFlash().read.LatencyFor(512));
+  EXPECT_LT(nvm.read.LatencyFor(512), IntelFlash1993().read.LatencyFor(512));
+  EXPECT_LT(nvm.read.LatencyFor(512), SunDiskFlash1993().read.LatencyFor(512));
+  // Cost lands between DRAM and flash too.
+  EXPECT_GT(nvm.dollars_per_mib, NecDram1993().dollars_per_mib);
+  EXPECT_LT(nvm.dollars_per_mib, GenericPaperFlash().dollars_per_mib);
+}
+
+TEST(SpecsTest, NvmEnduranceAndStandbyBeatTheNeighbors) {
+  const NvmSpec nvm = PcmNvm();
+  // Per-line write endurance is orders of magnitude above flash sector
+  // endurance (arXiv 1805.09127 quotes ~1e8).
+  EXPECT_GE(nvm.endurance_writes, 1000 * GenericPaperFlash().endurance_cycles);
+  // Non-volatile: no refresh draw, so standby sits far below DRAM's
+  // self-refresh and at the flash interface level.
+  EXPECT_LT(nvm.standby_mw_per_mib, NecDram1993().standby_mw_per_mib);
+  EXPECT_DOUBLE_EQ(nvm.standby_mw_per_mib,
+                   IntelFlash1993().standby_mw_per_mib);
+}
+
 TEST(SpecsTest, PowerOrderingFlashLowest) {
   // "flash memory has lower power consumption than either [DRAM or disk]".
   const double flash_mw = IntelFlash1993().active_mw_per_mib;
